@@ -1,0 +1,98 @@
+//! Head-to-head runtime of all four algorithms at the paper's operating
+//! point (`n = 36`, `d = 0.5`, `k = 16`), plus the regular-pattern lineup
+//! at `r = 7` and `r = 8`, and the substrate primitives they lean on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grooming::algorithm::Algorithm;
+use grooming_graph::coloring::misra_gries;
+use grooming_graph::generators;
+use grooming_graph::matching::maximum_matching;
+use grooming_graph::spanning::{spanning_forest, TreeStrategy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn paper_operating_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_n36_d05_k16");
+    let m = generators::dense_ratio_edges(36, 0.5);
+    let g = generators::gnm(36, m, &mut StdRng::seed_from_u64(1));
+    for algo in Algorithm::FIGURE4 {
+        group.bench_function(algo.name(), |b| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| black_box(algo.run(&g, 16, &mut rng).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn regular_operating_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_regular_n36_k16");
+    for r in [7usize, 8] {
+        let g = generators::random_regular(36, r, &mut StdRng::seed_from_u64(3));
+        group.bench_function(format!("Regular_Euler r={r}"), |b| {
+            let mut rng = StdRng::seed_from_u64(4);
+            b.iter(|| {
+                black_box(
+                    Algorithm::RegularEuler
+                        .run(&g, 16, &mut rng)
+                        .unwrap(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn improvement_heuristics(c: &mut Criterion) {
+    // The concluding-remarks extensions at the paper's operating point:
+    // what does each quality tier cost in time?
+    let mut group = c.benchmark_group("improve_n36_d05_k16");
+    group.sample_size(10);
+    let m = generators::dense_ratio_edges(36, 0.5);
+    let g = generators::gnm(36, m, &mut StdRng::seed_from_u64(7));
+    let base = {
+        let mut rng = StdRng::seed_from_u64(8);
+        grooming::spant_euler::spant_euler(&g, 16, TreeStrategy::Bfs, &mut rng)
+    };
+    group.bench_function("refine", |b| {
+        b.iter(|| black_box(grooming::improve::refine(&g, 16, &base, 8)));
+    });
+    group.bench_function("anneal_5k", |b| {
+        let mut rng = StdRng::seed_from_u64(9);
+        b.iter(|| black_box(grooming::improve::anneal(&g, 16, &base, 5000, &mut rng)));
+    });
+    group.bench_function("clique_first", |b| {
+        let mut rng = StdRng::seed_from_u64(10);
+        b.iter(|| black_box(grooming::improve::clique_first(&g, 16, &mut rng)));
+    });
+    group.bench_function("dense_first", |b| {
+        let mut rng = StdRng::seed_from_u64(11);
+        b.iter(|| black_box(grooming::improve::dense_first(&g, 16, &mut rng)));
+    });
+    group.finish();
+}
+
+fn substrate_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate");
+    let g = generators::gnm(256, 2048, &mut StdRng::seed_from_u64(5));
+    group.bench_function("spanning_forest_bfs", |b| {
+        let mut rng = StdRng::seed_from_u64(6);
+        b.iter(|| black_box(spanning_forest(&g, TreeStrategy::Bfs, &mut rng)));
+    });
+    group.bench_function("maximum_matching_blossom", |b| {
+        b.iter(|| black_box(maximum_matching(&g)));
+    });
+    group.bench_function("misra_gries_coloring", |b| {
+        b.iter(|| black_box(misra_gries(&g)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    paper_operating_point,
+    regular_operating_point,
+    improvement_heuristics,
+    substrate_primitives
+);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Runtime-scaling benchmark: the paper claims `SpanT_Euler` runs in
+//! `O(|E|)` time and `Regular_Euler` in `O(|V|^{1/2} |E|)` (dominated by
+//! the maximum matching). Criterion measures both across doubling edge
+//! counts so the scaling exponent is visible in the report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use grooming::baselines;
+use grooming::regular_euler::regular_euler;
+use grooming::spant_euler::spant_euler;
+use grooming_graph::generators;
+use grooming_graph::spanning::TreeStrategy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn spant_euler_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spant_euler_scaling");
+    group.sample_size(10);
+    for exp in [12u32, 13, 14, 15, 16] {
+        let m = 1usize << exp;
+        let n = m / 8; // constant average degree 16
+        let g = generators::gnm(n, m, &mut StdRng::seed_from_u64(1));
+        group.throughput(Throughput::Elements(m as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(m), &g, |b, g| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| black_box(spant_euler(g, 16, TreeStrategy::Bfs, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn regular_euler_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("regular_euler_scaling");
+    group.sample_size(10);
+    for n in [64usize, 128, 256, 512] {
+        // Odd degree exercises the matching path (the expensive half).
+        let g = generators::random_regular(n, 7, &mut StdRng::seed_from_u64(3));
+        group.throughput(Throughput::Elements(g.num_edges() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| black_box(regular_euler(g, 16).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn baseline_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_scaling");
+    group.sample_size(10);
+    for exp in [12u32, 14, 16] {
+        let m = 1usize << exp;
+        let n = m / 8;
+        let g = generators::gnm(n, m, &mut StdRng::seed_from_u64(4));
+        group.throughput(Throughput::Elements(m as u64));
+        group.bench_with_input(BenchmarkId::new("brauner", m), &g, |b, g| {
+            b.iter(|| black_box(baselines::brauner(g, 16)));
+        });
+        group.bench_with_input(BenchmarkId::new("goldschmidt", m), &g, |b, g| {
+            let mut rng = StdRng::seed_from_u64(5);
+            b.iter(|| black_box(baselines::goldschmidt(g, 16, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    spant_euler_scaling,
+    regular_euler_scaling,
+    baseline_scaling
+);
+criterion_main!(benches);

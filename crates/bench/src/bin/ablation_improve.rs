@@ -1,0 +1,49 @@
+//! Ablation: the concluding remarks' improvement heuristics vs plain
+//! SpanT_Euler — local-search refinement and clique-first packing.
+//!
+//! The paper's final section proposes "partitioning the traffic graph into
+//! sub-graphs which are cliques or close to cliques" as future work. This
+//! binary measures what that buys on the paper's own instances.
+//!
+//! Usage: `ablation_improve [--seeds N] [--fast]`
+
+use grooming::algorithm::Algorithm;
+use grooming_bench::sweep::measure;
+use grooming_bench::table;
+use grooming_bench::workload::Workload;
+use grooming_bench::{parse_args, PAPER_N};
+use grooming_graph::spanning::TreeStrategy;
+
+fn main() {
+    let opts = parse_args();
+    let k_values = if opts.fast {
+        vec![3usize, 16]
+    } else {
+        vec![3usize, 4, 6, 8, 16]
+    };
+    let algorithms = [
+        Algorithm::SpanTEuler(TreeStrategy::Bfs),
+        Algorithm::SpanTEulerRefined(TreeStrategy::Bfs),
+        Algorithm::CliqueFirst,
+        Algorithm::DenseFirst,
+    ];
+
+    println!(
+        "Improvement-heuristics ablation — n = {PAPER_N}, {} seeds per point",
+        opts.seeds
+    );
+    println!();
+    for d in [0.3f64, 0.5, 0.7] {
+        let w = Workload::DenseRatio { n: PAPER_N, d };
+        let rows = measure(w, &algorithms, &k_values, opts.seeds);
+        println!(
+            "{}",
+            table::render(
+                &format!("dense ratio d = {d} — {}", w.label()),
+                &algorithms,
+                &rows
+            )
+        );
+        println!();
+    }
+}

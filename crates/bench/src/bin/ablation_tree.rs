@@ -1,0 +1,62 @@
+//! Ablation: how the spanning-tree strategy affects SpanT_Euler.
+//!
+//! The paper's concluding remarks single out "developing techniques to
+//! bound the number of connected components after deleting spanning tree T"
+//! as the lever on Theorem 5's bound. This ablation measures, per strategy:
+//! the SADM cost, the skeleton-cover size `j`, and the component count `c`
+//! of `G\T`.
+//!
+//! Usage: `ablation_tree [--seeds N] [--fast]`
+
+use grooming::spant_euler::spant_euler_detailed;
+use grooming_bench::workload::Workload;
+use grooming_bench::{parse_args, PAPER_N};
+use grooming_graph::spanning::TreeStrategy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let opts = parse_args();
+    let k_values = if opts.fast {
+        vec![4usize, 16]
+    } else {
+        vec![2usize, 4, 8, 16, 32]
+    };
+    println!(
+        "SpanT_Euler spanning-tree ablation — n = {PAPER_N}, {} seeds per point",
+        opts.seeds
+    );
+
+    for d in [0.3f64, 0.5, 0.7] {
+        let w = Workload::DenseRatio { n: PAPER_N, d };
+        println!("\n## dense ratio d = {d} — {}", w.label());
+        println!(
+            "{:>4}  {:>16}  {:>10}  {:>8}  {:>8}",
+            "k", "strategy", "mean SADM", "mean j", "mean c"
+        );
+        for &k in &k_values {
+            for strategy in TreeStrategy::ALL {
+                let mut sadm = 0f64;
+                let mut cover = 0f64;
+                let mut comps = 0f64;
+                for seed in 0..opts.seeds {
+                    let g = w.instance(seed);
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let run = spant_euler_detailed(&g, k, strategy, &mut rng);
+                    sadm += run.partition.sadm_cost(&g) as f64;
+                    cover += run.cover_size as f64;
+                    comps += run.components_g_minus_t as f64;
+                }
+                let s = opts.seeds as f64;
+                println!(
+                    "{:>4}  {:>16}  {:>10.1}  {:>8.2}  {:>8.2}",
+                    k,
+                    strategy.to_string(),
+                    sadm / s,
+                    cover / s,
+                    comps / s
+                );
+            }
+        }
+    }
+}

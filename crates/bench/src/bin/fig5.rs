@@ -1,0 +1,73 @@
+//! Regenerates **Figure 5** of Wang & Gu (ICPP 2006): SADM counts of the
+//! three baselines and Regular_Euler on random `r`-regular traffic graphs
+//! (`n = 36`, `r ∈ {7, 8, 15, 16}`), versus the grooming factor `k`.
+//!
+//! Expected shape (paper §4–§5): Regular_Euler outperforms the baselines in
+//! most cases; even `r` (8, 16) is strictly easier than odd `r` (7, 15)
+//! because the whole graph is Eulerian and the skeleton cover has size 1.
+//!
+//! Usage: `fig5 [--seeds N] [--fast]`
+
+use grooming::algorithm::Algorithm;
+use grooming::bounds;
+use grooming_bench::sweep::measure;
+use grooming_bench::table;
+use grooming_bench::workload::Workload;
+use grooming_bench::{parse_args, PAPER_N};
+
+fn main() {
+    let opts = parse_args();
+    let k_values = opts.k_values();
+    let algorithms = Algorithm::FIGURE5;
+
+    println!("Figure 5 reproduction — n = {PAPER_N}, {} seeds per point", opts.seeds);
+    println!();
+    for r in [7usize, 8, 15, 16] {
+        let w = Workload::Regular { n: PAPER_N, r };
+        let rows = measure(w, &algorithms, &k_values, opts.seeds);
+        println!(
+            "{}",
+            table::render(&format!("degree r = {r} — {}", w.label()), &algorithms, &rows)
+        );
+        println!("CSV:");
+        print!("{}", table::render_csv(&algorithms, &rows));
+        opts.maybe_write_svg(
+            &format!("fig5_r{r}"),
+            &format!("Figure 5 reproduction — {}", w.label()),
+            &algorithms,
+            &rows,
+        );
+
+        // Theorem 10 sanity line: the bound Regular_Euler must respect.
+        let m = w.num_edges();
+        print!("Theorem 10 bound per k:");
+        for &k in &k_values {
+            let b = if r % 2 == 0 {
+                bounds::theorem10_upper_bound_even(m, k)
+            } else {
+                bounds::theorem10_upper_bound_odd(m, k, PAPER_N, r)
+            };
+            print!(" k={k}:{b}");
+        }
+        println!();
+
+        let re_idx = algorithms.len() - 1;
+        let mut wins = 0usize;
+        for row in &rows {
+            let re = row.cells[re_idx].mean_sadm;
+            if row
+                .cells
+                .iter()
+                .take(re_idx)
+                .all(|c| re <= c.mean_sadm + 1e-9)
+            {
+                wins += 1;
+            }
+        }
+        println!(
+            "Regular_Euler best-or-tied on {wins}/{} grooming factors at r = {r}",
+            rows.len()
+        );
+        println!();
+    }
+}

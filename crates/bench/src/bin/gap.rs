@@ -1,0 +1,65 @@
+//! Optimality-gap study: how far are the heuristics from the exact optimum
+//! on instances small enough to solve exactly?
+//!
+//! Not a figure from the paper (the paper has no exact baseline) but the
+//! natural calibration for its claims: SpanT_Euler's advantage over the
+//! baselines should persist relative to ground truth.
+//!
+//! Usage: `gap [--seeds N] [--fast]`
+
+use grooming::algorithm::Algorithm;
+use grooming::bounds;
+use grooming::exact::exact_minimum;
+use grooming_bench::parse_args;
+use grooming_graph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let opts = parse_args();
+    let seeds = if opts.fast { opts.seeds.min(3) } else { opts.seeds };
+    let algorithms = Algorithm::FIGURE4;
+    let configs: &[(usize, usize, usize)] = &[
+        // (n, m, k)
+        (7, 10, 2),
+        (7, 10, 3),
+        (8, 12, 3),
+        (8, 12, 4),
+        (9, 14, 4),
+    ];
+
+    println!("Optimality gap vs exact optimum — {seeds} seeds per config");
+    println!(
+        "{:>3} {:>3} {:>3}  {:>8}  {:>8}  mean cost ratio per algorithm",
+        "n", "m", "k", "opt", "LB"
+    );
+    for &(n, m, k) in configs {
+        let mut opt_sum = 0f64;
+        let mut lb_sum = 0f64;
+        let mut ratios = vec![0f64; algorithms.len()];
+        for seed in 0..seeds {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = generators::gnm(n, m, &mut rng);
+            let opt = exact_minimum(&g, k) as f64;
+            opt_sum += opt;
+            lb_sum += bounds::lower_bound(&g, k) as f64;
+            for (i, algo) in algorithms.iter().enumerate() {
+                let p = algo.run(&g, k, &mut rng).unwrap();
+                ratios[i] += p.sadm_cost(&g) as f64 / opt;
+            }
+        }
+        let s = seeds as f64;
+        let mut line = format!(
+            "{:>3} {:>3} {:>3}  {:>8.2}  {:>8.2} ",
+            n,
+            m,
+            k,
+            opt_sum / s,
+            lb_sum / s
+        );
+        for (i, algo) in algorithms.iter().enumerate() {
+            line.push_str(&format!("  {}={:.3}", algo.name(), ratios[i] / s));
+        }
+        println!("{line}");
+    }
+}

@@ -1,0 +1,97 @@
+//! Extension experiment: do the paper's conclusions persist on realistic
+//! (non-uniform) traffic patterns?
+//!
+//! The paper evaluates on uniform random demands. Real metro rings skew
+//! toward near-neighbor traffic (locality) or gateway traffic (hubbed).
+//! This binary reruns the Figure-4 lineup — plus the improvement
+//! heuristics — on three pattern families at the paper's scale.
+//!
+//! Usage: `patterns [--seeds N] [--fast]`
+
+use grooming::algorithm::Algorithm;
+use grooming::bounds;
+use grooming_bench::{parse_args, PAPER_N};
+use grooming_graph::spanning::TreeStrategy;
+use grooming_sonet::demand::DemandSet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let opts = parse_args();
+    let n = PAPER_N;
+    let m = 216; // the d = 0.5 volume
+    let k = 16;
+    let algorithms = [
+        Algorithm::Goldschmidt,
+        Algorithm::Brauner,
+        Algorithm::WangGuIcc06,
+        Algorithm::SpanTEuler(TreeStrategy::Bfs),
+        Algorithm::CliqueFirst,
+        Algorithm::DenseFirst,
+    ];
+
+    println!(
+        "Traffic-pattern study — n = {n}, ~{m} demand pairs, k = {k}, {} seeds",
+        opts.seeds
+    );
+    type PatternFn = Box<dyn Fn(u64) -> DemandSet>;
+    let patterns: Vec<(&str, PatternFn)> = vec![
+        (
+            "uniform (the paper's model)",
+            Box::new(move |seed| {
+                DemandSet::random(n, m, &mut StdRng::seed_from_u64(seed))
+            }),
+        ),
+        (
+            "locality (alpha = 2)",
+            Box::new(move |seed| {
+                DemandSet::locality(n, m, 2.0, &mut StdRng::seed_from_u64(seed))
+            }),
+        ),
+        (
+            "hubbed (3 gateways) + uniform background",
+            Box::new(move |seed| {
+                let mut s = DemandSet::hubbed(n, &[0, 12, 24]);
+                let extra =
+                    DemandSet::random(n, m.saturating_sub(s.len()), &mut StdRng::seed_from_u64(seed));
+                for p in extra.pairs() {
+                    s.add(p.lo(), p.hi());
+                }
+                s
+            }),
+        ),
+    ];
+
+    for (name, make) in &patterns {
+        println!("\n## {name}");
+        println!("{:<24} {:>12} {:>12}", "algorithm", "mean SADM", "mean waves");
+        let mut lb = 0f64;
+        for algo in algorithms {
+            let mut sadm = 0f64;
+            let mut waves = 0f64;
+            for seed in 0..opts.seeds {
+                let demands = make(seed);
+                let g = demands.to_traffic_graph();
+                if algo == algorithms[0] {
+                    lb += bounds::lower_bound(&g, k) as f64;
+                }
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xF00D);
+                let p = algo.run(&g, k, &mut rng).unwrap();
+                sadm += p.sadm_cost(&g) as f64;
+                waves += p.num_wavelengths() as f64;
+            }
+            let s = opts.seeds as f64;
+            println!(
+                "{:<24} {:>12.1} {:>12.2}",
+                algo.name(),
+                sadm / s,
+                waves / s
+            );
+        }
+        println!(
+            "{:<24} {:>12.1}",
+            "(lower bound)",
+            lb / opts.seeds as f64
+        );
+    }
+}

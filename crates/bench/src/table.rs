@@ -1,0 +1,115 @@
+//! Fixed-width table rendering for the figure binaries.
+
+use crate::sweep::Row;
+use grooming::algorithm::Algorithm;
+
+/// Renders a measurement table: one line per grooming factor, one column
+/// per algorithm (mean SADM), plus the mean lower bound and the winner.
+pub fn render(title: &str, algorithms: &[Algorithm], rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    let mut header = format!("{:>4}", "k");
+    for a in algorithms {
+        header.push_str(&format!("  {:>22}", a.name()));
+    }
+    header.push_str(&format!("  {:>8}  {}", "LB", "winner"));
+    out.push_str(&header);
+    out.push('\n');
+    out.push_str(&"-".repeat(header.len()));
+    out.push('\n');
+    for row in rows {
+        let mut line = format!("{:>4}", row.k);
+        let mut best = (f64::INFINITY, 0usize);
+        for (i, c) in row.cells.iter().enumerate() {
+            if c.mean_sadm < best.0 {
+                best = (c.mean_sadm, i);
+            }
+        }
+        for c in &row.cells {
+            line.push_str(&format!(
+                "  {:>14.1} ±{:>5.1}",
+                c.mean_sadm, c.stddev_sadm
+            ));
+        }
+        line.push_str(&format!(
+            "  {:>8.1}  {}",
+            row.mean_lower_bound,
+            algorithms[best.1].name()
+        ));
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the same data as CSV (for plotting).
+pub fn render_csv(algorithms: &[Algorithm], rows: &[Row]) -> String {
+    let mut out = String::from("k");
+    for a in algorithms {
+        out.push_str(&format!(",{}", a.name().replace(',', ";")));
+        out.push_str(&format!(",{} wavelengths", a.name().replace(',', ";")));
+    }
+    out.push_str(",lower_bound\n");
+    for row in rows {
+        out.push_str(&row.k.to_string());
+        for c in &row.cells {
+            out.push_str(&format!(
+                ",{:.2}±{:.2},{:.2}",
+                c.mean_sadm, c.stddev_sadm, c.mean_wavelengths
+            ));
+        }
+        out.push_str(&format!(",{:.2}\n", row.mean_lower_bound));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::Cell;
+
+    fn sample_rows() -> Vec<Row> {
+        vec![Row {
+            k: 4,
+            cells: vec![
+                Cell {
+                    mean_sadm: 100.0,
+                    stddev_sadm: 3.0,
+                    min_sadm: 95,
+                    max_sadm: 105,
+                    mean_wavelengths: 10.0,
+                },
+                Cell {
+                    mean_sadm: 90.0,
+                    stddev_sadm: 1.5,
+                    min_sadm: 88,
+                    max_sadm: 92,
+                    mean_wavelengths: 10.0,
+                },
+            ],
+            mean_lower_bound: 80.0,
+        }]
+    }
+
+    #[test]
+    fn render_marks_the_winner() {
+        let algos = [Algorithm::Goldschmidt, Algorithm::Brauner];
+        let s = render("test", &algos, &sample_rows());
+        assert!(s.contains("## test"));
+        let data_line = s.lines().last().unwrap();
+        assert!(data_line.ends_with("Algo 2 (Brauner)"));
+        assert!(data_line.contains("90.0"));
+    }
+
+    #[test]
+    fn csv_has_header_and_values() {
+        let algos = [Algorithm::Goldschmidt, Algorithm::Brauner];
+        let s = render_csv(&algos, &sample_rows());
+        let mut lines = s.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("k,"));
+        assert!(header.ends_with("lower_bound"));
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("4,100.00±3.00,10.00,90.00±1.50,10.00,80.00"));
+    }
+}

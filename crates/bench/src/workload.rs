@@ -1,0 +1,90 @@
+//! The paper's evaluation workloads.
+
+use grooming_graph::generators;
+use grooming_graph::graph::Graph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A workload family: produces one traffic graph per seed.
+#[derive(Clone, Copy, Debug)]
+pub enum Workload {
+    /// `G(n, m)` with `m = round(n^(1+d))` (Figure 4).
+    DenseRatio {
+        /// Number of ring nodes.
+        n: usize,
+        /// The paper's dense ratio `d`.
+        d: f64,
+    },
+    /// Random simple `r`-regular graph (Figure 5).
+    Regular {
+        /// Number of ring nodes.
+        n: usize,
+        /// Demand degree `r`.
+        r: usize,
+    },
+}
+
+impl Workload {
+    /// Generates the seed-th instance of the family.
+    pub fn instance(&self, seed: u64) -> Graph {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        match *self {
+            Workload::DenseRatio { n, d } => {
+                generators::gnm(n, generators::dense_ratio_edges(n, d), &mut rng)
+            }
+            Workload::Regular { n, r } => generators::random_regular(n, r, &mut rng),
+        }
+    }
+
+    /// Number of demand pairs (edges) per instance.
+    pub fn num_edges(&self) -> usize {
+        match *self {
+            Workload::DenseRatio { n, d } => generators::dense_ratio_edges(n, d),
+            Workload::Regular { n, r } => n * r / 2,
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(&self) -> String {
+        match *self {
+            Workload::DenseRatio { n, d } => {
+                format!("G(n={n}, m=n^{:.1}={})", 1.0 + d, self.num_edges())
+            }
+            Workload::Regular { n, r } => format!("{r}-regular, n={n} (m={})", self.num_edges()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_ratio_instances_have_declared_edges() {
+        let w = Workload::DenseRatio { n: 36, d: 0.5 };
+        assert_eq!(w.num_edges(), 216);
+        let g = w.instance(3);
+        assert_eq!(g.num_edges(), 216);
+        assert_eq!(g.num_nodes(), 36);
+    }
+
+    #[test]
+    fn regular_instances_are_regular() {
+        let w = Workload::Regular { n: 36, r: 7 };
+        assert_eq!(w.num_edges(), 126);
+        let g = w.instance(1);
+        assert!(g.is_regular(7));
+    }
+
+    #[test]
+    fn seeds_give_distinct_instances() {
+        let w = Workload::DenseRatio { n: 36, d: 0.5 };
+        assert_ne!(w.instance(1).edge_list(), w.instance(2).edge_list());
+    }
+
+    #[test]
+    fn labels_mention_parameters() {
+        assert!(Workload::DenseRatio { n: 36, d: 0.5 }.label().contains("216"));
+        assert!(Workload::Regular { n: 36, r: 8 }.label().contains("8-regular"));
+    }
+}

@@ -1,0 +1,479 @@
+//! Hand-rolled argument parsing for `upsr-groom`.
+
+use grooming::algorithm::Algorithm;
+use grooming_graph::spanning::TreeStrategy;
+
+/// What the user asked for.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Groom demands read from an edge-list file.
+    File {
+        /// Path to the edge-list file.
+        path: String,
+        /// Common options.
+        opts: GroomOptions,
+    },
+    /// Groom a random `G(n, m)` demand set.
+    Random {
+        /// Ring size.
+        n: usize,
+        /// Number of demand pairs.
+        m: usize,
+        /// Common options.
+        opts: GroomOptions,
+    },
+    /// Groom a random `r`-regular demand set.
+    Regular {
+        /// Ring size.
+        n: usize,
+        /// Demand degree.
+        r: usize,
+        /// Common options.
+        opts: GroomOptions,
+    },
+    /// Groom a named traffic pattern.
+    Pattern {
+        /// Ring size.
+        n: usize,
+        /// The pattern family.
+        kind: PatternKind,
+        /// Common options.
+        opts: GroomOptions,
+    },
+    /// List available algorithms.
+    Algos,
+    /// Print usage.
+    Help,
+}
+
+/// Options shared by the grooming commands.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GroomOptions {
+    /// Grooming factor `k`.
+    pub k: usize,
+    /// Algorithm to run.
+    pub algorithm: Algorithm,
+    /// RNG seed (tie-breaking and generators).
+    pub seed: u64,
+    /// Print the per-wavelength demand groups.
+    pub show_parts: bool,
+    /// Compare against all algorithms instead of running one.
+    pub compare: bool,
+    /// Optional wavelength budget (`W ≤ B` enforced after grooming).
+    pub budget: Option<usize>,
+    /// Print the analytic breakdown (histograms, hot nodes, gap).
+    pub analyze: bool,
+    /// Write a Graphviz DOT rendering (edges colored by wavelength).
+    pub dot: Option<String>,
+}
+
+impl Default for GroomOptions {
+    fn default() -> Self {
+        GroomOptions {
+            k: 16,
+            algorithm: Algorithm::SpanTEuler(TreeStrategy::Bfs),
+            seed: 1,
+            show_parts: false,
+            compare: false,
+            budget: None,
+            analyze: false,
+            dot: None,
+        }
+    }
+}
+
+/// Traffic pattern kinds for the `pattern` command.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PatternKind {
+    /// All-to-all (`r = n − 1`).
+    AllToAll,
+    /// Locality traffic with exponent `alpha`.
+    Locality {
+        /// Number of pairs.
+        m: usize,
+        /// Distance exponent.
+        alpha: f64,
+    },
+    /// Hubbed traffic toward the given gateway nodes.
+    Hubbed {
+        /// Gateway node ids.
+        hubs: Vec<u32>,
+    },
+}
+
+/// Algorithm names accepted by `--algo`.
+pub fn algorithm_by_name(name: &str) -> Option<Algorithm> {
+    Some(match name {
+        "goldschmidt" | "algo1" => Algorithm::Goldschmidt,
+        "brauner" | "algo2" => Algorithm::Brauner,
+        "wang-gu" | "wanggu" | "algo3" => Algorithm::WangGuIcc06,
+        "spant-euler" | "spant" => Algorithm::SpanTEuler(TreeStrategy::Bfs),
+        "spant-refined" | "refined" => Algorithm::SpanTEulerRefined(TreeStrategy::Bfs),
+        "regular-euler" | "regular" => Algorithm::RegularEuler,
+        "clique-first" | "clique" => Algorithm::CliqueFirst,
+        "dense-first" | "dense" => Algorithm::DenseFirst,
+        "auto" | "portfolio" => Algorithm::Portfolio,
+        _ => return None,
+    })
+}
+
+/// All `--algo` spellings, for help text and the `algos` command.
+pub const ALGO_NAMES: [(&str, &str); 9] = [
+    ("goldschmidt", "Algo 1: spanning-tree partition (Goldschmidt et al. 2003)"),
+    ("brauner", "Algo 2: Euler-path partition (Brauner et al. 2003)"),
+    ("wang-gu", "Algo 3: tree-path skeleton cover (Wang & Gu ICC'06)"),
+    ("spant-euler", "SpanT_Euler: the paper's linear-time hybrid (default)"),
+    ("spant-refined", "SpanT_Euler followed by local-search refinement"),
+    ("regular-euler", "Regular_Euler: regular traffic patterns only"),
+    ("clique-first", "Clique-first packing + SpanT_Euler + refinement"),
+    ("dense-first", "Maximal-clique packing up to the grooming capacity"),
+    ("auto", "Portfolio: run everything applicable, keep the cheapest plan"),
+];
+
+/// Parsing failure with a user-facing message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError(pub String);
+
+/// Parses an argv-style list (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "algos" => Ok(Command::Algos),
+        "groom" => {
+            let mut path = None;
+            let mut opts = GroomOptions::default();
+            parse_common(&mut it, &mut opts, |flag, _| {
+                Err(ParseError(format!("unknown flag {flag:?} for groom")))
+            }, &mut |positional| {
+                if path.is_none() {
+                    path = Some(positional.to_string());
+                    Ok(())
+                } else {
+                    Err(ParseError(format!("unexpected argument {positional:?}")))
+                }
+            })?;
+            let path = path.ok_or_else(|| ParseError("groom needs an edge-list file".into()))?;
+            Ok(Command::File { path, opts })
+        }
+        "random" => {
+            let mut n = None;
+            let mut m = None;
+            let mut opts = GroomOptions::default();
+            parse_common(&mut it, &mut opts, |flag, value| match flag {
+                "--n" => {
+                    n = Some(parse_num(flag, value)?);
+                    Ok(())
+                }
+                "--m" => {
+                    m = Some(parse_num(flag, value)?);
+                    Ok(())
+                }
+                _ => Err(ParseError(format!("unknown flag {flag:?} for random"))),
+            }, &mut no_positional)?;
+            Ok(Command::Random {
+                n: n.ok_or_else(|| ParseError("random needs --n".into()))?,
+                m: m.ok_or_else(|| ParseError("random needs --m".into()))?,
+                opts,
+            })
+        }
+        "regular" => {
+            let mut n = None;
+            let mut r = None;
+            let mut opts = GroomOptions::default();
+            parse_common(&mut it, &mut opts, |flag, value| match flag {
+                "--n" => {
+                    n = Some(parse_num(flag, value)?);
+                    Ok(())
+                }
+                "--r" => {
+                    r = Some(parse_num(flag, value)?);
+                    Ok(())
+                }
+                _ => Err(ParseError(format!("unknown flag {flag:?} for regular"))),
+            }, &mut no_positional)?;
+            Ok(Command::Regular {
+                n: n.ok_or_else(|| ParseError("regular needs --n".into()))?,
+                r: r.ok_or_else(|| ParseError("regular needs --r".into()))?,
+                opts,
+            })
+        }
+        "pattern" => {
+            let mut n = None;
+            let mut kind_name = None;
+            let mut m = None;
+            let mut alpha = 2.0f64;
+            let mut hubs: Vec<u32> = Vec::new();
+            let mut opts = GroomOptions::default();
+            parse_common(&mut it, &mut opts, |flag, value| match flag {
+                "--n" => {
+                    n = Some(parse_num(flag, value)?);
+                    Ok(())
+                }
+                "--kind" => {
+                    kind_name = Some(value.to_string());
+                    Ok(())
+                }
+                "--m" => {
+                    m = Some(parse_num(flag, value)?);
+                    Ok(())
+                }
+                "--alpha" => {
+                    alpha = value
+                        .parse()
+                        .map_err(|_| ParseError("--alpha needs a number".into()))?;
+                    Ok(())
+                }
+                "--hubs" => {
+                    hubs = value
+                        .split(',')
+                        .map(|t| {
+                            t.parse()
+                                .map_err(|_| ParseError(format!("bad hub id {t:?}")))
+                        })
+                        .collect::<Result<_, _>>()?;
+                    Ok(())
+                }
+                _ => Err(ParseError(format!("unknown flag {flag:?} for pattern"))),
+            }, &mut no_positional)?;
+            let n = n.ok_or_else(|| ParseError("pattern needs --n".into()))?;
+            let kind = match kind_name.as_deref() {
+                Some("all-to-all") | Some("all2all") => PatternKind::AllToAll,
+                Some("locality") => PatternKind::Locality {
+                    m: m.ok_or_else(|| ParseError("locality needs --m".into()))?,
+                    alpha,
+                },
+                Some("hubbed") => {
+                    if hubs.is_empty() {
+                        return Err(ParseError("hubbed needs --hubs a,b,...".into()));
+                    }
+                    PatternKind::Hubbed { hubs }
+                }
+                Some(other) => {
+                    return Err(ParseError(format!(
+                        "unknown pattern kind {other:?} (all-to-all, locality, hubbed)"
+                    )))
+                }
+                None => return Err(ParseError("pattern needs --kind".into())),
+            };
+            Ok(Command::Pattern { n, kind, opts })
+        }
+        other => Err(ParseError(format!(
+            "unknown command {other:?} (try: groom, random, regular, algos, help)"
+        ))),
+    }
+}
+
+fn no_positional(arg: &str) -> Result<(), ParseError> {
+    Err(ParseError(format!("unexpected argument {arg:?}")))
+}
+
+fn parse_num(flag: &str, value: &str) -> Result<usize, ParseError> {
+    value
+        .parse()
+        .map_err(|_| ParseError(format!("{flag} needs an integer, got {value:?}")))
+}
+
+fn parse_common<'a>(
+    it: &mut std::slice::Iter<'a, String>,
+    opts: &mut GroomOptions,
+    mut extra: impl FnMut(&str, &str) -> Result<(), ParseError>,
+    positional: &mut dyn FnMut(&str) -> Result<(), ParseError>,
+) -> Result<(), ParseError> {
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--parts" => opts.show_parts = true,
+            "--compare" => opts.compare = true,
+            "--analyze" => opts.analyze = true,
+            flag if flag.starts_with("--") => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| ParseError(format!("{flag} needs a value")))?;
+                match flag {
+                    "--k" => opts.k = parse_num(flag, value)?,
+                    "--budget" => opts.budget = Some(parse_num(flag, value)?),
+                    "--dot" => opts.dot = Some(value.to_string()),
+                    "--seed" => {
+                        opts.seed = value
+                            .parse()
+                            .map_err(|_| ParseError("--seed needs an integer".to_string()))?
+                    }
+                    "--algo" => {
+                        opts.algorithm = algorithm_by_name(value).ok_or_else(|| {
+                            ParseError(format!(
+                                "unknown algorithm {value:?} (see `upsr-groom algos`)"
+                            ))
+                        })?
+                    }
+                    _ => extra(flag, value)?,
+                }
+            }
+            pos => positional(pos)?,
+        }
+    }
+    if opts.k == 0 {
+        return Err(ParseError("--k must be positive".into()));
+    }
+    Ok(())
+}
+
+/// The usage text.
+pub const USAGE: &str = "\
+upsr-groom — traffic grooming planner for SONET/WDM UPSR rings
+(Wang & Gu, ICPP 2006)
+
+USAGE:
+  upsr-groom groom <file> [OPTIONS]             groom demands from a file
+                                                (edge-list or graph6)
+  upsr-groom random --n N --m M [OPTIONS]       groom M random demand pairs
+  upsr-groom regular --n N --r R [OPTIONS]      groom a random r-regular pattern
+  upsr-groom pattern --n N --kind KIND [OPTIONS]
+                                                groom a named pattern:
+                                                all-to-all | locality (--m M
+                                                [--alpha A]) | hubbed
+                                                (--hubs a,b,...)
+  upsr-groom algos                              list algorithms
+  upsr-groom help                               this text
+
+OPTIONS:
+  --k K          grooming factor (default 16 = OC-3 into OC-48)
+  --algo NAME    algorithm (default spant-euler; see `algos`)
+  --seed S       RNG seed (default 1)
+  --budget B     enforce a wavelength budget (W <= B)
+  --parts        print the per-wavelength demand groups
+  --analyze      print the analytic breakdown (histograms, hot nodes, gap)
+  --dot FILE     write a Graphviz rendering (edges colored by wavelength)
+  --compare      run every applicable algorithm and compare
+
+FILE FORMATS:
+  edge list: line 1 `n m`, then m lines `u v` (0-based), `#` comments.
+  graph6   : nauty/GenReg single-line format (auto-detected).
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_groom_with_defaults() {
+        let cmd = parse(&argv("groom demands.txt")).unwrap();
+        match cmd {
+            Command::File { path, opts } => {
+                assert_eq!(path, "demands.txt");
+                assert_eq!(opts.k, 16);
+                assert!(!opts.show_parts);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_random_with_flags() {
+        let cmd = parse(&argv("random --n 36 --m 216 --k 4 --seed 9 --parts")).unwrap();
+        match cmd {
+            Command::Random { n, m, opts } => {
+                assert_eq!((n, m), (36, 216));
+                assert_eq!(opts.k, 4);
+                assert_eq!(opts.seed, 9);
+                assert!(opts.show_parts);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_regular_and_algo() {
+        let cmd = parse(&argv("regular --n 36 --r 7 --algo regular-euler")).unwrap();
+        match cmd {
+            Command::Regular { n, r, opts } => {
+                assert_eq!((n, r), (36, 7));
+                assert_eq!(opts.algorithm, Algorithm::RegularEuler);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_bits() {
+        assert!(parse(&argv("fly --n 3")).is_err());
+        assert!(parse(&argv("random --n 5")).is_err()); // missing --m
+        assert!(parse(&argv("random --n 5 --m 4 --algo nope")).is_err());
+        assert!(parse(&argv("groom a.txt b.txt")).is_err());
+        assert!(parse(&argv("random --n 5 --m 4 --k 0")).is_err());
+    }
+
+    #[test]
+    fn parses_pattern_kinds() {
+        match parse(&argv("pattern --n 12 --kind all-to-all")).unwrap() {
+            Command::Pattern { n, kind, .. } => {
+                assert_eq!(n, 12);
+                assert_eq!(kind, PatternKind::AllToAll);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv("pattern --n 24 --kind locality --m 50 --alpha 1.5")).unwrap() {
+            Command::Pattern { kind, .. } => {
+                assert_eq!(kind, PatternKind::Locality { m: 50, alpha: 1.5 });
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv("pattern --n 24 --kind hubbed --hubs 0,8,16")).unwrap() {
+            Command::Pattern { kind, .. } => {
+                assert_eq!(
+                    kind,
+                    PatternKind::Hubbed {
+                        hubs: vec![0, 8, 16]
+                    }
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pattern_rejects_incomplete_specs() {
+        assert!(parse(&argv("pattern --n 12")).is_err()); // no kind
+        assert!(parse(&argv("pattern --kind all-to-all")).is_err()); // no n
+        assert!(parse(&argv("pattern --n 12 --kind locality")).is_err()); // no m
+        assert!(parse(&argv("pattern --n 12 --kind hubbed")).is_err()); // no hubs
+        assert!(parse(&argv("pattern --n 12 --kind nope")).is_err());
+        assert!(parse(&argv("pattern --n 12 --kind hubbed --hubs 1,x")).is_err());
+    }
+
+    #[test]
+    fn parses_budget_flag() {
+        match parse(&argv("random --n 10 --m 20 --budget 7")).unwrap() {
+            Command::Random { opts, .. } => assert_eq!(opts.budget, Some(7)),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Default: no budget.
+        match parse(&argv("random --n 10 --m 20")).unwrap() {
+            Command::Random { opts, .. } => assert_eq!(opts.budget, None),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn help_and_algos() {
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("algos")).unwrap(), Command::Algos);
+    }
+
+    #[test]
+    fn every_listed_algorithm_resolves() {
+        for (name, _) in ALGO_NAMES {
+            assert!(algorithm_by_name(name).is_some(), "{name}");
+        }
+        assert!(algorithm_by_name("algo1").is_some());
+        assert!(algorithm_by_name("bogus").is_none());
+    }
+}

@@ -1,0 +1,172 @@
+//! A uniform interface over all grooming algorithms, for the benchmark
+//! harness, the pipeline, and the examples.
+
+use grooming_graph::graph::Graph;
+use grooming_graph::spanning::TreeStrategy;
+use rand::Rng;
+
+use crate::baselines;
+use crate::partition::EdgePartition;
+use crate::regular_euler::{self, NotRegularError};
+use crate::spant_euler;
+
+/// Every grooming algorithm in this crate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Algo 1 — Goldschmidt et al. 2003 (spanning-tree partition).
+    Goldschmidt,
+    /// Algo 2 — Brauner et al. 2003 (Euler-path partition).
+    Brauner,
+    /// Algo 3 — Wang & Gu ICC'06 (tree-path skeleton cover).
+    WangGuIcc06,
+    /// The paper's SpanT_Euler with a choice of spanning-tree strategy.
+    SpanTEuler(TreeStrategy),
+    /// The paper's Regular_Euler (regular traffic graphs only).
+    RegularEuler,
+    /// SpanT_Euler followed by local-search refinement
+    /// ([`crate::improve::refine`]) — the concluding remarks' first
+    /// improvement direction.
+    SpanTEulerRefined(TreeStrategy),
+    /// The clique-first packer ([`crate::improve::clique_first`]) — the
+    /// concluding remarks' "dense sub-graphs" direction.
+    CliqueFirst,
+    /// The generalized dense-first packer
+    /// ([`crate::improve::dense_first`]): maximal cliques up to the
+    /// grooming capacity, not just triangles.
+    DenseFirst,
+    /// The portfolio meta-algorithm ([`crate::portfolio::best_of`]): run
+    /// every general-purpose algorithm and keep the cheapest plan.
+    Portfolio,
+}
+
+impl Algorithm {
+    /// The figure-4 lineup: the three baselines plus SpanT_Euler.
+    pub const FIGURE4: [Algorithm; 4] = [
+        Algorithm::Goldschmidt,
+        Algorithm::Brauner,
+        Algorithm::WangGuIcc06,
+        Algorithm::SpanTEuler(TreeStrategy::Bfs),
+    ];
+
+    /// The figure-5 lineup: the three baselines plus Regular_Euler.
+    pub const FIGURE5: [Algorithm; 4] = [
+        Algorithm::Goldschmidt,
+        Algorithm::Brauner,
+        Algorithm::WangGuIcc06,
+        Algorithm::RegularEuler,
+    ];
+
+    /// Short display name matching the paper's legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Goldschmidt => "Algo 1 (Goldschmidt)",
+            Algorithm::Brauner => "Algo 2 (Brauner)",
+            Algorithm::WangGuIcc06 => "Algo 3 (WangGu ICC06)",
+            Algorithm::SpanTEuler(_) => "SpanT_Euler",
+            Algorithm::RegularEuler => "Regular_Euler",
+            Algorithm::SpanTEulerRefined(_) => "SpanT_Euler+refine",
+            Algorithm::CliqueFirst => "CliqueFirst",
+            Algorithm::DenseFirst => "DenseFirst",
+            Algorithm::Portfolio => "Portfolio (best-of)",
+        }
+    }
+
+    /// Runs the algorithm on traffic graph `g` with grooming factor `k`.
+    pub fn run<R: Rng>(
+        &self,
+        g: &Graph,
+        k: usize,
+        rng: &mut R,
+    ) -> Result<EdgePartition, NotRegularError> {
+        Ok(match self {
+            Algorithm::Goldschmidt => baselines::goldschmidt(g, k, rng),
+            Algorithm::Brauner => baselines::brauner(g, k),
+            Algorithm::WangGuIcc06 => baselines::wang_gu_icc06(g, k, rng),
+            Algorithm::SpanTEuler(strategy) => spant_euler::spant_euler(g, k, *strategy, rng),
+            Algorithm::RegularEuler => regular_euler::regular_euler(g, k)?,
+            Algorithm::SpanTEulerRefined(strategy) => {
+                let base = spant_euler::spant_euler(g, k, *strategy, rng);
+                crate::improve::refine(g, k, &base, 8)
+            }
+            Algorithm::CliqueFirst => crate::improve::clique_first(g, k, rng),
+            Algorithm::DenseFirst => crate::improve::dense_first(g, k, rng),
+            Algorithm::Portfolio => {
+                crate::portfolio::best_of(g, k, &crate::portfolio::DEFAULT_PORTFOLIO, 0, rng)
+                    .partition
+            }
+        })
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grooming_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_algorithms_run_on_regular_graphs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = generators::random_regular(20, 4, &mut rng);
+        for algo in Algorithm::FIGURE5 {
+            let p = algo.run(&g, 4, &mut rng).unwrap();
+            p.validate(&g, 4).unwrap();
+        }
+    }
+
+    #[test]
+    fn regular_euler_refuses_irregular_inputs() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = generators::star(6);
+        assert!(Algorithm::RegularEuler.run(&g, 4, &mut rng).is_err());
+        for algo in Algorithm::FIGURE4 {
+            assert!(algo.run(&g, 4, &mut rng).is_ok(), "{algo}");
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: std::collections::HashSet<_> = Algorithm::FIGURE4
+            .iter()
+            .chain(&[
+                Algorithm::RegularEuler,
+                Algorithm::CliqueFirst,
+                Algorithm::DenseFirst,
+                Algorithm::SpanTEulerRefined(TreeStrategy::Bfs),
+            ])
+            .map(|a| a.name())
+            .collect();
+        assert_eq!(names.len(), 8);
+        assert_eq!(
+            Algorithm::SpanTEuler(TreeStrategy::Bfs).to_string(),
+            "SpanT_Euler"
+        );
+    }
+
+    #[test]
+    fn extension_algorithms_never_lose_to_their_base() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = generators::gnm(18, 50, &mut rng);
+        for k in [3usize, 4, 16] {
+            let mut r1 = StdRng::seed_from_u64(9);
+            let mut r2 = StdRng::seed_from_u64(9);
+            let base = Algorithm::SpanTEuler(TreeStrategy::Bfs)
+                .run(&g, k, &mut r1)
+                .unwrap();
+            let refined = Algorithm::SpanTEulerRefined(TreeStrategy::Bfs)
+                .run(&g, k, &mut r2)
+                .unwrap();
+            refined.validate(&g, k).unwrap();
+            assert!(refined.sadm_cost(&g) <= base.sadm_cost(&g));
+            let cf = Algorithm::CliqueFirst.run(&g, k, &mut r2).unwrap();
+            cf.validate(&g, k).unwrap();
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Deterministic all-to-all grooming via Walecki's Hamiltonian
+//! decomposition.
+//!
+//! For the all-to-all pattern (`r = n − 1`; the paper's refs [11, 13, 21])
+//! explicit constructions replace instance noise with closed forms: for
+//! odd `n`, `K_n` splits into `(n−1)/2` Hamiltonian cycles, and when the
+//! grooming factor is a multiple of `n` every wavelength holds whole
+//! cycles — exactly `n` SADMs per wavelength, no cutting overhead, total
+//! `m` at `k = n` on the minimum `(n−1)/2` wavelengths. (A generic Euler
+//! walk can *measure* lower on a given instance because its chunks revisit
+//! nodes; what it cannot give is a deterministic cost formula.)
+
+use grooming_graph::decompose::walecki_cycles;
+use grooming_graph::generators;
+use grooming_graph::graph::Graph;
+
+use crate::partition::EdgePartition;
+use crate::skeleton::SkeletonCover;
+
+/// Builds the all-to-all traffic graph `K_n` and grooms it with the
+/// Walecki cycle cover.
+///
+/// # Panics
+/// Panics unless `n` is odd and ≥ 3, and `k ≥ 1`.
+pub fn walecki_grooming(n: usize, k: usize) -> (Graph, EdgePartition) {
+    assert!(k > 0, "grooming factor must be positive");
+    let g = generators::complete(n);
+    let cycles = walecki_cycles(&g);
+    let cover = SkeletonCover::build(&g, cycles, &[]);
+    debug_assert!(cover.validate(&g, true).is_ok());
+    let partition = cover.to_partition(k);
+    debug_assert!(partition.validate(&g, k).is_ok());
+    (g, partition)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds;
+    use crate::regular_euler::regular_euler;
+
+    #[test]
+    fn cycle_aligned_k_costs_exactly_m() {
+        for n in [5usize, 7, 9, 13] {
+            let (g, p) = walecki_grooming(n, n);
+            let m = g.num_edges();
+            p.validate(&g, n).unwrap();
+            assert!(p.uses_min_wavelengths(&g, n));
+            assert_eq!(
+                p.sadm_cost(&g),
+                m,
+                "K_{n} at k = n: whole-cycle wavelengths cost n each"
+            );
+        }
+    }
+
+    #[test]
+    fn double_cycle_wavelengths_halve_the_cost() {
+        // k = 2n packs two Hamiltonian cycles per wavelength; both span
+        // the same n nodes, so each wavelength still costs n.
+        let n = 9;
+        let (g, p) = walecki_grooming(n, 2 * n);
+        p.validate(&g, 2 * n).unwrap();
+        let waves = p.num_wavelengths();
+        assert_eq!(p.sadm_cost(&g), waves * n);
+        assert_eq!(waves, ((n - 1) / 2).div_ceil(2));
+    }
+
+    #[test]
+    fn general_k_stays_within_the_generic_bounds() {
+        for n in [7usize, 11] {
+            for k in [2usize, 3, 4, 16] {
+                let (g, p) = walecki_grooming(n, k);
+                p.validate(&g, k).unwrap();
+                assert!(p.uses_min_wavelengths(&g, k));
+                let m = g.num_edges();
+                let cycles = (n - 1) / 2;
+                // Prop 2 over a cover of (n-1)/2 skeletons.
+                assert!(p.sadm_cost(&g) <= m + m.div_ceil(k) + (cycles - 1));
+                assert!(p.sadm_cost(&g) >= bounds::lower_bound(&g, k));
+            }
+        }
+    }
+
+    #[test]
+    fn walecki_cost_is_exactly_predictable_unlike_the_generic() {
+        // The construction's value is its exact closed-form cost (W·n at
+        // cycle alignment), not superiority: a generic Euler chunk revisits
+        // nodes and can measure *below* n distinct nodes per part, while a
+        // Hamiltonian-cycle wavelength touches all n by definition.
+        let n = 11;
+        let (g, p) = walecki_grooming(n, n);
+        let generic = regular_euler(&g, n).unwrap();
+        let m = g.num_edges();
+        assert_eq!(p.sadm_cost(&g), m); // exact, no instance noise
+        assert!(generic.sadm_cost(&g) <= m + m.div_ceil(n)); // only a bound
+        // Both use the minimum number of wavelengths.
+        assert!(p.uses_min_wavelengths(&g, n));
+        assert!(generic.uses_min_wavelengths(&g, n));
+    }
+
+    #[test]
+    #[should_panic(expected = "odd n")]
+    fn even_n_rejected() {
+        let _ = walecki_grooming(6, 4);
+    }
+}

@@ -1,0 +1,202 @@
+//! Partition analytics: the planner-facing breakdown of a grooming.
+//!
+//! Beyond the single SADM number, operators care where the ADMs land
+//! (hot nodes need bigger shelves), how dense each wavelength is, and how
+//! far the grooming sits from the instance lower bound. [`analyze`]
+//! computes all of it from a validated partition.
+
+use grooming_graph::graph::Graph;
+use grooming_graph::ids::NodeId;
+use grooming_graph::view::EdgeSubset;
+
+use crate::bounds;
+use crate::partition::EdgePartition;
+
+/// The full analytic breakdown of a `k`-edge partition.
+#[derive(Clone, Debug)]
+pub struct PartitionAnalysis {
+    /// Grooming factor.
+    pub k: usize,
+    /// Wavelengths used.
+    pub wavelengths: usize,
+    /// Minimum possible wavelengths `⌈m/k⌉`.
+    pub min_wavelengths: usize,
+    /// Total SADMs.
+    pub sadm_total: usize,
+    /// The instance lower bound.
+    pub lower_bound: usize,
+    /// `sadm_total / lower_bound` (1.0 = provably optimal).
+    pub optimality_ratio: f64,
+    /// Histogram of part edge-counts: `(size, #parts)`, ascending.
+    pub part_sizes: Vec<(usize, usize)>,
+    /// Histogram of part node-counts: `(nodes, #parts)`, ascending.
+    pub part_nodes: Vec<(usize, usize)>,
+    /// ADMs per node, indexed by node id.
+    pub node_adms: Vec<usize>,
+    /// Nodes with the most ADMs, descending, up to 5.
+    pub hottest_nodes: Vec<(NodeId, usize)>,
+    /// Mean edges-per-node over parts (higher = denser wavelengths;
+    /// a `q`-clique part scores `(q−1)/2`).
+    pub mean_density: f64,
+}
+
+/// Analyzes a partition against its graph.
+///
+/// # Panics
+/// Panics if the partition does not validate against `(g, k)`.
+pub fn analyze(g: &Graph, k: usize, partition: &EdgePartition) -> PartitionAnalysis {
+    partition
+        .validate(g, k)
+        .expect("analysis requires a valid partition");
+    let stats = partition.part_stats(g);
+    let mut size_hist = std::collections::BTreeMap::new();
+    let mut node_hist = std::collections::BTreeMap::new();
+    let mut density_sum = 0f64;
+    for &(edges, nodes) in &stats {
+        *size_hist.entry(edges).or_insert(0usize) += 1;
+        *node_hist.entry(nodes).or_insert(0usize) += 1;
+        if nodes > 0 {
+            density_sum += edges as f64 / nodes as f64;
+        }
+    }
+    let mut node_adms = vec![0usize; g.num_nodes()];
+    for part in partition.parts() {
+        let sub = EdgeSubset::from_edges(g, part.iter().copied());
+        for v in sub.touched_nodes(g) {
+            node_adms[v.index()] += 1;
+        }
+    }
+    let mut hottest: Vec<(NodeId, usize)> = node_adms
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (NodeId::new(i), c))
+        .collect();
+    hottest.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    hottest.truncate(5);
+    hottest.retain(|&(_, c)| c > 0);
+
+    let sadm_total = partition.sadm_cost(g);
+    let lb = bounds::lower_bound(g, k);
+    PartitionAnalysis {
+        k,
+        wavelengths: partition.num_wavelengths(),
+        min_wavelengths: EdgePartition::min_wavelengths(g.num_edges(), k),
+        sadm_total,
+        lower_bound: lb,
+        optimality_ratio: if lb > 0 {
+            sadm_total as f64 / lb as f64
+        } else {
+            1.0
+        },
+        part_sizes: size_hist.into_iter().collect(),
+        part_nodes: node_hist.into_iter().collect(),
+        node_adms,
+        hottest_nodes: hottest,
+        mean_density: if stats.is_empty() {
+            0.0
+        } else {
+            density_sum / stats.len() as f64
+        },
+    }
+}
+
+impl std::fmt::Display for PartitionAnalysis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "partition analysis (k = {}): {} SADMs on {} wavelengths (min {})",
+            self.k, self.sadm_total, self.wavelengths, self.min_wavelengths
+        )?;
+        writeln!(
+            f,
+            "  lower bound {} -> within {:.2}x of provable optimum",
+            self.lower_bound, self.optimality_ratio
+        )?;
+        writeln!(f, "  mean wavelength density {:.2} edges/node", self.mean_density)?;
+        write!(f, "  part sizes  :")?;
+        for &(s, c) in &self.part_sizes {
+            write!(f, " {s}e x{c}")?;
+        }
+        writeln!(f)?;
+        write!(f, "  part nodes  :")?;
+        for &(s, c) in &self.part_nodes {
+            write!(f, " {s}n x{c}")?;
+        }
+        writeln!(f)?;
+        write!(f, "  hottest ADM sites:")?;
+        for &(v, c) in &self.hottest_nodes {
+            write!(f, " node {v} ({c})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spant_euler::spant_euler;
+    use grooming_graph::generators;
+    use grooming_graph::spanning::TreeStrategy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn analysis_is_internally_consistent() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = generators::gnm(20, 60, &mut rng);
+        let k = 8;
+        let p = spant_euler(&g, k, TreeStrategy::Bfs, &mut rng);
+        let a = analyze(&g, k, &p);
+        assert_eq!(a.wavelengths, p.num_wavelengths());
+        assert_eq!(a.sadm_total, p.sadm_cost(&g));
+        assert!(a.optimality_ratio >= 1.0);
+        // Histograms cover all parts.
+        let total_parts: usize = a.part_sizes.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total_parts, a.wavelengths);
+        let total_parts: usize = a.part_nodes.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total_parts, a.wavelengths);
+        // Node ADMs sum to the SADM total.
+        assert_eq!(a.node_adms.iter().sum::<usize>(), a.sadm_total);
+        // Hottest nodes are sorted descending.
+        assert!(a.hottest_nodes.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn clique_partition_has_max_density() {
+        // Two triangle parts: density (3 edges / 3 nodes) = 1.0 each.
+        let g = generators::complete(3);
+        let p = EdgePartition::new(vec![g.edges().collect()]);
+        let a = analyze(&g, 3, &p);
+        assert!((a.mean_density - 1.0).abs() < 1e-12);
+        assert_eq!(a.optimality_ratio, 1.0);
+        assert_eq!(a.part_sizes, vec![(3, 1)]);
+    }
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let g = generators::complete(4);
+        let p = EdgePartition::new(vec![g.edges().collect()]);
+        let a = analyze(&g, 6, &p);
+        let s = a.to_string();
+        assert!(s.contains("4 SADMs on 1 wavelengths"));
+        assert!(s.contains("part sizes  : 6e x1"));
+    }
+
+    #[test]
+    fn empty_partition_analysis() {
+        let g = grooming_graph::graph::Graph::new(3);
+        let p = EdgePartition::new(vec![]);
+        let a = analyze(&g, 4, &p);
+        assert_eq!(a.sadm_total, 0);
+        assert_eq!(a.mean_density, 0.0);
+        assert!(a.hottest_nodes.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "valid partition")]
+    fn invalid_partition_rejected() {
+        let g = generators::complete(4);
+        let p = EdgePartition::new(vec![vec![grooming_graph::ids::EdgeId(0)]]);
+        let _ = analyze(&g, 4, &p); // misses 5 edges
+    }
+}

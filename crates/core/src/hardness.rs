@@ -1,0 +1,439 @@
+//! Executable NP-hardness machinery (paper §4, Lemma 6 and Theorem 7).
+//!
+//! The paper proves that `k`-edge partitioning stays NP-hard on *regular*
+//! graphs (the KEPRG problem) by a two-step reduction from Edge-Partition
+//! into Triangles (EPT, Holyer 1981):
+//!
+//! 1. **Lemma 6** ([`regularize`]): any even-degree instance `G` of EPT
+//!    turns into a `Δ(G)`-regular instance `G*` that is
+//!    triangle-partitionable iff `G` is. The gadget takes three copies of a
+//!    padded `G`, plus three pools of auxiliary nodes (`u`, `w`, `y`) wired
+//!    in triangles so every node reaches degree `Δ` — with all the wiring
+//!    itself decomposable into triangles.
+//! 2. **Theorem 7** ([`keprg_from_regular_ept`]): on a regular graph with
+//!    `m` edges, the instance `(k = 3, L = m)` of KEPRG is a yes-instance
+//!    iff the graph partitions into triangles — cost `m` forces every part
+//!    to be a 3-edge clique.
+//!
+//! Both constructions are implemented as code and verified *empirically* in
+//! the tests: gadget outputs go through the exact EPT solver and the exact
+//! partition solver, checking the iff in both directions on small
+//! instances. (The paper proves it; we execute it.)
+
+use grooming_graph::graph::Graph;
+use grooming_graph::ids::NodeId;
+use grooming_graph::triangles;
+
+/// The output of the Lemma 6 regularization gadget.
+#[derive(Clone, Debug)]
+pub struct Regularized {
+    /// The `Δ`-regular gadget graph `G*`.
+    pub graph: Graph,
+    /// The common degree of `G*` (= `Δ(G)` of the input).
+    pub delta: usize,
+    /// Node offsets of the three copies of `G`: node `v` of copy `c` is
+    /// `NodeId(copy_offsets[c] + v)`.
+    pub copy_offsets: [usize; 3],
+    /// Every triangle the gadget added beyond the three copies of `G`
+    /// (padding triangles, pool triangles, `w`/`y` triangles and the
+    /// interconnect rounds). Together with three copies of a triangle
+    /// partition of `G`, these partition `E(G*)`.
+    pub gadget_triangles: Vec<[NodeId; 3]>,
+}
+
+impl Regularized {
+    /// Lifts a triangle partition of the original `G` to one of `G*`
+    /// (Lemma 6, "if" direction, constructively).
+    pub fn lift_partition(&self, partition_of_g: &[[NodeId; 3]]) -> Vec<[NodeId; 3]> {
+        let mut out = Vec::with_capacity(3 * partition_of_g.len() + self.gadget_triangles.len());
+        for &off in &self.copy_offsets {
+            for t in partition_of_g {
+                out.push([
+                    NodeId::new(off + t[0].index()),
+                    NodeId::new(off + t[1].index()),
+                    NodeId::new(off + t[2].index()),
+                ]);
+            }
+        }
+        out.extend_from_slice(&self.gadget_triangles);
+        out
+    }
+}
+
+/// **Lemma 6**: builds the `Δ`-regular graph `G*` from an even-degree
+/// simple graph `G`, preserving triangle-partitionability in both
+/// directions.
+///
+/// # Panics
+/// Panics if `G` is empty, not simple, or has a node of odd degree (an
+/// odd-degree graph is trivially a no-instance of EPT, so the reduction
+/// never needs it).
+pub fn regularize(g: &Graph) -> Regularized {
+    assert!(g.num_edges() > 0, "regularization needs a nonempty graph");
+    assert!(g.is_simple(), "EPT instances are simple graphs");
+    assert!(
+        g.degrees().iter().all(|&d| d % 2 == 0),
+        "EPT instances must have even degrees"
+    );
+    let n = g.num_nodes();
+    let delta = g.max_degree(); // even, >= 2
+    let rounds = delta / 2 - 1;
+
+    // Per-copy padding: node v of deficiency d_v = Δ - δ(v) receives
+    // d_v / 2 triangles (v, u, u'), i.e. d_v fresh `u` nodes.
+    let deficiency: Vec<usize> = g.degrees().iter().map(|&d| delta - d).collect();
+    let q0: usize = deficiency.iter().sum();
+    let stride = n + q0;
+    let copy_offsets = [0usize, stride, 2 * stride];
+    let base = 3 * stride;
+
+    // Pool extras so the u-pool reaches at least Δ.
+    let p = if 3 * q0 < delta {
+        (delta - 3 * q0).div_ceil(3)
+    } else {
+        0
+    };
+    let q = q0 + p;
+    let w_base = base + 3 * p;
+    let y_base = w_base + 3 * q;
+    let total_nodes = y_base + 3 * q;
+
+    let mut out = Graph::new(total_nodes);
+    let mut gadget: Vec<[NodeId; 3]> = Vec::new();
+    let add_triangle = |out: &mut Graph, a: usize, b: usize, c: usize| {
+        let t = [NodeId::new(a), NodeId::new(b), NodeId::new(c)];
+        out.add_edge(t[0], t[1]);
+        out.add_edge(t[1], t[2]);
+        out.add_edge(t[0], t[2]);
+        t
+    };
+
+    // u-pool global index -> NodeId.
+    let u_node = |j: usize| -> usize {
+        if j < 3 * q0 {
+            let copy = j / q0;
+            let local = j % q0;
+            copy * stride + n + local
+        } else {
+            base + (j - 3 * q0)
+        }
+    };
+
+    // 1. Three copies of G, each padded to degree Δ with u-triangles.
+    for &off in &copy_offsets {
+        for e in g.edges() {
+            let (a, b) = g.endpoints(e);
+            out.add_edge(NodeId::new(off + a.index()), NodeId::new(off + b.index()));
+        }
+        let mut next_u = off + n;
+        for (v, &def) in deficiency.iter().enumerate() {
+            for _ in 0..def / 2 {
+                let t = add_triangle(&mut out, off + v, next_u, next_u + 1);
+                gadget.push(t);
+                next_u += 2;
+            }
+        }
+        debug_assert_eq!(next_u, off + stride);
+    }
+
+    // 2. Pool extras in p triangles.
+    for i in 0..p {
+        let t = add_triangle(&mut out, base + 3 * i, base + 3 * i + 1, base + 3 * i + 2);
+        gadget.push(t);
+    }
+
+    // 3. w and y pools, q triangles each.
+    for i in 0..q {
+        let t = add_triangle(
+            &mut out,
+            w_base + 3 * i,
+            w_base + 3 * i + 1,
+            w_base + 3 * i + 2,
+        );
+        gadget.push(t);
+        let t = add_triangle(
+            &mut out,
+            y_base + 3 * i,
+            y_base + 3 * i + 1,
+            y_base + 3 * i + 2,
+        );
+        gadget.push(t);
+    }
+
+    // 4. Interconnect rounds: for i = 1..=Δ/2-1, triangles
+    //    (u_j, w_{j+i}, y_{j-i}) with indices mod 3q. The ± offsets keep
+    //    every (w, y) pair distinct across rounds (difference 2i mod 3q).
+    let pool = 3 * q;
+    for i in 1..=rounds {
+        for j in 0..pool {
+            let t = add_triangle(
+                &mut out,
+                u_node(j),
+                w_base + (j + i) % pool,
+                y_base + (j + pool - i) % pool,
+            );
+            gadget.push(t);
+        }
+    }
+
+    debug_assert!(out.is_simple(), "gadget must stay simple");
+    debug_assert!(out.is_regular(delta), "gadget must be Δ-regular");
+    Regularized {
+        graph: out,
+        delta,
+        copy_offsets,
+        gadget_triangles: gadget,
+    }
+}
+
+/// A KEPRG decision instance: a regular graph, grooming factor `k`, and a
+/// SADM budget `L`.
+#[derive(Clone, Debug)]
+pub struct KeprgInstance {
+    /// The regular traffic graph.
+    pub graph: Graph,
+    /// Grooming factor (always 3 in the reduction).
+    pub k: usize,
+    /// SADM budget (always `m` in the reduction).
+    pub budget: usize,
+}
+
+/// **Theorem 7**: maps a regular EPT instance to the KEPRG instance
+/// `(G, k = 3, L = m)`.
+///
+/// # Panics
+/// Panics if the graph is not regular (apply [`regularize`] first).
+pub fn keprg_from_regular_ept(g: &Graph) -> KeprgInstance {
+    assert!(
+        g.regularity().is_some(),
+        "Theorem 7 reduces from the regular-graph version of EPT"
+    );
+    KeprgInstance {
+        graph: g.clone(),
+        k: 3,
+        budget: g.num_edges(),
+    }
+}
+
+/// Decides a small KEPRG instance exactly (via the branch-and-bound
+/// optimum). Only feasible for instances within [`crate::exact::MAX_EDGES`].
+pub fn keprg_is_yes_instance(inst: &KeprgInstance) -> bool {
+    crate::exact::exact_minimum(&inst.graph, inst.k) <= inst.budget
+}
+
+impl KeprgInstance {
+    /// Polynomial-time witness verification — the NP-membership half of
+    /// Theorem 7: a partition certifies a yes-instance iff it is valid for
+    /// `(G, k)` and its SADM cost is within the budget `L`.
+    pub fn verify_witness(&self, witness: &crate::partition::EdgePartition) -> bool {
+        witness.validate(&self.graph, self.k).is_ok()
+            && witness.sadm_cost(&self.graph) <= self.budget
+    }
+}
+
+/// A direct witness check: cost `m` at `k = 3` is achievable iff a triangle
+/// partition exists, so the two deciders must always agree (Theorem 7's
+/// equivalence, executable form).
+pub fn verify_theorem7_equivalence(g: &Graph) -> bool {
+    let inst = keprg_from_regular_ept(g);
+    let by_partition_cost = keprg_is_yes_instance(&inst);
+    let by_triangles = triangles::ept_solve(g).is_some();
+    by_partition_cost == by_triangles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grooming_graph::generators;
+
+    fn two_triangles() -> Graph {
+        Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+    }
+
+    fn bowtie() -> Graph {
+        Graph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)])
+    }
+
+    fn octahedron() -> Graph {
+        Graph::from_edges(
+            6,
+            &[
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (0, 5),
+                (1, 2),
+                (1, 3),
+                (1, 4),
+                (1, 5),
+                (2, 4),
+                (2, 5),
+                (3, 4),
+                (3, 5),
+            ],
+        )
+    }
+
+    #[test]
+    fn regularize_outputs_are_regular_and_simple() {
+        for g in [two_triangles(), bowtie(), generators::cycle(6), octahedron()] {
+            let reg = regularize(&g);
+            assert!(reg.graph.is_simple());
+            assert!(reg.graph.is_regular(reg.delta), "Δ = {}", reg.delta);
+            assert_eq!(reg.delta, g.max_degree());
+        }
+    }
+
+    #[test]
+    fn regularize_preserves_copies_of_g() {
+        let g = bowtie();
+        let reg = regularize(&g);
+        for &off in &reg.copy_offsets {
+            for e in g.edges() {
+                let (a, b) = g.endpoints(e);
+                assert!(reg
+                    .graph
+                    .has_edge(NodeId::new(off + a.index()), NodeId::new(off + b.index())));
+            }
+        }
+    }
+
+    #[test]
+    fn lemma6_forward_direction_positive_instance_delta2() {
+        // Two disjoint triangles partition; the lifted partition must
+        // partition G*.
+        let g = two_triangles();
+        let part = triangles::ept_solve(&g).unwrap();
+        let reg = regularize(&g);
+        let lifted = reg.lift_partition(&part);
+        assert!(
+            triangles::is_triangle_partition(&reg.graph, &lifted),
+            "lifted partition must cover G*"
+        );
+    }
+
+    #[test]
+    fn lemma6_forward_direction_positive_instance_delta4() {
+        // Bowtie (Δ = 4, one degree-4 node): exercises padding triangles
+        // AND one interconnect round.
+        let g = bowtie();
+        let part = triangles::ept_solve(&g).unwrap();
+        let reg = regularize(&g);
+        assert_eq!(reg.delta, 4);
+        let lifted = reg.lift_partition(&part);
+        assert!(triangles::is_triangle_partition(&reg.graph, &lifted));
+    }
+
+    #[test]
+    fn lemma6_reverse_direction_negative_instance() {
+        // C6 is even-degree, m ≡ 0 (mod 3), but triangle-free: a
+        // no-instance. Its gadget must stay a no-instance.
+        let g = generators::cycle(6);
+        assert!(triangles::ept_solve(&g).is_none());
+        let reg = regularize(&g);
+        assert!(
+            triangles::ept_solve(&reg.graph).is_none(),
+            "G* of a no-instance must have no triangle partition"
+        );
+    }
+
+    #[test]
+    fn lemma6_positive_instance_solver_roundtrip_delta2() {
+        // For Δ=2 positive instances the solver itself can re-derive a
+        // partition of G*.
+        let g = two_triangles();
+        let reg = regularize(&g);
+        let sol = triangles::ept_solve(&reg.graph).unwrap();
+        assert!(triangles::is_triangle_partition(&reg.graph, &sol));
+    }
+
+    #[test]
+    fn already_regular_graph_still_works() {
+        // Octahedron is already 4-regular (q0 = 0 -> extras pool kicks in).
+        let g = octahedron();
+        let reg = regularize(&g);
+        assert!(reg.graph.is_regular(4));
+        let part = triangles::ept_solve(&g).unwrap();
+        let lifted = reg.lift_partition(&part);
+        assert!(triangles::is_triangle_partition(&reg.graph, &lifted));
+    }
+
+    #[test]
+    #[should_panic(expected = "even degrees")]
+    fn odd_degree_input_rejected() {
+        let _ = regularize(&generators::complete(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn empty_input_rejected() {
+        let _ = regularize(&Graph::new(3));
+    }
+
+    #[test]
+    fn theorem7_equivalence_on_small_regular_graphs() {
+        // Yes-instances: triangle (K3), octahedron.
+        // No-instances: K4 (odd degrees), C6, Petersen-free small cases.
+        assert!(verify_theorem7_equivalence(&generators::cycle(3)));
+        assert!(verify_theorem7_equivalence(&octahedron()));
+        assert!(verify_theorem7_equivalence(&generators::complete(4)));
+        assert!(verify_theorem7_equivalence(&generators::cycle(6)));
+        assert!(verify_theorem7_equivalence(&generators::cycle(4)));
+    }
+
+    #[test]
+    fn theorem7_instance_shape() {
+        let g = octahedron();
+        let inst = keprg_from_regular_ept(&g);
+        assert_eq!(inst.k, 3);
+        assert_eq!(inst.budget, 12);
+        assert!(keprg_is_yes_instance(&inst));
+    }
+
+    #[test]
+    fn witness_verification_is_sound() {
+        use crate::partition::EdgePartition;
+        let g = octahedron();
+        let inst = keprg_from_regular_ept(&g);
+        // A triangle partition is a witness.
+        let tri = triangles::ept_solve(&g).unwrap();
+        let parts: Vec<Vec<grooming_graph::ids::EdgeId>> = tri
+            .iter()
+            .map(|t| triangles::triangle_edges(&g, *t).unwrap().to_vec())
+            .collect();
+        let witness = EdgePartition::new(parts);
+        assert!(inst.verify_witness(&witness));
+        // A lazy partition (3-edge chunks in id order: stars, not
+        // triangles) exceeds the budget m.
+        let chunks: Vec<Vec<grooming_graph::ids::EdgeId>> = g
+            .edges()
+            .collect::<Vec<_>>()
+            .chunks(3)
+            .map(|c| c.to_vec())
+            .collect();
+        let lazy = EdgePartition::new(chunks);
+        assert!(lazy.validate(&g, 3).is_ok());
+        assert!(!inst.verify_witness(&lazy), "chunking costs more than m");
+        // An invalid partition is never a witness.
+        let broken = EdgePartition::new(vec![vec![grooming_graph::ids::EdgeId(0)]]);
+        assert!(!inst.verify_witness(&broken));
+    }
+
+    #[test]
+    #[should_panic(expected = "regular-graph version")]
+    fn theorem7_rejects_irregular() {
+        let _ = keprg_from_regular_ept(&generators::star(4));
+    }
+
+    #[test]
+    fn gadget_triangle_counts_add_up() {
+        // |E(G*)| = 3|E(G)| + 3·|gadget triangles|.
+        for g in [two_triangles(), bowtie(), generators::cycle(6)] {
+            let reg = regularize(&g);
+            assert_eq!(
+                reg.graph.num_edges(),
+                3 * g.num_edges() + 3 * reg.gadget_triangles.len()
+            );
+        }
+    }
+}

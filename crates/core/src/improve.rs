@@ -1,0 +1,693 @@
+//! Post-optimization and the paper's proposed extensions.
+//!
+//! The concluding remarks of the paper sketch two improvement directions:
+//! *"heuristics on constructing denser sub-graphs in the k-edge partition,
+//! for example, partitioning the traffic graph into sub-graphs which are
+//! cliques or close to cliques"*. This module implements both:
+//!
+//! * [`refine`] — local search over an existing partition: single-edge
+//!   moves and edge swaps between wavelengths, accepted when they strictly
+//!   reduce the SADM count. Never increases cost or the wavelength count.
+//! * [`merge_parts`] — greedy wavelength merging: fusing two parts that fit
+//!   in one wavelength can only reduce cost (`|V_A ∪ V_B| ≤ |V_A| + |V_B|`)
+//!   and always reduces the wavelength count.
+//! * [`clique_first`] — the "dense sub-graphs first" heuristic: pack
+//!   triangles into wavelengths (greedily favoring node overlap), then
+//!   groom the leftover edges with `SpanT_Euler`, then merge and refine.
+//!   At `k = 3` on triangle-decomposable traffic this reaches the exact
+//!   optimum `m`.
+
+use grooming_graph::graph::Graph;
+use grooming_graph::ids::{EdgeId, NodeId};
+use grooming_graph::spanning::TreeStrategy;
+use rand::Rng;
+
+use crate::partition::EdgePartition;
+use crate::spant_euler::spant_euler;
+
+/// Node-occupancy bookkeeping for one part: per-node incidence counts.
+#[derive(Clone, Debug)]
+struct PartState {
+    edges: Vec<EdgeId>,
+    count: Vec<u32>, // indexed by node
+    nodes: usize,    // number of nonzero counts
+}
+
+impl PartState {
+    fn new(n: usize) -> Self {
+        PartState {
+            edges: Vec::new(),
+            count: vec![0; n],
+            nodes: 0,
+        }
+    }
+
+    fn from_edges(g: &Graph, edges: &[EdgeId]) -> Self {
+        let mut s = PartState::new(g.num_nodes());
+        for &e in edges {
+            s.add(g, e);
+        }
+        s
+    }
+
+    fn add(&mut self, g: &Graph, e: EdgeId) {
+        let (u, v) = g.endpoints(e);
+        for x in [u, v] {
+            if self.count[x.index()] == 0 {
+                self.nodes += 1;
+            }
+            self.count[x.index()] += 1;
+        }
+        self.edges.push(e);
+    }
+
+    fn remove(&mut self, g: &Graph, e: EdgeId) {
+        let pos = self
+            .edges
+            .iter()
+            .position(|&x| x == e)
+            .expect("edge must be in the part");
+        self.edges.swap_remove(pos);
+        let (u, v) = g.endpoints(e);
+        for x in [u, v] {
+            self.count[x.index()] -= 1;
+            if self.count[x.index()] == 0 {
+                self.nodes -= 1;
+            }
+        }
+    }
+
+    /// Nodes that would become newly occupied by adding `e`.
+    fn add_gain(&self, g: &Graph, e: EdgeId) -> usize {
+        let (u, v) = g.endpoints(e);
+        [u, v]
+            .iter()
+            .filter(|x| self.count[x.index()] == 0)
+            .count()
+    }
+
+    /// Nodes that would be freed by removing `e`.
+    fn remove_gain(&self, g: &Graph, e: EdgeId) -> usize {
+        let (u, v) = g.endpoints(e);
+        [u, v]
+            .iter()
+            .filter(|x| self.count[x.index()] == 1)
+            .count()
+    }
+}
+
+/// Local-search refinement: repeatedly apply the best cost-reducing
+/// single-edge move or pairwise swap until a local optimum (or the round
+/// cap) is reached. The result is always valid, never costlier, and never
+/// uses more wavelengths than the input.
+///
+/// ```
+/// use grooming::improve::refine;
+/// use grooming::spant_euler::spant_euler;
+/// use grooming_graph::{generators, spanning::TreeStrategy};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let g = generators::gnm(20, 60, &mut rng);
+/// let base = spant_euler(&g, 8, TreeStrategy::Bfs, &mut rng);
+/// let better = refine(&g, 8, &base, 8);
+/// assert!(better.sadm_cost(&g) <= base.sadm_cost(&g));
+/// ```
+pub fn refine(g: &Graph, k: usize, partition: &EdgePartition, max_rounds: usize) -> EdgePartition {
+    assert!(k > 0, "grooming factor must be positive");
+    let mut parts: Vec<PartState> = partition
+        .parts()
+        .iter()
+        .map(|p| PartState::from_edges(g, p))
+        .collect();
+
+    for _ in 0..max_rounds {
+        let mut improved = false;
+
+        // Single-edge moves (source part may shrink to empty).
+        'moves: for a in 0..parts.len() {
+            for ei in 0..parts[a].edges.len() {
+                let e = parts[a].edges[ei];
+                let freed = parts[a].remove_gain(g, e);
+                if freed == 0 {
+                    continue; // moving e cannot reduce cost at the source
+                }
+                for b in 0..parts.len() {
+                    if a == b || parts[b].edges.len() >= k {
+                        continue;
+                    }
+                    let added = parts[b].add_gain(g, e);
+                    if added < freed {
+                        parts[a].remove(g, e);
+                        parts[b].add(g, e);
+                        improved = true;
+                        continue 'moves;
+                    }
+                }
+            }
+        }
+
+        // Pairwise swaps (handle full parts, the common case after
+        // Proposition 2 cutting).
+        'swaps: for a in 0..parts.len() {
+            for b in (a + 1)..parts.len() {
+                // Snapshot edge identities: trial swaps permute the part
+                // vectors, so positional iteration would skip pairs.
+                let a_edges = parts[a].edges.clone();
+                let b_edges = parts[b].edges.clone();
+                for &e in &a_edges {
+                    for &f in &b_edges {
+                        // Evaluate the swap by simulation on counts.
+                        let before = parts[a].nodes + parts[b].nodes;
+                        parts[a].remove(g, e);
+                        parts[b].remove(g, f);
+                        parts[a].add(g, f);
+                        parts[b].add(g, e);
+                        let after = parts[a].nodes + parts[b].nodes;
+                        if after < before {
+                            improved = true;
+                            continue 'swaps;
+                        }
+                        // Undo.
+                        parts[a].remove(g, f);
+                        parts[b].remove(g, e);
+                        parts[a].add(g, e);
+                        parts[b].add(g, f);
+                    }
+                }
+            }
+        }
+
+        if !improved {
+            break;
+        }
+    }
+
+    let out = EdgePartition::new(parts.into_iter().map(|p| p.edges).collect());
+    debug_assert!(out.validate(g, k).is_ok());
+    debug_assert!(out.sadm_cost(g) <= partition.sadm_cost(g));
+    out
+}
+
+/// Greedy wavelength merging: while two parts fit on one wavelength, merge
+/// the pair with the largest node overlap. Cost never increases; the
+/// wavelength count strictly decreases with every merge.
+pub fn merge_parts(g: &Graph, k: usize, partition: &EdgePartition) -> EdgePartition {
+    assert!(k > 0, "grooming factor must be positive");
+    let mut parts: Vec<PartState> = partition
+        .parts()
+        .iter()
+        .map(|p| PartState::from_edges(g, p))
+        .collect();
+
+    loop {
+        let mut best: Option<(usize, usize, usize)> = None; // (a, b, overlap)
+        for a in 0..parts.len() {
+            for b in (a + 1)..parts.len() {
+                if parts[a].edges.len() + parts[b].edges.len() > k {
+                    continue;
+                }
+                let overlap = (0..g.num_nodes())
+                    .filter(|&x| parts[a].count[x] > 0 && parts[b].count[x] > 0)
+                    .count();
+                if best.is_none_or(|(_, _, o)| overlap > o) {
+                    best = Some((a, b, overlap));
+                }
+            }
+        }
+        let Some((a, b, _)) = best else { break };
+        let donor = parts.swap_remove(b);
+        for e in donor.edges {
+            parts[a].add(g, e);
+        }
+    }
+
+    let out = EdgePartition::new(parts.into_iter().map(|p| p.edges).collect());
+    debug_assert!(out.validate(g, k).is_ok());
+    out
+}
+
+/// The paper's "cliques first" idea: greedily pack node-sharing triangles
+/// into wavelengths, groom the leftovers with `SpanT_Euler`, then merge
+/// underfull wavelengths and refine.
+///
+/// May use more than `⌈m/k⌉` wavelengths when triangle parts stay
+/// underfull (the merge pass usually recovers most of the slack); trades
+/// that for denser parts and fewer SADMs at small `k`.
+pub fn clique_first<R: Rng>(g: &Graph, k: usize, rng: &mut R) -> EdgePartition {
+    assert!(k > 0, "grooming factor must be positive");
+    if k < 3 || g.num_edges() < 3 {
+        let p = spant_euler(g, k, TreeStrategy::Bfs, rng);
+        return refine(g, k, &p, 4);
+    }
+
+    let mut used = vec![false; g.num_edges()];
+    let triangles = grooming_graph::triangles::enumerate_triangles(g);
+    let per_part = k / 3; // triangles per wavelength
+
+    // Greedy packing: start a part with any available triangle, then keep
+    // adding the available triangle with the largest node overlap.
+    let mut tri_parts: Vec<Vec<EdgeId>> = Vec::new();
+    let avail = |t: &[NodeId; 3], used: &[bool], g: &Graph| -> Option<[EdgeId; 3]> {
+        let es = grooming_graph::triangles::triangle_edges(g, *t)?;
+        es.iter().all(|e| !used[e.index()]).then_some(es)
+    };
+    let mut remaining: Vec<[NodeId; 3]> = triangles;
+    loop {
+        // Seed a new part.
+        let seed = remaining
+            .iter()
+            .position(|t| avail(t, &used, g).is_some());
+        let Some(seed_idx) = seed else { break };
+        let seed_t = remaining.swap_remove(seed_idx);
+        let seed_edges = avail(&seed_t, &used, g).unwrap();
+        let mut part: Vec<EdgeId> = seed_edges.to_vec();
+        let mut part_nodes: Vec<bool> = vec![false; g.num_nodes()];
+        for v in seed_t {
+            part_nodes[v.index()] = true;
+        }
+        for e in seed_edges {
+            used[e.index()] = true;
+        }
+        // Grow the part.
+        while part.len() / 3 < per_part {
+            let mut best: Option<(usize, usize)> = None; // (idx, overlap)
+            for (i, t) in remaining.iter().enumerate() {
+                if avail(t, &used, g).is_none() {
+                    continue;
+                }
+                let overlap = t.iter().filter(|v| part_nodes[v.index()]).count();
+                if best.is_none_or(|(_, o)| overlap > o) {
+                    best = Some((i, overlap));
+                }
+            }
+            let Some((i, _)) = best else { break };
+            let t = remaining.swap_remove(i);
+            let es = avail(&t, &used, g).unwrap();
+            for e in es {
+                used[e.index()] = true;
+                part.push(e);
+            }
+            for v in t {
+                part_nodes[v.index()] = true;
+            }
+        }
+        tri_parts.push(part);
+    }
+
+    // Groom leftovers with SpanT_Euler on a scratch subgraph.
+    let leftover: Vec<EdgeId> = g.edges().filter(|e| !used[e.index()]).collect();
+    let mut parts = tri_parts;
+    if !leftover.is_empty() {
+        let mut scratch = Graph::new(g.num_nodes());
+        for &e in &leftover {
+            let (u, v) = g.endpoints(e);
+            scratch.add_edge(u, v);
+        }
+        let sub = spant_euler(&scratch, k, TreeStrategy::Bfs, rng);
+        for part in sub.parts() {
+            parts.push(part.iter().map(|se| leftover[se.index()]).collect());
+        }
+    }
+
+    let packed = EdgePartition::new(parts);
+    debug_assert!(packed.validate(g, k).is_ok());
+    let merged = merge_parts(g, k, &packed);
+    refine(g, k, &merged, 4)
+}
+
+/// The generalized "cliques first" packer: pack maximal cliques (largest
+/// first, capped at `q` with `C(q,2) ≤ k`), not just triangles; groom the
+/// leftovers with `SpanT_Euler`; merge underfull wavelengths; refine.
+///
+/// A `q`-clique puts `C(q,2)` demand pairs on `q` SADMs — the densest
+/// wavelength possible — so for large grooming factors this dominates
+/// triangle packing (at `k = 16` a 6-clique carries 15 pairs on 6 SADMs
+/// where five triangles would need up to 15).
+pub fn dense_first<R: Rng>(g: &Graph, k: usize, rng: &mut R) -> EdgePartition {
+    assert!(k > 0, "grooming factor must be positive");
+    if k < 3 || g.num_edges() < 3 || !g.is_simple() {
+        let p = spant_euler(g, k, TreeStrategy::Bfs, rng);
+        return refine(g, k, &p, 4);
+    }
+    let cap = grooming_graph::cliques::max_clique_size_for_k(k);
+    let mut used = vec![false; g.num_edges()];
+    let mut parts: Vec<Vec<EdgeId>> = Vec::new();
+
+    // Iteratively peel the largest clique of the *residual* graph: a
+    // single huge clique (e.g. K_n itself) yields one capped sub-clique
+    // per round, each a maximally dense wavelength.
+    loop {
+        let remaining: Vec<EdgeId> = g.edges().filter(|e| !used[e.index()]).collect();
+        if remaining.len() < 3 {
+            break;
+        }
+        let sub = grooming_graph::subgraph::extract(g, &remaining);
+        let best = grooming_graph::cliques::maximum_clique(&sub.graph);
+        if best.len() < 3 {
+            break;
+        }
+        // Take up to `cap` nodes of the clique; all pairwise edges exist
+        // in the residual graph by definition of a clique.
+        let chosen: Vec<NodeId> = best.into_iter().take(cap).collect();
+        let mut part: Vec<EdgeId> = Vec::with_capacity(chosen.len() * (chosen.len() - 1) / 2);
+        for (i, &u) in chosen.iter().enumerate() {
+            for &v in &chosen[i + 1..] {
+                let e = sub
+                    .graph
+                    .find_edge(u, v)
+                    .expect("clique nodes are pairwise adjacent");
+                part.push(sub.to_parent(e));
+            }
+        }
+        for &e in &part {
+            used[e.index()] = true;
+        }
+        parts.push(part);
+    }
+
+    // Leftovers through SpanT_Euler on an extracted subgraph.
+    let leftover: Vec<EdgeId> = g.edges().filter(|e| !used[e.index()]).collect();
+    if !leftover.is_empty() {
+        let sub = grooming_graph::subgraph::extract(g, &leftover);
+        let inner = spant_euler(&sub.graph, k, TreeStrategy::Bfs, rng);
+        for part in inner.parts() {
+            parts.push(sub.edges_to_parent(part));
+        }
+    }
+
+    let packed = EdgePartition::new(parts);
+    debug_assert!(packed.validate(g, k).is_ok());
+    let merged = merge_parts(g, k, &packed);
+    refine(g, k, &merged, 4)
+}
+
+/// Simulated-annealing refinement: random edge moves and swaps accepted by
+/// the Metropolis rule with a geometric cooling schedule, tracking the best
+/// partition ever seen. Escapes the local optima [`refine`] stops at, at
+/// the price of more evaluations; the returned partition is never worse
+/// than the input (the incumbent starts at the input).
+pub fn anneal<R: Rng>(
+    g: &Graph,
+    k: usize,
+    partition: &EdgePartition,
+    iterations: usize,
+    rng: &mut R,
+) -> EdgePartition {
+    assert!(k > 0, "grooming factor must be positive");
+    let mut parts: Vec<PartState> = partition
+        .parts()
+        .iter()
+        .map(|p| PartState::from_edges(g, p))
+        .collect();
+    if parts.len() < 2 || iterations == 0 {
+        return partition.clone();
+    }
+    let mut cost: isize = parts.iter().map(|p| p.nodes as isize).sum();
+    let mut best_cost = cost;
+    let mut best: Vec<Vec<EdgeId>> = parts.iter().map(|p| p.edges.clone()).collect();
+
+    // Geometric cooling from ~2 node-moves worth of slack down to ~0.05.
+    let t0 = 2.0f64;
+    let t1 = 0.05f64;
+    let alpha = (t1 / t0).powf(1.0 / iterations.max(1) as f64);
+    let mut temp = t0;
+
+    for _ in 0..iterations {
+        temp *= alpha;
+        let a = rng.gen_range(0..parts.len());
+        let b = rng.gen_range(0..parts.len());
+        if a == b || parts[a].edges.is_empty() {
+            continue;
+        }
+        let e = parts[a].edges[rng.gen_range(0..parts[a].edges.len())];
+        let delta: isize;
+        enum Move {
+            Shift(EdgeId),
+            Swap(EdgeId, EdgeId),
+        }
+        let mv;
+        if parts[b].edges.len() < k && rng.gen_bool(0.5) {
+            // Single-edge move a -> b.
+            delta = parts[b].add_gain(g, e) as isize - parts[a].remove_gain(g, e) as isize;
+            mv = Move::Shift(e);
+        } else if !parts[b].edges.is_empty() {
+            // Swap e <-> f.
+            let f = parts[b].edges[rng.gen_range(0..parts[b].edges.len())];
+            let before = (parts[a].nodes + parts[b].nodes) as isize;
+            parts[a].remove(g, e);
+            parts[b].remove(g, f);
+            parts[a].add(g, f);
+            parts[b].add(g, e);
+            let after = (parts[a].nodes + parts[b].nodes) as isize;
+            // Undo; the acceptance decision re-applies if taken.
+            parts[a].remove(g, f);
+            parts[b].remove(g, e);
+            parts[a].add(g, e);
+            parts[b].add(g, f);
+            delta = after - before;
+            mv = Move::Swap(e, f);
+        } else {
+            continue;
+        }
+        let accept = delta <= 0 || rng.gen_bool((-(delta as f64) / temp).exp().clamp(0.0, 1.0));
+        if !accept {
+            continue;
+        }
+        match mv {
+            Move::Shift(e) => {
+                parts[a].remove(g, e);
+                parts[b].add(g, e);
+            }
+            Move::Swap(e, f) => {
+                parts[a].remove(g, e);
+                parts[b].remove(g, f);
+                parts[a].add(g, f);
+                parts[b].add(g, e);
+            }
+        }
+        cost += delta;
+        if cost < best_cost {
+            best_cost = cost;
+            best = parts.iter().map(|p| p.edges.clone()).collect();
+        }
+    }
+
+    let out = EdgePartition::new(best);
+    debug_assert!(out.validate(g, k).is_ok());
+    debug_assert!(out.sadm_cost(g) <= partition.sadm_cost(g));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds;
+    use grooming_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn refine_never_hurts() {
+        for seed in 0..6u64 {
+            let g = generators::gnm(16, 40, &mut rng(seed));
+            for k in [2usize, 4, 8, 16] {
+                let base = spant_euler(&g, k, TreeStrategy::Bfs, &mut rng(seed));
+                let better = refine(&g, k, &base, 8);
+                better.validate(&g, k).unwrap();
+                assert!(better.sadm_cost(&g) <= base.sadm_cost(&g));
+                assert!(better.num_wavelengths() <= base.num_wavelengths());
+                assert!(better.sadm_cost(&g) >= bounds::lower_bound(&g, k));
+            }
+        }
+    }
+
+    #[test]
+    fn refine_finds_the_obvious_swap() {
+        // Two triangles, k = 3, deliberately bad initial split.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        let bad = EdgePartition::new(vec![
+            vec![EdgeId(0), EdgeId(1), EdgeId(3)],
+            vec![EdgeId(2), EdgeId(4), EdgeId(5)],
+        ]);
+        assert_eq!(bad.sadm_cost(&g), 5 + 5);
+        let fixed = refine(&g, 3, &bad, 10);
+        assert_eq!(fixed.sadm_cost(&g), 6, "swap must restore the triangles");
+    }
+
+    #[test]
+    fn merge_reduces_wavelengths_without_cost_increase() {
+        let g = generators::gnm(14, 20, &mut rng(1));
+        // k=1 partition: one edge per wavelength.
+        let singletons = EdgePartition::new(g.edges().map(|e| vec![e]).collect());
+        let merged = merge_parts(&g, 5, &singletons);
+        merged.validate(&g, 5).unwrap();
+        assert!(merged.num_wavelengths() <= singletons.num_wavelengths());
+        assert_eq!(merged.num_wavelengths(), 4); // ceil(20/5)
+        assert!(merged.sadm_cost(&g) <= singletons.sadm_cost(&g));
+    }
+
+    #[test]
+    fn clique_first_near_optimal_on_k9_at_k3() {
+        // K9 partitions into 12 triangles (STS(9)); the optimum at k = 3
+        // is m = 36. Greedy edge-disjoint triangle packing is not perfect,
+        // but it must land close and beat SpanT_Euler comfortably.
+        let g = generators::complete(9);
+        let p = clique_first(&g, 3, &mut rng(2));
+        p.validate(&g, 3).unwrap();
+        let cost = p.sadm_cost(&g);
+        let spant = spant_euler(&g, 3, TreeStrategy::Bfs, &mut rng(2)).sadm_cost(&g);
+        assert!(cost >= 36);
+        assert!(cost <= 42, "greedy packing should stay near 36, got {cost}");
+        assert!(cost < spant, "clique-first {cost} vs SpanT {spant}");
+    }
+
+    #[test]
+    fn clique_first_beats_spant_on_triangle_rich_graphs_at_k3() {
+        let g = generators::complete(12);
+        let spant = spant_euler(&g, 3, TreeStrategy::Bfs, &mut rng(3));
+        let cf = clique_first(&g, 3, &mut rng(3));
+        cf.validate(&g, 3).unwrap();
+        assert!(
+            cf.sadm_cost(&g) < spant.sadm_cost(&g),
+            "clique-first {} vs SpanT {}",
+            cf.sadm_cost(&g),
+            spant.sadm_cost(&g)
+        );
+    }
+
+    #[test]
+    fn clique_first_falls_back_gracefully() {
+        // Triangle-free graph: pure SpanT path.
+        let g = generators::grid(4, 4);
+        for k in [2usize, 3, 6] {
+            let p = clique_first(&g, k, &mut rng(4));
+            p.validate(&g, k).unwrap();
+        }
+        // k < 3 short-circuits.
+        let p = clique_first(&g, 2, &mut rng(5));
+        p.validate(&g, 2).unwrap();
+    }
+
+    #[test]
+    fn refine_handles_tiny_partitions() {
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let p = EdgePartition::new(vec![vec![EdgeId(0)]]);
+        let r = refine(&g, 4, &p, 4);
+        assert_eq!(r.sadm_cost(&g), 2);
+        let empty = Graph::new(3);
+        let r = refine(&empty, 4, &EdgePartition::new(vec![]), 4);
+        assert_eq!(r.num_wavelengths(), 0);
+    }
+
+    #[test]
+    fn dense_first_is_optimal_on_disjoint_k5s_at_k10() {
+        // Three disjoint K5s at k = 10: dense_first puts each K5 on one
+        // wavelength (10 edges, 5 nodes) — the exact optimum of 15 — while
+        // the triangle packer cannot cover a K5 with triangles (10 ∤ 3).
+        let mut g = Graph::new(15);
+        for base in [0u32, 5, 10] {
+            for a in 0..5 {
+                for b in (a + 1)..5 {
+                    g.add_edge(
+                        grooming_graph::ids::NodeId(base + a),
+                        grooming_graph::ids::NodeId(base + b),
+                    );
+                }
+            }
+        }
+        let df = dense_first(&g, 10, &mut rng(7));
+        df.validate(&g, 10).unwrap();
+        assert_eq!(df.sadm_cost(&g), 15, "one wavelength per K5");
+        let cf = clique_first(&g, 10, &mut rng(7));
+        assert!(df.sadm_cost(&g) <= cf.sadm_cost(&g));
+    }
+
+    #[test]
+    fn dense_first_competitive_on_k10() {
+        // On K10 at k = 16 the triangle packer is already near the lower
+        // bound (20); dense_first must stay in the same band and beat
+        // SpanT_Euler.
+        let g = generators::complete(10);
+        let df = dense_first(&g, 16, &mut rng(7));
+        df.validate(&g, 16).unwrap();
+        let spant = spant_euler(&g, 16, TreeStrategy::Bfs, &mut rng(7));
+        assert!(df.sadm_cost(&g) < spant.sadm_cost(&g));
+        assert!(df.sadm_cost(&g) <= 24);
+    }
+
+    #[test]
+    fn dense_first_valid_on_random_instances() {
+        for seed in 0..5u64 {
+            let g = generators::gnm(18, 70, &mut rng(seed));
+            for k in [2usize, 3, 6, 10, 16, 64] {
+                let p = dense_first(&g, k, &mut rng(seed + 30));
+                p.validate(&g, k).unwrap();
+                assert!(p.sadm_cost(&g) >= bounds::lower_bound(&g, k));
+            }
+        }
+    }
+
+    #[test]
+    fn dense_first_handles_multigraphs_via_fallback() {
+        let mut g = Graph::new(3);
+        let a = grooming_graph::ids::NodeId(0);
+        let b = grooming_graph::ids::NodeId(1);
+        g.add_edge(a, b);
+        g.add_edge(a, b);
+        g.add_edge(b, grooming_graph::ids::NodeId(2));
+        let p = dense_first(&g, 4, &mut rng(1));
+        p.validate(&g, 4).unwrap();
+    }
+
+    #[test]
+    fn anneal_never_worse_and_valid() {
+        for seed in 0..4u64 {
+            let g = generators::gnm(16, 40, &mut rng(seed));
+            for k in [3usize, 8, 16] {
+                let base = spant_euler(&g, k, TreeStrategy::Bfs, &mut rng(seed));
+                let annealed = anneal(&g, k, &base, 2000, &mut rng(seed + 77));
+                annealed.validate(&g, k).unwrap();
+                assert!(annealed.sadm_cost(&g) <= base.sadm_cost(&g));
+            }
+        }
+    }
+
+    #[test]
+    fn anneal_escapes_the_bad_split() {
+        // Same fixture refine solves: anneal must find it too.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        let bad = EdgePartition::new(vec![
+            vec![EdgeId(0), EdgeId(1), EdgeId(3)],
+            vec![EdgeId(2), EdgeId(4), EdgeId(5)],
+        ]);
+        let fixed = anneal(&g, 3, &bad, 5000, &mut rng(1));
+        assert_eq!(fixed.sadm_cost(&g), 6);
+    }
+
+    #[test]
+    fn anneal_degenerate_inputs() {
+        let g = Graph::new(3);
+        let p = EdgePartition::new(vec![]);
+        assert_eq!(anneal(&g, 4, &p, 100, &mut rng(0)).num_wavelengths(), 0);
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let p = EdgePartition::new(vec![vec![EdgeId(0)]]);
+        assert_eq!(anneal(&g, 4, &p, 100, &mut rng(0)).sadm_cost(&g), 2);
+    }
+
+    #[test]
+    fn clique_first_respects_k_limits() {
+        for seed in 0..4u64 {
+            let g = generators::gnm(15, 45, &mut rng(seed));
+            for k in [3usize, 4, 5, 7, 16] {
+                let p = clique_first(&g, k, &mut rng(seed + 20));
+                p.validate(&g, k).unwrap();
+                assert!(p.sadm_cost(&g) >= bounds::lower_bound(&g, k));
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Network-level grooming: multi-ring deployments planned ring by ring.
+//!
+//! A multi-ring network decomposes every demand into intra-ring segments
+//! ([`grooming_sonet::multiring`]); each ring's segment set is then exactly
+//! the paper's single-ring problem, groomed independently with any of this
+//! crate's algorithms. The report aggregates SADMs and wavelengths across
+//! rings — plus the *gateway ADM overhead*, the extra add/drops created by
+//! splitting demands at gateway offices.
+
+use grooming_sonet::multiring::{MultiRingNetwork, RingNode, RouteError};
+use grooming_sonet::stats::RingCostReport;
+use rand::Rng;
+
+use crate::algorithm::Algorithm;
+use crate::pipeline::{groom, GroomingOutcome};
+use crate::regular_euler::NotRegularError;
+
+/// Why a network grooming failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetworkError {
+    /// A demand could not be routed.
+    Route(RouteError),
+    /// A ring's grooming algorithm rejected its segment set.
+    Algorithm {
+        /// The ring that failed.
+        ring: usize,
+        /// The underlying error.
+        source: NotRegularError,
+    },
+}
+
+impl std::fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetworkError::Route(e) => write!(f, "routing: {e}"),
+            NetworkError::Algorithm { ring, source } => {
+                write!(f, "ring {ring}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+/// The network-wide grooming result.
+#[derive(Clone, Debug)]
+pub struct NetworkGrooming {
+    /// Per-ring outcomes (same order as the network's rings).
+    pub rings: Vec<GroomingOutcome>,
+    /// Total SADMs across rings.
+    pub total_sadms: usize,
+    /// Total wavelengths across rings (rings have independent spectra).
+    pub total_wavelengths: usize,
+    /// Intra-ring segments created by routing (≥ the demand count;
+    /// the excess measures gateway traversal overhead).
+    pub total_segments: usize,
+}
+
+impl NetworkGrooming {
+    /// Per-ring cost reports.
+    pub fn reports(&self) -> Vec<&RingCostReport> {
+        self.rings.iter().map(|o| &o.report).collect()
+    }
+}
+
+/// Grooms a multi-ring network: route demands into segments, groom every
+/// ring with `algorithm` at grooming factor `k`, aggregate.
+pub fn groom_network<R: Rng>(
+    net: &MultiRingNetwork,
+    demands: &[(RingNode, RingNode)],
+    k: usize,
+    algorithm: Algorithm,
+    rng: &mut R,
+) -> Result<NetworkGrooming, NetworkError> {
+    let per_ring = net.route_all(demands).map_err(NetworkError::Route)?;
+    let total_segments = per_ring.iter().map(|d| d.len()).sum();
+    let mut rings = Vec::with_capacity(per_ring.len());
+    for (ring, segs) in per_ring.iter().enumerate() {
+        let outcome = groom(segs, k, algorithm, rng)
+            .map_err(|source| NetworkError::Algorithm { ring, source })?;
+        rings.push(outcome);
+    }
+    let total_sadms = rings.iter().map(|o| o.report.sadm_total).sum();
+    let total_wavelengths = rings.iter().map(|o| o.report.wavelengths).sum();
+    Ok(NetworkGrooming {
+        rings,
+        total_sadms,
+        total_wavelengths,
+        total_segments,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grooming_graph::spanning::TreeStrategy;
+    use grooming_sonet::multiring::rn;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn star_network() -> MultiRingNetwork {
+        let mut net = MultiRingNetwork::new(vec![8, 6, 6]);
+        net.add_gateway(rn(0, 0), rn(1, 0));
+        net.add_gateway(rn(0, 4), rn(2, 0));
+        net
+    }
+
+    fn random_demands(net_rings: &[usize], count: usize, seed: u64) -> Vec<(RingNode, RingNode)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(count);
+        while out.len() < count {
+            let ra = rng.gen_range(0..net_rings.len());
+            let rb = rng.gen_range(0..net_rings.len());
+            let a = rn(ra, rng.gen_range(0..net_rings[ra] as u32));
+            let b = rn(rb, rng.gen_range(0..net_rings[rb] as u32));
+            if a != b {
+                out.push((a, b));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn network_grooming_aggregates_ring_reports() {
+        let net = star_network();
+        let demands = random_demands(&[8, 6, 6], 30, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = groom_network(
+            &net,
+            &demands,
+            4,
+            Algorithm::SpanTEuler(TreeStrategy::Bfs),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(out.rings.len(), 3);
+        assert_eq!(
+            out.total_sadms,
+            out.reports().iter().map(|r| r.sadm_total).sum::<usize>()
+        );
+        assert_eq!(
+            out.total_wavelengths,
+            out.reports().iter().map(|r| r.wavelengths).sum::<usize>()
+        );
+        // Cross-ring demands create more segments than demands.
+        assert!(out.total_segments >= demands.len() - 5);
+    }
+
+    #[test]
+    fn pure_intra_ring_traffic_touches_one_ring() {
+        let net = star_network();
+        let demands = vec![(rn(1, 1), rn(1, 4)), (rn(1, 2), rn(1, 5))];
+        let mut rng = StdRng::seed_from_u64(3);
+        let out =
+            groom_network(&net, &demands, 16, Algorithm::Brauner, &mut rng).unwrap();
+        assert_eq!(out.rings[0].report.sadm_total, 0);
+        assert_eq!(out.rings[2].report.sadm_total, 0);
+        assert!(out.rings[1].report.sadm_total > 0);
+        assert_eq!(out.total_segments, 2);
+    }
+
+    #[test]
+    fn routing_errors_propagate() {
+        let net = MultiRingNetwork::new(vec![4, 4]); // no gateways
+        let mut rng = StdRng::seed_from_u64(4);
+        let err = groom_network(
+            &net,
+            &[(rn(0, 0), rn(1, 1))],
+            4,
+            Algorithm::Brauner,
+            &mut rng,
+        )
+        .unwrap_err();
+        assert!(matches!(err, NetworkError::Route(_)));
+    }
+
+    #[test]
+    fn gateway_rings_carry_the_transit_load() {
+        // All traffic flows between the two access rings: the core ring
+        // must carry exactly one segment per demand.
+        let net = star_network();
+        let demands: Vec<_> = (1..5u32).map(|i| (rn(1, i), rn(2, i))).collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        let out = groom_network(
+            &net,
+            &demands,
+            4,
+            Algorithm::SpanTEuler(TreeStrategy::Bfs),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(out.rings[0].report.pairs_carried, demands.len());
+        assert_eq!(out.total_segments, 3 * demands.len());
+    }
+}

@@ -1,0 +1,264 @@
+//! Online (dynamic) grooming: demands arrive one at a time and must be
+//! assigned to a wavelength immediately, without re-arranging earlier
+//! traffic — the operational reality the static paper abstracts away, and
+//! the classic follow-up problem in the grooming literature.
+//!
+//! The groomer is first-fit with SADM affinity: among wavelengths with
+//! spare capacity, pick the one needing the fewest new ADMs (ties to the
+//! fullest); open a new wavelength otherwise. [`OnlineGroomer::rearrange`]
+//! converts the accumulated state back into the offline world (any static
+//! algorithm can re-groom the demand snapshot), quantifying the price of
+//! never touching provisioned circuits.
+
+use grooming_sonet::demand::{DemandPair, DemandSet};
+use grooming_sonet::grooming::GroomingAssignment;
+use grooming_sonet::ring::UpsrRing;
+
+/// Incremental grooming state.
+///
+/// ```
+/// use grooming::online::OnlineGroomer;
+/// use grooming_sonet::demand::DemandPair;
+/// use grooming_graph::ids::NodeId;
+///
+/// let mut groomer = OnlineGroomer::new(8, 4);
+/// let lambda = groomer.add(DemandPair::new(NodeId(0), NodeId(3)));
+/// assert_eq!(lambda, 0);
+/// groomer.add(DemandPair::new(NodeId(0), NodeId(5))); // shares node 0
+/// assert_eq!(groomer.num_wavelengths(), 1);
+/// assert_eq!(groomer.sadm_count(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct OnlineGroomer {
+    n: usize,
+    k: usize,
+    waves: Vec<Wave>,
+}
+
+#[derive(Clone, Debug)]
+struct Wave {
+    pairs: Vec<DemandPair>,
+    has_node: Vec<bool>,
+    adms: usize,
+}
+
+impl OnlineGroomer {
+    /// A groomer for an `n`-node ring at grooming factor `k`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `n < 2`.
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!(k > 0, "grooming factor must be positive");
+        assert!(n >= 2, "a ring needs at least 2 nodes");
+        OnlineGroomer {
+            n,
+            k,
+            waves: Vec::new(),
+        }
+    }
+
+    /// Provisions one demand pair; returns the wavelength it landed on.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is outside the ring.
+    pub fn add(&mut self, pair: DemandPair) -> usize {
+        assert!(
+            pair.hi().index() < self.n,
+            "demand endpoint outside the ring"
+        );
+        let mut best: Option<(usize, usize, usize)> = None; // (idx, new_adms, -fill)
+        for (i, w) in self.waves.iter().enumerate() {
+            if w.pairs.len() >= self.k {
+                continue;
+            }
+            let new_adms = [pair.lo(), pair.hi()]
+                .iter()
+                .filter(|v| !w.has_node[v.index()])
+                .count();
+            let better = match best {
+                None => true,
+                Some((_, bn, bfill)) => {
+                    new_adms < bn || (new_adms == bn && w.pairs.len() > bfill)
+                }
+            };
+            if better {
+                best = Some((i, new_adms, w.pairs.len()));
+            }
+        }
+        let idx = match best {
+            Some((i, _, _)) => i,
+            None => {
+                self.waves.push(Wave {
+                    pairs: Vec::new(),
+                    has_node: vec![false; self.n],
+                    adms: 0,
+                });
+                self.waves.len() - 1
+            }
+        };
+        let w = &mut self.waves[idx];
+        for v in [pair.lo(), pair.hi()] {
+            if !w.has_node[v.index()] {
+                w.has_node[v.index()] = true;
+                w.adms += 1;
+            }
+        }
+        w.pairs.push(pair);
+        idx
+    }
+
+    /// Total SADMs deployed so far.
+    pub fn sadm_count(&self) -> usize {
+        self.waves.iter().map(|w| w.adms).sum()
+    }
+
+    /// Wavelengths lit so far.
+    pub fn num_wavelengths(&self) -> usize {
+        self.waves.len()
+    }
+
+    /// The demand snapshot, in arrival order.
+    pub fn demands(&self) -> DemandSet {
+        let mut s = DemandSet::new(self.n);
+        // Arrival order is not preserved across waves; for re-grooming
+        // only the multiset matters.
+        for w in &self.waves {
+            for p in &w.pairs {
+                s.add(p.lo(), p.hi());
+            }
+        }
+        s
+    }
+
+    /// Materializes the current state as a validated ring assignment.
+    pub fn assignment(&self) -> GroomingAssignment {
+        let a = GroomingAssignment::new(
+            UpsrRing::new(self.n),
+            self.k,
+            self.waves.iter().map(|w| w.pairs.clone()).collect(),
+        );
+        debug_assert!(a.validate(Some(&self.demands())).is_ok());
+        a
+    }
+
+    /// The "maintenance window" comparison: re-groom the snapshot with a
+    /// static algorithm and report `(online SADMs, offline SADMs)` — the
+    /// price of never rearranging.
+    pub fn rearrange<R: rand::Rng>(
+        &self,
+        algorithm: crate::algorithm::Algorithm,
+        rng: &mut R,
+    ) -> Result<(usize, usize), crate::regular_euler::NotRegularError> {
+        let snapshot = self.demands();
+        let offline = crate::pipeline::groom(&snapshot, self.k, algorithm, rng)?;
+        Ok((self.sadm_count(), offline.report.sadm_total))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::Algorithm;
+    use grooming_graph::ids::NodeId;
+    use grooming_graph::spanning::TreeStrategy;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn pair(a: u32, b: u32) -> DemandPair {
+        DemandPair::new(NodeId(a), NodeId(b))
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut g = OnlineGroomer::new(6, 2);
+        for i in 0..6u32 {
+            g.add(pair(i % 6, (i + 1) % 6));
+        }
+        assert_eq!(g.num_wavelengths(), 3);
+        g.assignment().validate(None).unwrap();
+    }
+
+    #[test]
+    fn affinity_groups_shared_endpoints() {
+        let mut g = OnlineGroomer::new(8, 4);
+        g.add(pair(0, 1));
+        g.add(pair(0, 2));
+        g.add(pair(0, 3));
+        // All share node 0: one wavelength, 4 ADMs.
+        assert_eq!(g.num_wavelengths(), 1);
+        assert_eq!(g.sadm_count(), 4);
+    }
+
+    #[test]
+    fn online_never_beats_the_exact_offline_optimum() {
+        for seed in 0..6u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut g = OnlineGroomer::new(8, 3);
+            let mut edges = Vec::new();
+            for _ in 0..10 {
+                let a = rng.gen_range(0..8u32);
+                let mut b = rng.gen_range(0..8u32);
+                while b == a {
+                    b = rng.gen_range(0..8u32);
+                }
+                g.add(pair(a, b));
+                edges.push((a.min(b), a.max(b)));
+            }
+            let graph = grooming_graph::graph::Graph::from_edges(8, &edges);
+            let opt = crate::exact::exact_minimum(&graph, 3);
+            assert!(g.sadm_count() >= opt, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn rearrangement_reports_both_costs() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut g = OnlineGroomer::new(16, 8);
+        for _ in 0..40 {
+            let a = rng.gen_range(0..16u32);
+            let mut b = rng.gen_range(0..16u32);
+            while b == a {
+                b = rng.gen_range(0..16u32);
+            }
+            g.add(pair(a, b));
+        }
+        let (online, offline) = g
+            .rearrange(Algorithm::SpanTEuler(TreeStrategy::Bfs), &mut rng)
+            .unwrap();
+        assert_eq!(online, g.sadm_count());
+        assert!(offline > 0);
+        // Both cover 40 demands on valid assignments.
+        g.assignment().validate(Some(&g.demands())).unwrap();
+    }
+
+    #[test]
+    fn arrival_order_changes_cost_but_not_validity() {
+        // Adversarial order costs more than clustered order.
+        let clustered = {
+            let mut g = OnlineGroomer::new(9, 3);
+            for hub in [0u32, 3, 6] {
+                for off in 1..=3u32 {
+                    g.add(pair(hub, (hub + off) % 9));
+                }
+            }
+            g.sadm_count()
+        };
+        let interleaved = {
+            let mut g = OnlineGroomer::new(9, 3);
+            for off in 1..=3u32 {
+                for hub in [0u32, 3, 6] {
+                    g.add(pair(hub, (hub + off) % 9));
+                }
+            }
+            g.sadm_count()
+        };
+        assert!(clustered <= interleaved);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the ring")]
+    fn out_of_range_demand_rejected() {
+        let mut g = OnlineGroomer::new(4, 2);
+        g.add(pair(0, 7));
+    }
+}

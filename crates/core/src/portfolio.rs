@@ -1,0 +1,156 @@
+//! Portfolio meta-grooming: run several algorithms (and several seeds) and
+//! keep the best result — the practical "just give me the cheapest plan"
+//! entry point for planners who don't care which heuristic wins.
+
+use grooming_graph::graph::Graph;
+use grooming_graph::spanning::TreeStrategy;
+use rand::Rng;
+
+use crate::algorithm::Algorithm;
+use crate::partition::EdgePartition;
+
+/// The default portfolio: every algorithm applicable to arbitrary traffic,
+/// ordered cheap-to-expensive.
+pub const DEFAULT_PORTFOLIO: [Algorithm; 6] = [
+    Algorithm::Brauner,
+    Algorithm::WangGuIcc06,
+    Algorithm::SpanTEuler(TreeStrategy::Bfs),
+    Algorithm::SpanTEulerRefined(TreeStrategy::Bfs),
+    Algorithm::CliqueFirst,
+    Algorithm::DenseFirst,
+];
+
+/// The winning entry of a portfolio run.
+#[derive(Clone, Debug)]
+pub struct PortfolioResult {
+    /// The cheapest partition found.
+    pub partition: EdgePartition,
+    /// Which algorithm produced it.
+    pub winner: Algorithm,
+    /// Its SADM cost.
+    pub cost: usize,
+    /// Cost of every portfolio entry, in input order (for reporting).
+    pub all_costs: Vec<(Algorithm, usize)>,
+}
+
+/// Runs every algorithm in `portfolio` (skipping entries whose
+/// preconditions fail) and returns the cheapest valid result.
+///
+/// Ties break toward the earlier portfolio entry; `restarts` extra
+/// RNG-reseeded attempts are made per randomized entry (`0` = single shot).
+///
+/// # Panics
+/// Panics if `k == 0` or no portfolio entry accepts the instance.
+pub fn best_of<R: Rng>(
+    g: &Graph,
+    k: usize,
+    portfolio: &[Algorithm],
+    restarts: usize,
+    rng: &mut R,
+) -> PortfolioResult {
+    assert!(k > 0, "grooming factor must be positive");
+    let mut best: Option<(EdgePartition, Algorithm, usize)> = None;
+    let mut all_costs = Vec::with_capacity(portfolio.len());
+    for &algo in portfolio {
+        let mut algo_best: Option<usize> = None;
+        for _ in 0..=restarts {
+            let Ok(p) = algo.run(g, k, rng) else { break };
+            debug_assert!(p.validate(g, k).is_ok());
+            let cost = p.sadm_cost(g);
+            algo_best = Some(algo_best.map_or(cost, |b| b.min(cost)));
+            if best.as_ref().is_none_or(|(_, _, bc)| cost < *bc) {
+                best = Some((p, algo, cost));
+            }
+        }
+        if let Some(c) = algo_best {
+            all_costs.push((algo, c));
+        }
+    }
+    let (partition, winner, cost) =
+        best.expect("no portfolio entry accepted the instance");
+    PortfolioResult {
+        partition,
+        winner,
+        cost,
+        all_costs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds;
+    use grooming_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn portfolio_beats_or_matches_every_member() {
+        for seed in 0..4u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = generators::gnm(20, 60, &mut rng);
+            for k in [3usize, 8, 16] {
+                let mut r1 = StdRng::seed_from_u64(seed + 100);
+                let result = best_of(&g, k, &DEFAULT_PORTFOLIO, 0, &mut r1);
+                result.partition.validate(&g, k).unwrap();
+                assert_eq!(result.cost, result.partition.sadm_cost(&g));
+                for &(_, c) in &result.all_costs {
+                    assert!(result.cost <= c);
+                }
+                assert!(result.cost >= bounds::lower_bound(&g, k));
+            }
+        }
+    }
+
+    #[test]
+    fn restarts_never_hurt() {
+        let g = generators::gnm(18, 50, &mut StdRng::seed_from_u64(1));
+        let single = best_of(
+            &g,
+            8,
+            &DEFAULT_PORTFOLIO,
+            0,
+            &mut StdRng::seed_from_u64(2),
+        );
+        let multi = best_of(
+            &g,
+            8,
+            &DEFAULT_PORTFOLIO,
+            3,
+            &mut StdRng::seed_from_u64(2),
+        );
+        assert!(multi.cost <= single.cost);
+    }
+
+    #[test]
+    fn skips_inapplicable_entries() {
+        // Regular_Euler in the portfolio on irregular input: skipped, the
+        // rest still compete.
+        let g = generators::star(8);
+        let portfolio = [
+            Algorithm::RegularEuler,
+            Algorithm::SpanTEuler(grooming_graph::spanning::TreeStrategy::Bfs),
+        ];
+        let result = best_of(&g, 4, &portfolio, 0, &mut StdRng::seed_from_u64(3));
+        assert_eq!(result.winner.name(), "SpanT_Euler");
+        assert_eq!(result.all_costs.len(), 1);
+    }
+
+    #[test]
+    fn winner_is_reported_consistently() {
+        let g = generators::complete(12);
+        let result = best_of(&g, 3, &DEFAULT_PORTFOLIO, 0, &mut StdRng::seed_from_u64(4));
+        // On triangle-rich graphs at k=3 a clique packer must win.
+        assert!(matches!(
+            result.winner,
+            Algorithm::CliqueFirst | Algorithm::DenseFirst
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "no portfolio entry")]
+    fn empty_portfolio_panics() {
+        let g = generators::cycle(4);
+        let _ = best_of(&g, 2, &[], 0, &mut StdRng::seed_from_u64(5));
+    }
+}

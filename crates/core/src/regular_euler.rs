@@ -1,0 +1,289 @@
+//! Algorithm **Regular_Euler** (paper §4): grooming for regular traffic
+//! patterns with guaranteed bounds.
+//!
+//! A *regular traffic pattern* has every ring node in exactly `r` symmetric
+//! demand pairs (all-to-all is `r = n−1`), so the traffic graph is
+//! `r`-regular. The paper proves the grooming problem stays NP-hard here
+//! (see [`crate::hardness`]) and gives this algorithm:
+//!
+//! * **even `r`** — every component is Eulerian; the Euler circuits are a
+//!   skeleton cover of size = #components (size 1 when connected), giving
+//!   cost ≤ `m + ⌈m/k⌉` (Theorem 10, even case);
+//! * **odd `r`** — compute a **maximum matching** `M` (blossom algorithm;
+//!   Lemma 8 guarantees `|M| ≥ n·r/(2(r+1))` via Vizing coloring). In
+//!   `G\M`, saturated nodes have even degree `r−1` and unsaturated ones odd
+//!   degree `r`. Components split into *even* components (Euler circuits)
+//!   and *odd* components, whose edges decompose into open trails — the
+//!   paper chains them with virtual edges and deletes them afterwards,
+//!   which is exactly [`grooming_graph::euler::trail_decomposition`]. The
+//!   matching edges attach as branches, giving a skeleton cover of size
+//!   ≤ `3n/(2(r+1))` and cost ≤ `m + ⌈m/k⌉ + 3n/(2(r+1)) − 1`
+//!   (Theorem 10, odd case).
+
+use grooming_graph::euler::{component_euler_walks, trail_decomposition};
+use grooming_graph::graph::Graph;
+use grooming_graph::matching::maximum_matching;
+use grooming_graph::view::EdgeSubset;
+
+use crate::partition::EdgePartition;
+use crate::skeleton::SkeletonCover;
+
+/// Error: `Regular_Euler` requires a regular traffic graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NotRegularError {
+    /// Observed minimum degree.
+    pub min_degree: usize,
+    /// Observed maximum degree.
+    pub max_degree: usize,
+}
+
+impl std::fmt::Display for NotRegularError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "traffic graph is not regular (degrees range {}..={})",
+            self.min_degree, self.max_degree
+        )
+    }
+}
+
+impl std::error::Error for NotRegularError {}
+
+/// Diagnostics from a `Regular_Euler` run.
+#[derive(Clone, Debug)]
+pub struct RegularEulerRun {
+    /// The resulting `k`-edge partition.
+    pub partition: EdgePartition,
+    /// The degree `r` of the (regular) traffic graph.
+    pub r: usize,
+    /// Skeleton-cover size `j`.
+    pub cover_size: usize,
+    /// Size of the maximum matching (odd `r` only).
+    pub matching_size: Option<usize>,
+}
+
+/// Runs `Regular_Euler`, returning just the partition.
+///
+/// ```
+/// use grooming::regular_euler::regular_euler;
+/// use grooming_graph::generators;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let g = generators::random_regular(36, 8, &mut rng); // even r: Eulerian
+/// let p = regular_euler(&g, 16).unwrap();
+/// let m = g.num_edges(); // 144
+/// // Theorem 10, even r: cost ≤ m + ⌈m/k⌉.
+/// assert!(p.sadm_cost(&g) <= m + m.div_ceil(16));
+///
+/// // Irregular traffic is rejected:
+/// assert!(regular_euler(&generators::star(5), 16).is_err());
+/// ```
+pub fn regular_euler(g: &Graph, k: usize) -> Result<EdgePartition, NotRegularError> {
+    regular_euler_detailed(g, k).map(|run| run.partition)
+}
+
+/// Runs `Regular_Euler` with diagnostics.
+///
+/// The algorithm is deterministic (ties broken by edge/node order), so no
+/// RNG is taken.
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn regular_euler_detailed(g: &Graph, k: usize) -> Result<RegularEulerRun, NotRegularError> {
+    assert!(k > 0, "grooming factor must be positive");
+    let r = match g.regularity() {
+        Some(r) => r,
+        None => {
+            return Err(NotRegularError {
+                min_degree: g.min_degree(),
+                max_degree: g.max_degree(),
+            })
+        }
+    };
+    if g.is_empty() {
+        return Ok(RegularEulerRun {
+            partition: EdgePartition::new(Vec::new()),
+            r,
+            cover_size: 0,
+            matching_size: None,
+        });
+    }
+
+    let (cover, matching_size) = if r % 2 == 0 {
+        // Even r: Euler circuit per component; no branches.
+        let backbones = component_euler_walks(g, &EdgeSubset::full(g))
+            .expect("even-regular components are Eulerian");
+        (SkeletonCover::build(g, backbones, &[]), None)
+    } else {
+        // Odd r: maximum matching, then trail-decompose G \ M.
+        let matching = maximum_matching(g);
+        let m_set = EdgeSubset::from_edges(g, matching.edges().iter().copied());
+        let rest = m_set.complement(g);
+        let backbones = trail_decomposition(g, &rest);
+        (
+            SkeletonCover::build(g, backbones, matching.edges()),
+            Some(matching.len()),
+        )
+    };
+    debug_assert!(cover.validate(g, true).is_ok());
+
+    let partition = cover.to_partition(k);
+    Ok(RegularEulerRun {
+        partition,
+        r,
+        cover_size: cover.size(),
+        matching_size,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds;
+    use grooming_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn check_invariants(g: &Graph, k: usize, run: &RegularEulerRun) {
+        run.partition.validate(g, k).unwrap();
+        assert!(run.partition.uses_min_wavelengths(g, k));
+        let cost = run.partition.sadm_cost(g);
+        let (n, m) = (g.num_nodes(), g.num_edges());
+        let bound = if run.r.is_multiple_of(2) {
+            // Connected even-regular graphs: Theorem 10 exactly. Allow the
+            // +#components-1 seam cost for disconnected instances.
+            let comps = grooming_graph::traversal::connected_components(g);
+            let extra = comps.count - g.nodes().filter(|&v| g.degree(v) == 0).count();
+            bounds::theorem10_upper_bound_even(m, k) + extra.saturating_sub(1)
+        } else {
+            bounds::theorem10_upper_bound_odd(m, k, n, run.r)
+        };
+        assert!(cost <= bound, "Theorem 10: cost {cost} > bound {bound} (r={})", run.r);
+        assert!(cost >= bounds::lower_bound(g, k));
+    }
+
+    #[test]
+    fn rejects_irregular_graphs() {
+        let g = generators::star(5);
+        let err = regular_euler(&g, 4).unwrap_err();
+        assert_eq!(err.min_degree, 1);
+        assert_eq!(err.max_degree, 4);
+    }
+
+    #[test]
+    fn empty_regular_graph() {
+        let g = Graph::new(4); // 0-regular
+        let run = regular_euler_detailed(&g, 4).unwrap();
+        assert_eq!(run.partition.num_wavelengths(), 0);
+    }
+
+    #[test]
+    fn even_r_connected_meets_theorem10_exactly() {
+        for (n, r) in [(36, 8), (36, 16), (20, 4), (9, 4)] {
+            let g = generators::random_regular(n, r, &mut rng(n as u64));
+            for k in [2, 3, 4, 8, 16, 64] {
+                let run = regular_euler_detailed(&g, k).unwrap();
+                check_invariants(&g, k, &run);
+                if grooming_graph::traversal::is_connected(&g) {
+                    assert_eq!(run.cover_size, 1, "even r connected: one circuit");
+                    let m = g.num_edges();
+                    assert!(run.partition.sadm_cost(&g) <= m + m.div_ceil(k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn odd_r_meets_theorem10() {
+        for (n, r) in [(36, 7), (36, 15), (20, 3), (12, 5)] {
+            let g = generators::random_regular(n, r, &mut rng(7 * n as u64 + r as u64));
+            for k in [2, 3, 4, 8, 16, 64] {
+                let run = regular_euler_detailed(&g, k).unwrap();
+                check_invariants(&g, k, &run);
+                // Cover size bound from Lemma 9: <= 3n / (2(r+1)).
+                let cover_bound = (3.0 * n as f64) / (2.0 * (r as f64 + 1.0));
+                assert!(
+                    (run.cover_size as f64) <= cover_bound.floor().max(1.0),
+                    "cover {} > {cover_bound}",
+                    run.cover_size
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_matching_graph_r1() {
+        // r = 1: the graph IS a matching; G\M is empty.
+        let g = Graph::from_edges(6, &[(0, 1), (2, 3), (4, 5)]);
+        for k in [1, 2, 3] {
+            let run = regular_euler_detailed(&g, k).unwrap();
+            check_invariants(&g, k, &run);
+        }
+    }
+
+    #[test]
+    fn cycle_r2_is_one_circuit() {
+        let g = generators::cycle(10);
+        let run = regular_euler_detailed(&g, 4).unwrap();
+        assert_eq!(run.cover_size, 1);
+        check_invariants(&g, 4, &run);
+        // A cycle cut into k-chunks costs exactly m + ceil(m/k) ... except
+        // the final wrap shares nodes; cost <= m + W.
+        assert!(run.partition.sadm_cost(&g) <= 10 + 3);
+    }
+
+    #[test]
+    fn petersen_r3() {
+        let g = generators::petersen();
+        for k in [2, 3, 5, 15] {
+            let run = regular_euler_detailed(&g, k).unwrap();
+            check_invariants(&g, k, &run);
+            assert_eq!(run.matching_size, Some(5)); // perfect matching
+        }
+    }
+
+    #[test]
+    fn complete_graphs_all_to_all_traffic() {
+        // K_n = all-to-all pattern, r = n-1.
+        for n in [5usize, 6, 9, 10] {
+            let g = generators::complete(n);
+            for k in [3, 4, 16] {
+                let run = regular_euler_detailed(&g, k).unwrap();
+                check_invariants(&g, k, &run);
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_regular_graph() {
+        // Two disjoint K4s: 3-regular, disconnected.
+        let mut g = Graph::new(8);
+        for base in [0u32, 4] {
+            for a in 0..4 {
+                for b in (a + 1)..4 {
+                    g.add_edge(grooming_graph::ids::NodeId(base + a), grooming_graph::ids::NodeId(base + b));
+                }
+            }
+        }
+        for k in [2, 3, 4, 12] {
+            let run = regular_euler_detailed(&g, k).unwrap();
+            check_invariants(&g, k, &run);
+        }
+    }
+
+    #[test]
+    fn lemma8_matching_bound_observed() {
+        for (n, r) in [(36, 7), (36, 15)] {
+            let g = generators::random_regular(n, r, &mut rng(42));
+            let run = regular_euler_detailed(&g, 4).unwrap();
+            let matching = run.matching_size.unwrap() as f64;
+            let bound = (n * r) as f64 / (2.0 * (r as f64 + 1.0));
+            assert!(matching >= bound.floor());
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! Proper edge coloring via the Misra–Gries constructive proof of Vizing's
+//! theorem.
+//!
+//! Vizing: every simple graph has a proper edge coloring with at most
+//! `Δ + 1` colors. The paper's Lemma 8 uses exactly this fact: color an
+//! `r`-regular graph with `r + 1` colors; the largest color class is a
+//! matching of size ≥ `m / (r+1) = n·r / (2(r+1))`. [`misra_gries`] is the
+//! O(n·m) constructive algorithm (fans, cd-path inversions, fan rotations);
+//! [`largest_color_class`] extracts the Lemma 8 matching.
+
+use crate::graph::Graph;
+use crate::ids::{EdgeId, NodeId};
+
+/// A proper edge coloring: `colors[e]` is the color (0-based) of edge `e`.
+#[derive(Clone, Debug)]
+pub struct EdgeColoring {
+    /// Color per edge, dense `0..num_colors`.
+    pub colors: Vec<usize>,
+    /// Number of distinct colors used.
+    pub num_colors: usize,
+}
+
+impl EdgeColoring {
+    /// Edges of one color class (a matching, if the coloring is proper).
+    pub fn class(&self, color: usize) -> Vec<EdgeId> {
+        self.colors
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c == color)
+            .map(|(i, _)| EdgeId::new(i))
+            .collect()
+    }
+
+    /// Sizes of all color classes.
+    pub fn class_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_colors];
+        for &c in &self.colors {
+            sizes[c] += 1;
+        }
+        sizes
+    }
+}
+
+/// Checks that adjacent edges receive different colors.
+pub fn verify_proper(g: &Graph, coloring: &EdgeColoring) -> bool {
+    if coloring.colors.len() != g.num_edges() {
+        return false;
+    }
+    for v in g.nodes() {
+        let mut seen = std::collections::HashSet::new();
+        for &(_, e) in g.incident(v) {
+            if !seen.insert(coloring.colors[e.index()]) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The largest color class of a proper coloring — a matching of size at
+/// least `m / num_colors` (the engine of the paper's Lemma 8).
+pub fn largest_color_class(coloring: &EdgeColoring) -> Vec<EdgeId> {
+    let sizes = coloring.class_sizes();
+    let best = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, s)| *s)
+        .map(|(c, _)| c)
+        .unwrap_or(0);
+    coloring.class(best)
+}
+
+/// Misra–Gries edge coloring with at most `Δ(G) + 1` colors.
+///
+/// ```
+/// use grooming_graph::coloring::{misra_gries, verify_proper};
+/// use grooming_graph::generators;
+///
+/// let g = generators::complete(6); // Δ = 5
+/// let coloring = misra_gries(&g);
+/// assert!(verify_proper(&g, &coloring));
+/// assert!(coloring.num_colors <= 6); // Vizing: Δ + 1
+/// ```
+///
+/// # Panics
+/// Panics if `g` has parallel edges (Vizing's bound holds for simple graphs;
+/// multigraphs need `Δ + μ` colors and a different algorithm).
+pub fn misra_gries(g: &Graph) -> EdgeColoring {
+    assert!(g.is_simple(), "Misra–Gries requires a simple graph");
+    let n = g.num_nodes();
+    let m = g.num_edges();
+    let palette = g.max_degree() + 1;
+    let mut state = Coloring {
+        g,
+        color: vec![usize::MAX; m],
+        // used_at[v][c] = edge at v colored c, if any
+        used_at: vec![vec![usize::MAX; palette]; n],
+        palette,
+    };
+    for e in 0..m {
+        state.insert_edge(e);
+    }
+    let used = state.color.iter().copied().max().map_or(0, |c| c + 1);
+    debug_assert!(used <= palette);
+    EdgeColoring {
+        colors: state.color,
+        num_colors: used,
+    }
+}
+
+struct Coloring<'a> {
+    g: &'a Graph,
+    color: Vec<usize>,
+    used_at: Vec<Vec<usize>>,
+    palette: usize,
+}
+
+impl Coloring<'_> {
+    fn is_free(&self, v: NodeId, c: usize) -> bool {
+        self.used_at[v.index()][c] == usize::MAX
+    }
+
+    fn lowest_free(&self, v: NodeId) -> usize {
+        (0..self.palette)
+            .find(|&c| self.is_free(v, c))
+            .expect("degree <= Δ guarantees a free color in a Δ+1 palette")
+    }
+
+    fn set_color(&mut self, e: usize, c: usize) {
+        let (u, v) = self.g.endpoints(EdgeId::new(e));
+        let old = self.color[e];
+        if old != usize::MAX {
+            self.used_at[u.index()][old] = usize::MAX;
+            self.used_at[v.index()][old] = usize::MAX;
+        }
+        self.color[e] = c;
+        if c != usize::MAX {
+            debug_assert!(self.is_free(u, c) && self.is_free(v, c));
+            self.used_at[u.index()][c] = e;
+            self.used_at[v.index()][c] = e;
+        }
+    }
+
+    /// Builds the maximal fan of `u` starting at `v0`: a sequence of
+    /// distinct neighbors `F[0]=v0, F[1], …` such that the edge `(u, F[i+1])`
+    /// is colored with a color free on `F[i]`. Returns (vertex, edge) pairs.
+    fn maximal_fan(&self, u: NodeId, v0: NodeId, e0: usize) -> Vec<(NodeId, usize)> {
+        let mut fan = vec![(v0, e0)];
+        let mut in_fan = vec![false; self.g.num_nodes()];
+        in_fan[v0.index()] = true;
+        loop {
+            let (last, _) = *fan.last().unwrap();
+            let next = self.g.incident(u).iter().find(|&&(w, e)| {
+                !in_fan[w.index()]
+                    && self.color[e.index()] != usize::MAX
+                    && self.is_free(last, self.color[e.index()])
+            });
+            match next {
+                Some(&(w, e)) => {
+                    in_fan[w.index()] = true;
+                    fan.push((w, e.index()));
+                }
+                None => break,
+            }
+        }
+        fan
+    }
+
+    /// Inverts the maximal path starting at `u` whose edges alternate colors
+    /// `d, c, d, c, …` (the "cd_u path"): every `d` edge becomes `c` and
+    /// vice versa. Because `c` is free on `u`, the walk is a simple path.
+    fn invert_cd_path(&mut self, u: NodeId, c: usize, d: usize) {
+        if c == d {
+            return;
+        }
+        let mut path = Vec::new();
+        let mut v = u;
+        let mut want = d;
+        loop {
+            let e = self.used_at[v.index()][want];
+            if e == usize::MAX {
+                break;
+            }
+            path.push(e);
+            v = self.g.other_endpoint(EdgeId::new(e), v);
+            want = c + d - want;
+        }
+        // Clear, then reassign flipped colors (clearing first avoids
+        // transient conflicts between adjacent path edges).
+        let old: Vec<usize> = path.iter().map(|&e| self.color[e]).collect();
+        for &e in &path {
+            self.set_color(e, usize::MAX);
+        }
+        for (&e, &o) in path.iter().zip(&old) {
+            self.set_color(e, c + d - o);
+        }
+    }
+
+    /// Colors the currently uncolored edge `e0` (Misra–Gries main step).
+    fn insert_edge(&mut self, e0: usize) {
+        let (u, v0) = self.g.endpoints(EdgeId::new(e0));
+        let fan = self.maximal_fan(u, v0, e0);
+        let c = self.lowest_free(u);
+        let d = self.lowest_free(fan.last().unwrap().0);
+        self.invert_cd_path(u, c, d);
+        // After the inversion `d` is free on `u`. Find the first fan prefix
+        // that is still a fan (the inversion may have recolored one fan
+        // edge) whose end vertex has `d` free; rotate it and finish with d.
+        let mut w_idx = None;
+        for (i, &(w, e)) in fan.iter().enumerate() {
+            if i > 0 {
+                let col = self.color[e];
+                let (prev, _) = fan[i - 1];
+                if col == usize::MAX || !self.is_free(prev, col) {
+                    break; // prefix no longer a fan beyond this point
+                }
+            }
+            if self.is_free(w, d) {
+                w_idx = Some(i);
+                break;
+            }
+        }
+        let w_idx = w_idx.expect("Misra-Gries invariant: a rotatable fan prefix exists");
+        // Rotate: shift each fan edge's color one step toward the front.
+        for i in 0..w_idx {
+            let (_, e_next) = fan[i + 1];
+            let col = self.color[e_next];
+            self.set_color(e_next, usize::MAX);
+            self.set_color(fan[i].1, col);
+        }
+        debug_assert_eq!(self.color[fan[w_idx].1], usize::MAX);
+        debug_assert!(self.is_free(u, d));
+        self.set_color(fan[w_idx].1, d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check(g: &Graph) -> EdgeColoring {
+        let col = misra_gries(g);
+        assert!(verify_proper(g, &col), "coloring must be proper");
+        assert!(
+            col.num_colors <= g.max_degree() + 1,
+            "Vizing bound violated: {} > {} + 1",
+            col.num_colors,
+            g.max_degree()
+        );
+        col
+    }
+
+    #[test]
+    fn empty_and_single_edge() {
+        let g = Graph::new(3);
+        let col = check(&g);
+        assert_eq!(col.num_colors, 0);
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let col = check(&g);
+        assert_eq!(col.num_colors, 1);
+    }
+
+    #[test]
+    fn path_colors_within_vizing() {
+        // MG guarantees Δ+1 = 3; the path's chromatic index is 2.
+        let g = generators::path(6);
+        let col = check(&g);
+        assert!((2..=3).contains(&col.num_colors));
+    }
+
+    #[test]
+    fn odd_cycle_needs_three() {
+        let g = generators::cycle(5);
+        let col = check(&g);
+        assert_eq!(col.num_colors, 3); // class 2 graph
+    }
+
+    #[test]
+    fn even_cycle_colors_within_vizing() {
+        let g = generators::cycle(6);
+        let col = check(&g);
+        assert!((2..=3).contains(&col.num_colors));
+    }
+
+    #[test]
+    fn petersen_is_class_two() {
+        let g = generators::petersen();
+        let col = check(&g);
+        assert_eq!(col.num_colors, 4); // Petersen's chromatic index is 4 = Δ+1
+    }
+
+    #[test]
+    fn complete_graphs() {
+        for n in 2..9usize {
+            let g = generators::complete(n);
+            let col = check(&g);
+            // K_n chromatic index: n-1 if n even, n if n odd.
+            let expected = if n % 2 == 0 { n - 1 } else { n };
+            assert!(col.num_colors <= expected.max(g.max_degree() + 1));
+            assert!(col.num_colors >= g.max_degree());
+        }
+    }
+
+    #[test]
+    fn random_graphs_proper_within_vizing() {
+        for seed in 0..15u64 {
+            let mut r = StdRng::seed_from_u64(seed);
+            let g = generators::gnm(25, 90, &mut r);
+            check(&g);
+        }
+    }
+
+    #[test]
+    fn regular_graphs_proper_within_vizing() {
+        for (n, r) in [(36, 7), (36, 8), (36, 15), (36, 16)] {
+            let mut rng = StdRng::seed_from_u64(n as u64 + r as u64);
+            let g = generators::random_regular(n, r, &mut rng);
+            let col = check(&g);
+            assert!(col.num_colors >= r);
+        }
+    }
+
+    #[test]
+    fn largest_class_realizes_lemma8_bound() {
+        // Lemma 8 via coloring: an r-regular graph colored with r+1 colors
+        // has a class of >= n*r/(2(r+1)) edges.
+        for (n, r) in [(36, 7), (36, 15), (20, 3)] {
+            let mut rng = StdRng::seed_from_u64(99);
+            let g = generators::random_regular(n, r, &mut rng);
+            let col = check(&g);
+            let class = largest_color_class(&col);
+            let bound = (n * r) as f64 / (2.0 * (r as f64 + 1.0));
+            assert!(
+                class.len() as f64 >= bound.floor(),
+                "n={n} r={r}: class {} < {bound}",
+                class.len()
+            );
+            // And it must be a matching.
+            let mut touched = vec![false; n];
+            for e in class {
+                let (a, b) = g.endpoints(e);
+                assert!(!touched[a.index()] && !touched[b.index()]);
+                touched[a.index()] = true;
+                touched[b.index()] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn class_sizes_sum_to_edge_count() {
+        let g = generators::complete(7);
+        let col = check(&g);
+        assert_eq!(col.class_sizes().iter().sum::<usize>(), g.num_edges());
+    }
+
+    #[test]
+    #[should_panic(expected = "simple")]
+    fn multigraph_rejected() {
+        let mut g = Graph::new(2);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(0), NodeId(1));
+        let _ = misra_gries(&g);
+    }
+}

@@ -1,0 +1,282 @@
+//! Connectivity machinery: bridges, articulation points, and global edge
+//! connectivity (Stoer–Wagner).
+//!
+//! The paper cites Jaeger's theorem — λ(G) ≥ 4 implies a spanning closed
+//! trail, hence a skeleton cover of size 1 — as the ancestor of its Lemma 4.
+//! [`edge_connectivity`] lets tests and experiments classify instances
+//! against that threshold; bridges/articulation points support structural
+//! assertions in the test suite.
+
+use crate::graph::Graph;
+use crate::ids::{EdgeId, NodeId};
+
+/// All bridge edges of `g` (edges whose removal disconnects their
+/// component). Parallel edges are never bridges.
+pub fn bridges(g: &Graph) -> Vec<EdgeId> {
+    let n = g.num_nodes();
+    let mut disc = vec![usize::MAX; n];
+    let mut low = vec![usize::MAX; n];
+    let mut timer = 0usize;
+    let mut out = Vec::new();
+
+    // Iterative DFS; frame = (node, entering edge, neighbor cursor).
+    let mut stack: Vec<(NodeId, Option<EdgeId>, usize)> = Vec::new();
+    for root in g.nodes() {
+        if disc[root.index()] != usize::MAX {
+            continue;
+        }
+        disc[root.index()] = timer;
+        low[root.index()] = timer;
+        timer += 1;
+        stack.push((root, None, 0));
+        while let Some(&mut (v, via, ref mut cursor)) = stack.last_mut() {
+            let inc = g.incident(v);
+            if *cursor < inc.len() {
+                let (w, e) = inc[*cursor];
+                *cursor += 1;
+                if Some(e) == via {
+                    continue; // don't traverse the entering edge backwards
+                }
+                if disc[w.index()] == usize::MAX {
+                    disc[w.index()] = timer;
+                    low[w.index()] = timer;
+                    timer += 1;
+                    stack.push((w, Some(e), 0));
+                } else {
+                    low[v.index()] = low[v.index()].min(disc[w.index()]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&mut (p, _, _)) = stack.last_mut() {
+                    low[p.index()] = low[p.index()].min(low[v.index()]);
+                    if low[v.index()] > disc[p.index()] {
+                        out.push(via.expect("non-root frame has an entering edge"));
+                    }
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// All articulation points (cut vertices) of `g`.
+pub fn articulation_points(g: &Graph) -> Vec<NodeId> {
+    let n = g.num_nodes();
+    let mut disc = vec![usize::MAX; n];
+    let mut low = vec![usize::MAX; n];
+    let mut timer = 0usize;
+    let mut is_cut = vec![false; n];
+
+    let mut stack: Vec<(NodeId, Option<EdgeId>, usize, usize)> = Vec::new(); // + root child count
+    for root in g.nodes() {
+        if disc[root.index()] != usize::MAX {
+            continue;
+        }
+        disc[root.index()] = timer;
+        low[root.index()] = timer;
+        timer += 1;
+        let mut root_children = 0usize;
+        stack.push((root, None, 0, 0));
+        while let Some(&mut (v, via, ref mut cursor, _)) = stack.last_mut() {
+            let inc = g.incident(v);
+            if *cursor < inc.len() {
+                let (w, e) = inc[*cursor];
+                *cursor += 1;
+                if Some(e) == via {
+                    continue;
+                }
+                if disc[w.index()] == usize::MAX {
+                    disc[w.index()] = timer;
+                    low[w.index()] = timer;
+                    timer += 1;
+                    if v == root {
+                        root_children += 1;
+                    }
+                    stack.push((w, Some(e), 0, 0));
+                } else {
+                    low[v.index()] = low[v.index()].min(disc[w.index()]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&mut (p, _, _, _)) = stack.last_mut() {
+                    low[p.index()] = low[p.index()].min(low[v.index()]);
+                    if p != root && low[v.index()] >= disc[p.index()] {
+                        is_cut[p.index()] = true;
+                    }
+                }
+            }
+        }
+        if root_children >= 2 {
+            is_cut[root.index()] = true;
+        }
+    }
+    (0..n as u32).map(NodeId).filter(|v| is_cut[v.index()]).collect()
+}
+
+/// Global minimum edge cut of `g` via Stoer–Wagner (O(V³)); parallel edges
+/// contribute their multiplicity. Returns `0` for disconnected graphs and
+/// `None` for graphs with fewer than two nodes (no cut exists).
+pub fn global_min_cut(g: &Graph) -> Option<u64> {
+    let n = g.num_nodes();
+    if n < 2 {
+        return None;
+    }
+    if !crate::traversal::is_connected(g) {
+        return Some(0);
+    }
+    let mut w = vec![vec![0u64; n]; n];
+    for e in g.edges() {
+        let (u, v) = g.endpoints(e);
+        w[u.index()][v.index()] += 1;
+        w[v.index()][u.index()] += 1;
+    }
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut best = u64::MAX;
+    while active.len() > 1 {
+        // Maximum-adjacency order over the active (merged) vertices.
+        let k = active.len();
+        let mut weight_to_a = vec![0u64; k];
+        let mut added = vec![false; k];
+        let mut prev = 0usize;
+        let mut last = 0usize;
+        for it in 0..k {
+            let mut sel = usize::MAX;
+            for i in 0..k {
+                if !added[i] && (sel == usize::MAX || weight_to_a[i] > weight_to_a[sel]) {
+                    sel = i;
+                }
+            }
+            added[sel] = true;
+            if it == k - 1 {
+                best = best.min(weight_to_a[sel]);
+                prev = last;
+                last = sel;
+            } else {
+                last = sel;
+            }
+            for i in 0..k {
+                if !added[i] {
+                    weight_to_a[i] += w[active[sel]][active[i]];
+                }
+            }
+        }
+        // Merge `last` into `prev`.
+        let (vp, vl) = (active[prev], active[last]);
+        for row in w.iter_mut() {
+            row[vp] += row[vl];
+        }
+        let merged_row: Vec<u64> = (0..n).map(|i| w[vp][i] + w[vl][i]).collect();
+        w[vp] = merged_row;
+        w[vp][vp] = 0;
+        active.remove(last);
+    }
+    Some(best)
+}
+
+/// Edge connectivity λ(G): the minimum number of edges whose deletion
+/// disconnects `g`. Zero for disconnected or trivially small graphs.
+pub fn edge_connectivity(g: &Graph) -> u64 {
+    global_min_cut(g).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn path_edges_are_all_bridges() {
+        let g = generators::path(5);
+        assert_eq!(bridges(&g).len(), 4);
+        assert_eq!(articulation_points(&g).len(), 3); // interior nodes
+    }
+
+    #[test]
+    fn cycle_has_no_bridges() {
+        let g = generators::cycle(6);
+        assert!(bridges(&g).is_empty());
+        assert!(articulation_points(&g).is_empty());
+    }
+
+    #[test]
+    fn parallel_edges_are_not_bridges() {
+        let mut g = Graph::new(2);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(0), NodeId(1));
+        assert!(bridges(&g).is_empty());
+        let mut h = Graph::new(2);
+        h.add_edge(NodeId(0), NodeId(1));
+        assert_eq!(bridges(&h).len(), 1);
+    }
+
+    #[test]
+    fn barbell_bridge_and_cut_vertex() {
+        // Two triangles joined by a bridge (2-3).
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
+        );
+        let b = bridges(&g);
+        assert_eq!(b.len(), 1);
+        assert_eq!(g.endpoints(b[0]), (NodeId(2), NodeId(3)));
+        let cuts = articulation_points(&g);
+        assert_eq!(cuts, vec![NodeId(2), NodeId(3)]);
+        assert_eq!(edge_connectivity(&g), 1);
+    }
+
+    #[test]
+    fn cycle_connectivity_is_two() {
+        assert_eq!(edge_connectivity(&generators::cycle(8)), 2);
+    }
+
+    #[test]
+    fn complete_graph_connectivity() {
+        for n in 2..8usize {
+            assert_eq!(
+                edge_connectivity(&generators::complete(n)),
+                (n - 1) as u64,
+                "K_{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn petersen_connectivity_is_three() {
+        assert_eq!(edge_connectivity(&generators::petersen()), 3);
+    }
+
+    #[test]
+    fn disconnected_graph_has_zero_connectivity() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(edge_connectivity(&g), 0);
+    }
+
+    #[test]
+    fn tiny_graphs_have_no_cut() {
+        assert_eq!(global_min_cut(&Graph::new(0)), None);
+        assert_eq!(global_min_cut(&Graph::new(1)), None);
+    }
+
+    #[test]
+    fn multigraph_cut_counts_multiplicity() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(1), NodeId(2));
+        assert_eq!(global_min_cut(&g), Some(2));
+    }
+
+    #[test]
+    fn jaeger_threshold_on_dense_random_graphs() {
+        // Dense G(n,m) graphs typically exceed λ >= 4, the Jaeger
+        // sufficient condition for a size-1 skeleton cover.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut r = StdRng::seed_from_u64(5);
+        let g = generators::gnm(20, 140, &mut r);
+        assert!(edge_connectivity(&g) >= 4);
+    }
+}

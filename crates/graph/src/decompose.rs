@@ -1,0 +1,181 @@
+//! Classical edge decompositions of complete graphs.
+//!
+//! The all-to-all traffic pattern (the paper's `r = n − 1` special case,
+//! studied by its refs [11, 13, 21]) admits *explicit* optimal structures:
+//!
+//! * odd `n` — **Walecki's theorem**: `K_n` decomposes into `(n−1)/2`
+//!   edge-disjoint Hamiltonian cycles ([`walecki_cycles`]);
+//! * even `n` — `K_n` decomposes into `n − 1` perfect matchings — the
+//!   round-robin **1-factorization** ([`one_factorization`]).
+//!
+//! Each Hamiltonian cycle is a size-1 skeleton cover of its edges, so these
+//! decompositions feed directly into the grooming pipeline as deterministic
+//! covers with the best possible constants.
+
+use crate::graph::Graph;
+use crate::ids::NodeId;
+use crate::walk::Walk;
+
+/// Walecki's Hamiltonian decomposition of `K_n` for odd `n ≥ 3`: returns
+/// `(n−1)/2` closed walks over the nodes of `g`, pairwise edge-disjoint and
+/// together covering all of `E(K_n)`.
+///
+/// `g` must be a complete graph on `n` nodes (edges are looked up in it so
+/// the returned walks carry `g`'s edge ids).
+///
+/// # Panics
+/// Panics if `n` is even, `n < 3`, or `g` is not complete.
+pub fn walecki_cycles(g: &Graph) -> Vec<Walk> {
+    let n = g.num_nodes();
+    assert!(n >= 3 && n % 2 == 1, "Walecki needs odd n >= 3 (got {n})");
+    assert_eq!(
+        g.num_edges(),
+        n * (n - 1) / 2,
+        "expected the complete graph K_{n}"
+    );
+    let m = (n - 1) / 2; // cycles to produce; finite nodes live in Z_{2m}
+    let hub = NodeId::new(n - 1); // the "infinity" vertex
+    let modn = (n - 1) as i64;
+
+    let mut cycles = Vec::with_capacity(m);
+    for i in 0..m as i64 {
+        // Zigzag through all residues: i, i+1, i−1, i+2, i−2, …, i+m.
+        let mut seq: Vec<NodeId> = Vec::with_capacity(n - 1);
+        seq.push(NodeId::new(i.rem_euclid(modn) as usize));
+        for t in 1..=(m as i64) {
+            seq.push(NodeId::new((i + t).rem_euclid(modn) as usize));
+            if t < m as i64 {
+                seq.push(NodeId::new((i - t).rem_euclid(modn) as usize));
+            }
+        }
+        debug_assert_eq!(seq.len(), n - 1);
+        // Close through the hub: hub -> zigzag -> hub.
+        let mut nodes = Vec::with_capacity(n + 1);
+        nodes.push(hub);
+        nodes.extend(seq);
+        nodes.push(hub);
+        let edges = nodes
+            .windows(2)
+            .map(|w| {
+                g.find_edge(w[0], w[1])
+                    .expect("complete graph has every edge")
+            })
+            .collect();
+        cycles.push(Walk::from_parts(g, nodes, edges));
+    }
+    cycles
+}
+
+/// The round-robin 1-factorization of `K_n` for even `n ≥ 2`: `n − 1`
+/// perfect matchings (each as a list of edge ids of `g`), pairwise disjoint
+/// and covering all edges.
+///
+/// # Panics
+/// Panics if `n` is odd or `g` is not complete.
+pub fn one_factorization(g: &Graph) -> Vec<Vec<crate::ids::EdgeId>> {
+    let n = g.num_nodes();
+    assert!(n >= 2 && n % 2 == 0, "1-factorization needs even n (got {n})");
+    assert_eq!(
+        g.num_edges(),
+        n * (n - 1) / 2,
+        "expected the complete graph K_{n}"
+    );
+    let modn = (n - 1) as i64;
+    let hub = NodeId::new(n - 1);
+    let mut rounds = Vec::with_capacity(n - 1);
+    for r in 0..modn {
+        let mut matching = Vec::with_capacity(n / 2);
+        matching.push(
+            g.find_edge(hub, NodeId::new(r as usize))
+                .expect("hub edge exists"),
+        );
+        for j in 1..=((n - 2) / 2) as i64 {
+            let a = (r + j).rem_euclid(modn) as usize;
+            let b = (r - j).rem_euclid(modn) as usize;
+            matching.push(g.find_edge(NodeId::new(a), NodeId::new(b)).unwrap());
+        }
+        rounds.push(matching);
+    }
+    rounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn check_edge_partition(g: &Graph, pieces: &[Vec<crate::ids::EdgeId>]) {
+        let mut covered = vec![false; g.num_edges()];
+        for piece in pieces {
+            for &e in piece {
+                assert!(!covered[e.index()], "edge {e:?} covered twice");
+                covered[e.index()] = true;
+            }
+        }
+        assert!(covered.into_iter().all(|c| c), "some edge uncovered");
+    }
+
+    #[test]
+    fn walecki_small_odd_orders() {
+        for n in [3usize, 5, 7, 9, 11, 15, 21] {
+            let g = generators::complete(n);
+            let cycles = walecki_cycles(&g);
+            assert_eq!(cycles.len(), (n - 1) / 2, "K_{n}");
+            for c in &cycles {
+                c.validate(&g).unwrap();
+                assert!(c.is_closed());
+                assert_eq!(c.len(), n, "a Hamiltonian cycle has n edges");
+                // Visits every node exactly once (start repeated at end).
+                let mut nodes: Vec<_> = c.nodes()[..n].to_vec();
+                nodes.sort_unstable();
+                nodes.dedup();
+                assert_eq!(nodes.len(), n);
+            }
+            let pieces: Vec<Vec<crate::ids::EdgeId>> =
+                cycles.iter().map(|c| c.edges().to_vec()).collect();
+            check_edge_partition(&g, &pieces);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "odd n")]
+    fn walecki_rejects_even() {
+        let g = generators::complete(6);
+        let _ = walecki_cycles(&g);
+    }
+
+    #[test]
+    #[should_panic(expected = "complete graph")]
+    fn walecki_rejects_incomplete() {
+        let g = generators::cycle(5);
+        let _ = walecki_cycles(&g);
+    }
+
+    #[test]
+    fn one_factorization_small_even_orders() {
+        for n in [2usize, 4, 6, 8, 12, 16] {
+            let g = generators::complete(n);
+            let rounds = one_factorization(&g);
+            assert_eq!(rounds.len(), n - 1, "K_{n}");
+            for round in &rounds {
+                assert_eq!(round.len(), n / 2);
+                // Node-disjoint.
+                let mut touched = vec![false; n];
+                for &e in round {
+                    let (u, v) = g.endpoints(e);
+                    assert!(!touched[u.index()] && !touched[v.index()]);
+                    touched[u.index()] = true;
+                    touched[v.index()] = true;
+                }
+            }
+            check_edge_partition(&g, &rounds);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even n")]
+    fn one_factorization_rejects_odd() {
+        let g = generators::complete(5);
+        let _ = one_factorization(&g);
+    }
+}

@@ -1,0 +1,388 @@
+//! Euler walks on multigraph edge subsets (Hierholzer's algorithm).
+//!
+//! Both of the paper's algorithms reduce to building Euler circuits/paths of
+//! carefully constructed even-degree (sub)graphs:
+//!
+//! * `SpanT_Euler` builds `G'' = E_odd ∪ (E(G)\E(T))`, in which every node
+//!   has even degree, and takes one Euler circuit per component.
+//! * `Regular_Euler` Euler-traverses `G` directly (even `r`) or the
+//!   virtual-edge-augmented `G_odd` plus even components of `G\M` (odd `r`).
+//!
+//! All of these operate on *subsets* of a fixed multigraph's edges, so the
+//! API here takes `(Graph, EdgeSubset)` pairs and returns [`Walk`]s.
+
+use crate::graph::Graph;
+use crate::ids::{EdgeId, NodeId};
+use crate::view::EdgeSubset;
+use crate::walk::Walk;
+
+/// Why an Euler walk could not be constructed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EulerError {
+    /// The edge set is empty (no walk to build).
+    Empty,
+    /// The subset's edges span more than one connected component.
+    Disconnected,
+    /// More than two nodes have odd degree in the subset.
+    TooManyOddNodes(usize),
+}
+
+impl std::fmt::Display for EulerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EulerError::Empty => write!(f, "edge set is empty"),
+            EulerError::Disconnected => write!(f, "edge set is not connected"),
+            EulerError::TooManyOddNodes(k) => {
+                write!(f, "{k} odd-degree nodes (at most 2 allowed)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EulerError {}
+
+/// Nodes with odd degree in the subset, ascending.
+pub fn odd_degree_nodes(g: &Graph, subset: &EdgeSubset) -> Vec<NodeId> {
+    let mut deg = vec![0usize; g.num_nodes()];
+    for &e in subset.edges() {
+        let (u, v) = g.endpoints(e);
+        deg[u.index()] += 1;
+        deg[v.index()] += 1;
+    }
+    (0..g.num_nodes() as u32)
+        .map(NodeId)
+        .filter(|v| deg[v.index()] % 2 == 1)
+        .collect()
+}
+
+/// `true` if the subset admits an Euler circuit: nonempty, edge-connected,
+/// all degrees even.
+pub fn has_euler_circuit(g: &Graph, subset: &EdgeSubset) -> bool {
+    !subset.is_empty()
+        && subset.edge_components(g).len() == 1
+        && odd_degree_nodes(g, subset).is_empty()
+}
+
+/// `true` if the subset admits an Euler walk (circuit or open path).
+pub fn has_euler_walk(g: &Graph, subset: &EdgeSubset) -> bool {
+    !subset.is_empty()
+        && subset.edge_components(g).len() == 1
+        && odd_degree_nodes(g, subset).len() <= 2
+}
+
+/// Builds an Euler walk of the whole subset.
+///
+/// If exactly two nodes have odd degree the walk runs between them; if none
+/// do, it is a circuit starting at the lowest-indexed touched node (or at
+/// `prefer_start` if that node is touched).
+pub fn euler_walk(
+    g: &Graph,
+    subset: &EdgeSubset,
+    prefer_start: Option<NodeId>,
+) -> Result<Walk, EulerError> {
+    if subset.is_empty() {
+        return Err(EulerError::Empty);
+    }
+    if subset.edge_components(g).len() != 1 {
+        return Err(EulerError::Disconnected);
+    }
+    let odd = odd_degree_nodes(g, subset);
+    let start = match odd.len() {
+        0 => prefer_start
+            .filter(|&v| subset.degree(g, v) > 0)
+            .unwrap_or_else(|| {
+                let (u, _) = g.endpoints(subset.edges()[0]);
+                u
+            }),
+        2 => match prefer_start {
+            Some(v) if odd.contains(&v) => v,
+            _ => odd[0],
+        },
+        k => return Err(EulerError::TooManyOddNodes(k)),
+    };
+    Ok(hierholzer(g, subset, start))
+}
+
+/// Builds one Euler walk per edge component of the subset. Every component
+/// must have at most two odd-degree nodes.
+pub fn component_euler_walks(g: &Graph, subset: &EdgeSubset) -> Result<Vec<Walk>, EulerError> {
+    let comps = subset.edge_components(g);
+    let mut walks = Vec::with_capacity(comps.len());
+    for comp in comps {
+        let sub = EdgeSubset::from_edges(g, comp);
+        walks.push(euler_walk(g, &sub, None)?);
+    }
+    Ok(walks)
+}
+
+/// Decomposes the subset into the minimum number of edge-disjoint trails
+/// (walks without repeated edges): one trail per Eulerian component and
+/// `q` trails for a component with `2q > 2` odd-degree nodes.
+///
+/// This is the workhorse of `Regular_Euler`'s odd-`r` case: the paper pairs
+/// surplus odd-degree nodes with *virtual edges*, builds one Euler path, and
+/// deletes the virtual edges; each deletion splits the path. We realize the
+/// same construction on a scratch multigraph and translate the resulting
+/// segments back to parent edge ids.
+pub fn trail_decomposition(g: &Graph, subset: &EdgeSubset) -> Vec<Walk> {
+    let mut trails = Vec::new();
+    for comp in subset.edge_components(g) {
+        let comp_subset = EdgeSubset::from_edges(g, comp.iter().copied());
+        let odd = odd_degree_nodes(g, &comp_subset);
+        if odd.len() <= 2 {
+            trails.push(euler_walk(g, &comp_subset, None).expect("component is traversable"));
+            continue;
+        }
+        // Scratch multigraph: the component's edges plus virtual edges
+        // pairing all odd nodes except odd[0], odd[1].
+        let mut scratch = Graph::new(g.num_nodes());
+        let mut origin: Vec<Option<EdgeId>> = Vec::with_capacity(comp.len() + odd.len() / 2);
+        for &e in &comp {
+            let (u, v) = g.endpoints(e);
+            scratch.add_edge(u, v);
+            origin.push(Some(e));
+        }
+        for pair in odd[2..].chunks(2) {
+            scratch.add_edge(pair[0], pair[1]);
+            origin.push(None);
+        }
+        let full = EdgeSubset::full(&scratch);
+        let walk = euler_walk(&scratch, &full, Some(odd[0]))
+            .expect("augmented component has exactly two odd nodes");
+        // Split the walk at virtual edges.
+        let nodes = walk.nodes();
+        let mut seg = Walk::singleton(nodes[0]);
+        for (i, &e) in walk.edges().iter().enumerate() {
+            match origin[e.index()] {
+                Some(orig) => seg.push(g, orig),
+                None => {
+                    if !seg.is_empty() {
+                        trails.push(std::mem::replace(&mut seg, Walk::singleton(nodes[i + 1])));
+                    } else {
+                        seg = Walk::singleton(nodes[i + 1]);
+                    }
+                }
+            }
+        }
+        if !seg.is_empty() {
+            trails.push(seg);
+        }
+    }
+    trails
+}
+
+/// Iterative Hierholzer. Precondition: subset is edge-connected, `start` is
+/// touched, and the degree parity admits a walk from `start`.
+fn hierholzer(g: &Graph, subset: &EdgeSubset, start: NodeId) -> Walk {
+    let n = g.num_nodes();
+    let mut used = vec![false; g.num_edges()];
+    let mut cursor = vec![0usize; n];
+    // Stack holds (node, edge that led here).
+    let mut stack: Vec<(NodeId, Option<EdgeId>)> = vec![(start, None)];
+    let mut out_nodes: Vec<NodeId> = Vec::with_capacity(subset.len() + 1);
+    let mut out_edges: Vec<EdgeId> = Vec::with_capacity(subset.len());
+
+    while let Some(&(v, via)) = stack.last() {
+        let inc = g.incident(v);
+        let mut advanced = false;
+        while cursor[v.index()] < inc.len() {
+            let (w, e) = inc[cursor[v.index()]];
+            cursor[v.index()] += 1;
+            if subset.contains(e) && !used[e.index()] {
+                used[e.index()] = true;
+                stack.push((w, Some(e)));
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            stack.pop();
+            out_nodes.push(v);
+            if let Some(e) = via {
+                out_edges.push(e);
+            }
+        }
+    }
+    out_nodes.reverse();
+    out_edges.reverse();
+    debug_assert_eq!(out_edges.len(), subset.len(), "walk must use every edge");
+    Walk::from_parts(g, out_nodes, out_edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn full(g: &Graph) -> EdgeSubset {
+        EdgeSubset::full(g)
+    }
+
+    #[test]
+    fn triangle_has_circuit() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let s = full(&g);
+        assert!(has_euler_circuit(&g, &s));
+        let w = euler_walk(&g, &s, None).unwrap();
+        assert!(w.is_closed());
+        assert_eq!(w.len(), 3);
+        assert!(w.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn path_graph_has_open_walk_between_odd_nodes() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let s = full(&g);
+        assert!(!has_euler_circuit(&g, &s));
+        assert!(has_euler_walk(&g, &s));
+        let w = euler_walk(&g, &s, None).unwrap();
+        assert_eq!(w.len(), 3);
+        let ends = [w.start(), w.end()];
+        assert!(ends.contains(&NodeId(0)) && ends.contains(&NodeId(3)));
+    }
+
+    #[test]
+    fn prefer_start_is_honored_for_circuits() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let w = euler_walk(&g, &full(&g), Some(NodeId(2))).unwrap();
+        assert_eq!(w.start(), NodeId(2));
+        assert_eq!(w.end(), NodeId(2));
+    }
+
+    #[test]
+    fn konigsberg_has_no_walk() {
+        // The classic: 4 nodes all of odd degree (multigraph).
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(0), NodeId(2));
+        g.add_edge(NodeId(0), NodeId(2));
+        g.add_edge(NodeId(0), NodeId(3));
+        g.add_edge(NodeId(1), NodeId(3));
+        g.add_edge(NodeId(2), NodeId(3));
+        let s = full(&g);
+        assert_eq!(odd_degree_nodes(&g, &s).len(), 4);
+        assert_eq!(
+            euler_walk(&g, &s, None),
+            Err(EulerError::TooManyOddNodes(4))
+        );
+    }
+
+    #[test]
+    fn disconnected_subset_rejected_but_components_work() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        let s = full(&g);
+        assert_eq!(euler_walk(&g, &s, None), Err(EulerError::Disconnected));
+        let walks = component_euler_walks(&g, &s).unwrap();
+        assert_eq!(walks.len(), 2);
+        for w in &walks {
+            assert!(w.is_closed());
+            assert_eq!(w.len(), 3);
+        }
+    }
+
+    #[test]
+    fn empty_subset_is_an_error() {
+        let g = Graph::new(3);
+        let s = EdgeSubset::from_edges(&g, []);
+        assert_eq!(euler_walk(&g, &s, None), Err(EulerError::Empty));
+        assert!(component_euler_walks(&g, &s).unwrap().is_empty());
+    }
+
+    #[test]
+    fn circuit_on_multigraph_with_parallel_edges() {
+        let mut g = Graph::new(2);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(0), NodeId(1));
+        let w = euler_walk(&g, &full(&g), None).unwrap();
+        assert!(w.is_closed());
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn walk_on_subset_only_uses_subset_edges() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let s = EdgeSubset::from_edges(&g, [EdgeId(0), EdgeId(1), EdgeId(2)]);
+        let w = euler_walk(&g, &s, None).unwrap();
+        assert_eq!(w.len(), 3);
+        assert!(!w.edges().contains(&EdgeId(3)));
+    }
+
+    #[test]
+    fn trail_decomposition_matches_odd_node_count() {
+        // K4 has 4 odd nodes -> 2 trails; C5 -> 1 trail; path -> 1 trail.
+        let k4 = generators::complete(4);
+        let trails = trail_decomposition(&k4, &full(&k4));
+        assert_eq!(trails.len(), 2);
+        let covered: usize = trails.iter().map(Walk::len).sum();
+        assert_eq!(covered, 6);
+        for t in &trails {
+            assert!(t.validate(&k4).is_ok());
+        }
+
+        let c5 = generators::cycle(5);
+        assert_eq!(trail_decomposition(&c5, &full(&c5)).len(), 1);
+        let p4 = generators::path(4);
+        assert_eq!(trail_decomposition(&p4, &full(&p4)).len(), 1);
+    }
+
+    #[test]
+    fn trail_decomposition_covers_disconnected_subsets() {
+        // Two K4s: 2 trails each.
+        let mut g = Graph::new(8);
+        for base in [0u32, 4] {
+            for a in 0..4 {
+                for b in (a + 1)..4 {
+                    g.add_edge(NodeId(base + a), NodeId(base + b));
+                }
+            }
+        }
+        let trails = trail_decomposition(&g, &full(&g));
+        assert_eq!(trails.len(), 4);
+        let mut covered = vec![false; g.num_edges()];
+        for t in &trails {
+            assert!(t.validate(&g).is_ok());
+            for &e in t.edges() {
+                assert!(!covered[e.index()]);
+                covered[e.index()] = true;
+            }
+        }
+        assert!(covered.into_iter().all(|c| c));
+    }
+
+    #[test]
+    fn trail_decomposition_on_star_gives_half_leaves() {
+        // K_{1,6}: 6 odd leaves + even hub -> wait, hub degree 6 (even),
+        // leaves odd: 6 odd nodes -> 3 trails.
+        let g = generators::star(7);
+        let trails = trail_decomposition(&g, &full(&g));
+        assert_eq!(trails.len(), 3);
+        assert!(trails.iter().all(|t| t.len() == 2));
+    }
+
+    #[test]
+    fn random_even_graphs_always_get_component_circuits() {
+        // Build random graphs, then keep doubling edges to force even
+        // degrees: union of two copies of each edge makes all degrees even.
+        for seed in 0..8u64 {
+            let mut r = StdRng::seed_from_u64(seed);
+            let base = generators::gnm(12, 20, &mut r);
+            let mut g = Graph::new(12);
+            for e in base.edges() {
+                let (u, v) = base.endpoints(e);
+                g.add_edge(u, v);
+                g.add_edge(u, v);
+            }
+            let s = full(&g);
+            let walks = component_euler_walks(&g, &s).unwrap();
+            let total: usize = walks.iter().map(Walk::len).sum();
+            assert_eq!(total, g.num_edges());
+            for w in &walks {
+                assert!(w.is_closed());
+                assert!(w.validate(&g).is_ok());
+            }
+        }
+    }
+}

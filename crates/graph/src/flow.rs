@@ -1,0 +1,218 @@
+//! Maximum flow (Dinic) and s–t edge connectivity.
+//!
+//! Global edge connectivity λ(G) — the quantity behind Jaeger's λ ≥ 4
+//! condition cited by the paper — equals the minimum over `t` of the s–t
+//! max flow from a fixed `s` in a unit-capacity digraph built by doubling
+//! every undirected edge. This module provides Dinic's algorithm and that
+//! reduction, giving an independent oracle for the Stoer–Wagner
+//! implementation in [`crate::connectivity`].
+
+use crate::graph::Graph;
+use crate::ids::NodeId;
+use std::collections::VecDeque;
+
+/// A directed flow network with integer capacities (adjacency + residual
+/// arcs stored pairwise).
+#[derive(Clone, Debug, Default)]
+pub struct FlowNetwork {
+    // arcs stored as (to, capacity); arc i's reverse is i ^ 1.
+    arcs: Vec<(usize, i64)>,
+    head: Vec<Vec<usize>>, // per node: indices into arcs
+}
+
+impl FlowNetwork {
+    /// An empty network on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        FlowNetwork {
+            arcs: Vec::new(),
+            head: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.head.len()
+    }
+
+    /// Adds a directed arc `from → to` with the given capacity (reverse
+    /// residual arc gets capacity 0).
+    ///
+    /// # Panics
+    /// Panics on out-of-range nodes or negative capacity.
+    pub fn add_arc(&mut self, from: usize, to: usize, capacity: i64) {
+        assert!(from < self.num_nodes() && to < self.num_nodes());
+        assert!(capacity >= 0, "capacities must be non-negative");
+        let i = self.arcs.len();
+        self.arcs.push((to, capacity));
+        self.arcs.push((from, 0));
+        self.head[from].push(i);
+        self.head[to].push(i + 1);
+    }
+
+    /// Computes the max flow `source → sink` (Dinic), consuming residual
+    /// capacities in place.
+    ///
+    /// # Panics
+    /// Panics if `source == sink`.
+    pub fn max_flow(&mut self, source: usize, sink: usize) -> i64 {
+        assert_ne!(source, sink, "source and sink must differ");
+        let n = self.num_nodes();
+        let mut total = 0i64;
+        loop {
+            // BFS level graph.
+            let mut level = vec![usize::MAX; n];
+            level[source] = 0;
+            let mut queue = VecDeque::from([source]);
+            while let Some(v) = queue.pop_front() {
+                for &ai in &self.head[v] {
+                    let (to, cap) = self.arcs[ai];
+                    if cap > 0 && level[to] == usize::MAX {
+                        level[to] = level[v] + 1;
+                        queue.push_back(to);
+                    }
+                }
+            }
+            if level[sink] == usize::MAX {
+                return total;
+            }
+            // DFS blocking flow with per-node arc cursors.
+            let mut cursor = vec![0usize; n];
+            loop {
+                let pushed = self.dfs(source, sink, i64::MAX, &level, &mut cursor);
+                if pushed == 0 {
+                    break;
+                }
+                total += pushed;
+            }
+        }
+    }
+
+    fn dfs(
+        &mut self,
+        v: usize,
+        sink: usize,
+        limit: i64,
+        level: &[usize],
+        cursor: &mut [usize],
+    ) -> i64 {
+        if v == sink {
+            return limit;
+        }
+        while cursor[v] < self.head[v].len() {
+            let ai = self.head[v][cursor[v]];
+            let (to, cap) = self.arcs[ai];
+            if cap > 0 && level[to] == level[v] + 1 {
+                let pushed = self.dfs(to, sink, limit.min(cap), level, cursor);
+                if pushed > 0 {
+                    self.arcs[ai].1 -= pushed;
+                    self.arcs[ai ^ 1].1 += pushed;
+                    return pushed;
+                }
+            }
+            cursor[v] += 1;
+        }
+        0
+    }
+}
+
+/// s–t edge connectivity of an undirected (multi)graph: each undirected
+/// edge becomes two unit arcs.
+pub fn st_edge_connectivity(g: &Graph, s: NodeId, t: NodeId) -> u64 {
+    assert_ne!(s, t, "s and t must differ");
+    let mut net = FlowNetwork::new(g.num_nodes());
+    for e in g.edges() {
+        let (u, v) = g.endpoints(e);
+        net.add_arc(u.index(), v.index(), 1);
+        net.add_arc(v.index(), u.index(), 1);
+    }
+    net.max_flow(s.index(), t.index()) as u64
+}
+
+/// Global edge connectivity via max flow: `min over t ≠ s of flow(s, t)`
+/// for a fixed `s` (node 0). The independent oracle for Stoer–Wagner.
+pub fn edge_connectivity_via_flow(g: &Graph) -> Option<u64> {
+    let n = g.num_nodes();
+    if n < 2 {
+        return None;
+    }
+    let s = NodeId(0);
+    Some(
+        (1..n)
+            .map(|t| st_edge_connectivity(g, s, NodeId::new(t)))
+            .min()
+            .expect("n >= 2"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::edge_connectivity;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn textbook_flow_network() {
+        // Classic CLRS example has max flow 23.
+        let mut net = FlowNetwork::new(6);
+        net.add_arc(0, 1, 16);
+        net.add_arc(0, 2, 13);
+        net.add_arc(1, 3, 12);
+        net.add_arc(2, 1, 4);
+        net.add_arc(2, 4, 14);
+        net.add_arc(3, 2, 9);
+        net.add_arc(3, 5, 20);
+        net.add_arc(4, 3, 7);
+        net.add_arc(4, 5, 4);
+        assert_eq!(net.max_flow(0, 5), 23);
+    }
+
+    #[test]
+    fn st_connectivity_on_named_graphs() {
+        let g = generators::cycle(8);
+        assert_eq!(st_edge_connectivity(&g, NodeId(0), NodeId(4)), 2);
+        let k5 = generators::complete(5);
+        assert_eq!(st_edge_connectivity(&k5, NodeId(0), NodeId(3)), 4);
+        let p = generators::path(5);
+        assert_eq!(st_edge_connectivity(&p, NodeId(0), NodeId(4)), 1);
+    }
+
+    #[test]
+    fn global_connectivity_matches_stoer_wagner() {
+        for seed in 0..12u64 {
+            let mut r = StdRng::seed_from_u64(seed);
+            let g = generators::gnm(10, 22, &mut r);
+            let via_flow = edge_connectivity_via_flow(&g).unwrap();
+            assert_eq!(via_flow, edge_connectivity(&g), "seed {seed}");
+        }
+        assert_eq!(
+            edge_connectivity_via_flow(&generators::petersen()),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn disconnected_graph_has_zero_flow_connectivity() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(edge_connectivity_via_flow(&g), Some(0));
+        assert_eq!(edge_connectivity_via_flow(&Graph::new(1)), None);
+    }
+
+    #[test]
+    fn multigraph_capacity_counts_parallels() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        assert_eq!(st_edge_connectivity(&g, NodeId(0), NodeId(1)), 2);
+        assert_eq!(st_edge_connectivity(&g, NodeId(0), NodeId(2)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn same_endpoints_rejected() {
+        let g = generators::cycle(4);
+        let _ = st_edge_connectivity(&g, NodeId(1), NodeId(1));
+    }
+}

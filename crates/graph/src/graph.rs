@@ -1,0 +1,344 @@
+//! The core undirected multigraph type.
+
+use crate::ids::{EdgeId, NodeId};
+use std::collections::HashSet;
+use std::fmt;
+
+/// An undirected multigraph with dense node and edge ids.
+///
+/// ```
+/// use grooming_graph::graph::Graph;
+/// use grooming_graph::ids::NodeId;
+///
+/// let mut g = Graph::new(3);
+/// let e = g.add_edge(NodeId(0), NodeId(1));
+/// g.add_edge(NodeId(1), NodeId(2));
+/// assert_eq!(g.num_edges(), 2);
+/// assert_eq!(g.degree(NodeId(1)), 2);
+/// assert_eq!(g.other_endpoint(e, NodeId(0)), NodeId(1));
+/// ```
+///
+/// * Nodes are `0..n` and fixed at construction time.
+/// * Edges are appended and never removed; algorithms that need a mutable
+///   edge set work on [`crate::view::EdgeSubset`] views instead, which keeps
+///   edge ids stable across the whole grooming pipeline (an id allocated by a
+///   traffic-graph conversion still identifies the same demand pair after
+///   partitioning).
+/// * Parallel edges are allowed (the grooming algorithms introduce *virtual*
+///   edges that may duplicate existing pairs). Self-loops are rejected:
+///   a traffic demand from a node to itself needs no wavelength at all, and
+///   none of the paper's machinery is defined for loops.
+#[derive(Clone, Default)]
+pub struct Graph {
+    /// endpoints[e] = (u, v) with u, v the endpoints of edge e (unordered;
+    /// stored in insertion order).
+    endpoints: Vec<(NodeId, NodeId)>,
+    /// adj[v] = list of (neighbor, connecting edge id).
+    adj: Vec<Vec<(NodeId, EdgeId)>>,
+}
+
+impl Graph {
+    /// Creates a graph with `n` isolated nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            endpoints: Vec::new(),
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Creates a graph with `n` nodes and the given endpoint pairs.
+    ///
+    /// # Panics
+    /// Panics if any endpoint is out of range or a pair is a self-loop.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut g = Graph::new(n);
+        for &(u, v) in edges {
+            g.add_edge(NodeId(u), NodeId(v));
+        }
+        g
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges (counting parallels).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// `true` if the graph has no edges.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.endpoints.is_empty()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_nodes() as u32).map(NodeId)
+    }
+
+    /// Iterator over all edge ids in insertion order.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.num_edges() as u32).map(EdgeId)
+    }
+
+    /// Adds an undirected edge `{u, v}` and returns its id.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints or on a self-loop.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> EdgeId {
+        assert!(
+            u.index() < self.num_nodes() && v.index() < self.num_nodes(),
+            "edge endpoint out of range: ({u:?}, {v:?}) with n = {}",
+            self.num_nodes()
+        );
+        assert_ne!(u, v, "self-loops are not supported");
+        let id = EdgeId::new(self.endpoints.len());
+        self.endpoints.push((u, v));
+        self.adj[u.index()].push((v, id));
+        self.adj[v.index()].push((u, id));
+        id
+    }
+
+    /// The endpoints of edge `e`, in insertion order.
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        self.endpoints[e.index()]
+    }
+
+    /// Given edge `e` incident to `v`, returns the other endpoint.
+    ///
+    /// # Panics
+    /// Panics if `v` is not an endpoint of `e`.
+    #[inline]
+    pub fn other_endpoint(&self, e: EdgeId, v: NodeId) -> NodeId {
+        let (a, b) = self.endpoints(e);
+        if a == v {
+            b
+        } else if b == v {
+            a
+        } else {
+            panic!("{v:?} is not an endpoint of {e:?} = ({a:?}, {b:?})")
+        }
+    }
+
+    /// Degree of `v` (parallel edges each count once per copy).
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v.index()].len()
+    }
+
+    /// Incident `(neighbor, edge)` pairs of `v`, in insertion order.
+    #[inline]
+    pub fn incident(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
+        &self.adj[v.index()]
+    }
+
+    /// Iterator over the neighbors of `v` (with multiplicity).
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.adj[v.index()].iter().map(|&(w, _)| w)
+    }
+
+    /// `true` if at least one edge joins `u` and `v`.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        // Scan the smaller adjacency list.
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.adj[a.index()].iter().any(|&(w, _)| w == b)
+    }
+
+    /// Some edge id joining `u` and `v`, if any.
+    pub fn find_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.adj[a.index()]
+            .iter()
+            .find(|&&(w, _)| w == b)
+            .map(|&(_, e)| e)
+    }
+
+    /// `true` if the graph has no parallel edges.
+    pub fn is_simple(&self) -> bool {
+        let mut seen = HashSet::with_capacity(self.num_edges());
+        for &(u, v) in &self.endpoints {
+            let key = if u < v { (u, v) } else { (v, u) };
+            if !seen.insert(key) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Maximum degree Δ(G); zero on an empty node set.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Minimum degree δ(G); zero on an empty node set.
+    pub fn min_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).min().unwrap_or(0)
+    }
+
+    /// The full degree sequence, indexed by node.
+    pub fn degrees(&self) -> Vec<usize> {
+        self.adj.iter().map(Vec::len).collect()
+    }
+
+    /// `true` if every node has degree exactly `r`.
+    pub fn is_regular(&self, r: usize) -> bool {
+        self.adj.iter().all(|a| a.len() == r)
+    }
+
+    /// If the graph is regular, its common degree.
+    pub fn regularity(&self) -> Option<usize> {
+        let mut it = self.adj.iter().map(Vec::len);
+        let first = it.next()?;
+        it.all(|d| d == first).then_some(first)
+    }
+
+    /// Number of nodes with odd degree (always even, by handshake).
+    pub fn odd_degree_count(&self) -> usize {
+        self.adj.iter().filter(|a| a.len() % 2 == 1).count()
+    }
+
+    /// Nodes with nonzero degree.
+    pub fn non_isolated_nodes(&self) -> Vec<NodeId> {
+        self.nodes().filter(|&v| self.degree(v) > 0).collect()
+    }
+
+    /// All edges as endpoint pairs (insertion order).
+    pub fn edge_list(&self) -> &[(NodeId, NodeId)] {
+        &self.endpoints
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Graph(n={}, m={}, edges={:?})",
+            self.num_nodes(),
+            self.num_edges(),
+            self.endpoints
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)])
+    }
+
+    #[test]
+    fn empty_graph_has_no_edges() {
+        let g = Graph::new(5);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.is_empty());
+        assert!(g.is_simple());
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn triangle_degrees_and_edges() {
+        let g = triangle();
+        assert_eq!(g.num_edges(), 3);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert!(g.is_regular(2));
+        assert_eq!(g.regularity(), Some(2));
+        assert_eq!(g.odd_degree_count(), 0);
+    }
+
+    #[test]
+    fn endpoints_and_other_endpoint() {
+        let g = triangle();
+        let (u, v) = g.endpoints(EdgeId(0));
+        assert_eq!((u, v), (NodeId(0), NodeId(1)));
+        assert_eq!(g.other_endpoint(EdgeId(0), NodeId(0)), NodeId(1));
+        assert_eq!(g.other_endpoint(EdgeId(0), NodeId(1)), NodeId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "is not an endpoint")]
+    fn other_endpoint_rejects_non_endpoint() {
+        let g = triangle();
+        let _ = g.other_endpoint(EdgeId(0), NodeId(2));
+    }
+
+    #[test]
+    fn parallel_edges_are_allowed_and_detected() {
+        let mut g = Graph::new(2);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(0), NodeId(1));
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(NodeId(0)), 2);
+        assert!(!g.is_simple());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        let mut g = Graph::new(2);
+        g.add_edge(NodeId(1), NodeId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_endpoint_rejected() {
+        let mut g = Graph::new(2);
+        g.add_edge(NodeId(0), NodeId(2));
+    }
+
+    #[test]
+    fn has_edge_and_find_edge() {
+        let g = triangle();
+        assert!(g.has_edge(NodeId(0), NodeId(2)));
+        assert!(g.has_edge(NodeId(2), NodeId(0)));
+        assert_eq!(g.find_edge(NodeId(1), NodeId(2)), Some(EdgeId(1)));
+        let mut h = Graph::new(3);
+        h.add_edge(NodeId(0), NodeId(1));
+        assert!(!h.has_edge(NodeId(0), NodeId(2)));
+        assert_eq!(h.find_edge(NodeId(1), NodeId(2)), None);
+    }
+
+    #[test]
+    fn neighbors_respect_multiplicity() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(0), NodeId(2));
+        let ns: Vec<_> = g.neighbors(NodeId(0)).collect();
+        assert_eq!(ns, vec![NodeId(1), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn degree_sequence_and_extremes() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(g.degrees(), vec![3, 1, 1, 1]);
+        assert_eq!(g.max_degree(), 3);
+        assert_eq!(g.min_degree(), 1);
+        assert_eq!(g.odd_degree_count(), 4);
+        assert_eq!(g.regularity(), None);
+    }
+
+    #[test]
+    fn non_isolated_nodes_skips_isolated() {
+        let g = Graph::from_edges(4, &[(1, 2)]);
+        assert_eq!(g.non_isolated_nodes(), vec![NodeId(1), NodeId(2)]);
+    }
+}

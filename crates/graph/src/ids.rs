@@ -1,0 +1,135 @@
+//! Strongly typed node and edge handles.
+//!
+//! Both handles are plain `u32` indices wrapped in newtypes so that node and
+//! edge index spaces cannot be confused. Handles are dense: a graph with `n`
+//! nodes uses node ids `0..n`, and edges are numbered in insertion order.
+
+use std::fmt;
+
+/// Identifier of a node in a [`crate::Graph`].
+///
+/// Node ids are dense indices `0..n`. In the SONET layer a `NodeId` is the
+/// position of a ring node in clockwise order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// Identifier of an edge in a [`crate::Graph`].
+///
+/// Edge ids are dense indices `0..m` in insertion order. Because the graph
+/// type is a multigraph, an edge is identified by its id, never by its
+/// endpoint pair (several edges may share endpoints).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub u32);
+
+impl NodeId {
+    /// The underlying dense index as `usize`, for direct slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a node id from a dense index.
+    ///
+    /// # Panics
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index overflows u32"))
+    }
+}
+
+impl EdgeId {
+    /// The underlying dense index as `usize`, for direct slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an edge id from a dense index.
+    ///
+    /// # Panics
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        EdgeId(u32::try_from(index).expect("edge index overflows u32"))
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<u32> for EdgeId {
+    fn from(v: u32) -> Self {
+        EdgeId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trips_index() {
+        let id = NodeId::new(17);
+        assert_eq!(id.index(), 17);
+        assert_eq!(id, NodeId(17));
+    }
+
+    #[test]
+    fn edge_id_round_trips_index() {
+        let id = EdgeId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id, EdgeId(42));
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(EdgeId(0) < EdgeId(9));
+    }
+
+    #[test]
+    fn debug_formats_are_tagged() {
+        assert_eq!(format!("{:?}", NodeId(3)), "n3");
+        assert_eq!(format!("{:?}", EdgeId(5)), "e5");
+    }
+
+    #[test]
+    fn display_formats_are_bare() {
+        assert_eq!(NodeId(3).to_string(), "3");
+        assert_eq!(EdgeId(5).to_string(), "5");
+    }
+
+    #[test]
+    #[should_panic(expected = "node index overflows u32")]
+    fn node_id_overflow_panics() {
+        let _ = NodeId::new(usize::MAX);
+    }
+}

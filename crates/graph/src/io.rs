@@ -1,0 +1,450 @@
+//! Plain-text edge-list interchange format.
+//!
+//! ```text
+//! # optional comments
+//! n m
+//! u v
+//! u v
+//! ...
+//! ```
+//!
+//! Used by the benchmark harness to dump instances for external inspection
+//! and by tests for round-trip checks.
+
+use crate::graph::Graph;
+use crate::ids::NodeId;
+
+/// Errors from [`parse_edge_list`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The `n m` header line is missing or malformed.
+    BadHeader(String),
+    /// An edge line is malformed.
+    BadEdge {
+        /// 1-based line number.
+        line: usize,
+        /// Offending line content.
+        content: String,
+    },
+    /// An endpoint is out of the declared node range or is a self-loop.
+    BadEndpoint {
+        /// 1-based line number.
+        line: usize,
+        /// Offending line content.
+        content: String,
+    },
+    /// The number of edge lines does not match the header.
+    EdgeCountMismatch {
+        /// Edge count from the header.
+        declared: usize,
+        /// Edge lines actually present.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadHeader(s) => write!(f, "bad header line: {s:?}"),
+            ParseError::BadEdge { line, content } => {
+                write!(f, "bad edge on line {line}: {content:?}")
+            }
+            ParseError::BadEndpoint { line, content } => {
+                write!(f, "bad endpoint on line {line}: {content:?}")
+            }
+            ParseError::EdgeCountMismatch { declared, found } => {
+                write!(f, "header declares {declared} edges, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serializes a graph to the edge-list format.
+pub fn format_edge_list(g: &Graph) -> String {
+    let mut out = String::with_capacity(16 + 8 * g.num_edges());
+    out.push_str(&format!("{} {}\n", g.num_nodes(), g.num_edges()));
+    for e in g.edges() {
+        let (u, v) = g.endpoints(e);
+        out.push_str(&format!("{u} {v}\n"));
+    }
+    out
+}
+
+/// Parses the edge-list format. Comment lines start with `#`; blank lines
+/// are ignored.
+pub fn parse_edge_list(text: &str) -> Result<Graph, ParseError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| ParseError::BadHeader("<empty input>".into()))?;
+    let mut parts = header.split_whitespace();
+    let n: usize = parts
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| ParseError::BadHeader(header.into()))?;
+    let m: usize = parts
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| ParseError::BadHeader(header.into()))?;
+    if parts.next().is_some() {
+        return Err(ParseError::BadHeader(header.into()));
+    }
+
+    let mut g = Graph::new(n);
+    let mut found = 0usize;
+    for (line_no, line) in lines {
+        let mut parts = line.split_whitespace();
+        let (u, v) = match (
+            parts.next().and_then(|t| t.parse::<u32>().ok()),
+            parts.next().and_then(|t| t.parse::<u32>().ok()),
+            parts.next(),
+        ) {
+            (Some(u), Some(v), None) => (u, v),
+            _ => {
+                return Err(ParseError::BadEdge {
+                    line: line_no,
+                    content: line.into(),
+                })
+            }
+        };
+        if u as usize >= n || v as usize >= n || u == v {
+            return Err(ParseError::BadEndpoint {
+                line: line_no,
+                content: line.into(),
+            });
+        }
+        g.add_edge(NodeId(u), NodeId(v));
+        found += 1;
+    }
+    if found != m {
+        return Err(ParseError::EdgeCountMismatch {
+            declared: m,
+            found,
+        });
+    }
+    Ok(g)
+}
+
+/// Serializes a graph to Graphviz DOT, with an optional color class per
+/// edge (`edge_color[e]` indexes a fixed palette; `usize::MAX` = default).
+/// Used by the CLI to render wavelength assignments.
+pub fn format_dot(g: &Graph, name: &str, edge_color: Option<&[usize]>) -> String {
+    const PALETTE: [&str; 10] = [
+        "#4E79A7", "#F28E2B", "#E15759", "#76B7B2", "#59A14F", "#EDC948", "#B07AA1",
+        "#9C755F", "#FF9DA7", "#86BCB6",
+    ];
+    let mut out = String::new();
+    out.push_str(&format!("graph {} {{\n", sanitize_dot_id(name)));
+    out.push_str("  layout=circo;\n  node [shape=circle fontsize=10];\n");
+    for v in g.nodes() {
+        out.push_str(&format!("  {v};\n"));
+    }
+    for e in g.edges() {
+        let (u, v) = g.endpoints(e);
+        let attrs = match edge_color.and_then(|c| c.get(e.index())) {
+            Some(&c) if c != usize::MAX => format!(
+                " [color=\"{}\" penwidth=2 tooltip=\"wavelength {c}\"]",
+                PALETTE[c % PALETTE.len()]
+            ),
+            _ => String::new(),
+        };
+        out.push_str(&format!("  {u} -- {v}{attrs};\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn sanitize_dot_id(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if cleaned.is_empty() || cleaned.chars().next().unwrap().is_ascii_digit() {
+        format!("g_{cleaned}")
+    } else {
+        cleaned
+    }
+}
+
+// ---------------------------------------------------------------------------
+// graph6: the nauty/GenReg interchange format
+// ---------------------------------------------------------------------------
+//
+// The paper generated its regular instances with Meringer's GenReg, whose
+// ecosystem speaks graph6. Supporting the format lets users replay their
+// own GenReg/nauty outputs through this library.
+//
+// Format (simple undirected graphs, n ≤ 258047 supported here):
+//   N(n): n ≤ 62 → one byte n+63; else byte 126 followed by three bytes
+//         encoding n in 18 bits (6 bits each, +63).
+//   R(x): the upper-triangle bits x_{0,1}, x_{0,2}, x_{1,2}, x_{0,3}, …
+//         (column-major), padded with zeros to a multiple of 6, each
+//         6-bit group +63.
+
+/// Serializes a **simple** graph to graph6.
+///
+/// # Panics
+/// Panics if the graph has parallel edges or more than 258047 nodes.
+pub fn format_graph6(g: &Graph) -> String {
+    assert!(g.is_simple(), "graph6 encodes simple graphs only");
+    let n = g.num_nodes();
+    assert!(n <= 258_047, "graph6 n-encoding limited to 258047 here");
+    let mut out = String::new();
+    if n <= 62 {
+        out.push((n as u8 + 63) as char);
+    } else {
+        out.push(126 as char);
+        out.push((((n >> 12) & 0x3F) as u8 + 63) as char);
+        out.push((((n >> 6) & 0x3F) as u8 + 63) as char);
+        out.push(((n & 0x3F) as u8 + 63) as char);
+    }
+    let mut bits: Vec<bool> = Vec::with_capacity(n * (n - 1) / 2);
+    for j in 1..n {
+        for i in 0..j {
+            bits.push(g.has_edge(NodeId::new(i), NodeId::new(j)));
+        }
+    }
+    for chunk in bits.chunks(6) {
+        let mut v = 0u8;
+        for (pos, &b) in chunk.iter().enumerate() {
+            if b {
+                v |= 1 << (5 - pos);
+            }
+        }
+        out.push((v + 63) as char);
+    }
+    out
+}
+
+/// Parses a graph6 string (optionally prefixed with `>>graph6<<`).
+pub fn parse_graph6(text: &str) -> Result<Graph, ParseError> {
+    let text = text.trim();
+    let text = text.strip_prefix(">>graph6<<").unwrap_or(text);
+    let bytes = text.as_bytes();
+    let bad = |msg: &str| ParseError::BadHeader(format!("graph6: {msg}"));
+    if bytes.is_empty() {
+        return Err(bad("empty input"));
+    }
+    let (n, mut pos) = if bytes[0] == 126 {
+        if bytes.len() < 4 {
+            return Err(bad("truncated n encoding"));
+        }
+        if bytes[1] == 126 {
+            return Err(bad("n > 258047 not supported"));
+        }
+        let mut n = 0usize;
+        for &b in &bytes[1..4] {
+            if !(63..=126).contains(&b) {
+                return Err(bad("invalid n byte"));
+            }
+            n = (n << 6) | (b - 63) as usize;
+        }
+        (n, 4usize)
+    } else {
+        if !(63..=126).contains(&bytes[0]) {
+            return Err(bad("invalid n byte"));
+        }
+        ((bytes[0] - 63) as usize, 1usize)
+    };
+    let nbits = n * n.saturating_sub(1) / 2;
+    let nbytes = nbits.div_ceil(6);
+    if bytes.len() - pos != nbytes {
+        return Err(bad(&format!(
+            "expected {nbytes} payload bytes, found {}",
+            bytes.len() - pos
+        )));
+    }
+    let mut bits = Vec::with_capacity(nbytes * 6);
+    while pos < bytes.len() {
+        let b = bytes[pos];
+        if !(63..=126).contains(&b) {
+            return Err(bad("invalid payload byte"));
+        }
+        let v = b - 63;
+        for shift in (0..6).rev() {
+            bits.push((v >> shift) & 1 == 1);
+        }
+        pos += 1;
+    }
+    if bits[nbits..].iter().any(|&b| b) {
+        return Err(bad("nonzero padding bits"));
+    }
+    let mut g = Graph::new(n);
+    let mut idx = 0usize;
+    for j in 1..n {
+        for i in 0..j {
+            if bits[idx] {
+                g.add_edge(NodeId::new(i), NodeId::new(j));
+            }
+            idx += 1;
+        }
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_trip_random_graph() {
+        let mut r = StdRng::seed_from_u64(3);
+        let g = generators::gnm(15, 40, &mut r);
+        let text = format_edge_list(&g);
+        let h = parse_edge_list(&text).unwrap();
+        assert_eq!(g.num_nodes(), h.num_nodes());
+        assert_eq!(g.edge_list(), h.edge_list());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# a graph\n\n3 2\n# edges follow\n0 1\n\n1 2\n";
+        let g = parse_edge_list(text).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let g = Graph::new(4);
+        let h = parse_edge_list(&format_edge_list(&g)).unwrap();
+        assert_eq!(h.num_nodes(), 4);
+        assert_eq!(h.num_edges(), 0);
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert!(matches!(
+            parse_edge_list(""),
+            Err(ParseError::BadHeader(_))
+        ));
+        assert!(matches!(
+            parse_edge_list("x y\n"),
+            Err(ParseError::BadHeader(_))
+        ));
+        assert!(matches!(
+            parse_edge_list("3 1 9\n0 1\n"),
+            Err(ParseError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn bad_edges_rejected() {
+        assert!(matches!(
+            parse_edge_list("3 1\n0\n"),
+            Err(ParseError::BadEdge { line: 2, .. })
+        ));
+        assert!(matches!(
+            parse_edge_list("3 1\n0 9\n"),
+            Err(ParseError::BadEndpoint { .. })
+        ));
+        assert!(matches!(
+            parse_edge_list("3 1\n1 1\n"),
+            Err(ParseError::BadEndpoint { .. })
+        ));
+    }
+
+    #[test]
+    fn dot_export_has_nodes_edges_and_colors() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let plain = format_dot(&g, "ring", None);
+        assert!(plain.starts_with("graph ring {"));
+        assert!(plain.contains("0 -- 1;"));
+        assert!(plain.contains("1 -- 2;"));
+        assert_eq!(plain.matches(";\n").count(), 3 + 2 + 2); // nodes+edges+2 style lines
+
+        let colored = format_dot(&g, "9 bad name!", Some(&[0, usize::MAX]));
+        assert!(colored.starts_with("graph g_9_bad_name_ {"));
+        assert!(colored.contains("wavelength 0"));
+        assert!(colored.contains("1 -- 2;")); // uncolored edge stays bare
+    }
+
+    #[test]
+    fn graph6_known_vectors() {
+        // Canonical encodings from the nauty documentation.
+        assert_eq!(format_graph6(&generators::complete(3)), "Bw");
+        assert_eq!(format_graph6(&generators::complete(4)), "C~");
+        assert_eq!(format_graph6(&generators::complete(5)), "D~{");
+        assert_eq!(format_graph6(&generators::path(3)), "Bg");
+        // And the empty graph on 5 nodes.
+        assert_eq!(format_graph6(&Graph::new(5)), "D??");
+    }
+
+    #[test]
+    fn graph6_decodes_known_vectors() {
+        let k4 = parse_graph6("C~").unwrap();
+        assert_eq!(k4.num_edges(), 6);
+        assert!(k4.is_regular(3));
+        let p3 = parse_graph6("Bg").unwrap();
+        assert_eq!(p3.num_edges(), 2);
+        let with_header = parse_graph6(">>graph6<<Bw").unwrap();
+        assert_eq!(with_header.num_edges(), 3);
+    }
+
+    #[test]
+    fn graph6_round_trips_random_graphs() {
+        for seed in 0..10u64 {
+            let mut r = StdRng::seed_from_u64(seed);
+            let g = generators::gnm(30, 120, &mut r);
+            let s = format_graph6(&g);
+            let h = parse_graph6(&s).unwrap();
+            assert_eq!(h.num_nodes(), 30);
+            assert_eq!(h.num_edges(), g.num_edges());
+            for e in g.edges() {
+                let (u, v) = g.endpoints(e);
+                assert!(h.has_edge(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn graph6_round_trips_large_n_encoding() {
+        // n = 100 > 62 uses the 3-byte encoding.
+        let g = generators::cycle(100);
+        let s = format_graph6(&g);
+        assert_eq!(s.as_bytes()[0], 126);
+        let h = parse_graph6(&s).unwrap();
+        assert_eq!(h.num_nodes(), 100);
+        assert!(h.is_regular(2));
+    }
+
+    #[test]
+    fn graph6_rejects_malformed_input() {
+        assert!(parse_graph6("").is_err());
+        assert!(parse_graph6("C").is_err()); // missing payload
+        assert!(parse_graph6("C~~").is_err()); // extra payload
+        assert!(parse_graph6("B\x1f").is_err()); // invalid byte
+        // Nonzero padding: K3 payload with a stray low bit.
+        assert!(parse_graph6("Bz").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "simple graphs only")]
+    fn graph6_rejects_multigraphs() {
+        let mut g = Graph::new(2);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(0), NodeId(1));
+        let _ = format_graph6(&g);
+    }
+
+    #[test]
+    fn count_mismatch_rejected() {
+        assert!(matches!(
+            parse_edge_list("3 2\n0 1\n"),
+            Err(ParseError::EdgeCountMismatch {
+                declared: 2,
+                found: 1
+            })
+        ));
+    }
+}

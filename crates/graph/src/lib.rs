@@ -1,0 +1,83 @@
+//! # grooming-graph
+//!
+//! Graph substrate for the SONET/WDM traffic-grooming stack.
+//!
+//! The traffic-grooming problem of Wang & Gu (ICPP 2006) is formulated on an
+//! undirected *traffic graph*: one node per SONET ring node and one edge per
+//! symmetric unitary demand pair. Every algorithm in the paper is a graph
+//! algorithm, and several of the proofs lean on classical machinery (Euler
+//! walks, spanning trees, maximum matchings, Vizing edge colorings). This
+//! crate provides all of that machinery, built from scratch:
+//!
+//! * [`Graph`] — an undirected **multigraph** with stable [`NodeId`] /
+//!   [`EdgeId`] handles. Multi-edges matter: the paper's algorithms add
+//!   *virtual edges* that may parallel real ones.
+//! * [`traversal`] — BFS/DFS, connected components.
+//! * [`spanning`] — spanning trees and forests under several strategies
+//!   (BFS, DFS, randomized Kruskal, degree-minimizing local search).
+//! * [`tree`] — rooted-forest utilities: tree paths, subtree parity sums
+//!   (the engine behind `SpanT_Euler`'s `E_odd` computation), and
+//!   decompositions of trees into edge-disjoint paths.
+//! * [`euler`] — Hierholzer Euler circuits and paths on multigraphs.
+//! * [`matching`] — greedy maximal matching and Edmonds' blossom maximum
+//!   matching (used by `Regular_Euler` for odd degree `r`).
+//! * [`coloring`] — Misra–Gries (Δ+1) proper edge coloring, the
+//!   constructive form of Vizing's theorem behind the paper's Lemma 8.
+//! * [`connectivity`] — bridges, articulation points, and Stoer–Wagner
+//!   global minimum cut (edge connectivity λ(G), cf. Jaeger's λ ≥ 4
+//!   sufficient condition cited by the paper).
+//! * [`generators`] — the evaluation's random graph models (`G(n,m)`,
+//!   random `r`-regular via the pairing model) plus named families and
+//!   Steiner triple systems (triangle-decomposable complete graphs, used to
+//!   exercise the NP-hardness reduction).
+//! * [`triangles`] — triangle enumeration and an exact
+//!   edge-partition-into-triangles solver (the EPT problem from the
+//!   paper's hardness proof).
+//! * [`cliques`] — Bron–Kerbosch maximal clique enumeration (the engine of
+//!   the "cliques first" grooming heuristic the paper proposes as future
+//!   work).
+//! * [`bipartite`] — bipartiteness and Hopcroft–Karp matching (fast
+//!   special case + independent oracle for the blossom implementation).
+//! * [`subgraph`] — edge-subset extraction with id mapping.
+//! * [`io`] — a plain-text edge-list interchange format.
+//!
+//! The crate has no dependency on the SONET layer; it is a reusable
+//! general-purpose graph library sized for the n ≤ a-few-thousand instances
+//! that ring networks produce.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bipartite;
+pub mod cliques;
+pub mod coloring;
+pub mod connectivity;
+pub mod decompose;
+pub mod euler;
+pub mod flow;
+pub mod generators;
+pub mod graph;
+pub mod ids;
+pub mod io;
+pub mod matching;
+pub mod spanning;
+pub mod subgraph;
+pub mod traversal;
+pub mod tree;
+pub mod triangles;
+pub mod view;
+pub mod walk;
+
+pub use graph::Graph;
+pub use ids::{EdgeId, NodeId};
+
+/// Convenience re-exports for downstream crates.
+pub mod prelude {
+    pub use crate::coloring::EdgeColoring;
+    pub use crate::graph::Graph;
+    pub use crate::ids::{EdgeId, NodeId};
+    pub use crate::matching::Matching;
+    pub use crate::spanning::SpanningForest;
+    pub use crate::view::EdgeSubset;
+    pub use crate::walk::Walk;
+}

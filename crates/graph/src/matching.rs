@@ -1,0 +1,437 @@
+//! Matchings: greedy maximal and Edmonds' blossom maximum matching.
+//!
+//! `Regular_Euler` (the paper's §4 algorithm for odd degree `r`) starts by
+//! computing a **maximum matching** `M` of the traffic graph and its bound
+//! rests on Lemma 8: every `r`-regular graph has a matching of at least
+//! `n·r / (2(r+1))` edges. The paper proves Lemma 8 via Vizing edge coloring
+//! (see [`crate::coloring`]); here we provide the matching itself through
+//! Edmonds' blossom algorithm (O(V³)), which is exact on general graphs —
+//! including the non-bipartite traffic graphs the evaluation generates.
+
+use crate::graph::Graph;
+use crate::ids::{EdgeId, NodeId};
+
+/// A matching: a set of node-disjoint edges of a parent graph.
+#[derive(Clone, Debug)]
+pub struct Matching {
+    mate: Vec<Option<NodeId>>,
+    edges: Vec<EdgeId>,
+}
+
+impl Matching {
+    /// Builds a matching from a mate array (`mate[v] = Some(w)` iff `{v,w}`
+    /// is matched).
+    ///
+    /// # Panics
+    /// Panics if the array is asymmetric or a matched pair is not an edge
+    /// of `g`.
+    pub fn from_mate_array(g: &Graph, mate: Vec<Option<NodeId>>) -> Self {
+        let m = Self::from_mates(g, mate);
+        m.validate(g)
+            .unwrap_or_else(|e| panic!("invalid mate array: {e}"));
+        m
+    }
+
+    fn from_mates(g: &Graph, mate: Vec<Option<NodeId>>) -> Self {
+        let mut edges = Vec::new();
+        for v in g.nodes() {
+            if let Some(w) = mate[v.index()] {
+                if v < w {
+                    let e = g
+                        .find_edge(v, w)
+                        .expect("matched pair must be joined by an edge");
+                    edges.push(e);
+                }
+            }
+        }
+        Matching { mate, edges }
+    }
+
+    /// Number of matched edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` if no edge is matched.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The partner of `v`, if matched.
+    pub fn mate(&self, v: NodeId) -> Option<NodeId> {
+        self.mate[v.index()]
+    }
+
+    /// `true` if `v` is an endpoint of a matched edge (saturated).
+    pub fn is_saturated(&self, v: NodeId) -> bool {
+        self.mate[v.index()].is_some()
+    }
+
+    /// The matched edge ids (one per pair).
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// Matched pairs `(u, v)` with `u < v`.
+    pub fn pairs(&self) -> Vec<(NodeId, NodeId)> {
+        self.mate
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &m)| {
+                let v = NodeId::new(i);
+                m.filter(|&w| v < w).map(|w| (v, w))
+            })
+            .collect()
+    }
+
+    /// Checks that the matching is node-disjoint and consistent with `g`.
+    pub fn validate(&self, g: &Graph) -> Result<(), String> {
+        if self.mate.len() != g.num_nodes() {
+            return Err("mate array size mismatch".into());
+        }
+        for v in g.nodes() {
+            if let Some(w) = self.mate[v.index()] {
+                if self.mate[w.index()] != Some(v) {
+                    return Err(format!("asymmetric mates at {v:?} and {w:?}"));
+                }
+                if v == w {
+                    return Err(format!("{v:?} matched to itself"));
+                }
+                if !g.has_edge(v, w) {
+                    return Err(format!("matched pair ({v:?},{w:?}) is not an edge"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// `true` if no unmatched edge has both endpoints unsaturated
+    /// (i.e. the matching is maximal).
+    pub fn is_maximal(&self, g: &Graph) -> bool {
+        g.edges().all(|e| {
+            let (u, v) = g.endpoints(e);
+            self.is_saturated(u) || self.is_saturated(v)
+        })
+    }
+}
+
+/// Greedy maximal matching: scan edges in id order, take any edge whose
+/// endpoints are both free. Guarantees |greedy| ≥ |maximum| / 2.
+pub fn greedy_maximal(g: &Graph) -> Matching {
+    let mut mate = vec![None; g.num_nodes()];
+    for e in g.edges() {
+        let (u, v) = g.endpoints(e);
+        if mate[u.index()].is_none() && mate[v.index()].is_none() {
+            mate[u.index()] = Some(v);
+            mate[v.index()] = Some(u);
+        }
+    }
+    Matching::from_mates(g, mate)
+}
+
+/// Maximum matching on a general graph via Edmonds' blossom algorithm.
+///
+/// O(V³) with adjacency scanning; exact (returns a maximum-cardinality
+/// matching). Parallel edges are harmless (only node adjacency matters).
+///
+/// ```
+/// use grooming_graph::generators;
+/// use grooming_graph::matching::maximum_matching;
+///
+/// let petersen = generators::petersen();
+/// let m = maximum_matching(&petersen);
+/// assert_eq!(m.len(), 5); // a perfect matching
+/// assert!(m.validate(&petersen).is_ok());
+/// ```
+pub fn maximum_matching(g: &Graph) -> Matching {
+    let n = g.num_nodes();
+    let mut solver = Blossom {
+        g,
+        mate: vec![NONE; n],
+        parent: vec![NONE; n],
+        base: (0..n).collect(),
+        queue: Vec::new(),
+        used: vec![false; n],
+        blossom: vec![false; n],
+    };
+    // Greedy warm start cuts the number of augmentation phases.
+    for e in g.edges() {
+        let (u, v) = g.endpoints(e);
+        if solver.mate[u.index()] == NONE && solver.mate[v.index()] == NONE {
+            solver.mate[u.index()] = v.index();
+            solver.mate[v.index()] = u.index();
+        }
+    }
+    for v in 0..n {
+        if solver.mate[v] == NONE {
+            solver.try_augment(v);
+        }
+    }
+    let mate = solver
+        .mate
+        .iter()
+        .map(|&m| (m != NONE).then(|| NodeId::new(m)))
+        .collect();
+    Matching::from_mates(g, mate)
+}
+
+const NONE: usize = usize::MAX;
+
+struct Blossom<'a> {
+    g: &'a Graph,
+    mate: Vec<usize>,
+    parent: Vec<usize>,
+    base: Vec<usize>,
+    queue: Vec<usize>,
+    used: Vec<bool>,
+    blossom: Vec<bool>,
+}
+
+impl Blossom<'_> {
+    /// Lowest common ancestor of `a` and `b` in the alternating forest,
+    /// in terms of blossom bases.
+    fn lca(&self, mut a: usize, mut b: usize) -> usize {
+        let n = self.g.num_nodes();
+        let mut seen = vec![false; n];
+        loop {
+            a = self.base[a];
+            seen[a] = true;
+            if self.mate[a] == NONE {
+                break; // reached the root
+            }
+            a = self.parent[self.mate[a]];
+        }
+        loop {
+            b = self.base[b];
+            if seen[b] {
+                return b;
+            }
+            b = self.parent[self.mate[b]];
+        }
+    }
+
+    /// Marks blossom nodes on the path from `v` down to base `b`, rewiring
+    /// parents through `child`.
+    fn mark_path(&mut self, mut v: usize, b: usize, mut child: usize) {
+        while self.base[v] != b {
+            self.blossom[self.base[v]] = true;
+            self.blossom[self.base[self.mate[v]]] = true;
+            self.parent[v] = child;
+            child = self.mate[v];
+            v = self.parent[self.mate[v]];
+        }
+    }
+
+    fn try_augment(&mut self, root: usize) -> bool {
+        let n = self.g.num_nodes();
+        self.parent.iter_mut().for_each(|p| *p = NONE);
+        self.used.iter_mut().for_each(|u| *u = false);
+        for (i, b) in self.base.iter_mut().enumerate() {
+            *b = i;
+        }
+        self.used[root] = true;
+        self.queue.clear();
+        self.queue.push(root);
+        let mut head = 0;
+        while head < self.queue.len() {
+            let v = self.queue[head];
+            head += 1;
+            let neighbors: Vec<usize> = self
+                .g
+                .incident(NodeId::new(v))
+                .iter()
+                .map(|&(w, _)| w.index())
+                .collect();
+            for w in neighbors {
+                if self.base[v] == self.base[w] || self.mate[v] == w {
+                    continue;
+                }
+                if w == root || (self.mate[w] != NONE && self.parent[self.mate[w]] != NONE) {
+                    // Found a blossom: contract it.
+                    let cur_base = self.lca(v, w);
+                    self.blossom.iter_mut().for_each(|b| *b = false);
+                    self.mark_path(v, cur_base, w);
+                    self.mark_path(w, cur_base, v);
+                    for i in 0..n {
+                        if self.blossom[self.base[i]] {
+                            self.base[i] = cur_base;
+                            if !self.used[i] {
+                                self.used[i] = true;
+                                self.queue.push(i);
+                            }
+                        }
+                    }
+                } else if self.parent[w] == NONE {
+                    self.parent[w] = v;
+                    if self.mate[w] == NONE {
+                        // Augmenting path root..v-w: flip matches along it.
+                        let mut w = w;
+                        while w != NONE {
+                            let pw = self.parent[w];
+                            let ppw = self.mate[pw];
+                            self.mate[w] = pw;
+                            self.mate[pw] = w;
+                            w = ppw;
+                        }
+                        return true;
+                    }
+                    let mw = self.mate[w];
+                    if !self.used[mw] {
+                        self.used[mw] = true;
+                        self.queue.push(mw);
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Exponential-time reference: maximum matching by branching on edges.
+    fn brute_force_max_matching(g: &Graph) -> usize {
+        fn rec(g: &Graph, e: usize, used: &mut [bool]) -> usize {
+            if e >= g.num_edges() {
+                return 0;
+            }
+            let skip = rec(g, e + 1, used);
+            let (u, v) = g.endpoints(EdgeId::new(e));
+            if !used[u.index()] && !used[v.index()] {
+                used[u.index()] = true;
+                used[v.index()] = true;
+                let take = 1 + rec(g, e + 1, used);
+                used[u.index()] = false;
+                used[v.index()] = false;
+                skip.max(take)
+            } else {
+                skip
+            }
+        }
+        let mut used = vec![false; g.num_nodes()];
+        rec(g, 0, &mut used)
+    }
+
+    #[test]
+    fn greedy_is_maximal_and_valid() {
+        let g = generators::petersen();
+        let m = greedy_maximal(&g);
+        assert!(m.validate(&g).is_ok());
+        assert!(m.is_maximal(&g));
+        assert!(m.len() >= 3); // >= maximum/2 = 2.5
+    }
+
+    #[test]
+    fn petersen_maximum_is_perfect() {
+        let g = generators::petersen();
+        let m = maximum_matching(&g);
+        assert!(m.validate(&g).is_ok());
+        assert_eq!(m.len(), 5);
+        assert!(g.nodes().all(|v| m.is_saturated(v)));
+    }
+
+    #[test]
+    fn odd_cycle_maximum_is_floor_half() {
+        for n in [3usize, 5, 7, 9] {
+            let g = generators::cycle(n);
+            let m = maximum_matching(&g);
+            assert_eq!(m.len(), n / 2, "C_{n}");
+        }
+    }
+
+    #[test]
+    fn complete_graph_maximum() {
+        for n in 2..9usize {
+            let g = generators::complete(n);
+            let m = maximum_matching(&g);
+            assert_eq!(m.len(), n / 2, "K_{n}");
+            assert!(m.validate(&g).is_ok());
+        }
+    }
+
+    #[test]
+    fn blossom_handles_odd_components() {
+        // Two triangles joined by a bridge: maximum matching is 3.
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
+        );
+        let m = maximum_matching(&g);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn blossom_classic_flower() {
+        // A 5-cycle with a pendant: needs blossom contraction to see that
+        // the maximum is 3.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 5)]);
+        let m = maximum_matching(&g);
+        assert_eq!(m.len(), 3);
+        assert!(m.is_saturated(NodeId(5)));
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        for seed in 0..20u64 {
+            let mut r = StdRng::seed_from_u64(seed);
+            let g = generators::gnm(9, 14, &mut r);
+            let m = maximum_matching(&g);
+            assert!(m.validate(&g).is_ok());
+            assert_eq!(m.len(), brute_force_max_matching(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn lemma8_bound_on_regular_graphs() {
+        // Lemma 8: an r-regular graph on n nodes has a matching of at least
+        // n*r / (2(r+1)) edges.
+        for (n, r) in [(36, 7), (36, 15), (20, 3), (14, 5), (36, 8)] {
+            for seed in 0..3u64 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let g = generators::random_regular(n, r, &mut rng);
+                let m = maximum_matching(&g);
+                let bound = (n * r) as f64 / (2.0 * (r as f64 + 1.0));
+                assert!(
+                    m.len() as f64 >= bound.floor(),
+                    "n={n} r={r} seed={seed}: |M|={} < {bound}",
+                    m.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn maximum_at_least_greedy() {
+        for seed in 0..10u64 {
+            let mut r = StdRng::seed_from_u64(seed);
+            let g = generators::gnm(24, 60, &mut r);
+            assert!(maximum_matching(&g).len() >= greedy_maximal(&g).len());
+        }
+    }
+
+    #[test]
+    fn empty_graph_has_empty_matching() {
+        let g = Graph::new(4);
+        let m = maximum_matching(&g);
+        assert!(m.is_empty());
+        assert!(m.validate(&g).is_ok());
+        assert!(m.is_maximal(&g));
+    }
+
+    #[test]
+    fn pairs_are_ordered_and_consistent() {
+        let g = generators::path(4);
+        let m = maximum_matching(&g);
+        assert_eq!(m.len(), 2);
+        for (u, v) in m.pairs() {
+            assert!(u < v);
+            assert_eq!(m.mate(u), Some(v));
+            assert_eq!(m.mate(v), Some(u));
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! Spanning trees and forests.
+//!
+//! `SpanT_Euler`'s quality is governed by the number `c` of connected
+//! components of `G\T`, which depends on which spanning tree `T` is chosen
+//! (the paper's concluding remarks call out exactly this knob). This module
+//! provides several strategies — BFS, DFS, randomized Kruskal, and a
+//! degree-minimizing local search in the spirit of Fürer–Raghavachari — all
+//! producing the same [`SpanningForest`] representation, so the algorithm and
+//! the ablation harness can swap strategies freely.
+
+use crate::graph::Graph;
+use crate::ids::{EdgeId, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Disjoint-set union (union by size, path halving).
+#[derive(Clone, Debug)]
+pub struct Dsu {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+    /// Number of disjoint sets currently represented.
+    pub sets: usize,
+}
+
+impl Dsu {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+            sets: n,
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+        self.sets -= 1;
+        true
+    }
+
+    /// `true` if `a` and `b` are in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+/// Spanning-tree construction strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TreeStrategy {
+    /// Breadth-first search tree from the lowest node id of each component.
+    Bfs,
+    /// Depth-first search tree from the lowest node id of each component.
+    Dfs,
+    /// Kruskal over a uniformly shuffled edge order (a uniformly random
+    /// *maximal forest* in edge-order distribution, not a uniform spanning
+    /// tree — good enough for tie-breaking diversity).
+    RandomKruskal,
+    /// Start from a BFS forest, then locally swap edges to reduce the
+    /// maximum tree degree (Fürer–Raghavachari-style improvement steps).
+    LowDegree,
+}
+
+impl TreeStrategy {
+    /// All strategies, for sweeps.
+    pub const ALL: [TreeStrategy; 4] = [
+        TreeStrategy::Bfs,
+        TreeStrategy::Dfs,
+        TreeStrategy::RandomKruskal,
+        TreeStrategy::LowDegree,
+    ];
+}
+
+impl std::fmt::Display for TreeStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TreeStrategy::Bfs => "bfs",
+            TreeStrategy::Dfs => "dfs",
+            TreeStrategy::RandomKruskal => "random-kruskal",
+            TreeStrategy::LowDegree => "low-degree",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A spanning forest of a graph: one spanning tree per connected component.
+///
+/// Stores the tree edge set plus rooted parent pointers (one root per
+/// component), which is the shape the tree utilities in [`crate::tree`]
+/// consume.
+#[derive(Clone, Debug)]
+pub struct SpanningForest {
+    /// Tree edges (n − #components of them).
+    pub edges: Vec<EdgeId>,
+    /// `parent[v] = Some((p, e))` where `p` is `v`'s parent and `e` the tree
+    /// edge joining them; `None` for component roots.
+    pub parent: Vec<Option<(NodeId, EdgeId)>>,
+    /// One root per connected component, in ascending node order.
+    pub roots: Vec<NodeId>,
+    /// Depth of each node below its root.
+    pub depth: Vec<usize>,
+}
+
+impl SpanningForest {
+    /// `true` if edge `e` is a tree edge.
+    pub fn contains_edge(&self, e: EdgeId) -> bool {
+        // edges list is small relative to m in dense graphs; use a scan-free
+        // check only when needed by hot code (callers build EdgeSubset).
+        self.edges.contains(&e)
+    }
+
+    /// Tree degree of every node (number of incident tree edges).
+    pub fn degrees(&self, g: &Graph) -> Vec<usize> {
+        let mut deg = vec![0usize; g.num_nodes()];
+        for &e in &self.edges {
+            let (u, v) = g.endpoints(e);
+            deg[u.index()] += 1;
+            deg[v.index()] += 1;
+        }
+        deg
+    }
+
+    /// Maximum tree degree Δ(T).
+    pub fn max_degree(&self, g: &Graph) -> usize {
+        self.degrees(g).into_iter().max().unwrap_or(0)
+    }
+
+    /// Rebuilds rooted parent pointers from an unrooted tree-edge set.
+    fn from_edge_set(g: &Graph, tree_edges: Vec<EdgeId>) -> Self {
+        let n = g.num_nodes();
+        let mut adj: Vec<Vec<(NodeId, EdgeId)>> = vec![Vec::new(); n];
+        for &e in &tree_edges {
+            let (u, v) = g.endpoints(e);
+            adj[u.index()].push((v, e));
+            adj[v.index()].push((u, e));
+        }
+        let mut parent = vec![None; n];
+        let mut depth = vec![0usize; n];
+        let mut roots = Vec::new();
+        let mut seen = vec![false; n];
+        for r in g.nodes() {
+            if seen[r.index()] {
+                continue;
+            }
+            seen[r.index()] = true;
+            roots.push(r);
+            let mut queue = std::collections::VecDeque::new();
+            queue.push_back(r);
+            while let Some(v) = queue.pop_front() {
+                for &(w, e) in &adj[v.index()] {
+                    if !seen[w.index()] {
+                        seen[w.index()] = true;
+                        parent[w.index()] = Some((v, e));
+                        depth[w.index()] = depth[v.index()] + 1;
+                        queue.push_back(w);
+                    }
+                }
+            }
+        }
+        SpanningForest {
+            edges: tree_edges,
+            parent,
+            roots,
+            depth,
+        }
+    }
+}
+
+/// Computes a spanning forest of `g` with the given strategy.
+///
+/// `rng` is consulted only by the randomized strategies; deterministic
+/// strategies ignore it.
+pub fn spanning_forest<R: Rng>(g: &Graph, strategy: TreeStrategy, rng: &mut R) -> SpanningForest {
+    match strategy {
+        TreeStrategy::Bfs => search_forest(g, true),
+        TreeStrategy::Dfs => search_forest(g, false),
+        TreeStrategy::RandomKruskal => random_kruskal_forest(g, rng),
+        TreeStrategy::LowDegree => low_degree_forest(g, rng),
+    }
+}
+
+fn search_forest(g: &Graph, bfs: bool) -> SpanningForest {
+    let n = g.num_nodes();
+    let mut parent = vec![None; n];
+    let mut depth = vec![0usize; n];
+    let mut roots = Vec::new();
+    let mut edges = Vec::new();
+    let mut seen = vec![false; n];
+    let mut deque = std::collections::VecDeque::new();
+    for r in g.nodes() {
+        if seen[r.index()] {
+            continue;
+        }
+        seen[r.index()] = true;
+        roots.push(r);
+        deque.push_back(r);
+        while let Some(v) = if bfs {
+            deque.pop_front()
+        } else {
+            deque.pop_back()
+        } {
+            for &(w, e) in g.incident(v) {
+                if !seen[w.index()] {
+                    seen[w.index()] = true;
+                    parent[w.index()] = Some((v, e));
+                    depth[w.index()] = depth[v.index()] + 1;
+                    edges.push(e);
+                    deque.push_back(w);
+                }
+            }
+        }
+    }
+    // DFS via deque.pop_back explores stack-wise but records parents when
+    // first seen, which is a valid spanning forest either way.
+    SpanningForest {
+        edges,
+        parent,
+        roots,
+        depth,
+    }
+}
+
+fn random_kruskal_forest<R: Rng>(g: &Graph, rng: &mut R) -> SpanningForest {
+    let mut order: Vec<EdgeId> = g.edges().collect();
+    order.shuffle(rng);
+    let mut dsu = Dsu::new(g.num_nodes());
+    let mut tree_edges = Vec::with_capacity(g.num_nodes().saturating_sub(1));
+    for e in order {
+        let (u, v) = g.endpoints(e);
+        if dsu.union(u.index(), v.index()) {
+            tree_edges.push(e);
+        }
+    }
+    SpanningForest::from_edge_set(g, tree_edges)
+}
+
+/// Local-search tree with small maximum degree.
+///
+/// Repeatedly looks for a non-tree edge `{u, w}` whose fundamental cycle
+/// passes through a node `x` of current maximum tree degree while both `u`
+/// and `w` have tree degree ≤ Δ(T) − 2; swapping a cycle edge at `x` for
+/// `{u, w}` then reduces the degree pressure at `x`. This is the improvement
+/// step used by Fürer–Raghavachari's (Δ*+1)-approximation, run here as plain
+/// hill climbing with an iteration cap — sufficient for the ablation study.
+fn low_degree_forest<R: Rng>(g: &Graph, rng: &mut R) -> SpanningForest {
+    let mut forest = search_forest(g, true);
+    let m = g.num_edges();
+    if m == 0 {
+        return forest;
+    }
+    let mut non_tree: Vec<EdgeId> = {
+        let mut in_tree = vec![false; m];
+        for &e in &forest.edges {
+            in_tree[e.index()] = true;
+        }
+        g.edges().filter(|e| !in_tree[e.index()]).collect()
+    };
+    non_tree.shuffle(rng);
+
+    let max_rounds = 4 * g.num_nodes().max(8);
+    for _ in 0..max_rounds {
+        let deg = forest.degrees(g);
+        let delta = deg.iter().copied().max().unwrap_or(0);
+        if delta <= 2 {
+            break; // a Hamiltonian-path tree; cannot do better
+        }
+        let mut improved = false;
+        for (slot, &e) in non_tree.iter().enumerate() {
+            let (u, w) = g.endpoints(e);
+            if deg[u.index()] > delta - 2 || deg[w.index()] > delta - 2 {
+                continue;
+            }
+            // Fundamental cycle = tree path u..w. Find a max-degree node on
+            // it and remove one of its path edges.
+            let path = crate::tree::tree_path(g, &forest, u, w)
+                .expect("non-tree edge endpoints must be tree-connected");
+            let mut swap_edge = None;
+            for &pe in &path {
+                let (a, b) = g.endpoints(pe);
+                if deg[a.index()] == delta || deg[b.index()] == delta {
+                    swap_edge = Some(pe);
+                    break;
+                }
+            }
+            if let Some(out) = swap_edge {
+                let mut edges = forest.edges.clone();
+                let pos = edges.iter().position(|&x| x == out).unwrap();
+                edges[pos] = e;
+                forest = SpanningForest::from_edge_set(g, edges);
+                non_tree[slot] = out;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    forest
+}
+
+/// Validates that `forest` is a maximal spanning forest of `g`: acyclic,
+/// using real edges of `g`, and spanning every connected component.
+pub fn is_valid_spanning_forest(g: &Graph, forest: &SpanningForest) -> bool {
+    let n = g.num_nodes();
+    let comp = crate::traversal::connected_components(g);
+    if forest.edges.len() != n - comp.count {
+        return false;
+    }
+    let mut dsu = Dsu::new(n);
+    for &e in &forest.edges {
+        if e.index() >= g.num_edges() {
+            return false;
+        }
+        let (u, v) = g.endpoints(e);
+        if !dsu.union(u.index(), v.index()) {
+            return false; // cycle
+        }
+    }
+    // Acyclic + n - #components edges => spans every component.
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn dsu_merges_and_counts() {
+        let mut d = Dsu::new(4);
+        assert_eq!(d.sets, 4);
+        assert!(d.union(0, 1));
+        assert!(!d.union(1, 0));
+        assert!(d.union(2, 3));
+        assert_eq!(d.sets, 2);
+        assert!(d.same(0, 1));
+        assert!(!d.same(0, 2));
+    }
+
+    #[test]
+    fn all_strategies_yield_valid_forests() {
+        let g = generators::gnm(20, 60, &mut rng());
+        for s in TreeStrategy::ALL {
+            let f = spanning_forest(&g, s, &mut rng());
+            assert!(is_valid_spanning_forest(&g, &f), "strategy {s}");
+        }
+    }
+
+    #[test]
+    fn forest_on_disconnected_graph_has_multiple_roots() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        let f = spanning_forest(&g, TreeStrategy::Bfs, &mut rng());
+        assert_eq!(f.edges.len(), 3);
+        assert_eq!(f.roots.len(), 3); // {0,1,2}, {3,4}, {5}
+        assert!(is_valid_spanning_forest(&g, &f));
+    }
+
+    #[test]
+    fn parent_pointers_are_consistent() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let f = spanning_forest(&g, TreeStrategy::Bfs, &mut rng());
+        for v in g.nodes() {
+            if let Some((p, e)) = f.parent[v.index()] {
+                let (a, b) = g.endpoints(e);
+                assert!((a, b) == (v, p) || (a, b) == (p, v));
+                assert_eq!(f.depth[v.index()], f.depth[p.index()] + 1);
+            } else {
+                assert!(f.roots.contains(&v));
+                assert_eq!(f.depth[v.index()], 0);
+            }
+        }
+    }
+
+    #[test]
+    fn low_degree_tree_beats_bfs_on_a_star_plus_cycle() {
+        // A wheel: hub 0 connected to all rim nodes plus rim cycle. BFS from
+        // node 0 yields the star (Δ = n-1). The low-degree strategy should
+        // find a much lower-degree tree using rim edges.
+        let n = 12;
+        let mut edges = Vec::new();
+        for i in 1..n {
+            edges.push((0u32, i as u32));
+        }
+        for i in 1..n {
+            let j = if i == n - 1 { 1 } else { i + 1 };
+            edges.push((i as u32, j as u32));
+        }
+        let g = Graph::from_edges(n, &edges);
+        let bfs = spanning_forest(&g, TreeStrategy::Bfs, &mut rng());
+        let low = spanning_forest(&g, TreeStrategy::LowDegree, &mut rng());
+        assert!(is_valid_spanning_forest(&g, &low));
+        assert!(low.max_degree(&g) < bfs.max_degree(&g));
+        assert!(low.max_degree(&g) <= 4);
+    }
+
+    #[test]
+    fn kruskal_forest_is_valid_on_multigraph() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        let f = spanning_forest(&g, TreeStrategy::RandomKruskal, &mut rng());
+        assert!(is_valid_spanning_forest(&g, &f));
+        assert_eq!(f.edges.len(), 2);
+    }
+
+    #[test]
+    fn validator_rejects_cyclic_edge_set() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let bad = SpanningForest::from_edge_set(&g, vec![EdgeId(0), EdgeId(1), EdgeId(2)]);
+        assert!(!is_valid_spanning_forest(&g, &bad));
+    }
+}

@@ -1,0 +1,312 @@
+//! Rooted-forest utilities: tree paths, subtree parity sums, and
+//! path decompositions.
+//!
+//! These are the tree-side workhorses of the grooming algorithms:
+//!
+//! * [`tree_path`] — the unique path in a spanning forest between two nodes,
+//!   used by the low-degree tree local search and by tests.
+//! * [`odd_parity_tree_edges`] — the linear-time computation of the paper's
+//!   `E_odd` set. Lemma 4 pairs the odd-degree nodes of `G\T` arbitrarily and
+//!   asks which tree edges lie on an odd number of the pairing's tree paths;
+//!   the parity is independent of the pairing (removing a tree edge `e`
+//!   splits the tree in two, and the number of crossing pairs is congruent
+//!   mod 2 to the number of marked nodes on either side), so a single
+//!   bottom-up subtree count suffices.
+//! * [`decompose_into_paths`] — edge-disjoint leaf-to-leaf path cover of a
+//!   forest, the backbone factory for the Wang–Gu ICC'06 baseline.
+
+use crate::graph::Graph;
+use crate::ids::{EdgeId, NodeId};
+use crate::spanning::SpanningForest;
+use crate::walk::Walk;
+
+/// Edges of the unique forest path between `u` and `v`, ordered from `u`
+/// to `v`. Returns `None` if `u` and `v` lie in different trees.
+pub fn tree_path(g: &Graph, forest: &SpanningForest, u: NodeId, v: NodeId) -> Option<Vec<EdgeId>> {
+    tree_path_walk(g, forest, u, v).map(|w| w.edges().to_vec())
+}
+
+/// The unique forest path between `u` and `v` as a [`Walk`] from `u` to `v`.
+/// Returns `None` if they are in different trees. `u == v` yields a
+/// singleton walk.
+pub fn tree_path_walk(
+    g: &Graph,
+    forest: &SpanningForest,
+    u: NodeId,
+    v: NodeId,
+) -> Option<Walk> {
+    // Climb both nodes to their common ancestor using depths.
+    let mut up_u: Vec<EdgeId> = Vec::new(); // edges from u upward
+    let mut up_v: Vec<EdgeId> = Vec::new(); // edges from v upward
+    let (mut a, mut b) = (u, v);
+    while forest.depth[a.index()] > forest.depth[b.index()] {
+        let (p, e) = forest.parent[a.index()]?;
+        up_u.push(e);
+        a = p;
+    }
+    while forest.depth[b.index()] > forest.depth[a.index()] {
+        let (p, e) = forest.parent[b.index()]?;
+        up_v.push(e);
+        b = p;
+    }
+    while a != b {
+        let (pa, ea) = forest.parent[a.index()]?;
+        let (pb, eb) = forest.parent[b.index()]?;
+        up_u.push(ea);
+        up_v.push(eb);
+        a = pa;
+        b = pb;
+    }
+    // Path = u -> lca (up_u) followed by lca -> v (reverse of up_v).
+    let mut walk = Walk::singleton(u);
+    for &e in &up_u {
+        walk.push(g, e);
+    }
+    for &e in up_v.iter().rev() {
+        walk.push(g, e);
+    }
+    debug_assert_eq!(walk.end(), v);
+    Some(walk)
+}
+
+/// Nodes of each tree of the forest, ordered by decreasing depth (children
+/// before parents) — a valid processing order for bottom-up accumulation.
+fn bottom_up_order(forest: &SpanningForest) -> Vec<NodeId> {
+    let n = forest.parent.len();
+    let mut order: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+    order.sort_by(|a, b| forest.depth[b.index()].cmp(&forest.depth[a.index()]));
+    order
+}
+
+/// Computes the paper's `E_odd`: the set of tree edges that lie on an odd
+/// number of pairing paths when the `marked` nodes are paired arbitrarily
+/// within each tree and joined by tree paths.
+///
+/// The result is pairing-independent: the tree edge from `v` to its parent is
+/// in `E_odd` iff the subtree rooted at `v` contains an odd number of marked
+/// nodes.
+///
+/// # Panics
+/// Panics (in debug builds) if any tree of the forest contains an odd number
+/// of marked nodes — the callers mark odd-degree nodes of `G\T` restricted to
+/// a component, which is always even.
+pub fn odd_parity_tree_edges(
+    _g: &Graph,
+    forest: &SpanningForest,
+    marked: &[bool],
+) -> Vec<EdgeId> {
+    let n = forest.parent.len();
+    assert_eq!(marked.len(), n, "marked array must cover every node");
+    let mut count = vec![0usize; n];
+    for v in 0..n {
+        if marked[v] {
+            count[v] = 1;
+        }
+    }
+    let mut e_odd = Vec::new();
+    for v in bottom_up_order(forest) {
+        if let Some((p, e)) = forest.parent[v.index()] {
+            if count[v.index()] % 2 == 1 {
+                e_odd.push(e);
+            }
+            count[p.index()] += count[v.index()];
+        } else {
+            debug_assert!(
+                count[v.index()] % 2 == 0,
+                "a tree contains an odd number of marked nodes"
+            );
+        }
+    }
+    e_odd
+}
+
+/// Decomposes every tree of the forest into edge-disjoint paths covering all
+/// tree edges. Each path is a [`Walk`] that is a simple path in the tree;
+/// paths start at leaves of the (shrinking) forest, so a tree with `L`
+/// leaves produces about `⌈L/2⌉` paths.
+///
+/// Trees with no edges produce nothing.
+pub fn decompose_into_paths(g: &Graph, forest: &SpanningForest) -> Vec<Walk> {
+    let n = g.num_nodes();
+    // Tree adjacency with "used" flags.
+    let mut adj: Vec<Vec<(NodeId, EdgeId)>> = vec![Vec::new(); n];
+    for &e in &forest.edges {
+        let (u, v) = g.endpoints(e);
+        adj[u.index()].push((v, e));
+        adj[v.index()].push((u, e));
+    }
+    let mut used = vec![false; g.num_edges()];
+    let mut deg: Vec<usize> = adj.iter().map(Vec::len).collect();
+    let mut remaining = forest.edges.len();
+    let mut paths = Vec::new();
+
+    while remaining > 0 {
+        // Find a leaf of the remaining forest (degree exactly 1).
+        let leaf = (0..n)
+            .map(NodeId::new)
+            .find(|v| deg[v.index()] == 1)
+            .expect("a forest with edges has a leaf");
+        let mut walk = Walk::singleton(leaf);
+        let mut cur = leaf;
+        loop {
+            let next = adj[cur.index()]
+                .iter()
+                .find(|&&(_, e)| !used[e.index()])
+                .copied();
+            let Some((w, e)) = next else { break };
+            used[e.index()] = true;
+            deg[cur.index()] -= 1;
+            deg[w.index()] -= 1;
+            remaining -= 1;
+            walk.push(g, e);
+            cur = w;
+        }
+        debug_assert!(!walk.is_empty());
+        paths.push(walk);
+    }
+    paths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::spanning::{spanning_forest, TreeStrategy};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    fn forest_of(g: &Graph) -> SpanningForest {
+        spanning_forest(g, TreeStrategy::Bfs, &mut rng())
+    }
+
+    #[test]
+    fn tree_path_on_a_path_graph() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let f = forest_of(&g);
+        let p = tree_path(&g, &f, NodeId(0), NodeId(4)).unwrap();
+        assert_eq!(p.len(), 4);
+        let w = tree_path_walk(&g, &f, NodeId(4), NodeId(1)).unwrap();
+        assert_eq!(w.start(), NodeId(4));
+        assert_eq!(w.end(), NodeId(1));
+        assert_eq!(w.len(), 3);
+        assert!(w.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn tree_path_same_node_is_singleton() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let f = forest_of(&g);
+        let w = tree_path_walk(&g, &f, NodeId(1), NodeId(1)).unwrap();
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn tree_path_across_components_is_none() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let f = forest_of(&g);
+        assert!(tree_path(&g, &f, NodeId(0), NodeId(3)).is_none());
+    }
+
+    #[test]
+    fn parity_edges_on_star() {
+        // Star with hub 0 and leaves 1..4; mark leaves 1 and 2.
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let f = forest_of(&g);
+        let mut marked = vec![false; 5];
+        marked[1] = true;
+        marked[2] = true;
+        let mut e_odd = odd_parity_tree_edges(&g, &f, &marked);
+        e_odd.sort_unstable();
+        // Path 1-0-2 uses edges (0,1) and (0,2) exactly once each.
+        assert_eq!(e_odd, vec![EdgeId(0), EdgeId(1)]);
+    }
+
+    #[test]
+    fn parity_edges_match_explicit_pairing_counts() {
+        // On random trees, check against brute force: pair marked nodes in
+        // index order, count path multiplicity per edge, compare parities.
+        let mut r = rng();
+        for seed in 0..10u64 {
+            let mut r2 = StdRng::seed_from_u64(seed);
+            let g = generators::gnm(14, 25, &mut r2);
+            let f = spanning_forest(&g, TreeStrategy::RandomKruskal, &mut r);
+            // Mark an even number of nodes per tree: take nodes two at a
+            // time within each tree.
+            let comps = crate::traversal::connected_components(&g);
+            let mut marked = vec![false; g.num_nodes()];
+            for group in comps.groups() {
+                for pair in group.chunks(2) {
+                    if pair.len() == 2 {
+                        marked[pair[0].index()] = true;
+                        marked[pair[1].index()] = true;
+                    }
+                }
+            }
+            // Brute force alpha(e) with an arbitrary (index-order) pairing.
+            let mut alpha = vec![0usize; g.num_edges()];
+            for group in comps.groups() {
+                let ms: Vec<NodeId> =
+                    group.iter().copied().filter(|v| marked[v.index()]).collect();
+                for pair in ms.chunks(2) {
+                    if pair.len() == 2 {
+                        for e in tree_path(&g, &f, pair[0], pair[1]).unwrap() {
+                            alpha[e.index()] += 1;
+                        }
+                    }
+                }
+            }
+            let mut expected: Vec<EdgeId> = f
+                .edges
+                .iter()
+                .copied()
+                .filter(|e| alpha[e.index()] % 2 == 1)
+                .collect();
+            expected.sort_unstable();
+            let mut got = odd_parity_tree_edges(&g, &f, &marked);
+            got.sort_unstable();
+            assert_eq!(got, expected, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn path_decomposition_covers_all_tree_edges_exactly_once() {
+        let mut r = rng();
+        let g = generators::gnm(30, 70, &mut r);
+        let f = forest_of(&g);
+        let paths = decompose_into_paths(&g, &f);
+        let mut covered = vec![0usize; g.num_edges()];
+        for p in &paths {
+            assert!(p.validate(&g).is_ok());
+            assert!(p.is_simple_path(), "forest walks must be simple paths");
+            for &e in p.edges() {
+                covered[e.index()] += 1;
+            }
+        }
+        for &e in &f.edges {
+            assert_eq!(covered[e.index()], 1);
+        }
+        let total: usize = paths.iter().map(Walk::len).sum();
+        assert_eq!(total, f.edges.len());
+    }
+
+    #[test]
+    fn path_decomposition_of_star_yields_two_edge_paths() {
+        let g = Graph::from_edges(7, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6)]);
+        let f = forest_of(&g);
+        let paths = decompose_into_paths(&g, &f);
+        // 6 leaves -> 3 paths of 2 edges each.
+        assert_eq!(paths.len(), 3);
+        assert!(paths.iter().all(|p| p.len() == 2));
+    }
+
+    #[test]
+    fn path_decomposition_of_edgeless_forest_is_empty() {
+        let g = Graph::new(4);
+        let f = forest_of(&g);
+        assert!(decompose_into_paths(&g, &f).is_empty());
+    }
+}

@@ -1,0 +1,285 @@
+//! Triangle enumeration and the exact Edge-Partition-into-Triangles (EPT)
+//! solver.
+//!
+//! The paper's NP-hardness proof (Lemma 6, Theorem 7) reduces from EPT —
+//! "can `E(G)` be partitioned into `m/3` triangles?" (Holyer 1981) — first
+//! to EPT on regular graphs and then to `k`-edge partitioning with `k = 3`,
+//! `L = m`. This module provides the exact (exponential-time) EPT solver
+//! used to *verify the reduction empirically* on small instances, plus the
+//! triangle utilities the gadget construction needs.
+
+use crate::graph::Graph;
+use crate::ids::{EdgeId, NodeId};
+
+/// All triangles of a simple graph as node triples `a < b < c`, sorted.
+pub fn enumerate_triangles(g: &Graph) -> Vec<[NodeId; 3]> {
+    let mut out = Vec::new();
+    for e in g.edges() {
+        let (u, v) = g.endpoints(e);
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        // Common neighbors w with b < w ensures each triangle found once.
+        for &(w, _) in g.incident(a) {
+            if w > b && g.has_edge(b, w) {
+                out.push([a, b, w]);
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// The three edges of the triangle on nodes `{a, b, c}`.
+///
+/// Returns `None` if some pair is not adjacent.
+pub fn triangle_edges(g: &Graph, t: [NodeId; 3]) -> Option<[EdgeId; 3]> {
+    Some([
+        g.find_edge(t[0], t[1])?,
+        g.find_edge(t[1], t[2])?,
+        g.find_edge(t[0], t[2])?,
+    ])
+}
+
+/// `true` if `triples` (as node triples) is an exact partition of `E(g)`
+/// into triangles.
+pub fn is_triangle_partition(g: &Graph, triples: &[[NodeId; 3]]) -> bool {
+    if triples.len() * 3 != g.num_edges() {
+        return false;
+    }
+    let mut covered = vec![false; g.num_edges()];
+    for &t in triples {
+        let Some(edges) = triangle_edges_distinct(g, t, &covered) else {
+            return false;
+        };
+        for e in edges {
+            covered[e.index()] = true;
+        }
+    }
+    covered.into_iter().all(|c| c)
+}
+
+/// Finds uncovered edge ids realizing triangle `t` (multigraph-aware: picks
+/// distinct, currently uncovered parallel copies).
+fn triangle_edges_distinct(
+    g: &Graph,
+    t: [NodeId; 3],
+    covered: &[bool],
+) -> Option<[EdgeId; 3]> {
+    let mut picked: Vec<EdgeId> = Vec::with_capacity(3);
+    for (x, y) in [(t[0], t[1]), (t[1], t[2]), (t[0], t[2])] {
+        let e = g
+            .incident(x)
+            .iter()
+            .find(|&&(w, e)| w == y && !covered[e.index()] && !picked.contains(&e))
+            .map(|&(_, e)| e)?;
+        picked.push(e);
+    }
+    Some([picked[0], picked[1], picked[2]])
+}
+
+/// Exact EPT: partitions `E(g)` into triangles if possible.
+///
+/// Exponential-time backtracking over the lowest-indexed uncovered edge;
+/// intended for the small gadget instances of the hardness tests. Returns
+/// the triangles as node triples.
+pub fn ept_solve(g: &Graph) -> Option<Vec<[NodeId; 3]>> {
+    if g.num_edges() % 3 != 0 {
+        return None;
+    }
+    // Every vertex of a triangle-partitionable graph has even degree.
+    if g.degrees().iter().any(|&d| d % 2 == 1) {
+        return None;
+    }
+    let mut covered = vec![false; g.num_edges()];
+    let mut out = Vec::with_capacity(g.num_edges() / 3);
+    if backtrack(g, &mut covered, 0, &mut out) {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+fn backtrack(
+    g: &Graph,
+    covered: &mut Vec<bool>,
+    from: usize,
+    out: &mut Vec<[NodeId; 3]>,
+) -> bool {
+    // Lowest uncovered edge must be in some triangle of uncovered edges.
+    let mut e0 = from;
+    while e0 < g.num_edges() && covered[e0] {
+        e0 += 1;
+    }
+    if e0 == g.num_edges() {
+        return true;
+    }
+    let (u, v) = g.endpoints(EdgeId::new(e0));
+    covered[e0] = true;
+    // Candidate apexes: neighbors of u with an uncovered edge to both u, v.
+    let candidates: Vec<(NodeId, EdgeId)> = g
+        .incident(u)
+        .iter()
+        .copied()
+        .filter(|&(w, e)| w != v && !covered[e.index()])
+        .collect();
+    let mut tried = Vec::new();
+    for (w, e_uw) in candidates {
+        if tried.contains(&w) {
+            continue; // parallel copies of (u,w) explore identical branches
+        }
+        tried.push(w);
+        let e_vw = g
+            .incident(v)
+            .iter()
+            .find(|&&(x, e)| x == w && !covered[e.index()])
+            .map(|&(_, e)| e);
+        let Some(e_vw) = e_vw else { continue };
+        covered[e_uw.index()] = true;
+        covered[e_vw.index()] = true;
+        out.push([u, v, w]);
+        if backtrack(g, covered, e0 + 1, out) {
+            return true;
+        }
+        out.pop();
+        covered[e_uw.index()] = false;
+        covered[e_vw.index()] = false;
+    }
+    covered[e0] = false;
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn triangle_graph_enumeration() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let ts = enumerate_triangles(&g);
+        assert_eq!(ts, vec![[NodeId(0), NodeId(1), NodeId(2)]]);
+    }
+
+    #[test]
+    fn k4_has_four_triangles() {
+        let g = generators::complete(4);
+        assert_eq!(enumerate_triangles(&g).len(), 4);
+    }
+
+    #[test]
+    fn k5_has_ten_triangles() {
+        let g = generators::complete(5);
+        assert_eq!(enumerate_triangles(&g).len(), 10);
+    }
+
+    #[test]
+    fn triangle_free_graph_has_none() {
+        let g = generators::cycle(5);
+        assert!(enumerate_triangles(&g).is_empty());
+        let g = generators::grid(3, 3);
+        assert!(enumerate_triangles(&g).is_empty());
+    }
+
+    #[test]
+    fn single_triangle_partitions() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let sol = ept_solve(&g).unwrap();
+        assert!(is_triangle_partition(&g, &sol));
+    }
+
+    #[test]
+    fn k4_does_not_partition() {
+        // K4 has m = 6 divisible by 3 but odd degrees (3 each).
+        assert!(ept_solve(&generators::complete(4)).is_none());
+    }
+
+    #[test]
+    fn two_disjoint_triangles_partition() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        let sol = ept_solve(&g).unwrap();
+        assert_eq!(sol.len(), 2);
+        assert!(is_triangle_partition(&g, &sol));
+    }
+
+    #[test]
+    fn bowtie_partitions() {
+        // Two triangles sharing node 2.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+        let sol = ept_solve(&g).unwrap();
+        assert!(is_triangle_partition(&g, &sol));
+    }
+
+    #[test]
+    fn octahedron_partitions() {
+        // K_{2,2,2} is 4-regular with 12 edges; it partitions into 4 triangles.
+        let g = Graph::from_edges(
+            6,
+            &[
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (0, 5),
+                (1, 2),
+                (1, 3),
+                (1, 4),
+                (1, 5),
+                (2, 4),
+                (2, 5),
+                (3, 4),
+                (3, 5),
+            ],
+        );
+        let sol = ept_solve(&g).unwrap();
+        assert_eq!(sol.len(), 4);
+        assert!(is_triangle_partition(&g, &sol));
+    }
+
+    #[test]
+    fn k9_partitions_via_sts() {
+        // STS(9) exists, so K9 must partition; the solver should find one.
+        let g = generators::complete(9);
+        let sol = ept_solve(&g).unwrap();
+        assert_eq!(sol.len(), 12);
+        assert!(is_triangle_partition(&g, &sol));
+    }
+
+    #[test]
+    fn sts_triples_validate_as_partition() {
+        let n = 9;
+        let sts = generators::steiner_triple_system(n).unwrap();
+        let g = generators::complete(n);
+        let triples: Vec<[NodeId; 3]> = sts
+            .iter()
+            .map(|t| [NodeId(t[0]), NodeId(t[1]), NodeId(t[2])])
+            .collect();
+        assert!(is_triangle_partition(&g, &triples));
+    }
+
+    #[test]
+    fn wrong_cover_rejected() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert!(!is_triangle_partition(&g, &[]));
+        // Repeated triangle covering the same edges twice:
+        let t = [NodeId(0), NodeId(1), NodeId(2)];
+        let g2 = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 1), (1, 2)]);
+        assert!(!is_triangle_partition(&g2, &[t, t]));
+    }
+
+    #[test]
+    fn triangle_edges_lookup() {
+        let g = generators::complete(4);
+        let t = [NodeId(0), NodeId(1), NodeId(2)];
+        let es = triangle_edges(&g, t).unwrap();
+        let mut nodes: Vec<NodeId> = es
+            .iter()
+            .flat_map(|&e| {
+                let (a, b) = g.endpoints(e);
+                [a, b]
+            })
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        assert_eq!(nodes, t.to_vec());
+        assert!(triangle_edges(&g, [NodeId(0), NodeId(1), NodeId(1)]).is_none());
+    }
+}

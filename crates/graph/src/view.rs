@@ -1,0 +1,273 @@
+//! Edge-subset views of a graph.
+//!
+//! The grooming cost of a wavelength is the number of *distinct nodes*
+//! touched by the demand edges groomed onto it, and the paper's algorithms
+//! constantly reason about edge subsets of a fixed traffic graph (`G\T`,
+//! `E_odd`, matchings, parts of a partition, ...). [`EdgeSubset`] is the
+//! shared currency for all of them: an immutable set of edge ids over a
+//! parent [`Graph`], with the queries the algorithms need.
+
+use crate::graph::Graph;
+use crate::ids::{EdgeId, NodeId};
+
+/// An immutable subset of the edges of a parent graph.
+///
+/// Stores both the edge list (iteration order = construction order) and a
+/// membership bitmap (O(1) `contains`). An `EdgeSubset` borrows nothing: it
+/// is a plain value tied to a parent graph only by edge-id compatibility, so
+/// callers must query it against the same graph it was built from.
+#[derive(Clone, Debug, Default)]
+pub struct EdgeSubset {
+    edges: Vec<EdgeId>,
+    member: Vec<bool>,
+}
+
+impl EdgeSubset {
+    /// Builds a subset from edge ids. Duplicate ids are kept once.
+    ///
+    /// # Panics
+    /// Panics if any id is out of range for `g`.
+    pub fn from_edges(g: &Graph, ids: impl IntoIterator<Item = EdgeId>) -> Self {
+        let mut member = vec![false; g.num_edges()];
+        let mut edges = Vec::new();
+        for e in ids {
+            assert!(
+                e.index() < g.num_edges(),
+                "edge {e:?} out of range (m = {})",
+                g.num_edges()
+            );
+            if !member[e.index()] {
+                member[e.index()] = true;
+                edges.push(e);
+            }
+        }
+        EdgeSubset { edges, member }
+    }
+
+    /// The subset containing every edge of `g`.
+    pub fn full(g: &Graph) -> Self {
+        EdgeSubset {
+            edges: g.edges().collect(),
+            member: vec![true; g.num_edges()],
+        }
+    }
+
+    /// The complement of this subset within `g`.
+    pub fn complement(&self, g: &Graph) -> Self {
+        EdgeSubset::from_edges(g, g.edges().filter(|e| !self.contains(*e)))
+    }
+
+    /// Set-minus: edges of `self` not in `other`.
+    pub fn minus(&self, g: &Graph, other: &EdgeSubset) -> Self {
+        EdgeSubset::from_edges(g, self.edges.iter().copied().filter(|e| !other.contains(*e)))
+    }
+
+    /// Set union.
+    pub fn union(&self, g: &Graph, other: &EdgeSubset) -> Self {
+        EdgeSubset::from_edges(
+            g,
+            self.edges.iter().copied().chain(other.edges.iter().copied()),
+        )
+    }
+
+    /// Number of edges in the subset.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` if the subset is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// O(1) membership test.
+    #[inline]
+    pub fn contains(&self, e: EdgeId) -> bool {
+        self.member.get(e.index()).copied().unwrap_or(false)
+    }
+
+    /// Edge ids in construction order.
+    #[inline]
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// Degree of `v` counting only subset edges.
+    pub fn degree(&self, g: &Graph, v: NodeId) -> usize {
+        g.incident(v).iter().filter(|&&(_, e)| self.contains(e)).count()
+    }
+
+    /// The distinct nodes touched by subset edges, in ascending order.
+    ///
+    /// For a wavelength's edge set this is exactly the set of ring nodes
+    /// that need a SADM on that wavelength.
+    pub fn touched_nodes(&self, g: &Graph) -> Vec<NodeId> {
+        let mut seen = vec![false; g.num_nodes()];
+        for &e in &self.edges {
+            let (u, v) = g.endpoints(e);
+            seen[u.index()] = true;
+            seen[v.index()] = true;
+        }
+        (0..g.num_nodes() as u32)
+            .map(NodeId)
+            .filter(|v| seen[v.index()])
+            .collect()
+    }
+
+    /// Number of distinct nodes touched by subset edges (the SADM cost of
+    /// the subset when it is one wavelength of a grooming).
+    pub fn touched_node_count(&self, g: &Graph) -> usize {
+        let mut seen = vec![false; g.num_nodes()];
+        let mut count = 0;
+        for &e in &self.edges {
+            let (u, v) = g.endpoints(e);
+            if !seen[u.index()] {
+                seen[u.index()] = true;
+                count += 1;
+            }
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Connected components of the subgraph `(touched nodes, subset edges)`.
+    ///
+    /// Isolated nodes of the parent graph are *not* counted; every returned
+    /// component contains at least one edge. Each component is returned as
+    /// its list of edge ids.
+    pub fn edge_components(&self, g: &Graph) -> Vec<Vec<EdgeId>> {
+        let mut comp_of = vec![usize::MAX; g.num_nodes()];
+        let mut comps: Vec<Vec<EdgeId>> = Vec::new();
+        let mut stack = Vec::new();
+        for &start_e in &self.edges {
+            let (root, _) = g.endpoints(start_e);
+            if comp_of[root.index()] != usize::MAX {
+                continue;
+            }
+            let cid = comps.len();
+            comps.push(Vec::new());
+            comp_of[root.index()] = cid;
+            stack.push(root);
+            let mut edge_seen = Vec::new();
+            while let Some(v) = stack.pop() {
+                for &(w, e) in g.incident(v) {
+                    if !self.contains(e) {
+                        continue;
+                    }
+                    edge_seen.push(e);
+                    if comp_of[w.index()] == usize::MAX {
+                        comp_of[w.index()] = cid;
+                        stack.push(w);
+                    }
+                }
+            }
+            // Each subset edge incident to the component was pushed twice
+            // (once per endpoint); dedup into the component.
+            edge_seen.sort_unstable();
+            edge_seen.dedup();
+            comps[cid] = edge_seen;
+        }
+        comps
+    }
+
+    /// Number of connected components of the *spanning* subgraph
+    /// `(V(G), subset edges)` — isolated nodes count as singleton
+    /// components. This is the `c` of the paper's Lemma 4 (components of
+    /// `G\T` over the full node set).
+    pub fn spanning_component_count(&self, g: &Graph) -> usize {
+        let with_edges = self.edge_components(g).len();
+        let touched = self.touched_node_count(g);
+        with_edges + (g.num_nodes() - touched)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_triangles() -> Graph {
+        // nodes 0-2 form a triangle, nodes 3-5 form a triangle, node 6 isolated
+        Graph::from_edges(7, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+    }
+
+    #[test]
+    fn full_subset_covers_everything() {
+        let g = two_triangles();
+        let s = EdgeSubset::full(&g);
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.touched_node_count(&g), 6);
+        assert_eq!(s.edge_components(&g).len(), 2);
+        assert_eq!(s.spanning_component_count(&g), 3); // two triangles + isolated node
+    }
+
+    #[test]
+    fn from_edges_dedups() {
+        let g = two_triangles();
+        let s = EdgeSubset::from_edges(&g, [EdgeId(0), EdgeId(0), EdgeId(1)]);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(EdgeId(0)));
+        assert!(!s.contains(EdgeId(5)));
+    }
+
+    #[test]
+    fn touched_nodes_sorted_and_exact() {
+        let g = two_triangles();
+        let s = EdgeSubset::from_edges(&g, [EdgeId(3)]); // edge (3,4)
+        assert_eq!(s.touched_nodes(&g), vec![NodeId(3), NodeId(4)]);
+        assert_eq!(s.touched_node_count(&g), 2);
+    }
+
+    #[test]
+    fn degree_counts_only_subset_edges() {
+        let g = two_triangles();
+        let s = EdgeSubset::from_edges(&g, [EdgeId(0), EdgeId(1)]); // (0,1), (1,2)
+        assert_eq!(s.degree(&g, NodeId(1)), 2);
+        assert_eq!(s.degree(&g, NodeId(0)), 1);
+        assert_eq!(s.degree(&g, NodeId(3)), 0);
+    }
+
+    #[test]
+    fn complement_and_minus_and_union() {
+        let g = two_triangles();
+        let s = EdgeSubset::from_edges(&g, [EdgeId(0), EdgeId(1)]);
+        let c = s.complement(&g);
+        assert_eq!(c.len(), 4);
+        assert!(!c.contains(EdgeId(0)));
+        let u = s.union(&g, &c);
+        assert_eq!(u.len(), 6);
+        let d = u.minus(&g, &s);
+        assert_eq!(d.len(), 4);
+        assert!(d.contains(EdgeId(5)));
+    }
+
+    #[test]
+    fn edge_components_partition_the_subset() {
+        let g = two_triangles();
+        let s = EdgeSubset::from_edges(&g, [EdgeId(0), EdgeId(4)]); // (0,1) and (4,5)
+        let comps = s.edge_components(&g);
+        assert_eq!(comps.len(), 2);
+        let total: usize = comps.iter().map(Vec::len).sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn empty_subset_has_all_singletons() {
+        let g = two_triangles();
+        let s = EdgeSubset::from_edges(&g, []);
+        assert!(s.is_empty());
+        assert_eq!(s.spanning_component_count(&g), 7);
+        assert_eq!(s.touched_node_count(&g), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_rejected() {
+        let g = two_triangles();
+        let _ = EdgeSubset::from_edges(&g, [EdgeId(99)]);
+    }
+}

@@ -1,0 +1,268 @@
+//! Edge walks: sequences of consecutive edges with no edge repeated.
+//!
+//! The paper's definition of a *path* is "a sequence of consecutive edges in
+//! G, where no repeated edge is allowed" — nodes may repeat. [`Walk`] is that
+//! object: Euler circuits, tree paths, and skeleton backbones are all walks.
+
+use crate::graph::Graph;
+use crate::ids::{EdgeId, NodeId};
+use std::collections::HashSet;
+
+/// A walk: `nodes.len() == edges.len() + 1`, with `edges[i]` joining
+/// `nodes[i]` and `nodes[i+1]`, and no edge id repeated.
+///
+/// A walk of zero edges ("a single node") is legal — the paper explicitly
+/// allows the degenerate Euler path consisting of a single node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Walk {
+    nodes: Vec<NodeId>,
+    edges: Vec<EdgeId>,
+}
+
+impl Walk {
+    /// A zero-edge walk sitting at `v`.
+    pub fn singleton(v: NodeId) -> Self {
+        Walk {
+            nodes: vec![v],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Builds a walk from a node sequence and edge sequence.
+    ///
+    /// # Panics
+    /// Panics if the lengths are inconsistent or any edge does not join its
+    /// surrounding node pair in `g`.
+    pub fn from_parts(g: &Graph, nodes: Vec<NodeId>, edges: Vec<EdgeId>) -> Self {
+        assert_eq!(
+            nodes.len(),
+            edges.len() + 1,
+            "walk must have exactly one more node than edges"
+        );
+        for (i, &e) in edges.iter().enumerate() {
+            let (a, b) = g.endpoints(e);
+            let (x, y) = (nodes[i], nodes[i + 1]);
+            assert!(
+                (a, b) == (x, y) || (a, b) == (y, x),
+                "edge {e:?} = ({a:?},{b:?}) does not join walk nodes ({x:?},{y:?})"
+            );
+        }
+        Walk { nodes, edges }
+    }
+
+    /// Appends edge `e` (which must be incident to the current end node).
+    ///
+    /// # Panics
+    /// Panics if `e` is not incident to the walk's end.
+    pub fn push(&mut self, g: &Graph, e: EdgeId) {
+        let last = *self.nodes.last().expect("walk is never empty");
+        let next = g.other_endpoint(e, last);
+        self.edges.push(e);
+        self.nodes.push(next);
+    }
+
+    /// First node.
+    pub fn start(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Last node.
+    pub fn end(&self) -> NodeId {
+        *self.nodes.last().unwrap()
+    }
+
+    /// Number of edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` if the walk has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// `true` if the walk starts and ends at the same node and is nonempty.
+    pub fn is_closed(&self) -> bool {
+        !self.is_empty() && self.start() == self.end()
+    }
+
+    /// Node sequence (length = `len() + 1`).
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Edge sequence.
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// Reverses the walk in place.
+    pub fn reverse(&mut self) {
+        self.nodes.reverse();
+        self.edges.reverse();
+    }
+
+    /// `true` if no node repeats (a *simple* path).
+    pub fn is_simple_path(&self) -> bool {
+        let mut seen = HashSet::with_capacity(self.nodes.len());
+        self.nodes.iter().all(|v| seen.insert(*v))
+    }
+
+    /// Checks walk validity against `g`: consecutive incidence and no
+    /// repeated edge id.
+    pub fn validate(&self, g: &Graph) -> Result<(), String> {
+        if self.nodes.len() != self.edges.len() + 1 {
+            return Err("node/edge length mismatch".into());
+        }
+        let mut used = HashSet::with_capacity(self.edges.len());
+        for (i, &e) in self.edges.iter().enumerate() {
+            if e.index() >= g.num_edges() {
+                return Err(format!("edge {e:?} out of range"));
+            }
+            if !used.insert(e) {
+                return Err(format!("edge {e:?} repeated in walk"));
+            }
+            let (a, b) = g.endpoints(e);
+            let (x, y) = (self.nodes[i], self.nodes[i + 1]);
+            if (a, b) != (x, y) && (a, b) != (y, x) {
+                return Err(format!(
+                    "edge {e:?} does not join consecutive walk nodes at position {i}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Concatenates `other` onto `self`.
+    ///
+    /// # Panics
+    /// Panics if `other` does not start where `self` ends.
+    pub fn extend(&mut self, other: Walk) {
+        assert_eq!(
+            self.end(),
+            other.start(),
+            "walks are not concatenable (end != start)"
+        );
+        self.edges.extend(other.edges);
+        self.nodes.extend(other.nodes.into_iter().skip(1));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square() -> Graph {
+        Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)])
+    }
+
+    #[test]
+    fn singleton_walk_is_empty_and_valid() {
+        let g = square();
+        let w = Walk::singleton(NodeId(2));
+        assert!(w.is_empty());
+        assert!(!w.is_closed());
+        assert_eq!(w.start(), w.end());
+        assert!(w.validate(&g).is_ok());
+        assert!(w.is_simple_path());
+    }
+
+    #[test]
+    fn push_follows_incidence() {
+        let g = square();
+        let mut w = Walk::singleton(NodeId(0));
+        w.push(&g, EdgeId(0));
+        w.push(&g, EdgeId(1));
+        assert_eq!(w.nodes(), &[NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(w.len(), 2);
+        assert!(w.validate(&g).is_ok());
+        assert!(w.is_simple_path());
+    }
+
+    #[test]
+    #[should_panic(expected = "is not an endpoint")]
+    fn push_rejects_non_incident_edge() {
+        let g = square();
+        let mut w = Walk::singleton(NodeId(0));
+        w.push(&g, EdgeId(1)); // edge (1,2) not incident to 0
+    }
+
+    #[test]
+    fn closed_walk_detection() {
+        let g = square();
+        let mut w = Walk::singleton(NodeId(0));
+        for e in 0..4 {
+            w.push(&g, EdgeId(e));
+        }
+        assert!(w.is_closed());
+        assert!(!w.is_simple_path()); // start node repeats
+        assert!(w.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn validate_catches_repeated_edge() {
+        let g = square();
+        let w = Walk {
+            nodes: vec![NodeId(0), NodeId(1), NodeId(0)],
+            edges: vec![EdgeId(0), EdgeId(0)],
+        };
+        assert!(w.validate(&g).unwrap_err().contains("repeated"));
+    }
+
+    #[test]
+    fn validate_catches_incidence_break() {
+        let g = square();
+        let w = Walk {
+            nodes: vec![NodeId(0), NodeId(3)],
+            edges: vec![EdgeId(0)],
+        };
+        assert!(w.validate(&g).is_err());
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let g = square();
+        let w = Walk::from_parts(
+            &g,
+            vec![NodeId(3), NodeId(0), NodeId(1)],
+            vec![EdgeId(3), EdgeId(0)],
+        );
+        assert_eq!(w.end(), NodeId(1));
+    }
+
+    #[test]
+    fn reverse_flips_ends() {
+        let g = square();
+        let mut w = Walk::singleton(NodeId(0));
+        w.push(&g, EdgeId(0));
+        w.push(&g, EdgeId(1));
+        w.reverse();
+        assert_eq!(w.start(), NodeId(2));
+        assert_eq!(w.end(), NodeId(0));
+        assert!(w.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let g = square();
+        let mut a = Walk::singleton(NodeId(0));
+        a.push(&g, EdgeId(0));
+        let mut b = Walk::singleton(NodeId(1));
+        b.push(&g, EdgeId(1));
+        a.extend(b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.end(), NodeId(2));
+        assert!(a.validate(&g).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "not concatenable")]
+    fn extend_rejects_mismatched_walks() {
+        let g = square();
+        let a = Walk::singleton(NodeId(0));
+        let b = Walk::singleton(NodeId(1));
+        let mut a = a;
+        let _ = &g;
+        a.extend(b);
+    }
+}

@@ -1,0 +1,153 @@
+//! Wavelength channels: circuits, per-arc loads, capacity checks.
+
+use crate::demand::DemandPair;
+use crate::ring::UpsrRing;
+use grooming_graph::ids::NodeId;
+
+/// One wavelength of the WDM ring and the demand pairs groomed onto it.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WavelengthChannel {
+    pairs: Vec<DemandPair>,
+}
+
+impl WavelengthChannel {
+    /// An empty channel.
+    pub fn new() -> Self {
+        WavelengthChannel { pairs: Vec::new() }
+    }
+
+    /// A channel carrying the given pairs.
+    pub fn from_pairs(pairs: Vec<DemandPair>) -> Self {
+        WavelengthChannel { pairs }
+    }
+
+    /// Adds a pair to the channel.
+    pub fn add(&mut self, p: DemandPair) {
+        self.pairs.push(p);
+    }
+
+    /// The pairs groomed onto this wavelength.
+    pub fn pairs(&self) -> &[DemandPair] {
+        &self.pairs
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// `true` if the channel carries nothing.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Per-arc load on the working ring: every symmetric pair contributes
+    /// one unit to every arc (its two directed paths cover the ring), so
+    /// this is a constant vector — computed arc-by-arc anyway so that the
+    /// capacity model stays valid if asymmetric circuits are ever added.
+    pub fn arc_loads(&self, ring: &UpsrRing) -> Vec<usize> {
+        let mut loads = vec![0usize; ring.num_nodes()];
+        for p in &self.pairs {
+            for arc in ring.arc_path(p.lo(), p.hi()) {
+                loads[arc.index()] += 1;
+            }
+            for arc in ring.arc_path(p.hi(), p.lo()) {
+                loads[arc.index()] += 1;
+            }
+        }
+        loads
+    }
+
+    /// The maximum per-arc load (the channel's bandwidth requirement in
+    /// tributary units).
+    pub fn max_arc_load(&self, ring: &UpsrRing) -> usize {
+        self.arc_loads(ring).into_iter().max().unwrap_or(0)
+    }
+
+    /// `true` if the channel fits a wavelength of grooming factor `k`.
+    pub fn fits(&self, ring: &UpsrRing, grooming_factor: usize) -> bool {
+        self.max_arc_load(ring) <= grooming_factor
+    }
+
+    /// The distinct ring nodes that add/drop traffic on this wavelength —
+    /// exactly the nodes that need a SADM for it.
+    pub fn adm_nodes(&self, ring: &UpsrRing) -> Vec<NodeId> {
+        let mut need = vec![false; ring.num_nodes()];
+        for p in &self.pairs {
+            need[p.lo().index()] = true;
+            need[p.hi().index()] = true;
+        }
+        (0..ring.num_nodes() as u32)
+            .map(NodeId)
+            .filter(|v| need[v.index()])
+            .collect()
+    }
+
+    /// Number of SADMs this wavelength requires.
+    pub fn adm_count(&self, ring: &UpsrRing) -> usize {
+        self.adm_nodes(ring).len()
+    }
+
+    /// Number of nodes the wavelength optically bypasses (no SADM needed).
+    pub fn bypass_count(&self, ring: &UpsrRing) -> usize {
+        ring.num_nodes() - self.adm_count(ring)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(a: u32, b: u32) -> DemandPair {
+        DemandPair::new(NodeId(a), NodeId(b))
+    }
+
+    #[test]
+    fn empty_channel_loads_nothing() {
+        let ring = UpsrRing::new(5);
+        let ch = WavelengthChannel::new();
+        assert!(ch.is_empty());
+        assert_eq!(ch.max_arc_load(&ring), 0);
+        assert_eq!(ch.adm_count(&ring), 0);
+        assert_eq!(ch.bypass_count(&ring), 5);
+        assert!(ch.fits(&ring, 0));
+    }
+
+    #[test]
+    fn one_pair_loads_every_arc_once() {
+        let ring = UpsrRing::new(6);
+        let ch = WavelengthChannel::from_pairs(vec![pair(1, 4)]);
+        let loads = ch.arc_loads(&ring);
+        assert!(loads.iter().all(|&l| l == 1));
+        assert_eq!(ch.max_arc_load(&ring), 1);
+        assert_eq!(ch.adm_nodes(&ring), vec![NodeId(1), NodeId(4)]);
+        assert_eq!(ch.bypass_count(&ring), 4);
+    }
+
+    #[test]
+    fn k_pairs_load_k_everywhere() {
+        // The combinatorial capacity rule: a channel with p pairs needs
+        // grooming factor >= p, regardless of where the pairs sit.
+        let ring = UpsrRing::new(8);
+        let ch = WavelengthChannel::from_pairs(vec![pair(0, 1), pair(2, 7), pair(3, 4)]);
+        assert_eq!(ch.max_arc_load(&ring), 3);
+        assert!(ch.fits(&ring, 3));
+        assert!(!ch.fits(&ring, 2));
+    }
+
+    #[test]
+    fn adm_nodes_dedup_shared_endpoints() {
+        let ring = UpsrRing::new(5);
+        let ch = WavelengthChannel::from_pairs(vec![pair(0, 1), pair(1, 2), pair(2, 0)]);
+        assert_eq!(ch.adm_count(&ring), 3);
+        assert_eq!(ch.len(), 3);
+    }
+
+    #[test]
+    fn duplicate_pairs_double_load_not_adms() {
+        let ring = UpsrRing::new(4);
+        let ch = WavelengthChannel::from_pairs(vec![pair(0, 2), pair(0, 2)]);
+        assert_eq!(ch.max_arc_load(&ring), 2);
+        assert_eq!(ch.adm_count(&ring), 2);
+    }
+}

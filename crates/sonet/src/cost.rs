@@ -1,0 +1,128 @@
+//! Equipment cost model: turn SADM/wavelength counts into money.
+//!
+//! The paper's objective — SADM count — is a proxy for capital cost ("SADMs
+//! dominate the cost of SONET/WDM networks"). This module makes the proxy
+//! explicit so experiments can report dollars and explore when wavelength
+//! costs (transponders, amplifier share) change a planning decision.
+
+use crate::rates::OcRate;
+use crate::stats::RingCostReport;
+
+/// Per-unit equipment prices (arbitrary currency units).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// One SADM at the line rate.
+    pub adm: f64,
+    /// One wavelength's pair of transponders + its share of optics.
+    pub wavelength: f64,
+    /// Fixed per-node cost (shelf, power) charged once per node that
+    /// hosts at least one ADM.
+    pub node_site: f64,
+}
+
+impl CostModel {
+    /// A list-price-flavored default for a given line rate: ADM prices
+    /// scale roughly with the square root of line capacity; transponders
+    /// linearly.
+    pub fn default_for(line: OcRate) -> Self {
+        let units = line.sts1_units() as f64;
+        CostModel {
+            adm: 10_000.0 * units.sqrt() / 4.0,
+            wavelength: 150.0 * units,
+            node_site: 5_000.0,
+        }
+    }
+
+    /// Total cost of a grooming described by `report`.
+    pub fn evaluate(&self, report: &RingCostReport) -> CostBreakdown {
+        let adm_cost = self.adm * report.sadm_total as f64;
+        let wavelength_cost = self.wavelength * report.wavelengths as f64;
+        let sites = report.per_node_adms.iter().filter(|&&c| c > 0).count();
+        let site_cost = self.node_site * sites as f64;
+        CostBreakdown {
+            adm_cost,
+            wavelength_cost,
+            site_cost,
+            total: adm_cost + wavelength_cost + site_cost,
+        }
+    }
+}
+
+/// Evaluated cost components.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostBreakdown {
+    /// SADM equipment.
+    pub adm_cost: f64,
+    /// Per-wavelength optics.
+    pub wavelength_cost: f64,
+    /// Per-site fixed costs.
+    pub site_cost: f64,
+    /// Sum of the above.
+    pub total: f64,
+}
+
+impl std::fmt::Display for CostBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "total {:.0} (ADMs {:.0}, wavelengths {:.0}, sites {:.0})",
+            self.total, self.adm_cost, self.wavelength_cost, self.site_cost
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(sadms: usize, waves: usize, per_node: Vec<usize>) -> RingCostReport {
+        RingCostReport {
+            nodes: per_node.len(),
+            grooming_factor: 16,
+            wavelengths: waves,
+            sadm_total: sadms,
+            bypass_total: 0,
+            per_node_adms: per_node,
+            pairs_carried: 0,
+            capacity_pairs: 0,
+        }
+    }
+
+    #[test]
+    fn evaluation_sums_components() {
+        let model = CostModel {
+            adm: 100.0,
+            wavelength: 10.0,
+            node_site: 1.0,
+        };
+        let b = model.evaluate(&report(7, 3, vec![2, 2, 2, 1, 0]));
+        assert_eq!(b.adm_cost, 700.0);
+        assert_eq!(b.wavelength_cost, 30.0);
+        assert_eq!(b.site_cost, 4.0); // four nodes host ADMs
+        assert_eq!(b.total, 734.0);
+        assert!(b.to_string().contains("total 734"));
+    }
+
+    #[test]
+    fn fewer_sadms_cost_less_under_any_positive_model() {
+        let model = CostModel::default_for(OcRate::Oc48);
+        let cheap = model.evaluate(&report(10, 3, vec![2, 2, 2, 2, 2]));
+        let dear = model.evaluate(&report(14, 3, vec![3, 3, 3, 3, 2]));
+        assert!(cheap.total < dear.total);
+    }
+
+    #[test]
+    fn default_models_scale_with_line_rate() {
+        let small = CostModel::default_for(OcRate::Oc48);
+        let big = CostModel::default_for(OcRate::Oc192);
+        assert!(big.adm > small.adm);
+        assert!(big.wavelength > small.wavelength);
+    }
+
+    #[test]
+    fn empty_ring_costs_nothing_variable() {
+        let model = CostModel::default_for(OcRate::Oc48);
+        let b = model.evaluate(&report(0, 0, vec![0; 6]));
+        assert_eq!(b.total, 0.0);
+    }
+}

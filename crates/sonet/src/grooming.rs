@@ -1,0 +1,294 @@
+//! Grooming assignments: demand pairs placed on wavelengths, validated
+//! against ring capacity, with SADM accounting.
+
+use crate::channel::WavelengthChannel;
+use crate::demand::{DemandPair, DemandSet};
+use crate::ring::UpsrRing;
+use crate::stats::RingCostReport;
+use grooming_graph::ids::NodeId;
+
+/// Why a grooming assignment is invalid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GroomingError {
+    /// A wavelength exceeds the grooming factor on some arc.
+    Overloaded {
+        /// Index of the offending wavelength.
+        wavelength: usize,
+        /// Its maximum per-arc load.
+        load: usize,
+        /// The grooming factor it had to respect.
+        grooming_factor: usize,
+    },
+    /// The multiset of groomed pairs differs from the demand set.
+    DemandMismatch {
+        /// Human-readable discrepancy description.
+        detail: String,
+    },
+    /// A pair references a node outside the ring.
+    NodeOutOfRange {
+        /// The offending pair.
+        pair: DemandPair,
+    },
+}
+
+impl std::fmt::Display for GroomingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GroomingError::Overloaded {
+                wavelength,
+                load,
+                grooming_factor,
+            } => write!(
+                f,
+                "wavelength {wavelength} carries load {load} > grooming factor {grooming_factor}"
+            ),
+            GroomingError::DemandMismatch { detail } => {
+                write!(f, "groomed pairs do not match the demand set: {detail}")
+            }
+            GroomingError::NodeOutOfRange { pair } => {
+                write!(f, "pair {pair} references a node outside the ring")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GroomingError {}
+
+/// A complete grooming: every demand pair assigned to a wavelength.
+#[derive(Clone, Debug)]
+pub struct GroomingAssignment {
+    ring: UpsrRing,
+    grooming_factor: usize,
+    channels: Vec<WavelengthChannel>,
+}
+
+impl GroomingAssignment {
+    /// Creates an assignment from per-wavelength pair groups.
+    pub fn new(
+        ring: UpsrRing,
+        grooming_factor: usize,
+        groups: Vec<Vec<DemandPair>>,
+    ) -> Self {
+        GroomingAssignment {
+            ring,
+            grooming_factor,
+            channels: groups.into_iter().map(WavelengthChannel::from_pairs).collect(),
+        }
+    }
+
+    /// The ring this assignment lives on.
+    pub fn ring(&self) -> &UpsrRing {
+        &self.ring
+    }
+
+    /// The grooming factor each wavelength must respect.
+    pub fn grooming_factor(&self) -> usize {
+        self.grooming_factor
+    }
+
+    /// The wavelengths.
+    pub fn channels(&self) -> &[WavelengthChannel] {
+        &self.channels
+    }
+
+    /// Number of wavelengths used.
+    pub fn num_wavelengths(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Total SADMs across all wavelengths — the paper's objective.
+    pub fn sadm_count(&self) -> usize {
+        self.channels.iter().map(|c| c.adm_count(&self.ring)).sum()
+    }
+
+    /// SADMs required at a given node (one per wavelength it adds/drops).
+    pub fn sadm_at(&self, v: NodeId) -> usize {
+        self.channels
+            .iter()
+            .filter(|c| c.pairs().iter().any(|p| p.touches(v)))
+            .count()
+    }
+
+    /// Total optical bypasses (node × wavelength combinations with no ADM).
+    pub fn bypass_count(&self) -> usize {
+        self.channels
+            .iter()
+            .map(|c| c.bypass_count(&self.ring))
+            .sum()
+    }
+
+    /// Validates capacity and (optionally) demand coverage.
+    ///
+    /// When `demands` is given, the multiset of groomed pairs must equal
+    /// the demand multiset exactly — every demand groomed once, nothing
+    /// invented.
+    pub fn validate(&self, demands: Option<&DemandSet>) -> Result<(), GroomingError> {
+        let n = self.ring.num_nodes();
+        for (i, ch) in self.channels.iter().enumerate() {
+            for p in ch.pairs() {
+                if p.hi().index() >= n {
+                    return Err(GroomingError::NodeOutOfRange { pair: *p });
+                }
+            }
+            let load = ch.max_arc_load(&self.ring);
+            if load > self.grooming_factor {
+                return Err(GroomingError::Overloaded {
+                    wavelength: i,
+                    load,
+                    grooming_factor: self.grooming_factor,
+                });
+            }
+        }
+        if let Some(demands) = demands {
+            let mut groomed: Vec<DemandPair> = self
+                .channels
+                .iter()
+                .flat_map(|c| c.pairs().iter().copied())
+                .collect();
+            let mut wanted: Vec<DemandPair> = demands.pairs().to_vec();
+            groomed.sort_unstable();
+            wanted.sort_unstable();
+            if groomed != wanted {
+                return Err(GroomingError::DemandMismatch {
+                    detail: format!(
+                        "groomed {} pairs, demand set has {}",
+                        groomed.len(),
+                        wanted.len()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the cost report for this assignment.
+    pub fn report(&self) -> RingCostReport {
+        let n = self.ring.num_nodes();
+        let per_node: Vec<usize> = (0..n as u32).map(|v| self.sadm_at(NodeId(v))).collect();
+        let capacity = self.num_wavelengths() * self.grooming_factor;
+        let used: usize = self.channels.iter().map(WavelengthChannel::len).sum();
+        RingCostReport {
+            nodes: n,
+            grooming_factor: self.grooming_factor,
+            wavelengths: self.num_wavelengths(),
+            sadm_total: self.sadm_count(),
+            bypass_total: self.bypass_count(),
+            per_node_adms: per_node,
+            pairs_carried: used,
+            capacity_pairs: capacity,
+        }
+    }
+
+    /// The naive no-grooming baseline for the same demands: one dedicated
+    /// wavelength per demand pair (2 SADMs each). Useful to quantify what
+    /// grooming saves.
+    pub fn dedicated(ring: UpsrRing, grooming_factor: usize, demands: &DemandSet) -> Self {
+        GroomingAssignment::new(
+            ring,
+            grooming_factor,
+            demands.pairs().iter().map(|&p| vec![p]).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(a: u32, b: u32) -> DemandPair {
+        DemandPair::new(NodeId(a), NodeId(b))
+    }
+
+    fn demands() -> DemandSet {
+        DemandSet::from_pairs(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+    }
+
+    #[test]
+    fn two_triangles_on_two_wavelengths() {
+        let ring = UpsrRing::new(6);
+        let d = demands();
+        let a = GroomingAssignment::new(
+            ring,
+            3,
+            vec![
+                vec![pair(0, 1), pair(1, 2), pair(2, 0)],
+                vec![pair(3, 4), pair(4, 5), pair(5, 3)],
+            ],
+        );
+        a.validate(Some(&d)).unwrap();
+        assert_eq!(a.num_wavelengths(), 2);
+        assert_eq!(a.sadm_count(), 6);
+        assert_eq!(a.bypass_count(), 2 * 6 - 6);
+        assert_eq!(a.sadm_at(NodeId(0)), 1);
+    }
+
+    #[test]
+    fn overload_detected() {
+        let ring = UpsrRing::new(6);
+        let a = GroomingAssignment::new(
+            ring,
+            2,
+            vec![vec![pair(0, 1), pair(1, 2), pair(2, 0)]],
+        );
+        match a.validate(None) {
+            Err(GroomingError::Overloaded {
+                wavelength: 0,
+                load: 3,
+                grooming_factor: 2,
+            }) => {}
+            other => panic!("expected overload, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn demand_mismatch_detected() {
+        let ring = UpsrRing::new(6);
+        let d = demands();
+        let a = GroomingAssignment::new(ring, 3, vec![vec![pair(0, 1)]]);
+        assert!(matches!(
+            a.validate(Some(&d)),
+            Err(GroomingError::DemandMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_pair_detected() {
+        let ring = UpsrRing::new(3);
+        let a = GroomingAssignment::new(ring, 4, vec![vec![pair(0, 5)]]);
+        assert!(matches!(
+            a.validate(None),
+            Err(GroomingError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn dedicated_baseline_costs_two_adms_per_pair() {
+        let ring = UpsrRing::new(6);
+        let d = demands();
+        let a = GroomingAssignment::dedicated(ring, 3, &d);
+        a.validate(Some(&d)).unwrap();
+        assert_eq!(a.num_wavelengths(), 6);
+        assert_eq!(a.sadm_count(), 12);
+    }
+
+    #[test]
+    fn report_is_consistent() {
+        let ring = UpsrRing::new(6);
+        let d = demands();
+        let a = GroomingAssignment::new(
+            ring,
+            3,
+            vec![
+                vec![pair(0, 1), pair(1, 2), pair(2, 0)],
+                vec![pair(3, 4), pair(4, 5), pair(5, 3)],
+            ],
+        );
+        let r = a.report();
+        assert_eq!(r.sadm_total, 6);
+        assert_eq!(r.wavelengths, 2);
+        assert_eq!(r.pairs_carried, d.len());
+        assert_eq!(r.capacity_pairs, 6);
+        assert_eq!(r.per_node_adms.iter().sum::<usize>(), r.sadm_total);
+        assert!((r.utilization() - 1.0).abs() < 1e-12);
+    }
+}

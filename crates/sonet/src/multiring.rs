@@ -1,0 +1,323 @@
+//! Multi-ring networks: stacked UPSR rings joined at gateway nodes.
+//!
+//! Metro deployments rarely stop at one ring: access rings hang off a core
+//! ring through *gateway* offices hosting back-to-back ADMs. A demand whose
+//! endpoints sit on different rings is carried as a chain of intra-ring
+//! segments through the gateways. This module provides the topology and the
+//! demand decomposition; the grooming of each ring stays the single-ring
+//! problem the paper solves (see `grooming::network` for the wrapper).
+
+use crate::demand::{DemandPair, DemandSet};
+use grooming_graph::ids::NodeId;
+
+/// A node address in a multi-ring network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RingNode {
+    /// Ring index.
+    pub ring: usize,
+    /// Node within that ring.
+    pub node: NodeId,
+}
+
+impl std::fmt::Display for RingNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}:{}", self.ring, self.node)
+    }
+}
+
+/// A gateway: a pair of co-located nodes on two rings where traffic can be
+/// handed over (back-to-back ADMs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Gateway {
+    /// One side of the gateway.
+    pub a: RingNode,
+    /// The other side.
+    pub b: RingNode,
+}
+
+/// A multi-ring network: ring sizes plus gateways.
+#[derive(Clone, Debug)]
+pub struct MultiRingNetwork {
+    ring_sizes: Vec<usize>,
+    gateways: Vec<Gateway>,
+}
+
+/// Routing failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RouteError {
+    /// A node address is outside its ring.
+    BadAddress(RingNode),
+    /// No gateway path connects the two rings.
+    Unreachable {
+        /// Source ring.
+        from: usize,
+        /// Destination ring.
+        to: usize,
+    },
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::BadAddress(n) => write!(f, "address {n} outside its ring"),
+            RouteError::Unreachable { from, to } => {
+                write!(f, "no gateway path from ring {from} to ring {to}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+impl MultiRingNetwork {
+    /// Creates a network of rings with the given sizes (each ≥ 2).
+    pub fn new(ring_sizes: Vec<usize>) -> Self {
+        assert!(!ring_sizes.is_empty(), "need at least one ring");
+        assert!(
+            ring_sizes.iter().all(|&n| n >= 2),
+            "every ring needs at least 2 nodes"
+        );
+        MultiRingNetwork {
+            ring_sizes,
+            gateways: Vec::new(),
+        }
+    }
+
+    /// Number of rings.
+    pub fn num_rings(&self) -> usize {
+        self.ring_sizes.len()
+    }
+
+    /// Size of ring `r`.
+    pub fn ring_size(&self, r: usize) -> usize {
+        self.ring_sizes[r]
+    }
+
+    /// The gateways.
+    pub fn gateways(&self) -> &[Gateway] {
+        &self.gateways
+    }
+
+    fn check(&self, n: RingNode) -> Result<(), RouteError> {
+        if n.ring >= self.ring_sizes.len() || n.node.index() >= self.ring_sizes[n.ring] {
+            Err(RouteError::BadAddress(n))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Adds a gateway between two rings.
+    ///
+    /// # Panics
+    /// Panics on invalid addresses or a self-gateway.
+    pub fn add_gateway(&mut self, a: RingNode, b: RingNode) {
+        self.check(a).expect("gateway side a");
+        self.check(b).expect("gateway side b");
+        assert_ne!(a.ring, b.ring, "a gateway joins two different rings");
+        self.gateways.push(Gateway { a, b });
+    }
+
+    /// BFS over the ring graph: the gateway sequence from ring `from` to
+    /// ring `to` (empty when equal).
+    fn gateway_path(&self, from: usize, to: usize) -> Result<Vec<Gateway>, RouteError> {
+        if from == to {
+            return Ok(Vec::new());
+        }
+        let r = self.num_rings();
+        let mut prev: Vec<Option<Gateway>> = vec![None; r];
+        let mut seen = vec![false; r];
+        let mut queue = std::collections::VecDeque::new();
+        seen[from] = true;
+        queue.push_back(from);
+        while let Some(cur) = queue.pop_front() {
+            if cur == to {
+                break;
+            }
+            for &gw in &self.gateways {
+                // Orient the gateway as (cur -> next).
+                let oriented = if gw.a.ring == cur {
+                    Some(gw)
+                } else if gw.b.ring == cur {
+                    Some(Gateway { a: gw.b, b: gw.a })
+                } else {
+                    None
+                };
+                if let Some(o) = oriented {
+                    if !seen[o.b.ring] {
+                        seen[o.b.ring] = true;
+                        prev[o.b.ring] = Some(o);
+                        queue.push_back(o.b.ring);
+                    }
+                }
+            }
+        }
+        if !seen[to] {
+            return Err(RouteError::Unreachable { from, to });
+        }
+        let mut path = Vec::new();
+        let mut cur = to;
+        while cur != from {
+            let gw = prev[cur].expect("BFS predecessor");
+            path.push(gw);
+            cur = gw.a.ring;
+        }
+        path.reverse();
+        Ok(path)
+    }
+
+    /// Decomposes a network demand into intra-ring segments: each segment
+    /// is `(ring, pair)`. Segments whose two endpoints coincide (the
+    /// demand endpoint *is* the gateway node) are dropped — no ring
+    /// capacity is needed to hand traffic straight through an office.
+    pub fn route(&self, from: RingNode, to: RingNode) -> Result<Vec<(usize, DemandPair)>, RouteError> {
+        self.check(from)?;
+        self.check(to)?;
+        let gws = self.gateway_path(from.ring, to.ring)?;
+        let mut segments = Vec::with_capacity(gws.len() + 1);
+        let mut cursor = from;
+        for gw in gws {
+            debug_assert_eq!(gw.a.ring, cursor.ring);
+            if cursor.node != gw.a.node {
+                segments.push((cursor.ring, DemandPair::new(cursor.node, gw.a.node)));
+            }
+            cursor = gw.b;
+        }
+        if cursor.ring == to.ring && cursor.node != to.node {
+            segments.push((to.ring, DemandPair::new(cursor.node, to.node)));
+        }
+        Ok(segments)
+    }
+
+    /// Routes a whole list of network demands into per-ring [`DemandSet`]s.
+    pub fn route_all(
+        &self,
+        demands: &[(RingNode, RingNode)],
+    ) -> Result<Vec<DemandSet>, RouteError> {
+        let mut per_ring: Vec<DemandSet> = self
+            .ring_sizes
+            .iter()
+            .map(|&n| DemandSet::new(n))
+            .collect();
+        for &(from, to) in demands {
+            for (ring, pair) in self.route(from, to)? {
+                per_ring[ring].add(pair.lo(), pair.hi());
+            }
+        }
+        Ok(per_ring)
+    }
+}
+
+/// Convenience constructor for a [`RingNode`].
+pub fn rn(ring: usize, node: u32) -> RingNode {
+    RingNode {
+        ring,
+        node: NodeId(node),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Core ring 0 (8 nodes) with two access rings (6 nodes each) hanging
+    /// off nodes 0 and 4.
+    fn star_network() -> MultiRingNetwork {
+        let mut net = MultiRingNetwork::new(vec![8, 6, 6]);
+        net.add_gateway(rn(0, 0), rn(1, 0));
+        net.add_gateway(rn(0, 4), rn(2, 0));
+        net
+    }
+
+    #[test]
+    fn intra_ring_demand_is_one_segment() {
+        let net = star_network();
+        let segs = net.route(rn(1, 2), rn(1, 5)).unwrap();
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].0, 1);
+    }
+
+    #[test]
+    fn cross_ring_demand_chains_through_gateways() {
+        let net = star_network();
+        // ring 1 node 3 -> ring 2 node 4: segment in ring 1 (3 to gw 0),
+        // segment in ring 0 (gw 0 to gw 4), segment in ring 2 (0 to 4).
+        let segs = net.route(rn(1, 3), rn(2, 4)).unwrap();
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[0].0, 1);
+        assert_eq!(segs[1].0, 0);
+        assert_eq!(segs[2].0, 2);
+        // Chain endpoints match the gateway nodes.
+        assert!(segs[0].1.touches(NodeId(0)));
+        assert!(segs[1].1.touches(NodeId(0)) && segs[1].1.touches(NodeId(4)));
+        assert!(segs[2].1.touches(NodeId(0)) && segs[2].1.touches(NodeId(4)));
+    }
+
+    #[test]
+    fn gateway_endpoint_demands_drop_empty_segments() {
+        let net = star_network();
+        // From the gateway node itself: no segment needed in ring 1.
+        let segs = net.route(rn(1, 0), rn(0, 2)).unwrap();
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].0, 0);
+        // Degenerate: both endpoints are the same office via a gateway.
+        let segs = net.route(rn(1, 0), rn(0, 0)).unwrap();
+        assert!(segs.is_empty());
+    }
+
+    #[test]
+    fn unreachable_rings_error() {
+        let net = MultiRingNetwork::new(vec![4, 4]);
+        assert_eq!(
+            net.route(rn(0, 1), rn(1, 2)),
+            Err(RouteError::Unreachable { from: 0, to: 1 })
+        );
+    }
+
+    #[test]
+    fn bad_addresses_error() {
+        let net = star_network();
+        assert!(matches!(
+            net.route(rn(5, 0), rn(0, 0)),
+            Err(RouteError::BadAddress(_))
+        ));
+        assert!(matches!(
+            net.route(rn(0, 0), rn(1, 9)),
+            Err(RouteError::BadAddress(_))
+        ));
+    }
+
+    #[test]
+    fn route_all_collects_per_ring_demand_sets() {
+        let net = star_network();
+        let demands = vec![
+            (rn(1, 2), rn(1, 5)), // intra access ring 1
+            (rn(1, 3), rn(2, 4)), // cross network
+            (rn(0, 1), rn(0, 6)), // intra core
+        ];
+        let per_ring = net.route_all(&demands).unwrap();
+        assert_eq!(per_ring.len(), 3);
+        assert_eq!(per_ring[0].len(), 2); // core: gw-to-gw + intra core
+        assert_eq!(per_ring[1].len(), 2); // access 1: intra + to-gateway
+        assert_eq!(per_ring[2].len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "two different rings")]
+    fn self_gateway_rejected() {
+        let mut net = MultiRingNetwork::new(vec![4, 4]);
+        net.add_gateway(rn(0, 0), rn(0, 1));
+    }
+
+    #[test]
+    fn multi_hop_ring_paths() {
+        // A chain of four rings.
+        let mut net = MultiRingNetwork::new(vec![4, 4, 4, 4]);
+        net.add_gateway(rn(0, 1), rn(1, 0));
+        net.add_gateway(rn(1, 2), rn(2, 0));
+        net.add_gateway(rn(2, 2), rn(3, 0));
+        let segs = net.route(rn(0, 3), rn(3, 2)).unwrap();
+        assert_eq!(segs.len(), 4);
+        let rings: Vec<usize> = segs.iter().map(|&(r, _)| r).collect();
+        assert_eq!(rings, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,108 @@
+//! SONET OC-N line rates and grooming factors.
+
+/// A SONET optical carrier rate. `OC-N` carries `N` STS-1 payloads
+/// (≈ N × 51.84 Mbit/s).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OcRate {
+    /// OC-1 (51.84 Mbit/s).
+    Oc1,
+    /// OC-3 (155.52 Mbit/s) — the classic low-rate tributary.
+    Oc3,
+    /// OC-12 (622.08 Mbit/s).
+    Oc12,
+    /// OC-48 (2.488 Gbit/s) — the classic wavelength line rate.
+    Oc48,
+    /// OC-192 (9.953 Gbit/s).
+    Oc192,
+    /// OC-768 (39.813 Gbit/s).
+    Oc768,
+}
+
+impl OcRate {
+    /// All rates, ascending.
+    pub const ALL: [OcRate; 6] = [
+        OcRate::Oc1,
+        OcRate::Oc3,
+        OcRate::Oc12,
+        OcRate::Oc48,
+        OcRate::Oc192,
+        OcRate::Oc768,
+    ];
+
+    /// Capacity in STS-1 (OC-1) units.
+    pub fn sts1_units(self) -> usize {
+        match self {
+            OcRate::Oc1 => 1,
+            OcRate::Oc3 => 3,
+            OcRate::Oc12 => 12,
+            OcRate::Oc48 => 48,
+            OcRate::Oc192 => 192,
+            OcRate::Oc768 => 768,
+        }
+    }
+
+    /// Line rate in Mbit/s (gross).
+    pub fn mbit_per_s(self) -> f64 {
+        self.sts1_units() as f64 * 51.84
+    }
+
+    /// How many `tributary` circuits fit in one `self` wavelength — the
+    /// **grooming factor** `k`. `None` if the tributary is not a divisor
+    /// of (or exceeds) the line rate.
+    ///
+    /// ```
+    /// use grooming_sonet::rates::OcRate;
+    /// // The paper's example: sixteen OC-3s in one OC-48.
+    /// assert_eq!(OcRate::Oc48.grooming_factor(OcRate::Oc3), Some(16));
+    /// assert_eq!(OcRate::Oc3.grooming_factor(OcRate::Oc48), None);
+    /// ```
+    pub fn grooming_factor(self, tributary: OcRate) -> Option<usize> {
+        let line = self.sts1_units();
+        let trib = tributary.sts1_units();
+        (trib <= line && line.is_multiple_of(trib)).then(|| line / trib)
+    }
+}
+
+impl std::fmt::Display for OcRate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "OC-{}", self.sts1_units())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn papers_example_oc3_in_oc48_is_16() {
+        assert_eq!(OcRate::Oc48.grooming_factor(OcRate::Oc3), Some(16));
+    }
+
+    #[test]
+    fn grooming_factors_table() {
+        assert_eq!(OcRate::Oc48.grooming_factor(OcRate::Oc12), Some(4));
+        assert_eq!(OcRate::Oc192.grooming_factor(OcRate::Oc3), Some(64));
+        assert_eq!(OcRate::Oc192.grooming_factor(OcRate::Oc48), Some(4));
+        assert_eq!(OcRate::Oc768.grooming_factor(OcRate::Oc1), Some(768));
+        assert_eq!(OcRate::Oc12.grooming_factor(OcRate::Oc12), Some(1));
+    }
+
+    #[test]
+    fn oversized_tributary_rejected() {
+        assert_eq!(OcRate::Oc3.grooming_factor(OcRate::Oc48), None);
+    }
+
+    #[test]
+    fn units_are_monotone() {
+        for w in OcRate::ALL.windows(2) {
+            assert!(w[0].sts1_units() < w[1].sts1_units());
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn display_and_rate() {
+        assert_eq!(OcRate::Oc48.to_string(), "OC-48");
+        assert!((OcRate::Oc3.mbit_per_s() - 155.52).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,158 @@
+//! The UPSR ring topology.
+//!
+//! A unidirectional path-switched ring has two counter-rotating fiber
+//! rings: the **working** ring (modeled here as clockwise) carries all
+//! traffic; the **protection** ring carries a second copy of every signal
+//! in the opposite direction so that receivers can switch paths on a fiber
+//! cut. All capacity planning happens on the working ring, which is what
+//! this type models: `n` nodes `0..n` in clockwise order and `n` directed
+//! arcs `i → (i+1) mod n`.
+
+use grooming_graph::ids::NodeId;
+
+/// A directed working-ring arc from node `from` to node `(from+1) mod n`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RingArc {
+    /// The arc's tail: the arc runs clockwise out of this node.
+    pub from: u32,
+}
+
+impl RingArc {
+    /// Arc index, equal to its tail node index.
+    pub fn index(self) -> usize {
+        self.from as usize
+    }
+}
+
+/// A UPSR ring with `n ≥ 2` nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UpsrRing {
+    n: usize,
+}
+
+impl UpsrRing {
+    /// Creates a ring with `n` nodes.
+    ///
+    /// # Panics
+    /// Panics if `n < 2` (a ring needs at least two nodes).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "a UPSR ring needs at least 2 nodes (got {n})");
+        UpsrRing { n }
+    }
+
+    /// Number of nodes (= number of working-ring arcs).
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// All node ids in clockwise order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.n as u32).map(NodeId)
+    }
+
+    /// All working-ring arcs in clockwise order.
+    pub fn arcs(&self) -> impl Iterator<Item = RingArc> + '_ {
+        (0..self.n as u32).map(|from| RingArc { from })
+    }
+
+    /// The next node clockwise from `v`.
+    pub fn successor(&self, v: NodeId) -> NodeId {
+        NodeId((v.0 as usize % self.n + 1) as u32 % self.n as u32)
+    }
+
+    /// Clockwise hop count from `from` to `to` (0 if equal).
+    pub fn clockwise_distance(&self, from: NodeId, to: NodeId) -> usize {
+        let (f, t) = (from.index(), to.index());
+        assert!(f < self.n && t < self.n, "node out of ring range");
+        (t + self.n - f) % self.n
+    }
+
+    /// The arcs traversed by the working-ring path from `from` to `to`
+    /// (clockwise; empty if `from == to`).
+    pub fn arc_path(&self, from: NodeId, to: NodeId) -> Vec<RingArc> {
+        let d = self.clockwise_distance(from, to);
+        (0..d)
+            .map(|i| RingArc {
+                from: ((from.index() + i) % self.n) as u32,
+            })
+            .collect()
+    }
+
+    /// A symmetric pair `{a, b}` on a UPSR occupies the arcs of *both*
+    /// directed paths `a→b` and `b→a`, which together cover every arc of
+    /// the ring exactly once. This helper returns that combined per-arc
+    /// load vector (all ones) and exists to make the invariant explicit in
+    /// tests and documentation.
+    pub fn symmetric_pair_arc_loads(&self, a: NodeId, b: NodeId) -> Vec<usize> {
+        let mut load = vec![0usize; self.n];
+        for arc in self.arc_path(a, b) {
+            load[arc.index()] += 1;
+        }
+        for arc in self.arc_path(b, a) {
+            load[arc.index()] += 1;
+        }
+        load
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_ring_basics() {
+        let r = UpsrRing::new(4);
+        assert_eq!(r.num_nodes(), 4);
+        assert_eq!(r.nodes().count(), 4);
+        assert_eq!(r.arcs().count(), 4);
+        assert_eq!(r.successor(NodeId(3)), NodeId(0));
+        assert_eq!(r.successor(NodeId(1)), NodeId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn degenerate_ring_rejected() {
+        let _ = UpsrRing::new(1);
+    }
+
+    #[test]
+    fn clockwise_distances_wrap() {
+        let r = UpsrRing::new(5);
+        assert_eq!(r.clockwise_distance(NodeId(1), NodeId(4)), 3);
+        assert_eq!(r.clockwise_distance(NodeId(4), NodeId(1)), 2);
+        assert_eq!(r.clockwise_distance(NodeId(2), NodeId(2)), 0);
+    }
+
+    #[test]
+    fn arc_path_is_the_clockwise_route() {
+        let r = UpsrRing::new(5);
+        let p = r.arc_path(NodeId(3), NodeId(1));
+        let tails: Vec<u32> = p.iter().map(|a| a.from).collect();
+        assert_eq!(tails, vec![3, 4, 0]);
+        assert!(r.arc_path(NodeId(2), NodeId(2)).is_empty());
+    }
+
+    #[test]
+    fn symmetric_pair_covers_every_arc_once() {
+        // The key UPSR capacity fact: {a,b} loads every arc exactly once,
+        // so a wavelength of grooming factor k carries at most k pairs.
+        let r = UpsrRing::new(7);
+        for a in 0..7u32 {
+            for b in 0..7u32 {
+                if a == b {
+                    continue;
+                }
+                let loads = r.symmetric_pair_arc_loads(NodeId(a), NodeId(b));
+                assert!(loads.iter().all(|&l| l == 1), "pair ({a},{b}): {loads:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn arc_indices_match_tails() {
+        let r = UpsrRing::new(3);
+        for (i, arc) in r.arcs().enumerate() {
+            assert_eq!(arc.index(), i);
+        }
+    }
+}

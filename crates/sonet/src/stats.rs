@@ -1,0 +1,128 @@
+//! Ring cost reporting.
+
+/// The cost summary of a grooming assignment on a UPSR ring.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RingCostReport {
+    /// Ring size.
+    pub nodes: usize,
+    /// Grooming factor `k`.
+    pub grooming_factor: usize,
+    /// Wavelengths used.
+    pub wavelengths: usize,
+    /// Total SADMs (the paper's objective).
+    pub sadm_total: usize,
+    /// Total node × wavelength optical bypasses.
+    pub bypass_total: usize,
+    /// SADMs per node.
+    pub per_node_adms: Vec<usize>,
+    /// Demand pairs carried.
+    pub pairs_carried: usize,
+    /// Pair-capacity provisioned (`wavelengths × k`).
+    pub capacity_pairs: usize,
+}
+
+impl RingCostReport {
+    /// Fraction of provisioned pair-capacity actually used, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.capacity_pairs == 0 {
+            0.0
+        } else {
+            self.pairs_carried as f64 / self.capacity_pairs as f64
+        }
+    }
+
+    /// Average SADMs per wavelength.
+    pub fn mean_adms_per_wavelength(&self) -> f64 {
+        if self.wavelengths == 0 {
+            0.0
+        } else {
+            self.sadm_total as f64 / self.wavelengths as f64
+        }
+    }
+
+    /// The most loaded node and its ADM count (first such node on ties).
+    pub fn max_node_adms(&self) -> Option<(usize, usize)> {
+        self.per_node_adms
+            .iter()
+            .enumerate()
+            .fold(None, |best: Option<(usize, usize)>, (i, &c)| match best {
+                Some((_, bc)) if bc >= c => best,
+                _ => Some((i, c)),
+            })
+    }
+}
+
+impl std::fmt::Display for RingCostReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "UPSR ring: {} nodes, grooming factor {}",
+            self.nodes, self.grooming_factor
+        )?;
+        writeln!(f, "  wavelengths      : {}", self.wavelengths)?;
+        writeln!(f, "  SADMs            : {}", self.sadm_total)?;
+        writeln!(f, "  optical bypasses : {}", self.bypass_total)?;
+        writeln!(
+            f,
+            "  demand pairs     : {} / {} capacity ({:.1}% utilization)",
+            self.pairs_carried,
+            self.capacity_pairs,
+            100.0 * self.utilization()
+        )?;
+        write!(
+            f,
+            "  ADMs/wavelength  : {:.2} (avg)",
+            self.mean_adms_per_wavelength()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RingCostReport {
+        RingCostReport {
+            nodes: 6,
+            grooming_factor: 4,
+            wavelengths: 3,
+            sadm_total: 10,
+            bypass_total: 8,
+            per_node_adms: vec![2, 2, 2, 2, 1, 1],
+            pairs_carried: 9,
+            capacity_pairs: 12,
+        }
+    }
+
+    #[test]
+    fn utilization_and_means() {
+        let r = report();
+        assert!((r.utilization() - 0.75).abs() < 1e-12);
+        assert!((r.mean_adms_per_wavelength() - 10.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.max_node_adms(), Some((0, 2)));
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let r = RingCostReport {
+            nodes: 4,
+            grooming_factor: 4,
+            wavelengths: 0,
+            sadm_total: 0,
+            bypass_total: 0,
+            per_node_adms: vec![0; 4],
+            pairs_carried: 0,
+            capacity_pairs: 0,
+        };
+        assert_eq!(r.utilization(), 0.0);
+        assert_eq!(r.mean_adms_per_wavelength(), 0.0);
+    }
+
+    #[test]
+    fn display_contains_key_figures() {
+        let s = report().to_string();
+        assert!(s.contains("wavelengths      : 3"));
+        assert!(s.contains("SADMs            : 10"));
+        assert!(s.contains("75.0%"));
+    }
+}

@@ -1,0 +1,316 @@
+//! Non-unitary (weighted) traffic demands — the problem variant the paper
+//! points to in its introduction ([4, 8, 17, 21] of its bibliography).
+//!
+//! A weighted demand `{x, y} × u` asks for `u` units of bandwidth between
+//! `x` and `y`. Two service models exist on a UPSR:
+//!
+//! * **splittable** — the `u` units may ride different wavelengths; this
+//!   reduces exactly to the unitary problem on a traffic *multigraph* with
+//!   `u` parallel edges, which the core algorithms already handle
+//!   ([`WeightedDemandSet::expand`]).
+//! * **non-splittable** — all `u` units must share one wavelength (no
+//!   inverse multiplexing). That is bin packing with a node-affinity cost;
+//!   [`first_fit_decreasing`] implements the classic FFD heuristic with a
+//!   fewest-new-SADMs tie-break.
+
+use crate::demand::{DemandPair, DemandSet};
+use crate::ring::UpsrRing;
+use grooming_graph::ids::NodeId;
+
+/// A symmetric demand for `units` units of bandwidth.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WeightedDemand {
+    /// The node pair.
+    pub pair: DemandPair,
+    /// Bandwidth in tributary units (`1 ≤ units`).
+    pub units: u32,
+}
+
+/// A multiset of weighted demands on `n` ring nodes.
+#[derive(Clone, Debug, Default)]
+pub struct WeightedDemandSet {
+    n: usize,
+    demands: Vec<WeightedDemand>,
+}
+
+impl WeightedDemandSet {
+    /// An empty set on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        WeightedDemandSet {
+            n,
+            demands: Vec::new(),
+        }
+    }
+
+    /// Adds a demand of `units` between `a` and `b`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints, `a == b`, or zero units.
+    pub fn add(&mut self, a: NodeId, b: NodeId, units: u32) {
+        assert!(
+            a.index() < self.n && b.index() < self.n,
+            "demand endpoint out of range"
+        );
+        assert!(units > 0, "a demand needs at least one unit");
+        self.demands.push(WeightedDemand {
+            pair: DemandPair::new(a, b),
+            units,
+        });
+    }
+
+    /// Number of ring nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// The demands in insertion order.
+    pub fn demands(&self) -> &[WeightedDemand] {
+        &self.demands
+    }
+
+    /// Total bandwidth units.
+    pub fn total_units(&self) -> u64 {
+        self.demands.iter().map(|d| d.units as u64).sum()
+    }
+
+    /// Splittable service: expands to a unitary [`DemandSet`] (`u`
+    /// parallel pairs per demand) that the core grooming algorithms accept
+    /// directly.
+    pub fn expand(&self) -> DemandSet {
+        let mut out = DemandSet::new(self.n);
+        for d in &self.demands {
+            for _ in 0..d.units {
+                out.add(d.pair.lo(), d.pair.hi());
+            }
+        }
+        out
+    }
+}
+
+/// A non-splittable weighted grooming: wavelength → demands.
+#[derive(Clone, Debug)]
+pub struct WeightedAssignment {
+    ring: UpsrRing,
+    grooming_factor: usize,
+    groups: Vec<Vec<WeightedDemand>>,
+}
+
+impl WeightedAssignment {
+    /// The per-wavelength demand groups.
+    pub fn groups(&self) -> &[Vec<WeightedDemand>] {
+        &self.groups
+    }
+
+    /// Number of wavelengths used.
+    pub fn num_wavelengths(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Units carried by a group (a symmetric weighted pair loads every arc
+    /// with its full unit count, so group load = sum of units).
+    fn group_units(group: &[WeightedDemand]) -> u64 {
+        group.iter().map(|d| d.units as u64).sum()
+    }
+
+    /// Total SADM count (distinct endpoints per wavelength).
+    pub fn sadm_count(&self) -> usize {
+        let n = self.ring.num_nodes();
+        self.groups
+            .iter()
+            .map(|group| {
+                let mut seen = vec![false; n];
+                let mut count = 0;
+                for d in group {
+                    for v in [d.pair.lo(), d.pair.hi()] {
+                        if !seen[v.index()] {
+                            seen[v.index()] = true;
+                            count += 1;
+                        }
+                    }
+                }
+                count
+            })
+            .sum()
+    }
+
+    /// Checks capacity and (optionally) that exactly the demands of `set`
+    /// are carried.
+    pub fn validate(&self, set: Option<&WeightedDemandSet>) -> Result<(), String> {
+        for (i, group) in self.groups.iter().enumerate() {
+            let load = Self::group_units(group);
+            if load > self.grooming_factor as u64 {
+                return Err(format!(
+                    "wavelength {i} carries {load} units > k = {}",
+                    self.grooming_factor
+                ));
+            }
+        }
+        if let Some(set) = set {
+            let mut got: Vec<WeightedDemand> =
+                self.groups.iter().flatten().copied().collect();
+            let mut want = set.demands().to_vec();
+            let key = |d: &WeightedDemand| (d.pair, d.units);
+            got.sort_by_key(key);
+            want.sort_by_key(key);
+            if got != want {
+                return Err("carried demands differ from the demand set".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Non-splittable grooming by **first-fit decreasing** with SADM affinity:
+/// demands are placed in decreasing unit order; among wavelengths with
+/// room, the one needing the fewest new SADMs wins (ties to the fullest).
+///
+/// # Panics
+/// Panics if `k == 0` or some demand exceeds `k` units (it can never fit).
+pub fn first_fit_decreasing(
+    set: &WeightedDemandSet,
+    k: usize,
+) -> WeightedAssignment {
+    assert!(k > 0, "grooming factor must be positive");
+    let ring = UpsrRing::new(set.num_nodes().max(2));
+    let mut order: Vec<WeightedDemand> = set.demands().to_vec();
+    assert!(
+        order.iter().all(|d| d.units as usize <= k),
+        "a non-splittable demand exceeds the wavelength capacity"
+    );
+    order.sort_by(|a, b| b.units.cmp(&a.units).then(a.pair.cmp(&b.pair)));
+
+    let n = set.num_nodes();
+    struct Bin {
+        demands: Vec<WeightedDemand>,
+        units: u64,
+        has_node: Vec<bool>,
+    }
+    let mut bins: Vec<Bin> = Vec::new();
+    for d in order {
+        let mut best: Option<(usize, usize, u64)> = None; // (idx, new_nodes, -units)
+        for (i, bin) in bins.iter().enumerate() {
+            if bin.units + d.units as u64 > k as u64 {
+                continue;
+            }
+            let new_nodes = [d.pair.lo(), d.pair.hi()]
+                .iter()
+                .filter(|v| !bin.has_node[v.index()])
+                .count();
+            let better = match best {
+                None => true,
+                Some((_, bn, bu)) => {
+                    new_nodes < bn || (new_nodes == bn && bin.units > bu)
+                }
+            };
+            if better {
+                best = Some((i, new_nodes, bin.units));
+            }
+        }
+        match best {
+            Some((i, _, _)) => {
+                let bin = &mut bins[i];
+                bin.units += d.units as u64;
+                bin.has_node[d.pair.lo().index()] = true;
+                bin.has_node[d.pair.hi().index()] = true;
+                bin.demands.push(d);
+            }
+            None => {
+                let mut has_node = vec![false; n];
+                has_node[d.pair.lo().index()] = true;
+                has_node[d.pair.hi().index()] = true;
+                bins.push(Bin {
+                    demands: vec![d],
+                    units: d.units as u64,
+                    has_node,
+                });
+            }
+        }
+    }
+    let assignment = WeightedAssignment {
+        ring,
+        grooming_factor: k,
+        groups: bins.into_iter().map(|b| b.demands).collect(),
+    };
+    debug_assert!(assignment.validate(Some(set)).is_ok());
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wset(n: usize, items: &[(u32, u32, u32)]) -> WeightedDemandSet {
+        let mut s = WeightedDemandSet::new(n);
+        for &(a, b, u) in items {
+            s.add(NodeId(a), NodeId(b), u);
+        }
+        s
+    }
+
+    #[test]
+    fn expansion_matches_units() {
+        let s = wset(5, &[(0, 1, 3), (2, 4, 1)]);
+        assert_eq!(s.total_units(), 4);
+        let unitary = s.expand();
+        assert_eq!(unitary.len(), 4);
+        assert_eq!(unitary.degree(NodeId(0)), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one unit")]
+    fn zero_units_rejected() {
+        let _ = wset(3, &[(0, 1, 0)]);
+    }
+
+    #[test]
+    fn ffd_packs_within_capacity() {
+        let s = wset(6, &[(0, 1, 8), (1, 2, 8), (2, 3, 5), (3, 4, 5), (4, 5, 3), (5, 0, 3)]);
+        let a = first_fit_decreasing(&s, 16);
+        a.validate(Some(&s)).unwrap();
+        // 32 units total / 16 per wavelength = 2 wavelengths minimum;
+        // FFD on these sizes achieves it (8+8, 5+5+3+3).
+        assert_eq!(a.num_wavelengths(), 2);
+    }
+
+    #[test]
+    fn ffd_affinity_prefers_shared_endpoints() {
+        // Demands at node 0 should gravitate to the same wavelength.
+        let s = wset(6, &[(0, 1, 4), (0, 2, 4), (0, 3, 4), (4, 5, 4)]);
+        let a = first_fit_decreasing(&s, 12);
+        a.validate(Some(&s)).unwrap();
+        // Optimal: {0-1, 0-2, 0-3} (4 SADMs) + {4-5} (2 SADMs) = 6.
+        assert_eq!(a.sadm_count(), 6);
+        assert_eq!(a.num_wavelengths(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the wavelength capacity")]
+    fn oversized_demand_rejected() {
+        let s = wset(3, &[(0, 1, 20)]);
+        let _ = first_fit_decreasing(&s, 16);
+    }
+
+    #[test]
+    fn validate_catches_overload_and_mismatch() {
+        let s = wset(4, &[(0, 1, 2), (2, 3, 2)]);
+        let mut a = first_fit_decreasing(&s, 4);
+        a.grooming_factor = 1;
+        assert!(a.validate(None).unwrap_err().contains("units > k"));
+        let b = first_fit_decreasing(&s, 4);
+        let other = wset(4, &[(0, 1, 2)]);
+        assert!(b.validate(Some(&other)).is_err());
+    }
+
+    #[test]
+    fn splittable_beats_or_matches_non_splittable_wavelengths() {
+        // Splitting can only help the wavelength count: ceil(total/k) vs
+        // bin packing.
+        let s = wset(8, &[(0, 1, 9), (2, 3, 9), (4, 5, 9), (6, 7, 9)]);
+        let k = 12;
+        let non_split = first_fit_decreasing(&s, k).num_wavelengths();
+        let split_min = (s.total_units() as usize).div_ceil(k);
+        assert!(split_min <= non_split);
+        assert_eq!(non_split, 4); // 9+9 > 12: no two fit together
+        assert_eq!(split_min, 3);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests for the SONET substrate: channel accounting, protection
+//! invariants, weighted bin packing, and BLSR capacity.
+
+use grooming_graph::ids::NodeId;
+use grooming_sonet::blsr::{groom_blsr, BlsrRing};
+use grooming_sonet::channel::WavelengthChannel;
+use grooming_sonet::demand::{DemandPair, DemandSet};
+use grooming_sonet::grooming::GroomingAssignment;
+use grooming_sonet::protection::{simulate, Failure};
+use grooming_sonet::ring::{RingArc, UpsrRing};
+use grooming_sonet::weighted::{first_fit_decreasing, WeightedDemandSet};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_demands() -> impl Strategy<Value = DemandSet> {
+    (3usize..=20, 1usize..=60, any::<u64>()).prop_map(|(n, m, seed)| {
+        let max_m = n * (n - 1) / 2;
+        DemandSet::random(n, m.min(max_m), &mut StdRng::seed_from_u64(seed))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn upsr_channel_load_equals_pair_count(demands in arb_demands()) {
+        // The UPSR capacity identity: a channel's max arc load is exactly
+        // its pair count (every symmetric pair loads every arc once).
+        let ring = UpsrRing::new(demands.num_nodes().max(2));
+        let ch = WavelengthChannel::from_pairs(demands.pairs().to_vec());
+        let loads = ch.arc_loads(&ring);
+        prop_assert!(loads.iter().all(|&l| l == demands.len()));
+        prop_assert_eq!(ch.max_arc_load(&ring), demands.len());
+    }
+
+    #[test]
+    fn single_span_cuts_never_lose_traffic(demands in arb_demands(), span in 0u32..20) {
+        let n = demands.num_nodes();
+        let ring = UpsrRing::new(n.max(2));
+        let failure = Failure::single(RingArc { from: span % n.max(2) as u32 });
+        let rep = simulate(&ring, &demands, &failure);
+        prop_assert!(rep.fully_survivable());
+        prop_assert_eq!(rep.working + rep.switched, 2 * demands.len());
+    }
+
+    #[test]
+    fn double_cuts_lose_only_separated_pairs(
+        demands in arb_demands(),
+        s1 in 0u32..20,
+        s2 in 0u32..20,
+    ) {
+        let n = demands.num_nodes().max(2) as u32;
+        let (a, b) = (s1 % n, s2 % n);
+        prop_assume!(a != b);
+        let ring = UpsrRing::new(n as usize);
+        let rep = simulate(&ring, &demands, &Failure::double(
+            RingArc { from: a }, RingArc { from: b }));
+        // A pair {x, y} is lost iff x and y are on opposite sides of the
+        // two cut spans: side = whether the clockwise walk from the cut
+        // span a+1 reaches the node before crossing span b.
+        for (pair, &(f1, f2)) in demands.pairs().iter().zip(&rep.fates) {
+            // Cutting spans a and b splits the nodes into the clockwise arc
+            // {a+1, …, b} and its complement.
+            let side = |v: NodeId| -> bool {
+                let start = (a + 1) % n;
+                let dist_v = (v.0 + n - start) % n;
+                let dist_b = (b + n - start) % n;
+                dist_v <= dist_b
+            };
+            let separated = side(pair.lo()) != side(pair.hi());
+            let lost = matches!(f1, grooming_sonet::protection::DemandFate::Lost);
+            prop_assert_eq!(lost, separated, "pair {} cuts ({},{})", pair, a, b);
+            prop_assert_eq!(
+                matches!(f1, grooming_sonet::protection::DemandFate::Lost),
+                matches!(f2, grooming_sonet::protection::DemandFate::Lost)
+            );
+        }
+    }
+
+    #[test]
+    fn ffd_respects_capacity_and_carries_everything(
+        n in 4usize..=16,
+        count in 1usize..=25,
+        k in 4usize..=32,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng as _;
+        let mut set = WeightedDemandSet::new(n);
+        for _ in 0..count {
+            let a = rng.gen_range(0..n as u32);
+            let mut b = rng.gen_range(0..n as u32);
+            while b == a { b = rng.gen_range(0..n as u32); }
+            set.add(NodeId(a), NodeId(b), rng.gen_range(1..=k as u32));
+        }
+        let assignment = first_fit_decreasing(&set, k);
+        prop_assert!(assignment.validate(Some(&set)).is_ok());
+        // FFD bound: uses at most ceil(2 * total / k) + 1 wavelengths
+        // (weak but universal sanity bound).
+        let lb = (set.total_units() as usize).div_ceil(k);
+        prop_assert!(assignment.num_wavelengths() >= lb);
+        prop_assert!(assignment.num_wavelengths() <= 2 * lb + 1);
+    }
+
+    #[test]
+    fn blsr_greedy_is_valid_and_within_pair_bound(demands in arb_demands(), k in 1usize..=16) {
+        let ring = BlsrRing::new(demands.num_nodes().max(2));
+        let a = groom_blsr(ring, &demands, k);
+        prop_assert!(a.validate(Some(&demands)).is_ok());
+        // Never worse than one wavelength per demand.
+        prop_assert!(a.num_wavelengths() <= demands.len().max(1));
+    }
+
+    #[test]
+    fn dedicated_assignment_always_validates(demands in arb_demands(), k in 1usize..=8) {
+        let ring = UpsrRing::new(demands.num_nodes().max(2));
+        let a = GroomingAssignment::dedicated(ring, k, &demands);
+        prop_assert!(a.validate(Some(&demands)).is_ok());
+        prop_assert_eq!(a.sadm_count(), 2 * demands.len());
+        let report = a.report();
+        prop_assert_eq!(report.per_node_adms.iter().sum::<usize>(), report.sadm_total);
+    }
+
+    #[test]
+    fn matrix_round_trip_is_lossless(demands in arb_demands()) {
+        let m = demands.to_matrix();
+        prop_assert!(m.is_valid());
+        let back = m.to_demand_set();
+        prop_assert_eq!(back.to_matrix(), m);
+        prop_assert_eq!(back.len(), demands.len());
+    }
+
+    #[test]
+    fn pair_normalization_is_stable(a in 0u32..50, b in 0u32..50) {
+        prop_assume!(a != b);
+        let p = DemandPair::new(NodeId(a), NodeId(b));
+        let q = DemandPair::new(NodeId(b), NodeId(a));
+        prop_assert_eq!(p, q);
+        prop_assert!(p.lo() < p.hi());
+    }
+}

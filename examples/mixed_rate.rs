@@ -1,0 +1,73 @@
+//! Mixed-rate (non-unitary) demands: the paper's problem variant where
+//! demands carry different bandwidths.
+//!
+//! Shows both service models on the same demand set:
+//! * splittable  — expand to unit demands (a traffic multigraph) and run
+//!   the paper's SpanT_Euler;
+//! * non-splittable — first-fit-decreasing bin packing with SADM affinity.
+//!
+//! Run with: `cargo run -p grooming --example mixed_rate`
+
+use grooming::algorithm::Algorithm;
+use grooming::pipeline::groom;
+use grooming_graph::ids::NodeId;
+use grooming_graph::spanning::TreeStrategy;
+use grooming_sonet::rates::OcRate;
+use grooming_sonet::weighted::{first_fit_decreasing, WeightedDemandSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let n = 12;
+    let k = OcRate::Oc48.grooming_factor(OcRate::Oc3).unwrap(); // 16
+    let mut rng = StdRng::seed_from_u64(3);
+
+    // Random mixed-rate demands: OC-3 ×1, ×4 (≈OC-12), ×16 (≈OC-48)
+    // between random pairs.
+    let mut set = WeightedDemandSet::new(n);
+    for _ in 0..18 {
+        let a = rng.gen_range(0..n as u32);
+        let mut b = rng.gen_range(0..n as u32);
+        while b == a {
+            b = rng.gen_range(0..n as u32);
+        }
+        let units = *[1u32, 1, 1, 4, 4, 16].get(rng.gen_range(0..6)).unwrap();
+        set.add(NodeId(a), NodeId(b), units);
+    }
+    println!(
+        "{} weighted demands on a {n}-node ring, {} OC-3-equivalent units, k = {k}",
+        set.demands().len(),
+        set.total_units()
+    );
+
+    // Non-splittable: every demand rides one wavelength.
+    let ns = first_fit_decreasing(&set, k);
+    ns.validate(Some(&set)).unwrap();
+    println!(
+        "\nnon-splittable (FFD + SADM affinity): {:>3} SADMs on {:>2} wavelengths",
+        ns.sadm_count(),
+        ns.num_wavelengths()
+    );
+
+    // Splittable: expand into unit pairs and groom with the paper's
+    // algorithm (parallel edges in the traffic multigraph).
+    let unitary = set.expand();
+    let out = groom(
+        &unitary,
+        k,
+        Algorithm::SpanTEuler(TreeStrategy::Bfs),
+        &mut rng,
+    )
+    .unwrap();
+    println!(
+        "splittable (SpanT_Euler on expansion): {:>3} SADMs on {:>2} wavelengths (min {})",
+        out.report.sadm_total,
+        out.report.wavelengths,
+        unitary.len().div_ceil(k)
+    );
+
+    println!(
+        "\nSplitting always achieves the minimum wavelength count; whether it\n\
+         also saves SADMs depends on how much the big demands fragment."
+    );
+}

@@ -1,0 +1,65 @@
+//! Quickstart: groom random symmetric demands on a 16-node UPSR ring.
+//!
+//! Run with: `cargo run -p grooming --example quickstart`
+
+use grooming::algorithm::Algorithm;
+use grooming::bounds;
+use grooming::pipeline::groom;
+use grooming_graph::spanning::TreeStrategy;
+use grooming_sonet::demand::DemandSet;
+use grooming_sonet::grooming::GroomingAssignment;
+use grooming_sonet::rates::OcRate;
+use grooming_sonet::ring::UpsrRing;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2006);
+
+    // A 16-node metro ring carrying 40 random symmetric OC-3 demand pairs
+    // on OC-48 wavelengths: grooming factor k = 16.
+    let n = 16;
+    let k = OcRate::Oc48
+        .grooming_factor(OcRate::Oc3)
+        .expect("OC-3 divides OC-48");
+    let demands = DemandSet::random(n, 40, &mut rng);
+    println!(
+        "ring: {n} nodes, {} demand pairs, {} per {} wavelength (k = {k})",
+        demands.len(),
+        OcRate::Oc3,
+        OcRate::Oc48
+    );
+
+    // Without grooming: one wavelength per demand (2 SADMs each).
+    let dedicated = GroomingAssignment::dedicated(UpsrRing::new(n), k, &demands);
+    println!(
+        "no grooming      : {:>3} SADMs on {:>2} wavelengths",
+        dedicated.sadm_count(),
+        dedicated.num_wavelengths()
+    );
+
+    // With the paper's SpanT_Euler heuristic.
+    let outcome = groom(
+        &demands,
+        k,
+        Algorithm::SpanTEuler(TreeStrategy::Bfs),
+        &mut rng,
+    )
+    .expect("SpanT_Euler handles arbitrary demands");
+    println!(
+        "SpanT_Euler      : {:>3} SADMs on {:>2} wavelengths (minimum possible: {})",
+        outcome.report.sadm_total,
+        outcome.report.wavelengths,
+        demands.len().div_ceil(k)
+    );
+    println!(
+        "instance lower bound on SADMs: {}",
+        bounds::lower_bound(&demands.to_traffic_graph(), k)
+    );
+    println!();
+    println!("{}", outcome.report);
+
+    // Where the ADMs sit.
+    println!();
+    println!("per-node SADMs: {:?}", outcome.report.per_node_adms);
+}

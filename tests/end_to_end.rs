@@ -1,0 +1,126 @@
+//! Workspace integration tests: demands → algorithm → ring assignment,
+//! cross-checking the graph-side and ring-side accounting on every path
+//! through the stack.
+
+use grooming::algorithm::Algorithm;
+use grooming::pipeline::groom;
+use grooming_graph::spanning::TreeStrategy;
+use grooming_sonet::demand::DemandSet;
+use grooming_sonet::grooming::GroomingAssignment;
+use grooming_sonet::rates::OcRate;
+use grooming_sonet::ring::UpsrRing;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[test]
+fn every_algorithm_grooms_random_demands() {
+    for seed in 0..4u64 {
+        let demands = DemandSet::random(20, 50, &mut rng(seed));
+        for algo in Algorithm::FIGURE4 {
+            for k in [1usize, 3, 16, 64] {
+                let out = groom(&demands, k, algo, &mut rng(seed + 10)).unwrap();
+                out.assignment.validate(Some(&demands)).unwrap();
+                assert_eq!(out.report.pairs_carried, demands.len());
+                assert_eq!(
+                    out.report.sadm_total,
+                    out.partition.sadm_cost(&demands.to_traffic_graph())
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn regular_demands_run_the_full_figure5_lineup() {
+    for (n, r) in [(20, 5), (20, 6), (36, 7), (36, 8)] {
+        let demands = DemandSet::random_regular(n, r, &mut rng(99));
+        for algo in Algorithm::FIGURE5 {
+            let out = groom(&demands, 8, algo, &mut rng(7)).unwrap();
+            out.assignment.validate(Some(&demands)).unwrap();
+        }
+    }
+}
+
+#[test]
+fn oc_rates_drive_realistic_grooming_factors() {
+    let demands = DemandSet::random(16, 33, &mut rng(5));
+    for (line, trib) in [
+        (OcRate::Oc48, OcRate::Oc3),
+        (OcRate::Oc48, OcRate::Oc12),
+        (OcRate::Oc192, OcRate::Oc3),
+        (OcRate::Oc192, OcRate::Oc48),
+    ] {
+        let k = line.grooming_factor(trib).unwrap();
+        let out = groom(
+            &demands,
+            k,
+            Algorithm::SpanTEuler(TreeStrategy::Bfs),
+            &mut rng(6),
+        )
+        .unwrap();
+        assert_eq!(out.report.grooming_factor, k);
+        assert_eq!(out.report.wavelengths, demands.len().div_ceil(k));
+    }
+}
+
+#[test]
+fn grooming_always_beats_or_matches_dedicated_wavelengths() {
+    for seed in 0..4u64 {
+        let demands = DemandSet::random(18, 40, &mut rng(seed));
+        let dedicated = GroomingAssignment::dedicated(UpsrRing::new(18), 16, &demands);
+        for algo in Algorithm::FIGURE4 {
+            let out = groom(&demands, 16, algo, &mut rng(seed)).unwrap();
+            assert!(
+                out.report.sadm_total <= dedicated.sadm_count(),
+                "{algo} lost to no-grooming"
+            );
+        }
+    }
+}
+
+#[test]
+fn traffic_matrix_round_trip_through_pipeline() {
+    let demands = DemandSet::random(12, 25, &mut rng(8));
+    let matrix = demands.to_matrix();
+    let demands2 = matrix.to_demand_set();
+    assert_eq!(demands2.len(), demands.len());
+    assert_eq!(demands2.to_matrix(), matrix);
+    // Same multiset of pairs (different order): both groomings must be
+    // valid, carry everything, and use the same minimum wavelength count.
+    // (Costs may differ slightly: edge order steers the Euler walks.)
+    let out1 = groom(&demands, 4, Algorithm::Brauner, &mut rng(0)).unwrap();
+    let out2 = groom(&demands2, 4, Algorithm::Brauner, &mut rng(0)).unwrap();
+    assert_eq!(out1.report.wavelengths, out2.report.wavelengths);
+    assert_eq!(out1.report.pairs_carried, out2.report.pairs_carried);
+}
+
+#[test]
+fn duplicate_demands_are_groomed_as_parallel_pairs() {
+    // Two units between the same node pair: a multigraph traffic graph.
+    let demands = DemandSet::from_pairs(6, &[(0, 3), (0, 3), (1, 4), (2, 5)]);
+    let out = groom(
+        &demands,
+        2,
+        Algorithm::SpanTEuler(TreeStrategy::Bfs),
+        &mut rng(1),
+    )
+    .unwrap();
+    out.assignment.validate(Some(&demands)).unwrap();
+    assert_eq!(out.report.wavelengths, 2);
+}
+
+#[test]
+fn sadm_per_node_sums_to_total() {
+    let demands = DemandSet::all_to_all(9);
+    let out = groom(&demands, 4, Algorithm::RegularEuler, &mut rng(3)).unwrap();
+    let per_node_sum: usize = out.report.per_node_adms.iter().sum();
+    assert_eq!(per_node_sum, out.report.sadm_total);
+    assert_eq!(
+        out.report.bypass_total,
+        out.report.wavelengths * 9 - out.report.sadm_total
+    );
+}

@@ -1,0 +1,124 @@
+//! Integration tests for the NP-hardness pipeline: EPT instances →
+//! Lemma 6 gadget → Theorem 7 KEPRG instance → exact solvers, closing the
+//! loop between the `grooming-graph` triangle machinery and the core
+//! reductions.
+
+use grooming::exact::exact_minimum;
+use grooming::hardness::{keprg_from_regular_ept, regularize, verify_theorem7_equivalence};
+use grooming_graph::generators;
+use grooming_graph::graph::Graph;
+use grooming_graph::ids::NodeId;
+use grooming_graph::triangles::{ept_solve, is_triangle_partition};
+
+fn octahedron() -> Graph {
+    Graph::from_edges(
+        6,
+        &[
+            (0, 2),
+            (0, 3),
+            (0, 4),
+            (0, 5),
+            (1, 2),
+            (1, 3),
+            (1, 4),
+            (1, 5),
+            (2, 4),
+            (2, 5),
+            (3, 4),
+            (3, 5),
+        ],
+    )
+}
+
+#[test]
+fn yes_instances_survive_the_full_reduction() {
+    // EPT yes-instance -> regularize -> lifted partition covers G* ->
+    // KEPRG yes at budget m.
+    for g in [
+        Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]),
+        Graph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]),
+        octahedron(),
+    ] {
+        let partition = ept_solve(&g).expect("yes instance");
+        let reg = regularize(&g);
+        let lifted = reg.lift_partition(&partition);
+        assert!(is_triangle_partition(&reg.graph, &lifted));
+        // Triangle partition => the KEPRG cost m is achievable on G*
+        // (each triangle is a 3-edge part with 3 nodes). Verify by
+        // computing the cost of the witness directly.
+        let m = reg.graph.num_edges();
+        assert_eq!(lifted.len() * 3, m);
+    }
+}
+
+#[test]
+fn no_instances_survive_the_full_reduction() {
+    let c6 = generators::cycle(6);
+    let reg = regularize(&c6);
+    assert!(ept_solve(&reg.graph).is_none());
+}
+
+#[test]
+fn keprg_oracle_agrees_with_triangle_oracle() {
+    for g in [
+        generators::cycle(3),
+        generators::cycle(4),
+        generators::cycle(6),
+        generators::complete(4),
+        octahedron(),
+        generators::petersen(),
+    ] {
+        assert!(verify_theorem7_equivalence(&g));
+    }
+}
+
+#[test]
+fn sts_makes_large_yes_instances_for_kn() {
+    // K9: 8-regular; STS(9) certifies KEPRG yes without the exact solver.
+    let n = 9;
+    let kn = generators::complete(n);
+    let inst = keprg_from_regular_ept(&kn);
+    assert_eq!(inst.budget, 36);
+    let sts = generators::steiner_triple_system(n).unwrap();
+    let triples: Vec<[NodeId; 3]> = sts
+        .iter()
+        .map(|t| [NodeId(t[0]), NodeId(t[1]), NodeId(t[2])])
+        .collect();
+    assert!(is_triangle_partition(&kn, &triples));
+    // And the exact solver can reconstruct optimality on K9? m = 36 is
+    // beyond the exact cap; instead verify on the sub-instance K3.
+    assert_eq!(exact_minimum(&generators::cycle(3), 3), 3);
+}
+
+#[test]
+fn gadget_scales_with_input_degree() {
+    // Δ grows -> more interconnect rounds; the gadget must stay simple and
+    // regular for Δ = 2, 4, 6.
+    let c6 = generators::cycle(6); // Δ=2
+    let bowtie = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]); // Δ=4
+    // Δ=6: three triangles through one shared node.
+    let tri3 = Graph::from_edges(
+        7,
+        &[
+            (0, 1),
+            (1, 2),
+            (2, 0),
+            (0, 3),
+            (3, 4),
+            (4, 0),
+            (0, 5),
+            (5, 6),
+            (6, 0),
+        ],
+    );
+    for (g, delta) in [(c6, 2), (bowtie, 4), (tri3, 6)] {
+        let reg = regularize(&g);
+        assert_eq!(reg.delta, delta);
+        assert!(reg.graph.is_regular(delta));
+        assert!(reg.graph.is_simple());
+        // Lift a partition when one exists.
+        if let Some(p) = ept_solve(&g) {
+            assert!(is_triangle_partition(&reg.graph, &reg.lift_partition(&p)));
+        }
+    }
+}
