@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, then the tier-1 build-and-test pass.
+# Run from the repository root. Fails fast on the first broken stage.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (all targets, warnings are errors) =="
+cargo clippy --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release && cargo test =="
+cargo build --release
+cargo test -q
+
+echo "CI gate passed."

@@ -31,13 +31,7 @@ fn regular_operating_point(c: &mut Criterion) {
         let g = generators::random_regular(36, r, &mut StdRng::seed_from_u64(3));
         group.bench_function(format!("Regular_Euler r={r}"), |b| {
             let mut rng = StdRng::seed_from_u64(4);
-            b.iter(|| {
-                black_box(
-                    Algorithm::RegularEuler
-                        .run(&g, 16, &mut rng)
-                        .unwrap(),
-                )
-            });
+            b.iter(|| black_box(Algorithm::RegularEuler.run(&g, 16, &mut rng).unwrap()));
         });
     }
     group.finish();

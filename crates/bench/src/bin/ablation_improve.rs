@@ -8,7 +8,7 @@
 //! Usage: `ablation_improve [--seeds N] [--fast]`
 
 use grooming::algorithm::Algorithm;
-use grooming_bench::sweep::measure;
+use grooming_bench::sweep::measure_with;
 use grooming_bench::table;
 use grooming_bench::workload::Workload;
 use grooming_bench::{parse_args, PAPER_N};
@@ -35,7 +35,7 @@ fn main() {
     println!();
     for d in [0.3f64, 0.5, 0.7] {
         let w = Workload::DenseRatio { n: PAPER_N, d };
-        let rows = measure(w, &algorithms, &k_values, opts.seeds);
+        let rows = measure_with(w, &algorithms, &k_values, opts.seeds, opts.sweep_config());
         println!(
             "{}",
             table::render(

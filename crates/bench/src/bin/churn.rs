@@ -48,9 +48,7 @@ fn main() {
                 .rearrange(Algorithm::SpanTEuler(TreeStrategy::Bfs), &mut rng)
                 .unwrap();
             offline_sum += offline as f64;
-            let (_, clique) = groomer
-                .rearrange(Algorithm::CliqueFirst, &mut rng)
-                .unwrap();
+            let (_, clique) = groomer.rearrange(Algorithm::CliqueFirst, &mut rng).unwrap();
             clique_sum += clique as f64;
         }
         let s = opts.seeds as f64;

@@ -13,7 +13,7 @@
 //! Usage: `fig4 [--seeds N] [--fast]`
 
 use grooming::algorithm::Algorithm;
-use grooming_bench::sweep::measure;
+use grooming_bench::sweep::measure_with;
 use grooming_bench::table;
 use grooming_bench::workload::Workload;
 use grooming_bench::{parse_args, PAPER_N};
@@ -23,11 +23,14 @@ fn main() {
     let k_values = opts.k_values();
     let algorithms = Algorithm::FIGURE4;
 
-    println!("Figure 4 reproduction — n = {PAPER_N}, {} seeds per point", opts.seeds);
+    println!(
+        "Figure 4 reproduction — n = {PAPER_N}, {} seeds per point",
+        opts.seeds
+    );
     println!();
     for d in [0.3f64, 0.5, 0.7] {
         let w = Workload::DenseRatio { n: PAPER_N, d };
-        let rows = measure(w, &algorithms, &k_values, opts.seeds);
+        let rows = measure_with(w, &algorithms, &k_values, opts.seeds, opts.sweep_config());
         println!(
             "{}",
             table::render(

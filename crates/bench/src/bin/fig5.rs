@@ -10,7 +10,7 @@
 
 use grooming::algorithm::Algorithm;
 use grooming::bounds;
-use grooming_bench::sweep::measure;
+use grooming_bench::sweep::measure_with;
 use grooming_bench::table;
 use grooming_bench::workload::Workload;
 use grooming_bench::{parse_args, PAPER_N};
@@ -20,14 +20,21 @@ fn main() {
     let k_values = opts.k_values();
     let algorithms = Algorithm::FIGURE5;
 
-    println!("Figure 5 reproduction — n = {PAPER_N}, {} seeds per point", opts.seeds);
+    println!(
+        "Figure 5 reproduction — n = {PAPER_N}, {} seeds per point",
+        opts.seeds
+    );
     println!();
     for r in [7usize, 8, 15, 16] {
         let w = Workload::Regular { n: PAPER_N, r };
-        let rows = measure(w, &algorithms, &k_values, opts.seeds);
+        let rows = measure_with(w, &algorithms, &k_values, opts.seeds, opts.sweep_config());
         println!(
             "{}",
-            table::render(&format!("degree r = {r} — {}", w.label()), &algorithms, &rows)
+            table::render(
+                &format!("degree r = {r} — {}", w.label()),
+                &algorithms,
+                &rows
+            )
         );
         println!("CSV:");
         print!("{}", table::render_csv(&algorithms, &rows));

@@ -17,7 +17,11 @@ use rand::SeedableRng;
 
 fn main() {
     let opts = parse_args();
-    let seeds = if opts.fast { opts.seeds.min(3) } else { opts.seeds };
+    let seeds = if opts.fast {
+        opts.seeds.min(3)
+    } else {
+        opts.seeds
+    };
     let algorithms = Algorithm::FIGURE4;
     let configs: &[(usize, usize, usize)] = &[
         // (n, m, k)

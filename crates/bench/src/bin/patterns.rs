@@ -38,22 +38,21 @@ fn main() {
     let patterns: Vec<(&str, PatternFn)> = vec![
         (
             "uniform (the paper's model)",
-            Box::new(move |seed| {
-                DemandSet::random(n, m, &mut StdRng::seed_from_u64(seed))
-            }),
+            Box::new(move |seed| DemandSet::random(n, m, &mut StdRng::seed_from_u64(seed))),
         ),
         (
             "locality (alpha = 2)",
-            Box::new(move |seed| {
-                DemandSet::locality(n, m, 2.0, &mut StdRng::seed_from_u64(seed))
-            }),
+            Box::new(move |seed| DemandSet::locality(n, m, 2.0, &mut StdRng::seed_from_u64(seed))),
         ),
         (
             "hubbed (3 gateways) + uniform background",
             Box::new(move |seed| {
                 let mut s = DemandSet::hubbed(n, &[0, 12, 24]);
-                let extra =
-                    DemandSet::random(n, m.saturating_sub(s.len()), &mut StdRng::seed_from_u64(seed));
+                let extra = DemandSet::random(
+                    n,
+                    m.saturating_sub(s.len()),
+                    &mut StdRng::seed_from_u64(seed),
+                );
                 for p in extra.pairs() {
                     s.add(p.lo(), p.hi());
                 }
@@ -64,7 +63,10 @@ fn main() {
 
     for (name, make) in &patterns {
         println!("\n## {name}");
-        println!("{:<24} {:>12} {:>12}", "algorithm", "mean SADM", "mean waves");
+        println!(
+            "{:<24} {:>12} {:>12}",
+            "algorithm", "mean SADM", "mean waves"
+        );
         let mut lb = 0f64;
         for algo in algorithms {
             let mut sadm = 0f64;
@@ -81,17 +83,8 @@ fn main() {
                 waves += p.num_wavelengths() as f64;
             }
             let s = opts.seeds as f64;
-            println!(
-                "{:<24} {:>12.1} {:>12.2}",
-                algo.name(),
-                sadm / s,
-                waves / s
-            );
+            println!("{:<24} {:>12.1} {:>12.2}", algo.name(), sadm / s, waves / s);
         }
-        println!(
-            "{:<24} {:>12.1}",
-            "(lower bound)",
-            lb / opts.seeds as f64
-        );
+        println!("{:<24} {:>12.1}", "(lower bound)", lb / opts.seeds as f64);
     }
 }

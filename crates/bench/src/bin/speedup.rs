@@ -1,0 +1,87 @@
+//! Parallel-sweep speedup check at the paper's operating point.
+//!
+//! Runs the Figure-4 sweep (`n = 36`, `d ∈ {0.3, 0.5, 0.7}`,
+//! `k ∈ {4, 16, 64}`) once sequentially (`jobs = 1`) and once with the
+//! requested worker count, verifies the two produce **bit-identical**
+//! numbers (the whole point of per-attempt seed derivation), and reports
+//! the wall-clock ratio.
+//!
+//! Usage: `speedup [--seeds N] [--jobs N] [--master-seed S]`
+//! (`--jobs 0`, the default, uses one worker per core)
+
+use std::time::Instant;
+
+use grooming::algorithm::Algorithm;
+use grooming_bench::sweep::{measure_with, Row, SweepConfig};
+use grooming_bench::workload::Workload;
+use grooming_bench::{parse_args, PAPER_N};
+
+fn assert_identical(a: &[Row], b: &[Row]) {
+    assert_eq!(a.len(), b.len());
+    for (ra, rb) in a.iter().zip(b) {
+        assert_eq!(ra.k, rb.k);
+        assert_eq!(
+            ra.mean_lower_bound.to_bits(),
+            rb.mean_lower_bound.to_bits(),
+            "lower bounds diverged at k = {}",
+            ra.k
+        );
+        for (ca, cb) in ra.cells.iter().zip(&rb.cells) {
+            assert_eq!(ca.mean_sadm.to_bits(), cb.mean_sadm.to_bits());
+            assert_eq!(ca.stddev_sadm.to_bits(), cb.stddev_sadm.to_bits());
+            assert_eq!(ca.min_sadm, cb.min_sadm);
+            assert_eq!(ca.max_sadm, cb.max_sadm);
+            assert_eq!(ca.mean_wavelengths.to_bits(), cb.mean_wavelengths.to_bits());
+        }
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let k_values = [4usize, 16, 64];
+    let algorithms = Algorithm::FIGURE4;
+    let parallel_jobs = if opts.jobs == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        opts.jobs
+    };
+
+    println!(
+        "sweep speedup — n = {PAPER_N}, k ∈ {k_values:?}, {} seeds, jobs 1 vs {parallel_jobs}",
+        opts.seeds
+    );
+    let mut total_seq = 0f64;
+    let mut total_par = 0f64;
+    for d in [0.3f64, 0.5, 0.7] {
+        let w = Workload::DenseRatio { n: PAPER_N, d };
+        let sequential_cfg = SweepConfig {
+            jobs: 1,
+            master_seed: opts.master_seed,
+        };
+        let parallel_cfg = SweepConfig {
+            jobs: parallel_jobs,
+            master_seed: opts.master_seed,
+        };
+
+        let started = Instant::now();
+        let seq_rows = measure_with(w, &algorithms, &k_values, opts.seeds, sequential_cfg);
+        let seq_time = started.elapsed().as_secs_f64();
+
+        let started = Instant::now();
+        let par_rows = measure_with(w, &algorithms, &k_values, opts.seeds, parallel_cfg);
+        let par_time = started.elapsed().as_secs_f64();
+
+        assert_identical(&seq_rows, &par_rows);
+        total_seq += seq_time;
+        total_par += par_time;
+        println!(
+            "d = {d}: sequential {seq_time:>8.3}s, jobs={parallel_jobs} {par_time:>8.3}s, \
+             speedup {:>5.2}x (results bit-identical)",
+            seq_time / par_time
+        );
+    }
+    println!(
+        "overall: sequential {total_seq:.3}s, parallel {total_par:.3}s, speedup {:.2}x",
+        total_seq / total_par
+    );
+}

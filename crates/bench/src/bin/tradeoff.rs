@@ -28,7 +28,11 @@ fn main() {
         let min_w = EdgePartition::min_wavelengths(w.num_edges(), k);
         println!("\n## {} (min wavelengths {min_w})", w.label());
         println!("{:>10} {:>12} {:>14}", "budget", "mean SADM", "mean waves");
-        let slacks: &[usize] = if opts.fast { &[0, 4] } else { &[0, 1, 2, 4, 8, 16] };
+        let slacks: &[usize] = if opts.fast {
+            &[0, 4]
+        } else {
+            &[0, 1, 2, 4, 8, 16]
+        };
         for &slack in slacks {
             let budget = min_w + slack;
             let mut sadm = 0f64;

@@ -4,8 +4,9 @@
 //! `m = n^(1+d)`) and random `r`-regular graphs, averaging SADM counts over
 //! seeds for each grooming factor `k`. This crate provides:
 //!
-//! * [`sweep`] — the seed-parallel measurement loop (crossbeam scoped
-//!   threads, one seed per task, results behind a `parking_lot` mutex);
+//! * [`sweep`] — the seed-parallel measurement loop (scoped threads, one
+//!   seed per task, per-attempt RNG streams derived from a master seed so
+//!   results are bit-identical at any `--jobs` count);
 //! * [`table`] — fixed-width table printing shared by all binaries;
 //! * [`workload`] — the paper's instance generators with their parameters.
 
@@ -26,13 +27,16 @@ pub const PAPER_N: usize = 36;
 /// The grooming factors swept in the figures (the paper's x axis).
 pub const K_VALUES: [usize; 11] = [2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64];
 
-/// Parses `--seeds N` and `--fast` from argv; `--fast` caps seeds at 5 and
-/// thins the `k` sweep (for smoke tests).
+/// Parses `--seeds N`, `--fast`, `--jobs N`, `--master-seed S` and
+/// `--svg DIR` from argv; `--fast` caps seeds at 5 and thins the `k`
+/// sweep (for smoke tests).
 pub fn parse_args() -> RunOptions {
     let mut opts = RunOptions {
         seeds: DEFAULT_SEEDS,
         fast: false,
         svg_dir: None,
+        jobs: 0,
+        master_seed: sweep::DEFAULT_MASTER_SEED,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -45,13 +49,26 @@ pub fn parse_args() -> RunOptions {
                 opts.seeds = v;
             }
             "--fast" => opts.fast = true,
+            "--jobs" => {
+                opts.jobs = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--jobs needs an integer (0 = auto)");
+            }
+            "--master-seed" => {
+                opts.master_seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--master-seed needs an integer");
+            }
             "--svg" => {
                 let dir = args.next().expect("--svg needs a directory");
                 opts.svg_dir = Some(dir.into());
             }
             other => {
                 eprintln!(
-                    "unknown argument {other:?} (supported: --seeds N, --fast, --svg DIR)"
+                    "unknown argument {other:?} (supported: --seeds N, --fast, \
+                     --jobs N, --master-seed S, --svg DIR)"
                 );
                 std::process::exit(2);
             }
@@ -72,6 +89,20 @@ pub struct RunOptions {
     pub fast: bool,
     /// When set, figure binaries also write SVG charts into this directory.
     pub svg_dir: Option<std::path::PathBuf>,
+    /// Worker threads for sweeps (`0` = one per core).
+    pub jobs: usize,
+    /// Master seed for the per-attempt RNG stream derivation.
+    pub master_seed: u64,
+}
+
+impl RunOptions {
+    /// The sweep execution knobs these options select.
+    pub fn sweep_config(&self) -> sweep::SweepConfig {
+        sweep::SweepConfig {
+            jobs: self.jobs,
+            master_seed: self.master_seed,
+        }
+    }
 }
 
 impl RunOptions {

@@ -73,7 +73,9 @@ pub fn ticks(lo: f64, hi: f64, target: usize) -> Vec<f64> {
 }
 
 fn escape(text: &str) -> String {
-    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Renders a line chart as an SVG document.

@@ -1,17 +1,57 @@
 //! Seed-parallel measurement loops.
 //!
 //! Each configuration `(workload, k, algorithm)` is averaged over many
-//! seeds. Seeds are independent, so they fan out across a crossbeam scope
-//! (one logical task per seed, work-shared over available cores) and
-//! accumulate into a `parking_lot::Mutex`-guarded table.
+//! seeds. Every `(instance seed, k, algorithm)` attempt gets its own RNG
+//! stream derived from a master seed — the same discipline as
+//! [`grooming::portfolio`] — so the measured numbers are a pure function
+//! of `(workload, algorithms, k_values, seeds, master_seed)`: independent
+//! of the worker count and of scheduling. Seeds fan out over a
+//! `std::thread::scope` pool draining an atomic cursor; per-seed samples
+//! land in per-seed slots and are reduced sequentially in seed order, so
+//! even the floating-point accumulation order is fixed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use grooming::algorithm::Algorithm;
 use grooming::bounds;
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::workload::Workload;
+
+/// Master seed used when the caller doesn't pick one (`upsr` in hex-ish).
+pub const DEFAULT_MASTER_SEED: u64 = 0x5EED_0675_B500_0001;
+
+/// Derives the RNG seed of one `(instance, k, algorithm)` measurement
+/// attempt from the sweep's master seed.
+pub fn sweep_attempt_seed(master: u64, instance: u64, k: usize, algo: Algorithm) -> u64 {
+    let mut state = (master ^ 0xA5A5_5A5A_C3C3_3C3C)
+        .wrapping_add(instance.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add((k as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(algo.stable_id().wrapping_mul(0x94D0_49BB_1331_11EB));
+    rand::splitmix64(&mut state)
+}
+
+/// Execution knobs of a sweep — never change the measured numbers, only
+/// how fast they arrive.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepConfig {
+    /// Worker threads (`0` = one per available core, `1` = sequential).
+    pub jobs: usize,
+    /// Master seed all per-attempt streams derive from.
+    pub master_seed: u64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            jobs: 0,
+            master_seed: DEFAULT_MASTER_SEED,
+        }
+    }
+}
 
 /// Aggregated measurement of one `(algorithm, k)` cell.
 #[derive(Clone, Copy, Debug, Default)]
@@ -26,6 +66,8 @@ pub struct Cell {
     pub max_sadm: usize,
     /// Mean wavelength count over seeds.
     pub mean_wavelengths: f64,
+    /// Mean per-attempt runtime (informational; not deterministic).
+    pub mean_runtime: Duration,
 }
 
 /// One measured row: a grooming factor plus one [`Cell`] per algorithm and
@@ -40,67 +82,71 @@ pub struct Row {
     pub mean_lower_bound: f64,
 }
 
+/// Everything measured on one workload instance (one seed).
+struct SeedSample {
+    /// `lower_bounds[ki]` — the instance lower bound at `k_values[ki]`.
+    lower_bounds: Vec<f64>,
+    /// `cells[ki][ai]` — `(sadm, wavelengths, runtime)`.
+    cells: Vec<Vec<(usize, usize, Duration)>>,
+}
+
 /// Measures `algorithms` on `workload` for every `k`, averaging over
-/// `seeds` seeds, with seeds processed in parallel.
+/// `seeds` seeds, with default execution knobs ([`SweepConfig::default`]).
 pub fn measure(
     workload: Workload,
     algorithms: &[Algorithm],
     k_values: &[usize],
     seeds: u64,
 ) -> Vec<Row> {
+    measure_with(
+        workload,
+        algorithms,
+        k_values,
+        seeds,
+        SweepConfig::default(),
+    )
+}
+
+/// Measures `algorithms` on `workload` for every `k`, averaging over
+/// `seeds` seeds processed by `cfg.jobs` workers. The result is
+/// bit-identical for a fixed `cfg.master_seed` no matter how many workers
+/// run (runtime fields excepted — they are wall-clock observations).
+pub fn measure_with(
+    workload: Workload,
+    algorithms: &[Algorithm],
+    k_values: &[usize],
+    seeds: u64,
+    cfg: SweepConfig,
+) -> Vec<Row> {
     assert!(seeds > 0, "need at least one seed");
-    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
-    // totals[k_idx][algo_idx] = (sum_sadm, sum_sadm², min, max, sum_waves)
-    let init =
-        vec![vec![(0f64, 0f64, usize::MAX, 0usize, 0f64); algorithms.len()]; k_values.len()];
-    let totals = Mutex::new(init);
-    let lb_totals = Mutex::new(vec![0f64; k_values.len()]);
-    let next_seed = std::sync::atomic::AtomicU64::new(0);
+    let samples = collect_samples(workload, algorithms, k_values, seeds, cfg);
 
-    crossbeam::scope(|scope| {
-        for _ in 0..threads.min(seeds as usize) {
-            scope.spawn(|_| loop {
-                let seed = next_seed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if seed >= seeds {
-                    break;
-                }
-                let g = workload.instance(seed);
-                for (ki, &k) in k_values.iter().enumerate() {
-                    let lb = bounds::lower_bound(&g, k) as f64;
-                    lb_totals.lock()[ki] += lb;
-                    for (ai, algo) in algorithms.iter().enumerate() {
-                        let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A);
-                        let p = algo
-                            .run(&g, k, &mut rng)
-                            .expect("workload matches algorithm preconditions");
-                        debug_assert!(p.validate(&g, k).is_ok());
-                        let cost = p.sadm_cost(&g);
-                        let waves = p.num_wavelengths() as f64;
-                        let mut t = totals.lock();
-                        let slot = &mut t[ki][ai];
-                        slot.0 += cost as f64;
-                        slot.1 += (cost as f64) * (cost as f64);
-                        slot.2 = slot.2.min(cost);
-                        slot.3 = slot.3.max(cost);
-                        slot.4 += waves;
-                    }
-                }
-            });
-        }
-    })
-    .expect("sweep threads must not panic");
-
-    let totals = totals.into_inner();
-    let lb_totals = lb_totals.into_inner();
+    // Sequential reduction in seed order: fixed float accumulation order.
     let s = seeds as f64;
     k_values
         .iter()
         .enumerate()
-        .map(|(ki, &k)| Row {
-            k,
-            cells: totals[ki]
+        .map(|(ki, &k)| {
+            let mean_lower_bound = samples.iter().map(|sm| sm.lower_bounds[ki]).sum::<f64>() / s;
+            let cells = algorithms
                 .iter()
-                .map(|&(sum, sq, min, max, wsum)| {
+                .enumerate()
+                .map(|(ai, _)| {
+                    let mut sum = 0f64;
+                    let mut sq = 0f64;
+                    let mut min = usize::MAX;
+                    let mut max = 0usize;
+                    let mut wsum = 0f64;
+                    let mut tsum = Duration::ZERO;
+                    for sample in &samples {
+                        let (cost, waves, runtime) = sample.cells[ki][ai];
+                        sum += cost as f64;
+                        sq += (cost as f64) * (cost as f64);
+                        min = min.min(cost);
+                        max = max.max(cost);
+                        wsum += waves as f64;
+                        tsum += runtime;
+                    }
                     let mean = sum / s;
                     let var = if seeds > 1 {
                         ((sq - sum * sum / s) / (s - 1.0)).max(0.0)
@@ -113,10 +159,88 @@ pub fn measure(
                         min_sadm: min,
                         max_sadm: max,
                         mean_wavelengths: wsum / s,
+                        mean_runtime: tsum / seeds as u32,
                     }
                 })
-                .collect(),
-            mean_lower_bound: lb_totals[ki] / s,
+                .collect();
+            Row {
+                k,
+                cells,
+                mean_lower_bound,
+            }
+        })
+        .collect()
+}
+
+/// Runs every seed's measurements into per-seed slots, `cfg.jobs` at a
+/// time. Each slot's content depends only on its seed and the master seed.
+fn collect_samples(
+    workload: Workload,
+    algorithms: &[Algorithm],
+    k_values: &[usize],
+    seeds: u64,
+    cfg: SweepConfig,
+) -> Vec<SeedSample> {
+    let one_seed = |seed: u64| -> SeedSample {
+        let g = workload.instance(seed);
+        let mut lower_bounds = Vec::with_capacity(k_values.len());
+        let mut cells = Vec::with_capacity(k_values.len());
+        for &k in k_values {
+            lower_bounds.push(bounds::lower_bound(&g, k) as f64);
+            let row = algorithms
+                .iter()
+                .map(|algo| {
+                    let stream = sweep_attempt_seed(cfg.master_seed, seed, k, *algo);
+                    let mut rng = StdRng::seed_from_u64(stream);
+                    let started = Instant::now();
+                    let p = algo
+                        .run(&g, k, &mut rng)
+                        .expect("workload matches algorithm preconditions");
+                    let runtime = started.elapsed();
+                    debug_assert!(p.validate(&g, k).is_ok());
+                    (p.sadm_cost(&g), p.num_wavelengths(), runtime)
+                })
+                .collect();
+            cells.push(row);
+        }
+        SeedSample {
+            lower_bounds,
+            cells,
+        }
+    };
+
+    let jobs = if cfg.jobs == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        cfg.jobs
+    }
+    .min(seeds as usize)
+    .max(1);
+
+    if jobs <= 1 {
+        return (0..seeds).map(one_seed).collect();
+    }
+
+    let slots: Vec<Mutex<Option<SeedSample>>> = (0..seeds).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let seed = cursor.fetch_add(1, Ordering::Relaxed);
+                if seed >= seeds {
+                    break;
+                }
+                let sample = one_seed(seed);
+                *slots[seed as usize].lock().expect("seed slot poisoned") = Some(sample);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("seed slot poisoned")
+                .expect("every seed slot is filled")
         })
         .collect()
 }
@@ -178,5 +302,82 @@ mod tests {
             4,
         );
         assert_eq!(a[0].cells[0].mean_sadm, b[0].cells[0].mean_sadm);
+    }
+
+    #[test]
+    fn job_count_never_changes_the_numbers() {
+        let lineup = [
+            Algorithm::Brauner,
+            Algorithm::SpanTEuler(grooming_graph::spanning::TreeStrategy::RandomKruskal),
+        ];
+        let workload = Workload::DenseRatio { n: 14, d: 0.5 };
+        let base = measure_with(
+            workload,
+            &lineup,
+            &[4, 16],
+            6,
+            SweepConfig {
+                jobs: 1,
+                master_seed: 42,
+            },
+        );
+        for jobs in [2usize, 4, 8] {
+            let other = measure_with(
+                workload,
+                &lineup,
+                &[4, 16],
+                6,
+                SweepConfig {
+                    jobs,
+                    master_seed: 42,
+                },
+            );
+            for (a, b) in base.iter().zip(&other) {
+                assert_eq!(a.mean_lower_bound.to_bits(), b.mean_lower_bound.to_bits());
+                for (ca, cb) in a.cells.iter().zip(&b.cells) {
+                    assert_eq!(ca.mean_sadm.to_bits(), cb.mean_sadm.to_bits());
+                    assert_eq!(ca.stddev_sadm.to_bits(), cb.stddev_sadm.to_bits());
+                    assert_eq!(ca.min_sadm, cb.min_sadm);
+                    assert_eq!(ca.max_sadm, cb.max_sadm);
+                    assert_eq!(ca.mean_wavelengths.to_bits(), cb.mean_wavelengths.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn master_seed_changes_the_randomized_numbers() {
+        let lineup = [Algorithm::SpanTEuler(
+            grooming_graph::spanning::TreeStrategy::RandomKruskal,
+        )];
+        let workload = Workload::DenseRatio { n: 14, d: 0.6 };
+        let a = measure_with(
+            workload,
+            &lineup,
+            &[4],
+            8,
+            SweepConfig {
+                jobs: 1,
+                master_seed: 1,
+            },
+        );
+        let b = measure_with(
+            workload,
+            &lineup,
+            &[4],
+            8,
+            SweepConfig {
+                jobs: 1,
+                master_seed: 2,
+            },
+        );
+        // Same instances (workload seeds are master-independent), but the
+        // randomized algorithm's tie-breaks differ.
+        assert_eq!(a[0].mean_lower_bound, b[0].mean_lower_bound);
+        assert_ne!(
+            (a[0].cells[0].mean_sadm, a[0].cells[0].stddev_sadm),
+            (b[0].cells[0].mean_sadm, b[0].cells[0].stddev_sadm),
+            "different master seeds should perturb randomized runs"
+        );
     }
 }

@@ -26,10 +26,7 @@ pub fn render(title: &str, algorithms: &[Algorithm], rows: &[Row]) -> String {
             }
         }
         for c in &row.cells {
-            line.push_str(&format!(
-                "  {:>14.1} ±{:>5.1}",
-                c.mean_sadm, c.stddev_sadm
-            ));
+            line.push_str(&format!("  {:>14.1} ±{:>5.1}", c.mean_sadm, c.stddev_sadm));
         }
         line.push_str(&format!(
             "  {:>8.1}  {}",
@@ -78,6 +75,7 @@ mod tests {
                     min_sadm: 95,
                     max_sadm: 105,
                     mean_wavelengths: 10.0,
+                    mean_runtime: std::time::Duration::ZERO,
                 },
                 Cell {
                     mean_sadm: 90.0,
@@ -85,6 +83,7 @@ mod tests {
                     min_sadm: 88,
                     max_sadm: 92,
                     mean_wavelengths: 10.0,
+                    mean_runtime: std::time::Duration::ZERO,
                 },
             ],
             mean_lower_bound: 80.0,

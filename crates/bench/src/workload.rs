@@ -84,7 +84,11 @@ mod tests {
 
     #[test]
     fn labels_mention_parameters() {
-        assert!(Workload::DenseRatio { n: 36, d: 0.5 }.label().contains("216"));
-        assert!(Workload::Regular { n: 36, r: 8 }.label().contains("8-regular"));
+        assert!(Workload::DenseRatio { n: 36, d: 0.5 }
+            .label()
+            .contains("216"));
+        assert!(Workload::Regular { n: 36, r: 8 }
+            .label()
+            .contains("8-regular"));
     }
 }

@@ -65,6 +65,12 @@ pub struct GroomOptions {
     pub analyze: bool,
     /// Write a Graphviz DOT rendering (edges colored by wavelength).
     pub dot: Option<String>,
+    /// Worker threads for the portfolio engine (`0` = one per core).
+    pub jobs: usize,
+    /// Master seed for per-attempt stream derivation (defaults to `seed`).
+    pub master_seed: Option<u64>,
+    /// Extra derived-seed restarts per portfolio entry.
+    pub restarts: usize,
 }
 
 impl Default for GroomOptions {
@@ -78,6 +84,9 @@ impl Default for GroomOptions {
             budget: None,
             analyze: false,
             dot: None,
+            jobs: 0,
+            master_seed: None,
+            restarts: 0,
         }
     }
 }
@@ -119,15 +128,42 @@ pub fn algorithm_by_name(name: &str) -> Option<Algorithm> {
 
 /// All `--algo` spellings, for help text and the `algos` command.
 pub const ALGO_NAMES: [(&str, &str); 9] = [
-    ("goldschmidt", "Algo 1: spanning-tree partition (Goldschmidt et al. 2003)"),
-    ("brauner", "Algo 2: Euler-path partition (Brauner et al. 2003)"),
-    ("wang-gu", "Algo 3: tree-path skeleton cover (Wang & Gu ICC'06)"),
-    ("spant-euler", "SpanT_Euler: the paper's linear-time hybrid (default)"),
-    ("spant-refined", "SpanT_Euler followed by local-search refinement"),
-    ("regular-euler", "Regular_Euler: regular traffic patterns only"),
-    ("clique-first", "Clique-first packing + SpanT_Euler + refinement"),
-    ("dense-first", "Maximal-clique packing up to the grooming capacity"),
-    ("auto", "Portfolio: run everything applicable, keep the cheapest plan"),
+    (
+        "goldschmidt",
+        "Algo 1: spanning-tree partition (Goldschmidt et al. 2003)",
+    ),
+    (
+        "brauner",
+        "Algo 2: Euler-path partition (Brauner et al. 2003)",
+    ),
+    (
+        "wang-gu",
+        "Algo 3: tree-path skeleton cover (Wang & Gu ICC'06)",
+    ),
+    (
+        "spant-euler",
+        "SpanT_Euler: the paper's linear-time hybrid (default)",
+    ),
+    (
+        "spant-refined",
+        "SpanT_Euler followed by local-search refinement",
+    ),
+    (
+        "regular-euler",
+        "Regular_Euler: regular traffic patterns only",
+    ),
+    (
+        "clique-first",
+        "Clique-first packing + SpanT_Euler + refinement",
+    ),
+    (
+        "dense-first",
+        "Maximal-clique packing up to the grooming capacity",
+    ),
+    (
+        "auto",
+        "Portfolio: run everything applicable, keep the cheapest plan",
+    ),
 ];
 
 /// Parsing failure with a user-facing message.
@@ -146,16 +182,19 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         "groom" => {
             let mut path = None;
             let mut opts = GroomOptions::default();
-            parse_common(&mut it, &mut opts, |flag, _| {
-                Err(ParseError(format!("unknown flag {flag:?} for groom")))
-            }, &mut |positional| {
-                if path.is_none() {
-                    path = Some(positional.to_string());
-                    Ok(())
-                } else {
-                    Err(ParseError(format!("unexpected argument {positional:?}")))
-                }
-            })?;
+            parse_common(
+                &mut it,
+                &mut opts,
+                |flag, _| Err(ParseError(format!("unknown flag {flag:?} for groom"))),
+                &mut |positional| {
+                    if path.is_none() {
+                        path = Some(positional.to_string());
+                        Ok(())
+                    } else {
+                        Err(ParseError(format!("unexpected argument {positional:?}")))
+                    }
+                },
+            )?;
             let path = path.ok_or_else(|| ParseError("groom needs an edge-list file".into()))?;
             Ok(Command::File { path, opts })
         }
@@ -163,17 +202,22 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut n = None;
             let mut m = None;
             let mut opts = GroomOptions::default();
-            parse_common(&mut it, &mut opts, |flag, value| match flag {
-                "--n" => {
-                    n = Some(parse_num(flag, value)?);
-                    Ok(())
-                }
-                "--m" => {
-                    m = Some(parse_num(flag, value)?);
-                    Ok(())
-                }
-                _ => Err(ParseError(format!("unknown flag {flag:?} for random"))),
-            }, &mut no_positional)?;
+            parse_common(
+                &mut it,
+                &mut opts,
+                |flag, value| match flag {
+                    "--n" => {
+                        n = Some(parse_num(flag, value)?);
+                        Ok(())
+                    }
+                    "--m" => {
+                        m = Some(parse_num(flag, value)?);
+                        Ok(())
+                    }
+                    _ => Err(ParseError(format!("unknown flag {flag:?} for random"))),
+                },
+                &mut no_positional,
+            )?;
             Ok(Command::Random {
                 n: n.ok_or_else(|| ParseError("random needs --n".into()))?,
                 m: m.ok_or_else(|| ParseError("random needs --m".into()))?,
@@ -184,17 +228,22 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut n = None;
             let mut r = None;
             let mut opts = GroomOptions::default();
-            parse_common(&mut it, &mut opts, |flag, value| match flag {
-                "--n" => {
-                    n = Some(parse_num(flag, value)?);
-                    Ok(())
-                }
-                "--r" => {
-                    r = Some(parse_num(flag, value)?);
-                    Ok(())
-                }
-                _ => Err(ParseError(format!("unknown flag {flag:?} for regular"))),
-            }, &mut no_positional)?;
+            parse_common(
+                &mut it,
+                &mut opts,
+                |flag, value| match flag {
+                    "--n" => {
+                        n = Some(parse_num(flag, value)?);
+                        Ok(())
+                    }
+                    "--r" => {
+                        r = Some(parse_num(flag, value)?);
+                        Ok(())
+                    }
+                    _ => Err(ParseError(format!("unknown flag {flag:?} for regular"))),
+                },
+                &mut no_positional,
+            )?;
             Ok(Command::Regular {
                 n: n.ok_or_else(|| ParseError("regular needs --n".into()))?,
                 r: r.ok_or_else(|| ParseError("regular needs --r".into()))?,
@@ -208,37 +257,42 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut alpha = 2.0f64;
             let mut hubs: Vec<u32> = Vec::new();
             let mut opts = GroomOptions::default();
-            parse_common(&mut it, &mut opts, |flag, value| match flag {
-                "--n" => {
-                    n = Some(parse_num(flag, value)?);
-                    Ok(())
-                }
-                "--kind" => {
-                    kind_name = Some(value.to_string());
-                    Ok(())
-                }
-                "--m" => {
-                    m = Some(parse_num(flag, value)?);
-                    Ok(())
-                }
-                "--alpha" => {
-                    alpha = value
-                        .parse()
-                        .map_err(|_| ParseError("--alpha needs a number".into()))?;
-                    Ok(())
-                }
-                "--hubs" => {
-                    hubs = value
-                        .split(',')
-                        .map(|t| {
-                            t.parse()
-                                .map_err(|_| ParseError(format!("bad hub id {t:?}")))
-                        })
-                        .collect::<Result<_, _>>()?;
-                    Ok(())
-                }
-                _ => Err(ParseError(format!("unknown flag {flag:?} for pattern"))),
-            }, &mut no_positional)?;
+            parse_common(
+                &mut it,
+                &mut opts,
+                |flag, value| match flag {
+                    "--n" => {
+                        n = Some(parse_num(flag, value)?);
+                        Ok(())
+                    }
+                    "--kind" => {
+                        kind_name = Some(value.to_string());
+                        Ok(())
+                    }
+                    "--m" => {
+                        m = Some(parse_num(flag, value)?);
+                        Ok(())
+                    }
+                    "--alpha" => {
+                        alpha = value
+                            .parse()
+                            .map_err(|_| ParseError("--alpha needs a number".into()))?;
+                        Ok(())
+                    }
+                    "--hubs" => {
+                        hubs = value
+                            .split(',')
+                            .map(|t| {
+                                t.parse()
+                                    .map_err(|_| ParseError(format!("bad hub id {t:?}")))
+                            })
+                            .collect::<Result<_, _>>()?;
+                        Ok(())
+                    }
+                    _ => Err(ParseError(format!("unknown flag {flag:?} for pattern"))),
+                },
+                &mut no_positional,
+            )?;
             let n = n.ok_or_else(|| ParseError("pattern needs --n".into()))?;
             let kind = match kind_name.as_deref() {
                 Some("all-to-all") | Some("all2all") => PatternKind::AllToAll,
@@ -301,6 +355,17 @@ fn parse_common<'a>(
                             .parse()
                             .map_err(|_| ParseError("--seed needs an integer".to_string()))?
                     }
+                    "--jobs" => {
+                        opts.jobs = value.parse().map_err(|_| {
+                            ParseError("--jobs needs an integer (0 = auto)".to_string())
+                        })?
+                    }
+                    "--master-seed" => {
+                        opts.master_seed = Some(value.parse().map_err(|_| {
+                            ParseError("--master-seed needs an integer".to_string())
+                        })?)
+                    }
+                    "--restarts" => opts.restarts = parse_num(flag, value)?,
                     "--algo" => {
                         opts.algorithm = algorithm_by_name(value).ok_or_else(|| {
                             ParseError(format!(
@@ -342,6 +407,12 @@ OPTIONS:
   --k K          grooming factor (default 16 = OC-3 into OC-48)
   --algo NAME    algorithm (default spant-euler; see `algos`)
   --seed S       RNG seed (default 1)
+  --jobs N       portfolio worker threads (0 = one per core; default 0).
+                 Job count never changes the result, only wall-clock
+  --master-seed S  master seed for the portfolio's per-attempt RNG
+                 streams (default: --seed)
+  --restarts R   extra derived-seed restarts per portfolio entry
+                 (default 0)
   --budget B     enforce a wavelength budget (W <= B)
   --parts        print the per-wavelength demand groups
   --analyze      print the analytic breakdown (histograms, hot nodes, gap)
@@ -458,6 +529,34 @@ mod tests {
             Command::Random { opts, .. } => assert_eq!(opts.budget, None),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_portfolio_engine_flags() {
+        match parse(&argv(
+            "random --n 12 --m 30 --algo auto --jobs 4 --master-seed 77 --restarts 3",
+        ))
+        .unwrap()
+        {
+            Command::Random { opts, .. } => {
+                assert_eq!(opts.algorithm, Algorithm::Portfolio);
+                assert_eq!(opts.jobs, 4);
+                assert_eq!(opts.master_seed, Some(77));
+                assert_eq!(opts.restarts, 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Defaults: auto jobs, master seed falls back to --seed.
+        match parse(&argv("random --n 12 --m 30")).unwrap() {
+            Command::Random { opts, .. } => {
+                assert_eq!(opts.jobs, 0);
+                assert_eq!(opts.master_seed, None);
+                assert_eq!(opts.restarts, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("random --n 12 --m 30 --jobs x")).is_err());
+        assert!(parse(&argv("random --n 12 --m 30 --master-seed y")).is_err());
     }
 
     #[test]

@@ -170,11 +170,20 @@ fn run_one(demands: &DemandSet, algo: Algorithm, opts: &GroomOptions) {
         }
         return;
     }
+    // The portfolio routes through the deterministic parallel engine so
+    // --jobs / --master-seed / --restarts take effect and the per-attempt
+    // breakdown can be reported.
+    if algo == Algorithm::Portfolio {
+        run_portfolio(demands, opts);
+        return;
+    }
     let out = match groom(demands, opts.k, algo, &mut rng) {
         Ok(out) => out,
         Err(e) => {
             eprintln!("error: {}: {e}", algo.name());
-            eprintln!("hint: that algorithm needs a regular traffic pattern; try --algo spant-euler");
+            eprintln!(
+                "hint: that algorithm needs a regular traffic pattern; try --algo spant-euler"
+            );
             std::process::exit(1);
         }
     };
@@ -182,7 +191,10 @@ fn run_one(demands: &DemandSet, algo: Algorithm, opts: &GroomOptions) {
     println!("\n{}", out.report);
     if opts.analyze {
         let g = demands.to_traffic_graph();
-        println!("\n{}", grooming::analysis::analyze(&g, opts.k, &out.partition));
+        println!(
+            "\n{}",
+            grooming::analysis::analyze(&g, opts.k, &out.partition)
+        );
     }
     if let Some(path) = &opts.dot {
         let g = demands.to_traffic_graph();
@@ -203,6 +215,73 @@ fn run_one(demands: &DemandSet, algo: Algorithm, opts: &GroomOptions) {
     }
     if opts.show_parts {
         print_parts(&out.assignment);
+    }
+}
+
+fn run_portfolio(demands: &DemandSet, opts: &GroomOptions) {
+    use grooming::portfolio::{best_of_seeded, DEFAULT_PORTFOLIO};
+    let g = demands.to_traffic_graph();
+    let master = opts.master_seed.unwrap_or(opts.seed);
+    let result = best_of_seeded(
+        &g,
+        opts.k,
+        &DEFAULT_PORTFOLIO,
+        opts.restarts,
+        master,
+        opts.jobs,
+    );
+
+    // Rebuild the ring-side assignment for the standard report.
+    let groups: Vec<Vec<grooming_sonet::demand::DemandPair>> = result
+        .partition
+        .parts()
+        .iter()
+        .map(|part| part.iter().map(|e| demands.pairs()[e.index()]).collect())
+        .collect();
+    let ring = grooming_sonet::ring::UpsrRing::new(demands.num_nodes());
+    let assignment = grooming_sonet::grooming::GroomingAssignment::new(ring, opts.k, groups);
+    assignment
+        .validate(Some(demands))
+        .expect("portfolio partitions stay valid");
+
+    println!(
+        "algorithm: {} (portfolio winner, restart {}, master seed {master})",
+        result.winner.name(),
+        result.winner_restart
+    );
+    println!("\n{}", assignment.report());
+    println!(
+        "portfolio: {} attempts in {:.1?} ({} skipped, {} failed)",
+        result.attempts.len(),
+        result.wall_time,
+        result.skipped.len(),
+        result.failed_attempts,
+    );
+    println!(
+        "  {:<24} {:>7} {:>6} {:>12} {:>12}",
+        "attempt", "restart", "SADMs", "wavelengths", "time"
+    );
+    for a in &result.attempts {
+        println!(
+            "  {:<24} {:>7} {:>6} {:>12} {:>12.1?}",
+            a.algorithm.name(),
+            a.restart,
+            a.cost,
+            a.wavelengths,
+            a.duration,
+        );
+    }
+    for s in &result.skipped {
+        println!("  {:<24} (skipped: preconditions not met)", s.name());
+    }
+    if opts.analyze {
+        println!(
+            "\n{}",
+            grooming::analysis::analyze(&g, opts.k, &result.partition)
+        );
+    }
+    if opts.show_parts {
+        print_parts(&assignment);
     }
 }
 

@@ -71,6 +71,42 @@ impl Algorithm {
         }
     }
 
+    /// A stable identity for seed derivation and tie-breaking in the
+    /// portfolio engine: unlike a portfolio index, it never changes when
+    /// entries are reordered, added, or removed. See
+    /// [`crate::portfolio::attempt_seed`].
+    pub fn stable_id(&self) -> u64 {
+        fn strategy_ordinal(s: TreeStrategy) -> u64 {
+            match s {
+                TreeStrategy::Bfs => 0,
+                TreeStrategy::Dfs => 1,
+                TreeStrategy::RandomKruskal => 2,
+                TreeStrategy::LowDegree => 3,
+            }
+        }
+        match *self {
+            Algorithm::Goldschmidt => 1,
+            Algorithm::Brauner => 2,
+            Algorithm::WangGuIcc06 => 3,
+            Algorithm::RegularEuler => 4,
+            Algorithm::CliqueFirst => 5,
+            Algorithm::DenseFirst => 6,
+            Algorithm::Portfolio => 7,
+            Algorithm::SpanTEuler(s) => 0x10 + strategy_ordinal(s),
+            Algorithm::SpanTEulerRefined(s) => 0x20 + strategy_ordinal(s),
+        }
+    }
+
+    /// `true` if the algorithm's preconditions accept `g` — probed once
+    /// per portfolio entry so a failing precondition skips the entry
+    /// instead of erroring on every restart.
+    pub fn applicable(&self, g: &Graph) -> bool {
+        match self {
+            Algorithm::RegularEuler => g.regularity().is_some(),
+            _ => true,
+        }
+    }
+
     /// Runs the algorithm on traffic graph `g` with grooming factor `k`.
     pub fn run<R: Rng>(
         &self,

@@ -94,7 +94,7 @@ mod tests {
         let m = g.num_edges();
         assert_eq!(p.sadm_cost(&g), m); // exact, no instance noise
         assert!(generic.sadm_cost(&g) <= m + m.div_ceil(n)); // only a bound
-        // Both use the minimum number of wavelengths.
+                                                             // Both use the minimum number of wavelengths.
         assert!(p.uses_min_wavelengths(&g, n));
         assert!(generic.uses_min_wavelengths(&g, n));
     }

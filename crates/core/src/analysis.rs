@@ -112,7 +112,11 @@ impl std::fmt::Display for PartitionAnalysis {
             "  lower bound {} -> within {:.2}x of provable optimum",
             self.lower_bound, self.optimality_ratio
         )?;
-        writeln!(f, "  mean wavelength density {:.2} edges/node", self.mean_density)?;
+        writeln!(
+            f,
+            "  mean wavelength density {:.2} edges/node",
+            self.mean_density
+        )?;
         write!(f, "  part sizes  :")?;
         for &(s, c) in &self.part_sizes {
             write!(f, " {s}e x{c}")?;

@@ -213,10 +213,7 @@ mod tests {
         // Four disjoint single edges at k = 4: the global clique DP would
         // allow one 4-edge "clique-ish" part (nu(4) = 4), but each
         // component needs its own 2 nodes.
-        let g = grooming_graph::graph::Graph::from_edges(
-            8,
-            &[(0, 1), (2, 3), (4, 5), (6, 7)],
-        );
+        let g = grooming_graph::graph::Graph::from_edges(8, &[(0, 1), (2, 3), (4, 5), (6, 7)]);
         assert_eq!(clique_lower_bound(4, 4), 4);
         assert_eq!(component_lower_bound(&g, 4), 8);
         assert_eq!(lower_bound(&g, 4), 8);

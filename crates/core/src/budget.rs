@@ -64,8 +64,7 @@ pub fn enforce_budget(
     assert!(k > 0, "grooming factor must be positive");
     let mut parts: Vec<Vec<_>> = partition.parts().to_vec();
     let touched = |part: &[grooming_graph::ids::EdgeId]| {
-        grooming_graph::view::EdgeSubset::from_edges(g, part.iter().copied())
-            .touched_node_count(g)
+        grooming_graph::view::EdgeSubset::from_edges(g, part.iter().copied()).touched_node_count(g)
     };
 
     while parts.len() > budget {
@@ -78,8 +77,7 @@ pub fn enforce_budget(
                 if parts[a].len() + parts[b].len() > k {
                     continue;
                 }
-                let merged: Vec<_> =
-                    parts[a].iter().chain(parts[b].iter()).copied().collect();
+                let merged: Vec<_> = parts[a].iter().chain(parts[b].iter()).copied().collect();
                 let delta = touched(&merged) as isize
                     - touched(&parts[a]) as isize
                     - touched(&parts[b]) as isize;
@@ -220,9 +218,14 @@ mod tests {
         let mut r1 = rng(3);
         let mut r2 = rng(3);
         let base = Algorithm::CliqueFirst.run(&g, 4, &mut r1).unwrap();
-        let budgeted =
-            groom_with_budget(&g, 4, base.num_wavelengths(), Algorithm::CliqueFirst, &mut r2)
-                .unwrap();
+        let budgeted = groom_with_budget(
+            &g,
+            4,
+            base.num_wavelengths(),
+            Algorithm::CliqueFirst,
+            &mut r2,
+        )
+        .unwrap();
         assert_eq!(budgeted.sadm_cost(&g), base.sadm_cost(&g));
     }
 
@@ -245,8 +248,7 @@ mod tests {
         let min_w = EdgePartition::min_wavelengths(g.num_edges(), k); // 6
         let mut costs = Vec::new();
         for budget in [min_w, min_w + 2, min_w + 4] {
-            let p = groom_with_budget(&g, k, budget, Algorithm::CliqueFirst, &mut rng(6))
-                .unwrap();
+            let p = groom_with_budget(&g, k, budget, Algorithm::CliqueFirst, &mut rng(6)).unwrap();
             p.validate(&g, k).unwrap();
             assert!(p.num_wavelengths() <= budget);
             costs.push(p.sadm_cost(&g));

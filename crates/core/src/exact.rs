@@ -54,7 +54,10 @@ fn exact_search(g: &Graph, k: usize, max_parts: Option<usize>) -> (EdgePartition
         "exact solver capped at {MAX_EDGES} edges (got {})",
         g.num_edges()
     );
-    assert!(g.num_nodes() <= 64, "exact solver tracks nodes as u64 masks");
+    assert!(
+        g.num_nodes() <= 64,
+        "exact solver tracks nodes as u64 masks"
+    );
     let m = g.num_edges();
     if m == 0 {
         return (EdgePartition::new(Vec::new()), 0);
@@ -317,8 +320,8 @@ mod tests {
         assert_eq!(exact_minimum(&g, 4), 6);
         assert_eq!(exact_minimum_with_budget(&g, 4, 2), Some(6));
         assert_eq!(exact_minimum_with_budget(&g, 4, 1), None); // < ceil(6/4)
-        // k = 6 allows one wavelength: forced merging costs all 6 nodes
-        // anyway here (disjoint triangles share nothing).
+                                                               // k = 6 allows one wavelength: forced merging costs all 6 nodes
+                                                               // anyway here (disjoint triangles share nothing).
         assert_eq!(exact_minimum_with_budget(&g, 6, 1), Some(6));
     }
 

@@ -276,7 +276,12 @@ mod tests {
 
     #[test]
     fn regularize_outputs_are_regular_and_simple() {
-        for g in [two_triangles(), bowtie(), generators::cycle(6), octahedron()] {
+        for g in [
+            two_triangles(),
+            bowtie(),
+            generators::cycle(6),
+            octahedron(),
+        ] {
             let reg = regularize(&g);
             assert!(reg.graph.is_simple());
             assert!(reg.graph.is_regular(reg.delta), "Δ = {}", reg.delta);

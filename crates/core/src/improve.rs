@@ -80,19 +80,13 @@ impl PartState {
     /// Nodes that would become newly occupied by adding `e`.
     fn add_gain(&self, g: &Graph, e: EdgeId) -> usize {
         let (u, v) = g.endpoints(e);
-        [u, v]
-            .iter()
-            .filter(|x| self.count[x.index()] == 0)
-            .count()
+        [u, v].iter().filter(|x| self.count[x.index()] == 0).count()
     }
 
     /// Nodes that would be freed by removing `e`.
     fn remove_gain(&self, g: &Graph, e: EdgeId) -> usize {
         let (u, v) = g.endpoints(e);
-        [u, v]
-            .iter()
-            .filter(|x| self.count[x.index()] == 1)
-            .count()
+        [u, v].iter().filter(|x| self.count[x.index()] == 1).count()
     }
 }
 
@@ -255,9 +249,7 @@ pub fn clique_first<R: Rng>(g: &Graph, k: usize, rng: &mut R) -> EdgePartition {
     let mut remaining: Vec<[NodeId; 3]> = triangles;
     loop {
         // Seed a new part.
-        let seed = remaining
-            .iter()
-            .position(|t| avail(t, &used, g).is_some());
+        let seed = remaining.iter().position(|t| avail(t, &used, g).is_some());
         let Some(seed_idx) = seed else { break };
         let seed_t = remaining.swap_remove(seed_idx);
         let seed_edges = avail(&seed_t, &used, g).unwrap();

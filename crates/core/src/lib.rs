@@ -82,8 +82,8 @@ pub mod improve;
 pub mod network;
 pub mod online;
 pub mod partition;
-pub mod portfolio;
 pub mod pipeline;
+pub mod portfolio;
 pub mod regular_euler;
 pub mod skeleton;
 pub mod spant_euler;

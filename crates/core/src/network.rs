@@ -151,8 +151,7 @@ mod tests {
         let net = star_network();
         let demands = vec![(rn(1, 1), rn(1, 4)), (rn(1, 2), rn(1, 5))];
         let mut rng = StdRng::seed_from_u64(3);
-        let out =
-            groom_network(&net, &demands, 16, Algorithm::Brauner, &mut rng).unwrap();
+        let out = groom_network(&net, &demands, 16, Algorithm::Brauner, &mut rng).unwrap();
         assert_eq!(out.rings[0].report.sadm_total, 0);
         assert_eq!(out.rings[2].report.sadm_total, 0);
         assert!(out.rings[1].report.sadm_total > 0);

@@ -77,9 +77,7 @@ impl OnlineGroomer {
                 .count();
             let better = match best {
                 None => true,
-                Some((_, bn, bfill)) => {
-                    new_adms < bn || (new_adms == bn && w.pairs.len() > bfill)
-                }
+                Some((_, bn, bfill)) => new_adms < bn || (new_adms == bn && w.pairs.len() > bfill),
             };
             if better {
                 best = Some((i, new_adms, w.pairs.len()));

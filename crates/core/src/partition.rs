@@ -80,8 +80,6 @@ impl EdgePartition {
         self.parts
             .iter()
             .map(|p| EdgeSubset::from_edges(g, p.iter().copied()).touched_node_count(g))
-            .collect::<Vec<_>>()
-            .iter()
             .sum()
     }
 
@@ -186,14 +184,20 @@ mod tests {
     fn repeated_edge_rejected() {
         let g = triangle_pair();
         let p = EdgePartition::new(vec![ids(&[0, 1]), ids(&[1, 2, 3, 4]), ids(&[5])]);
-        assert_eq!(p.validate(&g, 4), Err(PartitionError::EdgeRepeated(EdgeId(1))));
+        assert_eq!(
+            p.validate(&g, 4),
+            Err(PartitionError::EdgeRepeated(EdgeId(1)))
+        );
     }
 
     #[test]
     fn missing_edge_rejected() {
         let g = triangle_pair();
         let p = EdgePartition::new(vec![ids(&[0, 1, 2, 3, 4])]);
-        assert_eq!(p.validate(&g, 5), Err(PartitionError::EdgeMissing(EdgeId(5))));
+        assert_eq!(
+            p.validate(&g, 5),
+            Err(PartitionError::EdgeMissing(EdgeId(5)))
+        );
     }
 
     #[test]

@@ -95,7 +95,10 @@ mod tests {
         let demands = DemandSet::random(16, 40, &mut rng(1));
         for algo in Algorithm::FIGURE4 {
             let out = groom(&demands, 4, algo, &mut rng(2)).unwrap();
-            assert_eq!(out.report.sadm_total, out.partition.sadm_cost(&demands.to_traffic_graph()));
+            assert_eq!(
+                out.report.sadm_total,
+                out.partition.sadm_cost(&demands.to_traffic_graph())
+            );
             assert_eq!(out.report.pairs_carried, demands.len());
         }
     }
@@ -117,8 +120,7 @@ mod tests {
             &mut rng(5),
         )
         .unwrap();
-        let dedicated =
-            GroomingAssignment::dedicated(UpsrRing::new(10), 16, &demands).sadm_count();
+        let dedicated = GroomingAssignment::dedicated(UpsrRing::new(10), 16, &demands).sadm_count();
         assert!(out.report.sadm_total < dedicated);
         assert!(out.report.wavelengths < demands.len());
     }

@@ -1,6 +1,26 @@
-//! Portfolio meta-grooming: run several algorithms (and several seeds) and
-//! keep the best result — the practical "just give me the cheapest plan"
-//! entry point for planners who don't care which heuristic wins.
+//! Portfolio meta-grooming: a deterministic parallel engine that races
+//! several algorithms (each with several restarts) and keeps the cheapest
+//! plan — the practical "just give me the cheapest plan" entry point for
+//! planners who don't care which heuristic wins.
+//!
+//! # Determinism model
+//!
+//! Every `(algorithm, restart)` attempt owns an independent RNG stream
+//! derived from a single master seed by a SplitMix64 finalizer over the
+//! algorithm's *stable id* (see [`Algorithm::stable_id`]) and the restart
+//! index ([`attempt_seed`]). Because no attempt shares RNG state with any
+//! other, the set of attempt outcomes is a pure function of
+//! `(graph, k, master_seed)` — independent of worker count, scheduling,
+//! portfolio order, and of how many *extra* restarts run alongside.
+//!
+//! The reduction picks the minimum under the fixed tie-break key
+//! `(cost, stable_id, restart)`, which is order-free, so the parallel
+//! result is bit-identical to the sequential (`jobs = 1`) result for the
+//! same master seed.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use grooming_graph::graph::Graph;
 use grooming_graph::spanning::TreeStrategy;
@@ -20,6 +40,41 @@ pub const DEFAULT_PORTFOLIO: [Algorithm; 6] = [
     Algorithm::DenseFirst,
 ];
 
+/// Derives the RNG seed of one `(algorithm, restart)` attempt from the
+/// engine's master seed.
+///
+/// The derivation goes through the algorithm's [`Algorithm::stable_id`]
+/// (not its position in the portfolio), so reordering a portfolio never
+/// changes any attempt's stream, and a SplitMix64 finalizer decorrelates
+/// neighbouring `(master, restart)` inputs.
+pub fn attempt_seed(master: u64, algo: Algorithm, restart: usize) -> u64 {
+    // Domain-separate from raw master seeds so `attempt_seed(m, a, 0)`
+    // never collides with a user-chosen master `m`.
+    let mut state = (master ^ 0xD1B5_4A32_D192_ED03)
+        .wrapping_add(algo.stable_id().wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add((restart as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    rand::splitmix64(&mut state)
+}
+
+/// One executed `(algorithm, restart)` attempt, for cost/time reporting.
+#[derive(Clone, Debug)]
+pub struct AttemptRecord {
+    /// The algorithm that ran.
+    pub algorithm: Algorithm,
+    /// Its position in the (deduplicated) portfolio.
+    pub algo_index: usize,
+    /// The restart index, `0..=restarts`.
+    pub restart: usize,
+    /// The derived RNG seed the attempt ran with.
+    pub seed: u64,
+    /// SADM cost of the attempt's partition.
+    pub cost: usize,
+    /// Wavelength count of the attempt's partition.
+    pub wavelengths: usize,
+    /// Wall-clock time of this attempt (informational; not deterministic).
+    pub duration: Duration,
+}
+
 /// The winning entry of a portfolio run.
 #[derive(Clone, Debug)]
 pub struct PortfolioResult {
@@ -27,17 +82,293 @@ pub struct PortfolioResult {
     pub partition: EdgePartition,
     /// Which algorithm produced it.
     pub winner: Algorithm,
+    /// The restart index that produced the winning partition.
+    pub winner_restart: usize,
     /// Its SADM cost.
     pub cost: usize,
-    /// Cost of every portfolio entry, in input order (for reporting).
+    /// Best cost of every *applicable* portfolio entry, in input order
+    /// (for reporting).
     pub all_costs: Vec<(Algorithm, usize)>,
+    /// Every executed attempt in `(algo_index, restart)` order, with
+    /// per-attempt cost and timing.
+    pub attempts: Vec<AttemptRecord>,
+    /// Portfolio entries skipped because their preconditions failed on
+    /// this instance (probed once per algorithm, before any restart).
+    pub skipped: Vec<Algorithm>,
+    /// Attempts that returned an error at runtime (skipped, not fatal).
+    pub failed_attempts: usize,
+    /// Wall-clock time of the whole run (informational).
+    pub wall_time: Duration,
+}
+
+/// The deterministic payload of a [`PortfolioResult`]: the winning
+/// partition, winner name, cost, and per-attempt `(name, restart, cost,
+/// seed)` tuples — everything except the wall-clock measurements.
+pub type Fingerprint = (
+    Vec<Vec<grooming_graph::ids::EdgeId>>,
+    String,
+    usize,
+    Vec<(String, usize, usize, u64)>,
+);
+
+impl PortfolioResult {
+    /// The deterministic payload of the result — everything except the
+    /// wall-clock measurements. Two runs with the same master seed compare
+    /// equal under this view regardless of `jobs` or portfolio order.
+    pub fn fingerprint(&self) -> Fingerprint {
+        (
+            self.partition.parts().to_vec(),
+            self.winner.name().to_string(),
+            self.cost,
+            self.attempts
+                .iter()
+                .map(|a| (a.algorithm.name().to_string(), a.restart, a.cost, a.seed))
+                .collect(),
+        )
+    }
+}
+
+/// Configuration of a deterministic parallel portfolio run.
+#[derive(Clone, Debug)]
+pub struct PortfolioEngine<'a> {
+    portfolio: &'a [Algorithm],
+    restarts: usize,
+    jobs: usize,
+    master_seed: u64,
+}
+
+impl<'a> PortfolioEngine<'a> {
+    /// Engine over `portfolio` with no extra restarts, auto job count, and
+    /// master seed 0.
+    pub fn new(portfolio: &'a [Algorithm]) -> Self {
+        PortfolioEngine {
+            portfolio,
+            restarts: 0,
+            jobs: 0,
+            master_seed: 0,
+        }
+    }
+
+    /// Extra RNG-reseeded attempts per entry (`0` = single shot).
+    pub fn restarts(mut self, restarts: usize) -> Self {
+        self.restarts = restarts;
+        self
+    }
+
+    /// Worker threads (`0` = one per available core, `1` = in-thread
+    /// sequential execution). Never affects the result, only wall-clock.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// The master seed every attempt stream is derived from.
+    pub fn master_seed(mut self, master_seed: u64) -> Self {
+        self.master_seed = master_seed;
+        self
+    }
+
+    /// Runs the portfolio on `(g, k)`.
+    ///
+    /// Applicability is probed once per algorithm ([`Algorithm::applicable`]);
+    /// entries that fail the probe are reported in
+    /// [`PortfolioResult::skipped`]. An attempt that still errors at
+    /// runtime is counted in [`PortfolioResult::failed_attempts`] and
+    /// skipped — it never cancels the remaining restarts.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or no portfolio entry accepts the instance.
+    pub fn run(&self, g: &Graph, k: usize) -> PortfolioResult {
+        assert!(k > 0, "grooming factor must be positive");
+        let started = Instant::now();
+
+        // Deduplicate by stable id, keeping first occurrence: duplicate
+        // entries would run identical streams and only blur the tie-break.
+        let mut entries: Vec<Algorithm> = Vec::with_capacity(self.portfolio.len());
+        let mut skipped = Vec::new();
+        for &algo in self.portfolio {
+            if entries.iter().any(|e| e.stable_id() == algo.stable_id()) {
+                continue;
+            }
+            if algo.applicable(g) {
+                entries.push(algo);
+            } else {
+                skipped.push(algo);
+            }
+        }
+
+        // The attempt plan, in deterministic (algo_index, restart) order.
+        let plan: Vec<(usize, Algorithm, usize, u64)> = entries
+            .iter()
+            .enumerate()
+            .flat_map(|(ai, &algo)| {
+                (0..=self.restarts).map(move |restart| {
+                    (
+                        ai,
+                        algo,
+                        restart,
+                        attempt_seed(self.master_seed, algo, restart),
+                    )
+                })
+            })
+            .collect();
+
+        let outcomes = self.execute(g, k, &plan);
+
+        // Deterministic reduction: per-entry bests in input order, global
+        // best under the order-free (cost, stable_id, restart) key.
+        let mut attempts = Vec::with_capacity(plan.len());
+        let mut failed_attempts = 0usize;
+        let mut per_entry_best: Vec<Option<usize>> = vec![None; entries.len()];
+        let mut best: Option<(usize, (usize, u64, usize))> = None; // (plan idx, key)
+        for (i, outcome) in outcomes.iter().enumerate() {
+            let (ai, algo, restart, seed) = plan[i];
+            let Some(outcome) = outcome else {
+                failed_attempts += 1;
+                continue;
+            };
+            attempts.push(AttemptRecord {
+                algorithm: algo,
+                algo_index: ai,
+                restart,
+                seed,
+                cost: outcome.cost,
+                wavelengths: outcome.wavelengths,
+                duration: outcome.duration,
+            });
+            let slot = &mut per_entry_best[ai];
+            *slot = Some(slot.map_or(outcome.cost, |b| b.min(outcome.cost)));
+            let key = (outcome.cost, algo.stable_id(), restart);
+            if best.as_ref().is_none_or(|(_, bk)| key < *bk) {
+                best = Some((i, key));
+            }
+        }
+
+        let (best_idx, _) = best.expect("no portfolio entry accepted the instance");
+        let (_, winner, winner_restart, _) = plan[best_idx];
+        let outcome = outcomes[best_idx].as_ref().expect("winner outcome exists");
+        let all_costs = entries
+            .iter()
+            .zip(&per_entry_best)
+            .filter_map(|(&algo, best)| best.map(|c| (algo, c)))
+            .collect();
+
+        PortfolioResult {
+            partition: outcome.partition.clone(),
+            winner,
+            winner_restart,
+            cost: outcome.cost,
+            all_costs,
+            attempts,
+            skipped,
+            failed_attempts,
+            wall_time: started.elapsed(),
+        }
+    }
+
+    /// Executes the plan, one outcome slot per attempt. `jobs == 1` runs
+    /// in-thread; otherwise a scoped thread pool drains an atomic cursor.
+    /// Either path fills identical slots because every attempt's RNG
+    /// stream is self-contained.
+    fn execute(
+        &self,
+        g: &Graph,
+        k: usize,
+        plan: &[(usize, Algorithm, usize, u64)],
+    ) -> Vec<Option<AttemptOutcome>> {
+        let jobs = effective_jobs(self.jobs, plan.len());
+        if jobs <= 1 {
+            return plan
+                .iter()
+                .map(|&(_, algo, _, seed)| run_attempt(g, k, algo, seed))
+                .collect();
+        }
+        let slots: Vec<Mutex<Option<AttemptOutcome>>> =
+            plan.iter().map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(_, algo, _, seed)) = plan.get(i) else {
+                        break;
+                    };
+                    let outcome = run_attempt(g, k, algo, seed);
+                    *slots[i].lock().expect("attempt slot poisoned") = outcome;
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("attempt slot poisoned"))
+            .collect()
+    }
+}
+
+/// Resolves a `jobs` request: `0` means one worker per available core,
+/// and there is never a reason to spawn more workers than attempts.
+fn effective_jobs(jobs: usize, attempts: usize) -> usize {
+    let requested = if jobs == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        jobs
+    };
+    requested.min(attempts.max(1))
+}
+
+struct AttemptOutcome {
+    partition: EdgePartition,
+    cost: usize,
+    wavelengths: usize,
+    duration: Duration,
+}
+
+/// Runs one attempt on its own derived stream. Runtime errors become
+/// `None` (the attempt is skipped, per-restart errors never cancel later
+/// restarts).
+fn run_attempt(g: &Graph, k: usize, algo: Algorithm, seed: u64) -> Option<AttemptOutcome> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let started = Instant::now();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let partition = algo.run(g, k, &mut rng).ok()?;
+    debug_assert!(partition.validate(g, k).is_ok());
+    let cost = partition.sadm_cost(g);
+    let wavelengths = partition.num_wavelengths();
+    Some(AttemptOutcome {
+        partition,
+        cost,
+        wavelengths,
+        duration: started.elapsed(),
+    })
 }
 
 /// Runs every algorithm in `portfolio` (skipping entries whose
-/// preconditions fail) and returns the cheapest valid result.
+/// preconditions fail) with `restarts` extra derived-seed attempts per
+/// entry and `jobs` workers, and returns the cheapest valid result.
 ///
-/// Ties break toward the earlier portfolio entry; `restarts` extra
-/// RNG-reseeded attempts are made per randomized entry (`0` = single shot).
+/// Ties break by the fixed `(cost, stable_id, restart)` key, so the
+/// result is bit-identical across job counts and portfolio orderings.
+///
+/// # Panics
+/// Panics if `k == 0` or no portfolio entry accepts the instance.
+pub fn best_of_seeded(
+    g: &Graph,
+    k: usize,
+    portfolio: &[Algorithm],
+    restarts: usize,
+    master_seed: u64,
+    jobs: usize,
+) -> PortfolioResult {
+    PortfolioEngine::new(portfolio)
+        .restarts(restarts)
+        .master_seed(master_seed)
+        .jobs(jobs)
+        .run(g, k)
+}
+
+/// Compatibility front-door over [`best_of_seeded`]: draws the master seed
+/// from `rng` (one `next_u64` call) and runs sequentially.
 ///
 /// # Panics
 /// Panics if `k == 0` or no portfolio entry accepts the instance.
@@ -48,32 +379,7 @@ pub fn best_of<R: Rng>(
     restarts: usize,
     rng: &mut R,
 ) -> PortfolioResult {
-    assert!(k > 0, "grooming factor must be positive");
-    let mut best: Option<(EdgePartition, Algorithm, usize)> = None;
-    let mut all_costs = Vec::with_capacity(portfolio.len());
-    for &algo in portfolio {
-        let mut algo_best: Option<usize> = None;
-        for _ in 0..=restarts {
-            let Ok(p) = algo.run(g, k, rng) else { break };
-            debug_assert!(p.validate(g, k).is_ok());
-            let cost = p.sadm_cost(g);
-            algo_best = Some(algo_best.map_or(cost, |b| b.min(cost)));
-            if best.as_ref().is_none_or(|(_, _, bc)| cost < *bc) {
-                best = Some((p, algo, cost));
-            }
-        }
-        if let Some(c) = algo_best {
-            all_costs.push((algo, c));
-        }
-    }
-    let (partition, winner, cost) =
-        best.expect("no portfolio entry accepted the instance");
-    PortfolioResult {
-        partition,
-        winner,
-        cost,
-        all_costs,
-    }
+    best_of_seeded(g, k, portfolio, restarts, rng.next_u64(), 1)
 }
 
 #[cfg(test)]
@@ -105,20 +411,8 @@ mod tests {
     #[test]
     fn restarts_never_hurt() {
         let g = generators::gnm(18, 50, &mut StdRng::seed_from_u64(1));
-        let single = best_of(
-            &g,
-            8,
-            &DEFAULT_PORTFOLIO,
-            0,
-            &mut StdRng::seed_from_u64(2),
-        );
-        let multi = best_of(
-            &g,
-            8,
-            &DEFAULT_PORTFOLIO,
-            3,
-            &mut StdRng::seed_from_u64(2),
-        );
+        let single = best_of(&g, 8, &DEFAULT_PORTFOLIO, 0, &mut StdRng::seed_from_u64(2));
+        let multi = best_of(&g, 8, &DEFAULT_PORTFOLIO, 3, &mut StdRng::seed_from_u64(2));
         assert!(multi.cost <= single.cost);
     }
 
@@ -134,6 +428,8 @@ mod tests {
         let result = best_of(&g, 4, &portfolio, 0, &mut StdRng::seed_from_u64(3));
         assert_eq!(result.winner.name(), "SpanT_Euler");
         assert_eq!(result.all_costs.len(), 1);
+        assert_eq!(result.skipped, vec![Algorithm::RegularEuler]);
+        assert_eq!(result.failed_attempts, 0);
     }
 
     #[test]
@@ -152,5 +448,88 @@ mod tests {
     fn empty_portfolio_panics() {
         let g = generators::cycle(4);
         let _ = best_of(&g, 2, &[], 0, &mut StdRng::seed_from_u64(5));
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_sequential() {
+        let g = generators::gnm(24, 90, &mut StdRng::seed_from_u64(11));
+        for master in [0u64, 7, 0xDEAD_BEEF] {
+            let sequential = best_of_seeded(&g, 8, &DEFAULT_PORTFOLIO, 2, master, 1);
+            for jobs in [2usize, 3, 8] {
+                let parallel = best_of_seeded(&g, 8, &DEFAULT_PORTFOLIO, 2, master, jobs);
+                assert_eq!(sequential.fingerprint(), parallel.fingerprint());
+            }
+        }
+    }
+
+    #[test]
+    fn portfolio_order_does_not_change_the_outcome() {
+        let g = generators::gnm(20, 70, &mut StdRng::seed_from_u64(13));
+        let forward = best_of_seeded(&g, 6, &DEFAULT_PORTFOLIO, 1, 99, 0);
+        let mut reversed_portfolio = DEFAULT_PORTFOLIO;
+        reversed_portfolio.reverse();
+        let reversed = best_of_seeded(&g, 6, &reversed_portfolio, 1, 99, 0);
+        assert_eq!(forward.cost, reversed.cost);
+        assert_eq!(forward.winner.name(), reversed.winner.name());
+        assert_eq!(forward.partition.parts(), reversed.partition.parts());
+    }
+
+    #[test]
+    fn extra_restarts_preserve_shared_attempts() {
+        let g = generators::gnm(18, 55, &mut StdRng::seed_from_u64(17));
+        let small = best_of_seeded(&g, 8, &DEFAULT_PORTFOLIO, 1, 5, 0);
+        let large = best_of_seeded(&g, 8, &DEFAULT_PORTFOLIO, 4, 5, 0);
+        // Every attempt of the small run reappears, bit-identical, in the
+        // large run: streams depend on (master, algo, restart) only.
+        for a in &small.attempts {
+            let twin = large
+                .attempts
+                .iter()
+                .find(|b| {
+                    b.algorithm.stable_id() == a.algorithm.stable_id() && b.restart == a.restart
+                })
+                .expect("shared attempt must exist");
+            assert_eq!(twin.seed, a.seed);
+            assert_eq!(twin.cost, a.cost);
+        }
+        assert!(large.cost <= small.cost);
+    }
+
+    #[test]
+    fn duplicate_entries_are_deduplicated() {
+        let g = generators::gnm(16, 40, &mut StdRng::seed_from_u64(19));
+        let doubled = [
+            Algorithm::Brauner,
+            Algorithm::Brauner,
+            Algorithm::SpanTEuler(TreeStrategy::Bfs),
+        ];
+        let result = best_of_seeded(&g, 4, &doubled, 2, 1, 0);
+        assert_eq!(result.all_costs.len(), 2);
+        assert_eq!(result.attempts.len(), 2 * 3);
+    }
+
+    #[test]
+    fn attempt_records_cover_the_whole_plan() {
+        let g = generators::gnm(14, 30, &mut StdRng::seed_from_u64(23));
+        let restarts = 2;
+        let result = best_of_seeded(&g, 4, &DEFAULT_PORTFOLIO, restarts, 3, 0);
+        assert_eq!(
+            result.attempts.len(),
+            DEFAULT_PORTFOLIO.len() * (restarts + 1)
+        );
+        for a in &result.attempts {
+            assert_eq!(a.seed, attempt_seed(3, a.algorithm, a.restart));
+            assert!(a.cost >= result.cost);
+            assert!(a.wavelengths >= 1);
+        }
+        // Records arrive in deterministic (algo_index, restart) order.
+        let order: Vec<(usize, usize)> = result
+            .attempts
+            .iter()
+            .map(|a| (a.algo_index, a.restart))
+            .collect();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(order, sorted);
     }
 }

@@ -163,7 +163,11 @@ mod tests {
         } else {
             bounds::theorem10_upper_bound_odd(m, k, n, run.r)
         };
-        assert!(cost <= bound, "Theorem 10: cost {cost} > bound {bound} (r={})", run.r);
+        assert!(
+            cost <= bound,
+            "Theorem 10: cost {cost} > bound {bound} (r={})",
+            run.r
+        );
         assert!(cost >= bounds::lower_bound(g, k));
     }
 
@@ -266,7 +270,10 @@ mod tests {
         for base in [0u32, 4] {
             for a in 0..4 {
                 for b in (a + 1)..4 {
-                    g.add_edge(grooming_graph::ids::NodeId(base + a), grooming_graph::ids::NodeId(base + b));
+                    g.add_edge(
+                        grooming_graph::ids::NodeId(base + a),
+                        grooming_graph::ids::NodeId(base + b),
+                    );
                 }
             }
         }

@@ -369,8 +369,7 @@ mod tests {
         // Backbone covers nodes {0,1}; branch (2,3) is an orphan.
         let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
         let backbone = Walk::from_parts(&g, vec![NodeId(0), NodeId(1)], vec![EdgeId(0)]);
-        let cover =
-            SkeletonCover::build(&g, vec![backbone], &[EdgeId(1), EdgeId(2)]);
+        let cover = SkeletonCover::build(&g, vec![backbone], &[EdgeId(1), EdgeId(2)]);
         cover.validate(&g, true).unwrap();
         // (1,2) attaches to the backbone; (2,3): node 2 is NOT on any
         // backbone (it entered as a branch endpoint), so a singleton opens.
@@ -397,9 +396,9 @@ mod tests {
     fn proposition2_cost_bound_holds() {
         // Cost <= m + W + (j - 1) for covers of multiple skeletons.
         let g = generators::complete(6); // 15 edges
-        // Build a cover from an Euler-ish decomposition: use the trivial
-        // cover with one singleton-backbone skeleton per node 0..2 plus
-        // branches: crude, but exercises the bound with j > 1.
+                                         // Build a cover from an Euler-ish decomposition: use the trivial
+                                         // cover with one singleton-backbone skeleton per node 0..2 plus
+                                         // branches: crude, but exercises the bound with j > 1.
         let b0 = Walk::from_parts(
             &g,
             vec![NodeId(0), NodeId(1), NodeId(2), NodeId(0)],

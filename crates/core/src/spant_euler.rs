@@ -204,10 +204,7 @@ mod tests {
 
     #[test]
     fn disconnected_graphs_are_handled() {
-        let g = Graph::from_edges(
-            9,
-            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (6, 7)],
-        );
+        let g = Graph::from_edges(9, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (6, 7)]);
         for k in [1, 2, 3, 4, 16] {
             let run = spant_euler_detailed(&g, k, TreeStrategy::Bfs, &mut rng(4));
             check_all_invariants(&g, k, &run);

@@ -28,11 +28,7 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
 /// repeatedly delete an edge incident to an odd-degree node.
 fn arb_even_graph() -> impl Strategy<Value = Graph> {
     arb_graph().prop_map(|g| {
-        let mut edges: Vec<(u32, u32)> = g
-            .edge_list()
-            .iter()
-            .map(|&(u, v)| (u.0, v.0))
-            .collect();
+        let mut edges: Vec<(u32, u32)> = g.edge_list().iter().map(|&(u, v)| (u.0, v.0)).collect();
         loop {
             let mut deg = vec![0usize; g.num_nodes()];
             for &(u, v) in &edges {
@@ -184,7 +180,7 @@ proptest! {
         prop_assert!(p.uses_min_wavelengths(&g, k));
         prop_assert!(p.sadm_cost(&g) >= bounds::lower_bound(&g, k));
         // Cycle-aligned wavelengths cost exactly n each.
-        if k % n == 0 {
+        if k.is_multiple_of(n) {
             prop_assert_eq!(p.sadm_cost(&g), p.num_wavelengths() * n);
         }
     }

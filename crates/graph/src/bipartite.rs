@@ -100,12 +100,7 @@ pub fn hopcroft_karp(g: &Graph) -> Option<Matching> {
         found
     };
 
-    fn dfs(
-        g: &Graph,
-        u: NodeId,
-        mate: &mut [usize],
-        dist: &mut [usize],
-    ) -> bool {
+    fn dfs(g: &Graph, u: NodeId, mate: &mut [usize], dist: &mut [usize]) -> bool {
         for i in 0..g.incident(u).len() {
             let (v, _) = g.incident(u)[i];
             let w = mate[v.index()];

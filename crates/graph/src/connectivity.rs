@@ -111,7 +111,10 @@ pub fn articulation_points(g: &Graph) -> Vec<NodeId> {
             is_cut[root.index()] = true;
         }
     }
-    (0..n as u32).map(NodeId).filter(|v| is_cut[v.index()]).collect()
+    (0..n as u32)
+        .map(NodeId)
+        .filter(|v| is_cut[v.index()])
+        .collect()
 }
 
 /// Global minimum edge cut of `g` via Stoer–Wagner (O(V³)); parallel edges
@@ -213,10 +216,7 @@ mod tests {
     #[test]
     fn barbell_bridge_and_cut_vertex() {
         // Two triangles joined by a bridge (2-3).
-        let g = Graph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
-        );
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]);
         let b = bridges(&g);
         assert_eq!(b.len(), 1);
         assert_eq!(g.endpoints(b[0]), (NodeId(2), NodeId(3)));

@@ -74,7 +74,10 @@ pub fn walecki_cycles(g: &Graph) -> Vec<Walk> {
 /// Panics if `n` is odd or `g` is not complete.
 pub fn one_factorization(g: &Graph) -> Vec<Vec<crate::ids::EdgeId>> {
     let n = g.num_nodes();
-    assert!(n >= 2 && n % 2 == 0, "1-factorization needs even n (got {n})");
+    assert!(
+        n >= 2 && n % 2 == 0,
+        "1-factorization needs even n (got {n})"
+    );
     assert_eq!(
         g.num_edges(),
         n * (n - 1) / 2,

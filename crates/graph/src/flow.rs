@@ -186,10 +186,7 @@ mod tests {
             let via_flow = edge_connectivity_via_flow(&g).unwrap();
             assert_eq!(via_flow, edge_connectivity(&g), "seed {seed}");
         }
-        assert_eq!(
-            edge_connectivity_via_flow(&generators::petersen()),
-            Some(3)
-        );
+        assert_eq!(edge_connectivity_via_flow(&generators::petersen()), Some(3));
     }
 
     #[test]

@@ -147,11 +147,7 @@ pub fn randomize_by_swaps<R: Rng>(g: Graph, factor: usize, rng: &mut R) -> Graph
         // Randomly orient the second edge to explore both rewirings.
         let (c, d) = if rng.gen_bool(0.5) { (c, d) } else { (d, c) };
         let ends = [a, b, c, d];
-        if ends[0] == ends[2]
-            || ends[0] == ends[3]
-            || ends[1] == ends[2]
-            || ends[1] == ends[3]
-        {
+        if ends[0] == ends[2] || ends[0] == ends[3] || ends[1] == ends[2] || ends[1] == ends[3] {
             continue; // shared endpoint: swap would create a loop
         }
         let e1 = (a.min(c), a.max(c));

@@ -124,10 +124,7 @@ pub fn parse_edge_list(text: &str) -> Result<Graph, ParseError> {
         found += 1;
     }
     if found != m {
-        return Err(ParseError::EdgeCountMismatch {
-            declared: m,
-            found,
-        });
+        return Err(ParseError::EdgeCountMismatch { declared: m, found });
     }
     Ok(g)
 }
@@ -137,8 +134,8 @@ pub fn parse_edge_list(text: &str) -> Result<Graph, ParseError> {
 /// Used by the CLI to render wavelength assignments.
 pub fn format_dot(g: &Graph, name: &str, edge_color: Option<&[usize]>) -> String {
     const PALETTE: [&str; 10] = [
-        "#4E79A7", "#F28E2B", "#E15759", "#76B7B2", "#59A14F", "#EDC948", "#B07AA1",
-        "#9C755F", "#FF9DA7", "#86BCB6",
+        "#4E79A7", "#F28E2B", "#E15759", "#76B7B2", "#59A14F", "#EDC948", "#B07AA1", "#9C755F",
+        "#FF9DA7", "#86BCB6",
     ];
     let mut out = String::new();
     out.push_str(&format!("graph {} {{\n", sanitize_dot_id(name)));
@@ -164,7 +161,13 @@ pub fn format_dot(g: &Graph, name: &str, edge_color: Option<&[usize]>) -> String
 fn sanitize_dot_id(name: &str) -> String {
     let cleaned: String = name
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if cleaned.is_empty() || cleaned.chars().next().unwrap().is_ascii_digit() {
         format!("g_{cleaned}")
@@ -324,10 +327,7 @@ mod tests {
 
     #[test]
     fn bad_header_rejected() {
-        assert!(matches!(
-            parse_edge_list(""),
-            Err(ParseError::BadHeader(_))
-        ));
+        assert!(matches!(parse_edge_list(""), Err(ParseError::BadHeader(_))));
         assert!(matches!(
             parse_edge_list("x y\n"),
             Err(ParseError::BadHeader(_))
@@ -424,7 +424,7 @@ mod tests {
         assert!(parse_graph6("C").is_err()); // missing payload
         assert!(parse_graph6("C~~").is_err()); // extra payload
         assert!(parse_graph6("B\x1f").is_err()); // invalid byte
-        // Nonzero padding: K3 payload with a stray low bit.
+                                                 // Nonzero padding: K3 payload with a stray low bit.
         assert!(parse_graph6("Bz").is_err());
     }
 

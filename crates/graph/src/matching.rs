@@ -357,10 +357,7 @@ mod tests {
     #[test]
     fn blossom_handles_odd_components() {
         // Two triangles joined by a bridge: maximum matching is 3.
-        let g = Graph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
-        );
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]);
         let m = maximum_matching(&g);
         assert_eq!(m.len(), 3);
     }

@@ -67,7 +67,10 @@ mod tests {
             let parent = sub.to_parent(e);
             assert_eq!(sub.graph.endpoints(e), g.endpoints(parent));
         }
-        assert_eq!(sub.edges_to_parent(&[EdgeId(0), EdgeId(2)]), vec![EdgeId(1), EdgeId(7)]);
+        assert_eq!(
+            sub.edges_to_parent(&[EdgeId(0), EdgeId(2)]),
+            vec![EdgeId(1), EdgeId(7)]
+        );
     }
 
     #[test]

@@ -118,9 +118,8 @@ pub fn bfs_distances(g: &Graph, start: NodeId) -> Vec<usize> {
 /// some node is unreachable.
 pub fn eccentricity(g: &Graph, v: NodeId) -> Option<usize> {
     let d = bfs_distances(g, v);
-    d.into_iter().try_fold(0usize, |acc, x| {
-        (x != usize::MAX).then(|| acc.max(x))
-    })
+    d.into_iter()
+        .try_fold(0usize, |acc, x| (x != usize::MAX).then(|| acc.max(x)))
 }
 
 /// Diameter (max eccentricity) of a connected graph; `None` when

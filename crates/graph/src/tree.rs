@@ -29,12 +29,7 @@ pub fn tree_path(g: &Graph, forest: &SpanningForest, u: NodeId, v: NodeId) -> Op
 /// The unique forest path between `u` and `v` as a [`Walk`] from `u` to `v`.
 /// Returns `None` if they are in different trees. `u == v` yields a
 /// singleton walk.
-pub fn tree_path_walk(
-    g: &Graph,
-    forest: &SpanningForest,
-    u: NodeId,
-    v: NodeId,
-) -> Option<Walk> {
+pub fn tree_path_walk(g: &Graph, forest: &SpanningForest, u: NodeId, v: NodeId) -> Option<Walk> {
     // Climb both nodes to their common ancestor using depths.
     let mut up_u: Vec<EdgeId> = Vec::new(); // edges from u upward
     let mut up_v: Vec<EdgeId> = Vec::new(); // edges from v upward
@@ -90,11 +85,7 @@ fn bottom_up_order(forest: &SpanningForest) -> Vec<NodeId> {
 /// Panics (in debug builds) if any tree of the forest contains an odd number
 /// of marked nodes — the callers mark odd-degree nodes of `G\T` restricted to
 /// a component, which is always even.
-pub fn odd_parity_tree_edges(
-    _g: &Graph,
-    forest: &SpanningForest,
-    marked: &[bool],
-) -> Vec<EdgeId> {
+pub fn odd_parity_tree_edges(_g: &Graph, forest: &SpanningForest, marked: &[bool]) -> Vec<EdgeId> {
     let n = forest.parent.len();
     assert_eq!(marked.len(), n, "marked array must cover every node");
     let mut count = vec![0usize; n];
@@ -249,8 +240,11 @@ mod tests {
             // Brute force alpha(e) with an arbitrary (index-order) pairing.
             let mut alpha = vec![0usize; g.num_edges()];
             for group in comps.groups() {
-                let ms: Vec<NodeId> =
-                    group.iter().copied().filter(|v| marked[v.index()]).collect();
+                let ms: Vec<NodeId> = group
+                    .iter()
+                    .copied()
+                    .filter(|v| marked[v.index()])
+                    .collect();
                 for pair in ms.chunks(2) {
                     if pair.len() == 2 {
                         for e in tree_path(&g, &f, pair[0], pair[1]).unwrap() {

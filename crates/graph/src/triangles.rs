@@ -60,11 +60,7 @@ pub fn is_triangle_partition(g: &Graph, triples: &[[NodeId; 3]]) -> bool {
 
 /// Finds uncovered edge ids realizing triangle `t` (multigraph-aware: picks
 /// distinct, currently uncovered parallel copies).
-fn triangle_edges_distinct(
-    g: &Graph,
-    t: [NodeId; 3],
-    covered: &[bool],
-) -> Option<[EdgeId; 3]> {
+fn triangle_edges_distinct(g: &Graph, t: [NodeId; 3], covered: &[bool]) -> Option<[EdgeId; 3]> {
     let mut picked: Vec<EdgeId> = Vec::with_capacity(3);
     for (x, y) in [(t[0], t[1]), (t[1], t[2]), (t[0], t[2])] {
         let e = g
@@ -99,12 +95,7 @@ pub fn ept_solve(g: &Graph) -> Option<Vec<[NodeId; 3]>> {
     }
 }
 
-fn backtrack(
-    g: &Graph,
-    covered: &mut Vec<bool>,
-    from: usize,
-    out: &mut Vec<[NodeId; 3]>,
-) -> bool {
+fn backtrack(g: &Graph, covered: &mut Vec<bool>, from: usize, out: &mut Vec<[NodeId; 3]>) -> bool {
     // Lowest uncovered edge must be in some triangle of uncovered edges.
     let mut e0 = from;
     while e0 < g.num_edges() && covered[e0] {

@@ -59,14 +59,20 @@ impl EdgeSubset {
 
     /// Set-minus: edges of `self` not in `other`.
     pub fn minus(&self, g: &Graph, other: &EdgeSubset) -> Self {
-        EdgeSubset::from_edges(g, self.edges.iter().copied().filter(|e| !other.contains(*e)))
+        EdgeSubset::from_edges(
+            g,
+            self.edges.iter().copied().filter(|e| !other.contains(*e)),
+        )
     }
 
     /// Set union.
     pub fn union(&self, g: &Graph, other: &EdgeSubset) -> Self {
         EdgeSubset::from_edges(
             g,
-            self.edges.iter().copied().chain(other.edges.iter().copied()),
+            self.edges
+                .iter()
+                .copied()
+                .chain(other.edges.iter().copied()),
         )
     }
 
@@ -96,7 +102,10 @@ impl EdgeSubset {
 
     /// Degree of `v` counting only subset edges.
     pub fn degree(&self, g: &Graph, v: NodeId) -> usize {
-        g.incident(v).iter().filter(|&&(_, e)| self.contains(e)).count()
+        g.incident(v)
+            .iter()
+            .filter(|&&(_, e)| self.contains(e))
+            .count()
     }
 
     /// The distinct nodes touched by subset edges, in ascending order.

@@ -150,12 +150,8 @@ impl BlsrAssignment {
             }
         }
         if let Some(demands) = demands {
-            let mut got: Vec<DemandPair> = self
-                .wavelengths
-                .iter()
-                .flatten()
-                .map(|d| d.pair)
-                .collect();
+            let mut got: Vec<DemandPair> =
+                self.wavelengths.iter().flatten().map(|d| d.pair).collect();
             let mut want: Vec<DemandPair> = demands.pairs().to_vec();
             got.sort_unstable();
             want.sort_unstable();
@@ -233,11 +229,7 @@ pub fn groom_blsr(ring: BlsrRing, demands: &DemandSet, k: usize) -> BlsrAssignme
 ///
 /// Returns `None` if the greedy needs more than `k` slots (which can
 /// happen even for feasible instances — callers treat it as "repack").
-pub fn assign_timeslots(
-    ring: &BlsrRing,
-    demands: &[RoutedDemand],
-    k: usize,
-) -> Option<Vec<usize>> {
+pub fn assign_timeslots(ring: &BlsrRing, demands: &[RoutedDemand], k: usize) -> Option<Vec<usize>> {
     let n = ring.num_nodes();
     // slot_used[span][slot]
     let mut slot_used = vec![vec![false; k]; n];
@@ -246,9 +238,7 @@ pub fn assign_timeslots(
     // Order: arcs containing span 0 first, then by clockwise start.
     let spans: Vec<Vec<RingArc>> = demands.iter().map(|&d| ring.spans_used(d)).collect();
     let mut order: Vec<usize> = (0..demands.len()).collect();
-    let start_of = |i: usize| -> usize {
-        spans[i].iter().map(|s| s.index()).min().unwrap_or(0)
-    };
+    let start_of = |i: usize| -> usize { spans[i].iter().map(|s| s.index()).min().unwrap_or(0) };
     order.sort_by_key(|&i| {
         let crosses0 = spans[i].iter().any(|s| s.index() == 0);
         (!crosses0, start_of(i))
@@ -408,8 +398,7 @@ mod tests {
             let ring = BlsrRing::new(12);
             let a = groom_blsr(ring, &demands, 4);
             for wave in a.wavelengths() {
-                let slots = assign_timeslots(&ring, wave, 8)
-                    .expect("2x capacity always slots");
+                let slots = assign_timeslots(&ring, wave, 8).expect("2x capacity always slots");
                 assert!(timeslots_valid(&ring, wave, &slots, 8));
             }
         }

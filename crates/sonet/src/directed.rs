@@ -131,10 +131,7 @@ impl DirectedAssignment {
 
     /// Total SADMs.
     pub fn sadm_count(&self) -> usize {
-        self.channels
-            .iter()
-            .map(|c| c.adm_count(&self.ring))
-            .sum()
+        self.channels.iter().map(|c| c.adm_count(&self.ring)).sum()
     }
 
     /// Validates per-arc capacity on every channel.

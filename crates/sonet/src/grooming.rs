@@ -64,15 +64,14 @@ pub struct GroomingAssignment {
 
 impl GroomingAssignment {
     /// Creates an assignment from per-wavelength pair groups.
-    pub fn new(
-        ring: UpsrRing,
-        grooming_factor: usize,
-        groups: Vec<Vec<DemandPair>>,
-    ) -> Self {
+    pub fn new(ring: UpsrRing, grooming_factor: usize, groups: Vec<Vec<DemandPair>>) -> Self {
         GroomingAssignment {
             ring,
             grooming_factor,
-            channels: groups.into_iter().map(WavelengthChannel::from_pairs).collect(),
+            channels: groups
+                .into_iter()
+                .map(WavelengthChannel::from_pairs)
+                .collect(),
         }
     }
 
@@ -225,11 +224,7 @@ mod tests {
     #[test]
     fn overload_detected() {
         let ring = UpsrRing::new(6);
-        let a = GroomingAssignment::new(
-            ring,
-            2,
-            vec![vec![pair(0, 1), pair(1, 2), pair(2, 0)]],
-        );
+        let a = GroomingAssignment::new(ring, 2, vec![vec![pair(0, 1), pair(1, 2), pair(2, 0)]]);
         match a.validate(None) {
             Err(GroomingError::Overloaded {
                 wavelength: 0,

@@ -169,7 +169,11 @@ impl MultiRingNetwork {
     /// is `(ring, pair)`. Segments whose two endpoints coincide (the
     /// demand endpoint *is* the gateway node) are dropped — no ring
     /// capacity is needed to hand traffic straight through an office.
-    pub fn route(&self, from: RingNode, to: RingNode) -> Result<Vec<(usize, DemandPair)>, RouteError> {
+    pub fn route(
+        &self,
+        from: RingNode,
+        to: RingNode,
+    ) -> Result<Vec<(usize, DemandPair)>, RouteError> {
         self.check(from)?;
         self.check(to)?;
         let gws = self.gateway_path(from.ring, to.ring)?;
@@ -193,11 +197,8 @@ impl MultiRingNetwork {
         &self,
         demands: &[(RingNode, RingNode)],
     ) -> Result<Vec<DemandSet>, RouteError> {
-        let mut per_ring: Vec<DemandSet> = self
-            .ring_sizes
-            .iter()
-            .map(|&n| DemandSet::new(n))
-            .collect();
+        let mut per_ring: Vec<DemandSet> =
+            self.ring_sizes.iter().map(|&n| DemandSet::new(n)).collect();
         for &(from, to) in demands {
             for (ring, pair) in self.route(from, to)? {
                 per_ring[ring].add(pair.lo(), pair.hi());

@@ -77,12 +77,7 @@ impl SurvivabilityReport {
 }
 
 /// Fate of the directed demand `from → to` under `failure`.
-pub fn directed_fate(
-    ring: &UpsrRing,
-    from: NodeId,
-    to: NodeId,
-    failure: &Failure,
-) -> DemandFate {
+pub fn directed_fate(ring: &UpsrRing, from: NodeId, to: NodeId, failure: &Failure) -> DemandFate {
     let working_cut = ring
         .arc_path(from, to)
         .into_iter()
@@ -229,8 +224,14 @@ mod tests {
         let ring = ring6();
         let f = Failure::double(span(0), span(3));
         // 1 -> 3 lies entirely inside {1,2,3}.
-        assert_ne!(directed_fate(&ring, NodeId(1), NodeId(3), &f), DemandFate::Lost);
-        assert_ne!(directed_fate(&ring, NodeId(3), NodeId(1), &f), DemandFate::Lost);
+        assert_ne!(
+            directed_fate(&ring, NodeId(1), NodeId(3), &f),
+            DemandFate::Lost
+        );
+        assert_ne!(
+            directed_fate(&ring, NodeId(3), NodeId(1), &f),
+            DemandFate::Lost
+        );
     }
 
     #[test]

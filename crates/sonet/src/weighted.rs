@@ -146,8 +146,7 @@ impl WeightedAssignment {
             }
         }
         if let Some(set) = set {
-            let mut got: Vec<WeightedDemand> =
-                self.groups.iter().flatten().copied().collect();
+            let mut got: Vec<WeightedDemand> = self.groups.iter().flatten().copied().collect();
             let mut want = set.demands().to_vec();
             let key = |d: &WeightedDemand| (d.pair, d.units);
             got.sort_by_key(key);
@@ -166,10 +165,7 @@ impl WeightedAssignment {
 ///
 /// # Panics
 /// Panics if `k == 0` or some demand exceeds `k` units (it can never fit).
-pub fn first_fit_decreasing(
-    set: &WeightedDemandSet,
-    k: usize,
-) -> WeightedAssignment {
+pub fn first_fit_decreasing(set: &WeightedDemandSet, k: usize) -> WeightedAssignment {
     assert!(k > 0, "grooming factor must be positive");
     let ring = UpsrRing::new(set.num_nodes().max(2));
     let mut order: Vec<WeightedDemand> = set.demands().to_vec();
@@ -198,9 +194,7 @@ pub fn first_fit_decreasing(
                 .count();
             let better = match best {
                 None => true,
-                Some((_, bn, bu)) => {
-                    new_nodes < bn || (new_nodes == bn && bin.units > bu)
-                }
+                Some((_, bn, bu)) => new_nodes < bn || (new_nodes == bn && bin.units > bu),
             };
             if better {
                 best = Some((i, new_nodes, bin.units));
@@ -264,7 +258,17 @@ mod tests {
 
     #[test]
     fn ffd_packs_within_capacity() {
-        let s = wset(6, &[(0, 1, 8), (1, 2, 8), (2, 3, 5), (3, 4, 5), (4, 5, 3), (5, 0, 3)]);
+        let s = wset(
+            6,
+            &[
+                (0, 1, 8),
+                (1, 2, 8),
+                (2, 3, 5),
+                (3, 4, 5),
+                (4, 5, 3),
+                (5, 0, 3),
+            ],
+        );
         let a = first_fit_decreasing(&s, 16);
         a.validate(Some(&s)).unwrap();
         // 32 units total / 16 per wavelength = 2 wavelengths minimum;

@@ -26,7 +26,12 @@ fn main() {
         println!("\n== all-to-all on {n} nodes: r = {r}, m = {m} pairs ==");
         println!(
             "{:>4} {:>22} {:>22} {:>14} {:>14} {:>8}",
-            "k", "Regular_Euler SADMs", "best baseline SADMs", "Theorem 10 UB", "lower bound", "waves"
+            "k",
+            "Regular_Euler SADMs",
+            "best baseline SADMs",
+            "Theorem 10 UB",
+            "lower bound",
+            "waves"
         );
         for k in [3usize, 4, 16] {
             let run = regular_euler_detailed(&g, k).unwrap();
@@ -42,12 +47,7 @@ fn main() {
                 Algorithm::WangGuIcc06,
             ]
             .iter()
-            .map(|a| {
-                groom(&demands, k, *a, &mut rng)
-                    .unwrap()
-                    .report
-                    .sadm_total
-            })
+            .map(|a| groom(&demands, k, *a, &mut rng).unwrap().report.sadm_total)
             .min()
             .unwrap();
             println!(

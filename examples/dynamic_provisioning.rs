@@ -6,11 +6,11 @@
 
 use grooming::algorithm::Algorithm;
 use grooming::online::OnlineGroomer;
+use grooming_graph::ids::NodeId;
 use grooming_graph::spanning::TreeStrategy;
 use grooming_sonet::cost::CostModel;
 use grooming_sonet::demand::DemandPair;
 use grooming_sonet::rates::OcRate;
-use grooming_graph::ids::NodeId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

@@ -30,7 +30,11 @@ fn main() {
 
     let reg = regularize(&bowtie);
     describe("  gadget G*", &reg.graph);
-    println!("  G* is {}-regular: {}", reg.delta, reg.graph.is_regular(reg.delta));
+    println!(
+        "  G* is {}-regular: {}",
+        reg.delta,
+        reg.graph.is_regular(reg.delta)
+    );
     let lifted = reg.lift_partition(&partition);
     println!(
         "  lifted partition covers G*: {} ({} triangles)",
@@ -81,7 +85,11 @@ fn main() {
             inst.budget,
             opt,
             if opt <= inst.budget { "YES" } else { "NO " },
-            if ept_solve(&g).is_some() { "exists" } else { "none" },
+            if ept_solve(&g).is_some() {
+                "exists"
+            } else {
+                "none"
+            },
             verify_theorem7_equivalence(&g),
         );
     }

@@ -26,8 +26,14 @@ fn main() {
     let mut demands = DemandSet::new(n);
     for v in 1..n as u32 {
         if v != 12 {
-            demands.add(grooming_graph::ids::NodeId(0), grooming_graph::ids::NodeId(v));
-            demands.add(grooming_graph::ids::NodeId(12), grooming_graph::ids::NodeId(v));
+            demands.add(
+                grooming_graph::ids::NodeId(0),
+                grooming_graph::ids::NodeId(v),
+            );
+            demands.add(
+                grooming_graph::ids::NodeId(12),
+                grooming_graph::ids::NodeId(v),
+            );
         }
     }
     let extra = DemandSet::random(n, 30, &mut rng);
@@ -50,7 +56,9 @@ fn main() {
     for trib in [OcRate::Oc3, OcRate::Oc12, OcRate::Oc48] {
         let k = line.grooming_factor(trib).unwrap();
         let lb = bounds::lower_bound(&demands.to_traffic_graph(), k);
-        println!("\n== tributary {trib} on {line} (grooming factor k = {k}, SADM lower bound {lb}) ==");
+        println!(
+            "\n== tributary {trib} on {line} (grooming factor k = {k}, SADM lower bound {lb}) =="
+        );
         println!(
             "{:<24} {:>6} {:>12} {:>10} {:>12}",
             "algorithm", "SADMs", "wavelengths", "bypasses", "utilization"

@@ -5,6 +5,7 @@
 use grooming::algorithm::Algorithm;
 use grooming::budget::groom_with_budget;
 use grooming::pipeline::groom;
+use grooming::portfolio::{best_of_seeded, PortfolioEngine, DEFAULT_PORTFOLIO};
 use grooming_graph::generators;
 use grooming_graph::spanning::TreeStrategy;
 use grooming_sonet::demand::DemandSet;
@@ -67,11 +68,84 @@ fn regular_euler_is_seed_free_deterministic() {
 #[test]
 fn budget_layer_is_deterministic() {
     let g = generators::gnm(18, 50, &mut StdRng::seed_from_u64(6));
-    let a = groom_with_budget(&g, 8, 7, Algorithm::CliqueFirst, &mut StdRng::seed_from_u64(2))
-        .unwrap();
-    let b = groom_with_budget(&g, 8, 7, Algorithm::CliqueFirst, &mut StdRng::seed_from_u64(2))
-        .unwrap();
+    let a = groom_with_budget(
+        &g,
+        8,
+        7,
+        Algorithm::CliqueFirst,
+        &mut StdRng::seed_from_u64(2),
+    )
+    .unwrap();
+    let b = groom_with_budget(
+        &g,
+        8,
+        7,
+        Algorithm::CliqueFirst,
+        &mut StdRng::seed_from_u64(2),
+    )
+    .unwrap();
     assert_eq!(a.parts(), b.parts());
+}
+
+#[test]
+fn portfolio_result_is_independent_of_job_count() {
+    // The tentpole guarantee: one master seed fixes the full
+    // `PortfolioResult` (winning partition, per-attempt costs, seeds) no
+    // matter how many workers execute the plan.
+    let g = generators::gnm(24, 90, &mut StdRng::seed_from_u64(11));
+    for master in [0u64, 41, 0xFEED_FACE] {
+        let baseline = best_of_seeded(&g, 6, &DEFAULT_PORTFOLIO, 2, master, 1);
+        for jobs in [2usize, 3, 7] {
+            let parallel = best_of_seeded(&g, 6, &DEFAULT_PORTFOLIO, 2, master, jobs);
+            assert_eq!(
+                baseline.fingerprint(),
+                parallel.fingerprint(),
+                "jobs = {jobs} diverged from sequential at master seed {master}"
+            );
+        }
+    }
+}
+
+#[test]
+fn portfolio_result_is_independent_of_entry_order() {
+    // Attempt seeds derive from each algorithm's stable id, not its index
+    // in the portfolio slice, so shuffling the lineup cannot change any
+    // attempt (and therefore cannot change the winner).
+    let g = generators::gnm(24, 90, &mut StdRng::seed_from_u64(11));
+    let mut reversed: Vec<Algorithm> = DEFAULT_PORTFOLIO.to_vec();
+    reversed.reverse();
+    let a = best_of_seeded(&g, 6, &DEFAULT_PORTFOLIO, 2, 99, 1);
+    let b = best_of_seeded(&g, 6, &reversed, 2, 99, 4);
+    assert_eq!(a.partition.parts(), b.partition.parts());
+    assert_eq!(a.cost, b.cost);
+    assert_eq!((a.winner, a.winner_restart), (b.winner, b.winner_restart));
+}
+
+#[test]
+fn portfolio_restart_streams_are_self_contained() {
+    // Raising the restart count adds attempts without perturbing the ones
+    // already in the plan: attempt (algo, r) draws from its own derived
+    // stream, never from a shared sequence another attempt advances.
+    let g = generators::gnm(24, 90, &mut StdRng::seed_from_u64(11));
+    let small = PortfolioEngine::new(&DEFAULT_PORTFOLIO)
+        .restarts(2)
+        .master_seed(7)
+        .run(&g, 6);
+    let large = PortfolioEngine::new(&DEFAULT_PORTFOLIO)
+        .restarts(5)
+        .master_seed(7)
+        .jobs(3)
+        .run(&g, 6);
+    for a in &small.attempts {
+        let same = large
+            .attempts
+            .iter()
+            .find(|b| b.algorithm == a.algorithm && b.restart == a.restart)
+            .expect("shared attempt present in the larger plan");
+        assert_eq!(a.seed, same.seed);
+        assert_eq!(a.cost, same.cost);
+        assert_eq!(a.wavelengths, same.wavelengths);
+    }
 }
 
 #[test]

@@ -96,7 +96,7 @@ fn gadget_scales_with_input_degree() {
     // regular for Δ = 2, 4, 6.
     let c6 = generators::cycle(6); // Δ=2
     let bowtie = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]); // Δ=4
-    // Δ=6: three triangles through one shared node.
+                                                                                          // Δ=6: three triangles through one shared node.
     let tri3 = Graph::from_edges(
         7,
         &[

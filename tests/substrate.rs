@@ -70,7 +70,13 @@ fn weighted_non_splittable_never_beats_splittable_wavelengths() {
 fn groomed_rings_survive_every_single_span_cut() {
     // The full stack: groom, then fire-drill the result's demand set.
     let demands = DemandSet::random(18, 50, &mut rng(9));
-    let out = groom(&demands, 8, Algorithm::SpanTEuler(TreeStrategy::Bfs), &mut rng(9)).unwrap();
+    let out = groom(
+        &demands,
+        8,
+        Algorithm::SpanTEuler(TreeStrategy::Bfs),
+        &mut rng(9),
+    )
+    .unwrap();
     assert_eq!(out.report.pairs_carried, demands.len());
     let ring = UpsrRing::new(18);
     for span in ring.arcs() {
@@ -120,7 +126,13 @@ fn symmetric_grooming_lifts_to_a_valid_directed_assignment() {
     // to directed circuits, and confirm validity + identical SADM count.
     use grooming_sonet::directed::join_pairs;
     let demands = DemandSet::random(14, 30, &mut rng(11));
-    let out = groom(&demands, 8, Algorithm::SpanTEuler(TreeStrategy::Bfs), &mut rng(11)).unwrap();
+    let out = groom(
+        &demands,
+        8,
+        Algorithm::SpanTEuler(TreeStrategy::Bfs),
+        &mut rng(11),
+    )
+    .unwrap();
     let groups: Vec<Vec<grooming_sonet::demand::DemandPair>> = out
         .assignment
         .channels()

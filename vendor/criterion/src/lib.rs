@@ -1,0 +1,224 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion/0.5)
+//! crate: enough of the API (`Criterion`, benchmark groups, `Bencher`,
+//! `BenchmarkId`, `Throughput`, the `criterion_group!`/`criterion_main!`
+//! macros) for this workspace's benches to compile and produce simple
+//! wall-clock numbers, with none of the statistics machinery.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let id = id.into();
+        let mut group = self.benchmark_group(id.clone());
+        group.bench_function("", f);
+        group.finish();
+    }
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<BenchmarkId> for String {
+    fn from(id: BenchmarkId) -> String {
+        id.id
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchIdLike>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into().0;
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        self.report(&id, &bencher.samples);
+        self
+    }
+
+    /// Benchmarks `f` against a fixed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchIdLike>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (prints nothing extra; exists for API parity).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, samples: &[Duration]) {
+        let label = if id.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        if samples.is_empty() {
+            println!("bench {label:<48} (no samples)");
+            return;
+        }
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let mut line = format!(
+            "bench {label:<48} mean {:>12?}  min {:>12?}  ({} samples)",
+            mean,
+            min,
+            samples.len()
+        );
+        if let Some(t) = self.throughput {
+            let (count, unit) = match t {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            if mean > Duration::ZERO {
+                let rate = count as f64 / mean.as_secs_f64();
+                let _ = write!(line, "  {rate:>12.0} {unit}/s");
+            }
+        }
+        println!("{line}");
+    }
+}
+
+/// Accepts both strings and [`BenchmarkId`]s as benchmark names.
+pub struct BenchIdLike(String);
+
+impl From<BenchmarkId> for BenchIdLike {
+    fn from(id: BenchmarkId) -> Self {
+        BenchIdLike(id.id)
+    }
+}
+
+impl From<&str> for BenchIdLike {
+    fn from(s: &str) -> Self {
+        BenchIdLike(s.to_string())
+    }
+}
+
+impl From<String> for BenchIdLike {
+    fn from(s: String) -> Self {
+        BenchIdLike(s)
+    }
+}
+
+/// Timing harness passed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, `sample_size` times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up run.
+        let _ = routine();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            let out = routine();
+            self.samples.push(start.elapsed());
+            drop(out);
+        }
+    }
+}
+
+/// Re-export for call sites that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a named group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
