@@ -14,4 +14,11 @@ echo "== tier-1: cargo build --release && cargo test =="
 cargo build --release
 cargo test -q
 
+echo "== perf smoke: improvement-engine baseline (release, --fast) =="
+# Asserts bit-identity between the incremental engine and the preserved
+# reference implementations on the baseline instance, and records the
+# fast-mode timings. The checked-in results/BENCH_improve.json is produced
+# by the full run: target/release/perf_improve
+target/release/perf_improve --fast --out /tmp/BENCH_improve_fast.json
+
 echo "CI gate passed."

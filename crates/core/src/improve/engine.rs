@@ -1,0 +1,435 @@
+//! Incremental part state for the local-search engine.
+//!
+//! The seed implementation kept a heap-allocated `count: Vec<u32>` of size
+//! `n` *per part* (an allocation per part, an O(n) sweep to compare two
+//! parts) and evaluated every candidate swap by eight apply/undo mutations.
+//! This module replaces that with:
+//!
+//! * [`Part`] — edge list + occupied-node list. The occupancy list's length
+//!   is the part's SADM cost, and merging/overlap scoring iterate it instead
+//!   of sweeping `0..n`.
+//! * [`Engine`] — the parts plus shared state: one flat incidence-count
+//!   matrix (`W × n`, a single allocation for the whole engine) giving O(1)
+//!   per-part node counts, an edge → position map so removal is O(1) instead
+//!   of a linear scan, and a node → occupying-parts map so the move pass
+//!   asks "which part already covers this endpoint?" instead of scanning
+//!   all `W` parts.
+//! * A mutation-free swap pass: per-edge cost contributions are precomputed
+//!   once per pair from the (static) counts, most candidate rows collapse to
+//!   scanning only the few "negative-contribution" edges of the other side,
+//!   and the seed's per-combination trial permutations are replayed in
+//!   closed form as a single rotation (see [`Engine::rotate_first`]).
+//!
+//! Every mutation is written to have the exact same effect on the part edge
+//! *vectors* as the seed's apply/undo sequences, so the rebuilt
+//! `refine`/`anneal` are bit-identical to the reference implementations,
+//! not merely cost-equivalent.
+
+use grooming_graph::graph::Graph;
+use grooming_graph::ids::{EdgeId, NodeId};
+
+use crate::partition::EdgePartition;
+
+/// One wavelength: its edges and the distinct nodes they touch.
+///
+/// `occ` is unordered; its length is the part's SADM cost.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Part {
+    pub edges: Vec<EdgeId>,
+    pub occ: Vec<NodeId>,
+}
+
+/// Builds the per-part state for a partition in one pass (a shared stamp
+/// array stands in for the seed's per-part `vec![0; n]` count buffers).
+pub(crate) fn build_parts(g: &Graph, partition: &EdgePartition) -> Vec<Part> {
+    let mut mark = vec![u32::MAX; g.num_nodes()];
+    partition
+        .parts()
+        .iter()
+        .enumerate()
+        .map(|(i, edges)| {
+            let mut occ = Vec::new();
+            for &e in edges {
+                let (u, v) = g.endpoints(e);
+                for z in [u, v] {
+                    if mark[z.index()] != i as u32 {
+                        mark[z.index()] = i as u32;
+                        occ.push(z);
+                    }
+                }
+            }
+            Part {
+                edges: edges.clone(),
+                occ,
+            }
+        })
+        .collect()
+}
+
+/// Per-edge swap contribution: (edge, endpoint, endpoint, contribution of
+/// each endpoint to the swap delta when it is not shared with the partner
+/// edge). Contributions are in `{-1, 0, 1}`.
+type EdgeInfo = (EdgeId, NodeId, NodeId, i32, i32);
+
+/// Swap delta of the pair from precomputed contributions: endpoints shared
+/// between the two edges cancel; every other endpoint contributes its
+/// precomputed term. Equals the seed's `after - before` from its
+/// 8-mutation simulation.
+#[inline]
+fn pair_delta(ea: EdgeInfo, fb: EdgeInfo) -> i32 {
+    let (_, u, v, cu, cv) = ea;
+    let (_, x, y, cx, cy) = fb;
+    cx * ((x != u) & (x != v)) as i32
+        + cy * ((y != u) & (y != v)) as i32
+        + cu * ((u != x) & (u != y)) as i32
+        + cv * ((v != x) & (v != y)) as i32
+}
+
+/// The incremental local-search state: parts plus the shared indices and
+/// scratch buffers described in the module docs.
+pub(crate) struct Engine<'g> {
+    g: &'g Graph,
+    n: usize,
+    pub parts: Vec<Part>,
+    /// Edge id → current position inside its part's `edges` vector.
+    /// Only meaningful for edges currently placed in some part.
+    edge_pos: Vec<u32>,
+    /// Node → indices of the parts occupying it (unordered, duplicate-free).
+    at_node: Vec<Vec<u32>>,
+    /// Flat `W × n` incidence-count matrix: `cnt[p * n + x]` is how many
+    /// edges of part `p` touch node `x`. One allocation, O(1) lookups,
+    /// O(1) upkeep per endpoint on every mutation. The part count `W` is
+    /// fixed for an engine's lifetime (parts may empty but never vanish),
+    /// so the stride stays valid.
+    cnt: Vec<u32>,
+    /// Reusable swap-pass scratch (no per-pair allocation).
+    info_a: Vec<EdgeInfo>,
+    info_b: Vec<EdgeInfo>,
+    neg_b: Vec<u32>,
+    rot_buf: Vec<EdgeId>,
+}
+
+impl<'g> Engine<'g> {
+    pub fn new(g: &'g Graph, partition: &EdgePartition) -> Self {
+        let parts = build_parts(g, partition);
+        let n = g.num_nodes();
+        let mut edge_pos = vec![0u32; g.num_edges()];
+        let mut at_node: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut cnt = vec![0u32; parts.len() * n];
+        for (i, p) in parts.iter().enumerate() {
+            for (pos, &e) in p.edges.iter().enumerate() {
+                edge_pos[e.index()] = pos as u32;
+                let (u, v) = g.endpoints(e);
+                cnt[i * n + u.index()] += 1;
+                cnt[i * n + v.index()] += 1;
+            }
+            for &x in &p.occ {
+                at_node[x.index()].push(i as u32);
+            }
+        }
+        Engine {
+            g,
+            n,
+            parts,
+            edge_pos,
+            at_node,
+            cnt,
+            info_a: Vec::new(),
+            info_b: Vec::new(),
+            neg_b: Vec::new(),
+            rot_buf: Vec::new(),
+        }
+    }
+
+    /// Total SADM cost: Σ distinct nodes per part.
+    pub fn cost(&self) -> usize {
+        self.parts.iter().map(|p| p.occ.len()).sum()
+    }
+
+    /// Consumes the engine into raw per-part edge lists.
+    pub fn into_edge_lists(self) -> Vec<Vec<EdgeId>> {
+        self.parts.into_iter().map(|p| p.edges).collect()
+    }
+
+    /// Incidence count of node `x` in part `p`. O(1).
+    #[inline]
+    pub fn cnt_of(&self, p: usize, x: NodeId) -> u32 {
+        self.cnt[p * self.n + x.index()]
+    }
+
+    /// Removes `e` from part `a` in O(1) + occupancy upkeep.
+    ///
+    /// Vector effect: `swap_remove(pos(e))` — identical to the seed's
+    /// `PartState::remove`, minus its linear position scan.
+    pub fn remove_edge_from(&mut self, a: usize, e: EdgeId) {
+        let pos = self.edge_pos[e.index()] as usize;
+        let part = &mut self.parts[a];
+        debug_assert_eq!(part.edges[pos], e, "edge_pos out of sync");
+        part.edges.swap_remove(pos);
+        if let Some(&moved) = part.edges.get(pos) {
+            self.edge_pos[moved.index()] = pos as u32;
+        }
+        let (u, v) = self.g.endpoints(e);
+        for x in [u, v] {
+            let idx = a * self.n + x.index();
+            self.cnt[idx] -= 1;
+            if self.cnt[idx] == 0 {
+                self.vacate(a, x);
+            }
+        }
+    }
+
+    /// Appends `e` to part `a` (vector effect: `push`, as in the seed).
+    pub fn add_edge_to(&mut self, a: usize, e: EdgeId) {
+        let (u, v) = self.g.endpoints(e);
+        for x in [u, v] {
+            let idx = a * self.n + x.index();
+            self.cnt[idx] += 1;
+            if self.cnt[idx] == 1 {
+                self.parts[a].occ.push(x);
+                self.at_node[x.index()].push(a as u32);
+            }
+        }
+        self.edge_pos[e.index()] = self.parts[a].edges.len() as u32;
+        self.parts[a].edges.push(e);
+    }
+
+    fn vacate(&mut self, a: usize, x: NodeId) {
+        let occ = &mut self.parts[a].occ;
+        let i = occ
+            .iter()
+            .position(|&y| y == x)
+            .expect("vacated node must be occupied");
+        occ.swap_remove(i);
+        let list = &mut self.at_node[x.index()];
+        let i = list
+            .iter()
+            .position(|&p| p == a as u32)
+            .expect("at_node must list the occupying part");
+        list.swap_remove(i);
+    }
+
+    /// Replays the net *vector* effect of the seed's rejected trial swap on
+    /// one part: `swap_remove(pos(e)); push(e)` — i.e. `e` and the current
+    /// last edge trade places. Counts and occupancy are untouched. O(1).
+    ///
+    /// The seed evaluated swaps by remove/remove/add/add then undid them
+    /// with the mirror sequence; the mutations cancel *except* for this
+    /// permutation of the edge vectors. Replaying it keeps the rebuilt
+    /// engine's iteration order — and therefore its output partitions —
+    /// bit-identical to the reference implementation.
+    pub fn trial_permute(&mut self, a: usize, e: EdgeId) {
+        let part = &mut self.parts[a];
+        let pos = self.edge_pos[e.index()] as usize;
+        let last = part.edges.len() - 1;
+        debug_assert_eq!(part.edges[pos], e, "edge_pos out of sync");
+        if pos != last {
+            let moved = part.edges[last];
+            part.edges.swap(pos, last);
+            self.edge_pos[moved.index()] = pos as u32;
+            self.edge_pos[e.index()] = last as u32;
+        }
+    }
+
+    /// Applies `t` rounds of "move every snapshot edge to the last position
+    /// once, in snapshot order" to part `p` in closed form.
+    ///
+    /// One round of [`Self::trial_permute`] over a snapshot of length `L`
+    /// leaves the last element fixed and rotates the first `L - 1` elements
+    /// right by one (each element is swapped to the back and immediately
+    /// displaced by its successor); `t` rounds compose into a rotation by
+    /// `t mod (L - 1)`. This turns the seed's O(L·t) rejected-trial
+    /// permutations of a fully-scanned swap pair into a single O(L) pass.
+    pub fn rotate_first(&mut self, p: usize, t: usize) {
+        let len = self.parts[p].edges.len();
+        if len < 3 {
+            return; // one round permutes nothing when fewer than 3 edges
+        }
+        let m = len - 1;
+        let t = t % m;
+        if t == 0 {
+            return;
+        }
+        let mut buf = std::mem::take(&mut self.rot_buf);
+        buf.clear();
+        buf.extend_from_slice(&self.parts[p].edges[..m]);
+        for j in 0..m {
+            let e = buf[(j + m - t) % m];
+            self.parts[p].edges[j] = e;
+            self.edge_pos[e.index()] = j as u32;
+        }
+        self.rot_buf = buf;
+    }
+
+    /// Closed-form cost delta of swapping `e` (in part `a`) with `f` (in
+    /// part `b`): endpoints shared between the two edges cancel, every
+    /// other endpoint contributes a gain if it is new to the receiving part
+    /// and a saving if it was held only by the leaving edge. O(1).
+    ///
+    /// Equals the seed's `after - before` from the 8-mutation simulation.
+    /// Used by `anneal`, where each iteration touches one random pair once.
+    pub fn swap_delta(&self, a: usize, b: usize, e: EdgeId, f: EdgeId) -> isize {
+        let (u, v) = self.g.endpoints(e);
+        let (x, y) = self.g.endpoints(f);
+        let mut delta = 0isize;
+        for z in [x, y] {
+            if z != u && z != v {
+                delta += (self.cnt_of(a, z) == 0) as isize;
+                delta -= (self.cnt_of(b, z) == 1) as isize;
+            }
+        }
+        for z in [u, v] {
+            if z != x && z != y {
+                delta += (self.cnt_of(b, z) == 0) as isize;
+                delta -= (self.cnt_of(a, z) == 1) as isize;
+            }
+        }
+        delta
+    }
+
+    /// The first part (lowest index) that an edge `(u, v)` leaving part `a`
+    /// could profitably move into: `b ≠ a`, below the size cap, and adding
+    /// the edge introduces fewer nodes than leaving frees (`added < freed`).
+    ///
+    /// `freed ∈ {1, 2}`, and `added = 2 - |{u, v} ∩ occupied(b)|`, so the
+    /// only candidates are parts already occupying `u` or `v` — found in the
+    /// `at_node` index instead of scanning all `W` parts. Taking the minimum
+    /// index reproduces the seed's first-hit `0..W` scan exactly.
+    pub fn first_move_target(
+        &self,
+        a: usize,
+        u: NodeId,
+        v: NodeId,
+        freed: usize,
+        k: usize,
+    ) -> Option<usize> {
+        debug_assert!(freed == 1 || freed == 2);
+        let mut best: Option<usize> = None;
+        for &b in &self.at_node[u.index()] {
+            let b = b as usize;
+            if b == a || self.parts[b].edges.len() >= k {
+                continue;
+            }
+            // freed == 1 needs added == 0: b must hold the other endpoint too.
+            if freed == 1 && self.cnt_of(b, v) == 0 {
+                continue;
+            }
+            if best.is_none_or(|cur| b < cur) {
+                best = Some(b);
+            }
+        }
+        if freed == 2 {
+            // added == 1 also qualifies: parts holding only `v`.
+            for &b in &self.at_node[v.index()] {
+                let b = b as usize;
+                if b == a || self.parts[b].edges.len() >= k {
+                    continue;
+                }
+                if best.is_none_or(|cur| b < cur) {
+                    best = Some(b);
+                }
+            }
+        }
+        best
+    }
+
+    /// Runs the seed's full swap scan for the pair `(a, b)` without mutating
+    /// anything until the outcome is known. Applies the first improving swap
+    /// and returns `true`, else `false`. Zero allocations after warm-up.
+    ///
+    /// Counts are static while a pair is scanned (rejected trials cancel),
+    /// so each edge's delta contribution is precomputed once; a candidate
+    /// pair then costs a few comparisons. Rows whose `a`-edge has no
+    /// negative contribution can only improve against the (usually few)
+    /// `b`-edges that do (`neg_b`) — skipped combinations provably have
+    /// `delta ≥ 0`, so the first improving combination found is the same
+    /// one the seed's exhaustive scan finds. On a miss the seed's
+    /// rejected-trial permutations are applied as one closed-form rotation
+    /// per part; on a hit they are replayed only up to the hit.
+    pub fn swap_pass_pair(&mut self, a: usize, b: usize) -> bool {
+        let la = self.parts[a].edges.len();
+        let lb = self.parts[b].edges.len();
+        if la == 0 || lb == 0 {
+            return false; // no combinations: the seed permutes nothing
+        }
+        let mut info_a = std::mem::take(&mut self.info_a);
+        let mut info_b = std::mem::take(&mut self.info_b);
+        let mut neg_b = std::mem::take(&mut self.neg_b);
+        info_a.clear();
+        info_b.clear();
+        neg_b.clear();
+        for &e in &self.parts[a].edges {
+            let (u, v) = self.g.endpoints(e);
+            let cu = (self.cnt_of(b, u) == 0) as i32 - (self.cnt_of(a, u) == 1) as i32;
+            let cv = (self.cnt_of(b, v) == 0) as i32 - (self.cnt_of(a, v) == 1) as i32;
+            info_a.push((e, u, v, cu, cv));
+        }
+        for (j, &f) in self.parts[b].edges.iter().enumerate() {
+            let (x, y) = self.g.endpoints(f);
+            let cx = (self.cnt_of(a, x) == 0) as i32 - (self.cnt_of(b, x) == 1) as i32;
+            let cy = (self.cnt_of(a, y) == 0) as i32 - (self.cnt_of(b, y) == 1) as i32;
+            info_b.push((f, x, y, cx, cy));
+            if cx < 0 || cy < 0 {
+                neg_b.push(j as u32);
+            }
+        }
+
+        // The scan proper: snapshot order, first improving combination wins.
+        let mut hit: Option<(usize, usize)> = None;
+        'rows: for (i, &ea) in info_a.iter().enumerate() {
+            let (_, _, _, cu, cv) = ea;
+            if cu < 0 || cv < 0 {
+                for (j, &fb) in info_b.iter().enumerate() {
+                    if pair_delta(ea, fb) < 0 {
+                        hit = Some((i, j));
+                        break 'rows;
+                    }
+                }
+            } else {
+                for &j in &neg_b {
+                    if pair_delta(ea, info_b[j as usize]) < 0 {
+                        hit = Some((i, j as usize));
+                        break 'rows;
+                    }
+                }
+            }
+        }
+
+        let applied = match hit {
+            Some((i, j)) => {
+                // Replay the rejected-trial permutations that preceded the
+                // hit: full rows `0..i` (each moves its `a`-edge to the back
+                // once and cycles `b` through one full round), then the
+                // partial row up to column `j`.
+                for &(er, ..) in info_a.iter().take(i) {
+                    self.trial_permute(a, er);
+                }
+                self.rotate_first(b, i);
+                let e = info_a[i].0;
+                let f = info_b[j].0;
+                if j > 0 {
+                    self.trial_permute(a, e);
+                    for &(fr, ..) in &info_b[..j] {
+                        self.trial_permute(b, fr);
+                    }
+                }
+                self.remove_edge_from(a, e);
+                self.remove_edge_from(b, f);
+                self.add_edge_to(a, f);
+                self.add_edge_to(b, e);
+                true
+            }
+            None => {
+                // Fully rejected: part `a` saw one round of trials, part `b`
+                // one per `a`-edge.
+                self.rotate_first(a, 1);
+                self.rotate_first(b, la);
+                false
+            }
+        };
+        self.info_a = info_a;
+        self.info_b = info_b;
+        self.neg_b = neg_b;
+        applied
+    }
+}

@@ -1,21 +1,17 @@
-//! Post-optimization and the paper's proposed extensions.
+//! Reference (pre-incremental) implementations of the improvement stack.
 //!
-//! The concluding remarks of the paper sketch two improvement directions:
-//! *"heuristics on constructing denser sub-graphs in the k-edge partition,
-//! for example, partitioning the traffic graph into sub-graphs which are
-//! cliques or close to cliques"*. This module implements both:
+//! These are the seed implementations, kept verbatim: full-mutation trial
+//! moves, per-part `count: Vec<u32>` of size `n`, per-round subgraph
+//! re-extraction. They exist for two reasons:
 //!
-//! * [`refine`] — local search over an existing partition: single-edge
-//!   moves and edge swaps between wavelengths, accepted when they strictly
-//!   reduce the SADM count. Never increases cost or the wavelength count.
-//! * [`merge_parts`] — greedy wavelength merging: fusing two parts that fit
-//!   in one wavelength can only reduce cost (`|V_A ∪ V_B| ≤ |V_A| + |V_B|`)
-//!   and always reduces the wavelength count.
-//! * [`clique_first`] — the "dense sub-graphs first" heuristic: pack
-//!   triangles into wavelengths (greedily favoring node overlap), then
-//!   groom the leftover edges with `SpanT_Euler`, then merge and refine.
-//!   At `k = 3` on triangle-decomposable traffic this reaches the exact
-//!   optimum `m`.
+//! 1. **Golden equivalence tests** pin the incremental engine in the parent
+//!    module to *bit-identical* outputs (same partitions, same RNG
+//!    consumption) against these baselines at fixed seeds.
+//! 2. The `perf_improve` bench bin times both stacks on the same instances
+//!    and records the speedup in `BENCH_improve.json`.
+//!
+//! Do not "optimize" this module — its value is being the fixed point the
+//! fast path is measured and verified against.
 
 use grooming_graph::graph::Graph;
 use grooming_graph::ids::{EdgeId, NodeId};
@@ -90,23 +86,8 @@ impl PartState {
     }
 }
 
-/// Local-search refinement: repeatedly apply the best cost-reducing
-/// single-edge move or pairwise swap until a local optimum (or the round
-/// cap) is reached. The result is always valid, never costlier, and never
-/// uses more wavelengths than the input.
-///
-/// ```
-/// use grooming::improve::refine;
-/// use grooming::spant_euler::spant_euler;
-/// use grooming_graph::{generators, spanning::TreeStrategy};
-/// use rand::SeedableRng;
-///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-/// let g = generators::gnm(20, 60, &mut rng);
-/// let base = spant_euler(&g, 8, TreeStrategy::Bfs, &mut rng);
-/// let better = refine(&g, 8, &base, 8);
-/// assert!(better.sadm_cost(&g) <= base.sadm_cost(&g));
-/// ```
+/// Seed `refine`: trial moves simulated by 8 count mutations per swap, both
+/// part vectors cloned per `(a, b)` pair.
 pub fn refine(g: &Graph, k: usize, partition: &EdgePartition, max_rounds: usize) -> EdgePartition {
     assert!(k > 0, "grooming factor must be positive");
     let mut parts: Vec<PartState> = partition
@@ -183,9 +164,8 @@ pub fn refine(g: &Graph, k: usize, partition: &EdgePartition, max_rounds: usize)
     out
 }
 
-/// Greedy wavelength merging: while two parts fit on one wavelength, merge
-/// the pair with the largest node overlap. Cost never increases; the
-/// wavelength count strictly decreases with every merge.
+/// Seed `merge_parts`: every round rescans all pairs and computes each
+/// overlap by a full `0..n` sweep of both count arrays.
 pub fn merge_parts(g: &Graph, k: usize, partition: &EdgePartition) -> EdgePartition {
     assert!(k > 0, "grooming factor must be positive");
     let mut parts: Vec<PartState> = partition
@@ -221,13 +201,8 @@ pub fn merge_parts(g: &Graph, k: usize, partition: &EdgePartition) -> EdgePartit
     out
 }
 
-/// The paper's "cliques first" idea: greedily pack node-sharing triangles
-/// into wavelengths, groom the leftovers with `SpanT_Euler`, then merge
-/// underfull wavelengths and refine.
-///
-/// May use more than `⌈m/k⌉` wavelengths when triangle parts stay
-/// underfull (the merge pass usually recovers most of the slack); trades
-/// that for denser parts and fewer SADMs at small `k`.
+/// Seed `clique_first`: re-probes `triangle_edges` on every availability
+/// check and allocates a fresh `vec![false; n]` per packed part.
 pub fn clique_first<R: Rng>(g: &Graph, k: usize, rng: &mut R) -> EdgePartition {
     assert!(k > 0, "grooming factor must be positive");
     if k < 3 || g.num_edges() < 3 {
@@ -308,14 +283,8 @@ pub fn clique_first<R: Rng>(g: &Graph, k: usize, rng: &mut R) -> EdgePartition {
     refine(g, k, &merged, 4)
 }
 
-/// The generalized "cliques first" packer: pack maximal cliques (largest
-/// first, capped at `q` with `C(q,2) ≤ k`), not just triangles; groom the
-/// leftovers with `SpanT_Euler`; merge underfull wavelengths; refine.
-///
-/// A `q`-clique puts `C(q,2)` demand pairs on `q` SADMs — the densest
-/// wavelength possible — so for large grooming factors this dominates
-/// triangle packing (at `k = 16` a 6-clique carries 15 pairs on 6 SADMs
-/// where five triangles would need up to 15).
+/// Seed `dense_first`: extracts a fresh residual subgraph and re-runs the
+/// clique enumeration from scratch every peeling round.
 pub fn dense_first<R: Rng>(g: &Graph, k: usize, rng: &mut R) -> EdgePartition {
     assert!(k > 0, "grooming factor must be positive");
     if k < 3 || g.num_edges() < 3 || !g.is_simple() {
@@ -374,11 +343,8 @@ pub fn dense_first<R: Rng>(g: &Graph, k: usize, rng: &mut R) -> EdgePartition {
     refine(g, k, &merged, 4)
 }
 
-/// Simulated-annealing refinement: random edge moves and swaps accepted by
-/// the Metropolis rule with a geometric cooling schedule, tracking the best
-/// partition ever seen. Escapes the local optima [`refine`] stops at, at
-/// the price of more evaluations; the returned partition is never worse
-/// than the input (the incumbent starts at the input).
+/// Seed `anneal`: evaluates every swap by an 8-mutation trial + undo and
+/// clones every part vector on each incumbent improvement.
 pub fn anneal<R: Rng>(
     g: &Graph,
     k: usize,
@@ -469,217 +435,4 @@ pub fn anneal<R: Rng>(
     debug_assert!(out.validate(g, k).is_ok());
     debug_assert!(out.sadm_cost(g) <= partition.sadm_cost(g));
     out
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::bounds;
-    use grooming_graph::generators;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-
-    fn rng(seed: u64) -> StdRng {
-        StdRng::seed_from_u64(seed)
-    }
-
-    #[test]
-    fn refine_never_hurts() {
-        for seed in 0..6u64 {
-            let g = generators::gnm(16, 40, &mut rng(seed));
-            for k in [2usize, 4, 8, 16] {
-                let base = spant_euler(&g, k, TreeStrategy::Bfs, &mut rng(seed));
-                let better = refine(&g, k, &base, 8);
-                better.validate(&g, k).unwrap();
-                assert!(better.sadm_cost(&g) <= base.sadm_cost(&g));
-                assert!(better.num_wavelengths() <= base.num_wavelengths());
-                assert!(better.sadm_cost(&g) >= bounds::lower_bound(&g, k));
-            }
-        }
-    }
-
-    #[test]
-    fn refine_finds_the_obvious_swap() {
-        // Two triangles, k = 3, deliberately bad initial split.
-        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
-        let bad = EdgePartition::new(vec![
-            vec![EdgeId(0), EdgeId(1), EdgeId(3)],
-            vec![EdgeId(2), EdgeId(4), EdgeId(5)],
-        ]);
-        assert_eq!(bad.sadm_cost(&g), 5 + 5);
-        let fixed = refine(&g, 3, &bad, 10);
-        assert_eq!(fixed.sadm_cost(&g), 6, "swap must restore the triangles");
-    }
-
-    #[test]
-    fn merge_reduces_wavelengths_without_cost_increase() {
-        let g = generators::gnm(14, 20, &mut rng(1));
-        // k=1 partition: one edge per wavelength.
-        let singletons = EdgePartition::new(g.edges().map(|e| vec![e]).collect());
-        let merged = merge_parts(&g, 5, &singletons);
-        merged.validate(&g, 5).unwrap();
-        assert!(merged.num_wavelengths() <= singletons.num_wavelengths());
-        assert_eq!(merged.num_wavelengths(), 4); // ceil(20/5)
-        assert!(merged.sadm_cost(&g) <= singletons.sadm_cost(&g));
-    }
-
-    #[test]
-    fn clique_first_near_optimal_on_k9_at_k3() {
-        // K9 partitions into 12 triangles (STS(9)); the optimum at k = 3
-        // is m = 36. Greedy edge-disjoint triangle packing is not perfect,
-        // but it must land close and beat SpanT_Euler comfortably.
-        let g = generators::complete(9);
-        let p = clique_first(&g, 3, &mut rng(2));
-        p.validate(&g, 3).unwrap();
-        let cost = p.sadm_cost(&g);
-        let spant = spant_euler(&g, 3, TreeStrategy::Bfs, &mut rng(2)).sadm_cost(&g);
-        assert!(cost >= 36);
-        assert!(cost <= 42, "greedy packing should stay near 36, got {cost}");
-        assert!(cost < spant, "clique-first {cost} vs SpanT {spant}");
-    }
-
-    #[test]
-    fn clique_first_beats_spant_on_triangle_rich_graphs_at_k3() {
-        let g = generators::complete(12);
-        let spant = spant_euler(&g, 3, TreeStrategy::Bfs, &mut rng(3));
-        let cf = clique_first(&g, 3, &mut rng(3));
-        cf.validate(&g, 3).unwrap();
-        assert!(
-            cf.sadm_cost(&g) < spant.sadm_cost(&g),
-            "clique-first {} vs SpanT {}",
-            cf.sadm_cost(&g),
-            spant.sadm_cost(&g)
-        );
-    }
-
-    #[test]
-    fn clique_first_falls_back_gracefully() {
-        // Triangle-free graph: pure SpanT path.
-        let g = generators::grid(4, 4);
-        for k in [2usize, 3, 6] {
-            let p = clique_first(&g, k, &mut rng(4));
-            p.validate(&g, k).unwrap();
-        }
-        // k < 3 short-circuits.
-        let p = clique_first(&g, 2, &mut rng(5));
-        p.validate(&g, 2).unwrap();
-    }
-
-    #[test]
-    fn refine_handles_tiny_partitions() {
-        let g = Graph::from_edges(2, &[(0, 1)]);
-        let p = EdgePartition::new(vec![vec![EdgeId(0)]]);
-        let r = refine(&g, 4, &p, 4);
-        assert_eq!(r.sadm_cost(&g), 2);
-        let empty = Graph::new(3);
-        let r = refine(&empty, 4, &EdgePartition::new(vec![]), 4);
-        assert_eq!(r.num_wavelengths(), 0);
-    }
-
-    #[test]
-    fn dense_first_is_optimal_on_disjoint_k5s_at_k10() {
-        // Three disjoint K5s at k = 10: dense_first puts each K5 on one
-        // wavelength (10 edges, 5 nodes) — the exact optimum of 15 — while
-        // the triangle packer cannot cover a K5 with triangles (10 ∤ 3).
-        let mut g = Graph::new(15);
-        for base in [0u32, 5, 10] {
-            for a in 0..5 {
-                for b in (a + 1)..5 {
-                    g.add_edge(
-                        grooming_graph::ids::NodeId(base + a),
-                        grooming_graph::ids::NodeId(base + b),
-                    );
-                }
-            }
-        }
-        let df = dense_first(&g, 10, &mut rng(7));
-        df.validate(&g, 10).unwrap();
-        assert_eq!(df.sadm_cost(&g), 15, "one wavelength per K5");
-        let cf = clique_first(&g, 10, &mut rng(7));
-        assert!(df.sadm_cost(&g) <= cf.sadm_cost(&g));
-    }
-
-    #[test]
-    fn dense_first_competitive_on_k10() {
-        // On K10 at k = 16 the triangle packer is already near the lower
-        // bound (20); dense_first must stay in the same band and beat
-        // SpanT_Euler.
-        let g = generators::complete(10);
-        let df = dense_first(&g, 16, &mut rng(7));
-        df.validate(&g, 16).unwrap();
-        let spant = spant_euler(&g, 16, TreeStrategy::Bfs, &mut rng(7));
-        assert!(df.sadm_cost(&g) < spant.sadm_cost(&g));
-        assert!(df.sadm_cost(&g) <= 24);
-    }
-
-    #[test]
-    fn dense_first_valid_on_random_instances() {
-        for seed in 0..5u64 {
-            let g = generators::gnm(18, 70, &mut rng(seed));
-            for k in [2usize, 3, 6, 10, 16, 64] {
-                let p = dense_first(&g, k, &mut rng(seed + 30));
-                p.validate(&g, k).unwrap();
-                assert!(p.sadm_cost(&g) >= bounds::lower_bound(&g, k));
-            }
-        }
-    }
-
-    #[test]
-    fn dense_first_handles_multigraphs_via_fallback() {
-        let mut g = Graph::new(3);
-        let a = grooming_graph::ids::NodeId(0);
-        let b = grooming_graph::ids::NodeId(1);
-        g.add_edge(a, b);
-        g.add_edge(a, b);
-        g.add_edge(b, grooming_graph::ids::NodeId(2));
-        let p = dense_first(&g, 4, &mut rng(1));
-        p.validate(&g, 4).unwrap();
-    }
-
-    #[test]
-    fn anneal_never_worse_and_valid() {
-        for seed in 0..4u64 {
-            let g = generators::gnm(16, 40, &mut rng(seed));
-            for k in [3usize, 8, 16] {
-                let base = spant_euler(&g, k, TreeStrategy::Bfs, &mut rng(seed));
-                let annealed = anneal(&g, k, &base, 2000, &mut rng(seed + 77));
-                annealed.validate(&g, k).unwrap();
-                assert!(annealed.sadm_cost(&g) <= base.sadm_cost(&g));
-            }
-        }
-    }
-
-    #[test]
-    fn anneal_escapes_the_bad_split() {
-        // Same fixture refine solves: anneal must find it too.
-        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
-        let bad = EdgePartition::new(vec![
-            vec![EdgeId(0), EdgeId(1), EdgeId(3)],
-            vec![EdgeId(2), EdgeId(4), EdgeId(5)],
-        ]);
-        let fixed = anneal(&g, 3, &bad, 5000, &mut rng(1));
-        assert_eq!(fixed.sadm_cost(&g), 6);
-    }
-
-    #[test]
-    fn anneal_degenerate_inputs() {
-        let g = Graph::new(3);
-        let p = EdgePartition::new(vec![]);
-        assert_eq!(anneal(&g, 4, &p, 100, &mut rng(0)).num_wavelengths(), 0);
-        let g = Graph::from_edges(2, &[(0, 1)]);
-        let p = EdgePartition::new(vec![vec![EdgeId(0)]]);
-        assert_eq!(anneal(&g, 4, &p, 100, &mut rng(0)).sadm_cost(&g), 2);
-    }
-
-    #[test]
-    fn clique_first_respects_k_limits() {
-        for seed in 0..4u64 {
-            let g = generators::gnm(15, 45, &mut rng(seed));
-            for k in [3usize, 4, 5, 7, 16] {
-                let p = clique_first(&g, k, &mut rng(seed + 20));
-                p.validate(&g, k).unwrap();
-                assert!(p.sadm_cost(&g) >= bounds::lower_bound(&g, k));
-            }
-        }
-    }
 }

@@ -213,7 +213,7 @@ impl<'a> PortfolioEngine<'a> {
             })
             .collect();
 
-        let outcomes = self.execute(g, k, &plan);
+        let mut outcomes = self.execute(g, k, &plan);
 
         // Deterministic reduction: per-entry bests in input order, global
         // best under the order-free (cost, stable_id, restart) key.
@@ -246,7 +246,9 @@ impl<'a> PortfolioEngine<'a> {
 
         let (best_idx, _) = best.expect("no portfolio entry accepted the instance");
         let (_, winner, winner_restart, _) = plan[best_idx];
-        let outcome = outcomes[best_idx].as_ref().expect("winner outcome exists");
+        // Move the winning partition out instead of cloning it; the
+        // outcome slots are dropped right after the reduction anyway.
+        let outcome = outcomes[best_idx].take().expect("winner outcome exists");
         let all_costs = entries
             .iter()
             .zip(&per_entry_best)
@@ -254,7 +256,7 @@ impl<'a> PortfolioEngine<'a> {
             .collect();
 
         PortfolioResult {
-            partition: outcome.partition.clone(),
+            partition: outcome.partition,
             winner,
             winner_restart,
             cost: outcome.cost,

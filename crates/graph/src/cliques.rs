@@ -10,6 +10,140 @@
 use crate::graph::Graph;
 use crate::ids::NodeId;
 
+/// Dense bitset adjacency over a fixed node set, supporting edge removal.
+///
+/// This is the *residual* structure behind iterated clique peeling (the
+/// `dense_first` grooming heuristic): build it once from the traffic graph,
+/// delete the edges of each extracted clique, and re-run the clique search
+/// on the updated bitsets — no per-round subgraph extraction, no re-walking
+/// the edge list. The clique enumeration depends only on the adjacency
+/// bitsets, so the results are bit-identical to extracting a fresh subgraph
+/// of the surviving edges each round.
+#[derive(Clone, Debug)]
+pub struct DenseAdjacency {
+    n: usize,
+    words: usize,
+    adj: Vec<Vec<u64>>,
+}
+
+impl DenseAdjacency {
+    /// Builds the adjacency bitsets of a simple graph (64-node words).
+    ///
+    /// # Panics
+    /// Panics if `g` has parallel edges.
+    pub fn from_graph(g: &Graph) -> Self {
+        assert!(g.is_simple(), "clique enumeration requires a simple graph");
+        let n = g.num_nodes();
+        let words = n.div_ceil(64).max(1);
+        let mut adj = vec![vec![0u64; words]; n];
+        for e in g.edges() {
+            let (u, v) = g.endpoints(e);
+            adj[u.index()][v.index() / 64] |= 1 << (v.index() % 64);
+            adj[v.index()][u.index() / 64] |= 1 << (u.index() % 64);
+        }
+        DenseAdjacency { n, words, adj }
+    }
+
+    /// Removes the edge `{u, v}` from the residual (no-op if absent).
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) {
+        self.adj[u.index()][v.index() / 64] &= !(1 << (v.index() % 64));
+        self.adj[v.index()][u.index() / 64] &= !(1 << (u.index() % 64));
+    }
+
+    /// `true` if the residual still contains the edge `{u, v}`.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.adj[u.index()][v.index() / 64] & (1 << (v.index() % 64)) != 0
+    }
+
+    /// All maximal cliques of the residual, each as an ascending node
+    /// list; the full list is sorted. See [`maximal_cliques`].
+    pub fn maximal_cliques(&self) -> Vec<Vec<NodeId>> {
+        let mut ctx = Ctx {
+            adj: &self.adj,
+            n: self.n,
+            words: self.words,
+            out: Vec::new(),
+        };
+        let mut p = vec![0u64; self.words];
+        for i in 0..self.n {
+            p[i / 64] |= 1 << (i % 64);
+        }
+        expand(&mut ctx, &mut Vec::new(), p, vec![0u64; self.words]);
+        for c in &mut ctx.out {
+            c.sort_unstable();
+        }
+        ctx.out.sort();
+        ctx.out
+    }
+
+    /// A maximum clique of the residual (ties broken as in
+    /// [`maximum_clique`]). Empty residual → empty clique.
+    pub fn maximum_clique(&self) -> Vec<NodeId> {
+        self.maximal_cliques()
+            .into_iter()
+            .max_by_key(|c| c.len())
+            .unwrap_or_default()
+    }
+}
+
+fn is_set(set: &[u64], i: usize) -> bool {
+    set[i / 64] & (1 << (i % 64)) != 0
+}
+
+fn count(set: &[u64]) -> u32 {
+    set.iter().map(|w| w.count_ones()).sum()
+}
+
+struct Ctx<'a> {
+    adj: &'a [Vec<u64>],
+    n: usize,
+    words: usize,
+    out: Vec<Vec<NodeId>>,
+}
+
+fn expand(ctx: &mut Ctx, r: &mut Vec<NodeId>, p: Vec<u64>, mut x: Vec<u64>) {
+    if count(&p) == 0 && count(&x) == 0 {
+        ctx.out.push(r.clone());
+        return;
+    }
+    // Pivot: vertex of P ∪ X with the most neighbors in P.
+    let mut pivot = usize::MAX;
+    let mut best = u32::MAX;
+    for i in 0..ctx.n {
+        if is_set(&p, i) || is_set(&x, i) {
+            let nb: u32 = (0..ctx.words)
+                .map(|w| (p[w] & ctx.adj[i][w]).count_ones())
+                .sum();
+            let missing = count(&p) - nb;
+            if pivot == usize::MAX || missing < best {
+                pivot = i;
+                best = missing;
+            }
+        }
+    }
+    // Candidates: P minus neighbors of the pivot.
+    let mut candidates = Vec::new();
+    for i in 0..ctx.n {
+        if is_set(&p, i) && !is_set(&ctx.adj[pivot], i) {
+            candidates.push(i);
+        }
+    }
+    let mut p = p;
+    for v in candidates {
+        let mut p2 = vec![0u64; ctx.words];
+        let mut x2 = vec![0u64; ctx.words];
+        for w in 0..ctx.words {
+            p2[w] = p[w] & ctx.adj[v][w];
+            x2[w] = x[w] & ctx.adj[v][w];
+        }
+        r.push(NodeId::new(v));
+        expand(ctx, r, p2, x2);
+        r.pop();
+        p[v / 64] &= !(1 << (v % 64));
+        x[v / 64] |= 1 << (v % 64);
+    }
+}
+
 /// All maximal cliques of a simple graph, each as an ascending node list.
 ///
 /// Bron–Kerbosch with greedy pivoting; exponential in the worst case but
@@ -29,90 +163,7 @@ use crate::ids::NodeId;
 /// # Panics
 /// Panics if `g` has parallel edges.
 pub fn maximal_cliques(g: &Graph) -> Vec<Vec<NodeId>> {
-    assert!(g.is_simple(), "clique enumeration requires a simple graph");
-    let n = g.num_nodes();
-    // Dense adjacency bitsets, 64-node words.
-    let words = n.div_ceil(64).max(1);
-    let mut adj = vec![vec![0u64; words]; n];
-    for e in g.edges() {
-        let (u, v) = g.endpoints(e);
-        adj[u.index()][v.index() / 64] |= 1 << (v.index() % 64);
-        adj[v.index()][u.index() / 64] |= 1 << (u.index() % 64);
-    }
-
-    fn is_set(set: &[u64], i: usize) -> bool {
-        set[i / 64] & (1 << (i % 64)) != 0
-    }
-    fn count(set: &[u64]) -> u32 {
-        set.iter().map(|w| w.count_ones()).sum()
-    }
-
-    struct Ctx<'a> {
-        adj: &'a [Vec<u64>],
-        n: usize,
-        words: usize,
-        out: Vec<Vec<NodeId>>,
-    }
-
-    fn expand(ctx: &mut Ctx, r: &mut Vec<NodeId>, p: Vec<u64>, mut x: Vec<u64>) {
-        if count(&p) == 0 && count(&x) == 0 {
-            ctx.out.push(r.clone());
-            return;
-        }
-        // Pivot: vertex of P ∪ X with the most neighbors in P.
-        let mut pivot = usize::MAX;
-        let mut best = u32::MAX;
-        for i in 0..ctx.n {
-            if is_set(&p, i) || is_set(&x, i) {
-                let nb: u32 = (0..ctx.words)
-                    .map(|w| (p[w] & ctx.adj[i][w]).count_ones())
-                    .sum();
-                let missing = count(&p) - nb;
-                if pivot == usize::MAX || missing < best {
-                    pivot = i;
-                    best = missing;
-                }
-            }
-        }
-        // Candidates: P minus neighbors of the pivot.
-        let mut candidates = Vec::new();
-        for i in 0..ctx.n {
-            if is_set(&p, i) && !is_set(&ctx.adj[pivot], i) {
-                candidates.push(i);
-            }
-        }
-        let mut p = p;
-        for v in candidates {
-            let mut p2 = vec![0u64; ctx.words];
-            let mut x2 = vec![0u64; ctx.words];
-            for w in 0..ctx.words {
-                p2[w] = p[w] & ctx.adj[v][w];
-                x2[w] = x[w] & ctx.adj[v][w];
-            }
-            r.push(NodeId::new(v));
-            expand(ctx, r, p2, x2);
-            r.pop();
-            p[v / 64] &= !(1 << (v % 64));
-            x[v / 64] |= 1 << (v % 64);
-        }
-    }
-
-    let mut ctx = Ctx {
-        adj: &adj,
-        n,
-        words,
-        out: Vec::new(),
-    };
-    let mut p = vec![0u64; words];
-    for i in 0..n {
-        p[i / 64] |= 1 << (i % 64);
-    }
-    expand(&mut ctx, &mut Vec::new(), p, vec![0u64; words]);
-    for c in &mut ctx.out {
-        c.sort_unstable();
-    }
-    ctx.out.sort();
-    ctx.out
+    DenseAdjacency::from_graph(g).maximal_cliques()
 }
 
 /// A maximum clique (largest cardinality; ties broken lexicographically by

@@ -50,6 +50,31 @@ pub fn extract_subset(g: &Graph, subset: &EdgeSubset) -> ExtractedSubgraph {
     extract(g, subset.edges())
 }
 
+/// Extracts the subgraph of the edges *not* flagged in `used`, in ascending
+/// edge-id order — the "leftover" graph of a packing heuristic, built in one
+/// pass over the flag array instead of materialising the surviving id list
+/// first.
+///
+/// # Panics
+/// Panics if `used.len() != g.num_edges()`.
+pub fn extract_unused(g: &Graph, used: &[bool]) -> ExtractedSubgraph {
+    assert_eq!(
+        used.len(),
+        g.num_edges(),
+        "flag array must cover every edge"
+    );
+    let mut graph = Graph::new(g.num_nodes());
+    let mut parent_edge = Vec::new();
+    for e in g.edges() {
+        if !used[e.index()] {
+            let (u, v) = g.endpoints(e);
+            graph.add_edge(u, v);
+            parent_edge.push(e);
+        }
+    }
+    ExtractedSubgraph { graph, parent_edge }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,6 +104,19 @@ mod tests {
         let sub = extract(&g, &[]);
         assert_eq!(sub.graph.num_edges(), 0);
         assert_eq!(sub.graph.num_nodes(), 4);
+    }
+
+    #[test]
+    fn unused_extraction_matches_filtered_extract() {
+        let g = generators::complete(5);
+        let mut used = vec![false; g.num_edges()];
+        used[1] = true;
+        used[4] = true;
+        let by_flags = extract_unused(&g, &used);
+        let survivors: Vec<EdgeId> = g.edges().filter(|e| !used[e.index()]).collect();
+        let by_list = extract(&g, &survivors);
+        assert_eq!(by_flags.parent_edge, by_list.parent_edge);
+        assert_eq!(by_flags.graph.num_edges(), g.num_edges() - 2);
     }
 
     #[test]

@@ -188,9 +188,33 @@ impl EdgeSubset {
     /// `(V(G), subset edges)` — isolated nodes count as singleton
     /// components. This is the `c` of the paper's Lemma 4 (components of
     /// `G\T` over the full node set).
+    ///
+    /// Single traversal: components with edges and the touched-node count
+    /// are tallied in one pass (no per-component edge lists are built).
     pub fn spanning_component_count(&self, g: &Graph) -> usize {
-        let with_edges = self.edge_components(g).len();
-        let touched = self.touched_node_count(g);
+        let mut visited = vec![false; g.num_nodes()];
+        let mut stack = Vec::new();
+        let mut with_edges = 0usize;
+        let mut touched = 0usize;
+        for &start_e in &self.edges {
+            let (root, _) = g.endpoints(start_e);
+            if visited[root.index()] {
+                continue;
+            }
+            with_edges += 1;
+            visited[root.index()] = true;
+            touched += 1;
+            stack.push(root);
+            while let Some(v) = stack.pop() {
+                for &(w, e) in g.incident(v) {
+                    if self.contains(e) && !visited[w.index()] {
+                        visited[w.index()] = true;
+                        touched += 1;
+                        stack.push(w);
+                    }
+                }
+            }
+        }
         with_edges + (g.num_nodes() - touched)
     }
 }
