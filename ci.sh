@@ -21,4 +21,14 @@ echo "== perf smoke: improvement-engine baseline (release, --fast) =="
 # by the full run: target/release/perf_improve
 target/release/perf_improve --fast --out /tmp/BENCH_improve_fast.json
 
+echo "== perf smoke: construction-pipeline baseline (release, --fast) =="
+# Same contract for the construction pipeline: the flat-CSR/workspace path
+# must reproduce grooming::reference bit for bit on a thinned Figure-4/5
+# grid. The checked-in results/BENCH_pipeline.json is produced by the full
+# run: target/release/perf_pipeline
+target/release/perf_pipeline --fast --out /tmp/BENCH_pipeline_fast.json
+
+echo "== cargo doc (no deps, warnings are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
 echo "CI gate passed."

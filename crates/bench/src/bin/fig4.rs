@@ -42,6 +42,14 @@ fn main() {
         println!("CSV:");
         print!("{}", table::render_csv(&algorithms, &rows));
         println!();
+        println!(
+            "{}",
+            table::render_timing(
+                &format!("dense ratio d = {d} — {}", w.label()),
+                &algorithms,
+                &rows
+            )
+        );
         opts.maybe_write_svg(
             &format!("fig4_d{d}"),
             &format!("Figure 4 reproduction — {}", w.label()),

@@ -39,6 +39,32 @@ pub fn render(title: &str, algorithms: &[Algorithm], rows: &[Row]) -> String {
     out
 }
 
+/// Renders the companion timing table: one line per grooming factor, one
+/// column per algorithm showing the mean per-attempt wall-clock runtime in
+/// microseconds. Runtimes are informational observations — unlike the SADM
+/// columns they are not deterministic across hosts or runs.
+pub fn render_timing(title: &str, algorithms: &[Algorithm], rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {title} — mean runtime (us/attempt)\n"));
+    let mut header = format!("{:>4}", "k");
+    for a in algorithms {
+        header.push_str(&format!("  {:>22}", a.name()));
+    }
+    out.push_str(&header);
+    out.push('\n');
+    out.push_str(&"-".repeat(header.len()));
+    out.push('\n');
+    for row in rows {
+        let mut line = format!("{:>4}", row.k);
+        for c in &row.cells {
+            line.push_str(&format!("  {:>22.1}", c.mean_runtime.as_secs_f64() * 1e6));
+        }
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
 /// Renders the same data as CSV (for plotting).
 pub fn render_csv(algorithms: &[Algorithm], rows: &[Row]) -> String {
     let mut out = String::from("k");
@@ -98,6 +124,19 @@ mod tests {
         let data_line = s.lines().last().unwrap();
         assert!(data_line.ends_with("Algo 2 (Brauner)"));
         assert!(data_line.contains("90.0"));
+    }
+
+    #[test]
+    fn timing_table_reports_microseconds() {
+        let algos = [Algorithm::Goldschmidt, Algorithm::Brauner];
+        let mut rows = sample_rows();
+        rows[0].cells[0].mean_runtime = std::time::Duration::from_micros(150);
+        rows[0].cells[1].mean_runtime = std::time::Duration::from_nanos(62_500);
+        let s = render_timing("test", &algos, &rows);
+        assert!(s.contains("mean runtime (us/attempt)"));
+        let data_line = s.lines().last().unwrap();
+        assert!(data_line.contains("150.0"));
+        assert!(data_line.contains("62.5"));
     }
 
     #[test]

@@ -26,6 +26,7 @@ use grooming_graph::ids::{EdgeId, NodeId};
 use grooming_graph::spanning::{spanning_forest, TreeStrategy};
 use grooming_graph::tree::decompose_into_paths;
 use grooming_graph::view::EdgeSubset;
+use grooming_graph::workspace::{with_workspace, Workspace};
 use rand::Rng;
 
 use crate::partition::EdgePartition;
@@ -35,127 +36,155 @@ use crate::skeleton::SkeletonCover;
 /// with bottom-up subtree splitting. Parts are subtrees of ≤ `k` edges.
 pub fn goldschmidt<R: Rng>(g: &Graph, k: usize, rng: &mut R) -> EdgePartition {
     assert!(k > 0, "grooming factor must be positive");
+    with_workspace(|ws| goldschmidt_in(g, k, rng, ws))
+}
+
+/// The peeling loop against one borrowed [`Workspace`]: the assigned set,
+/// per-round visited set/queue, forest triples, and children adjacency all
+/// live in reused buffers instead of fresh allocations per round.
+fn goldschmidt_in<R: Rng>(g: &Graph, k: usize, rng: &mut R, ws: &mut Workspace) -> EdgePartition {
     let m = g.num_edges();
-    let mut assigned = vec![false; m];
+    let n = g.num_nodes();
+    let csr = g.csr();
+    // `ws.edge_used` is the assigned set for the WHOLE call (reset once,
+    // rounds only add to it) — per-round scratch uses the other buffers.
+    ws.edge_used.reset(m);
     let mut remaining = m;
     let mut parts: Vec<Vec<EdgeId>> = Vec::new();
-    // Randomize tie-breaking across rounds by rotating the scan origin.
-    let n = g.num_nodes();
+    // Forest triples for the current round, with per-tree bounds into them.
+    let mut triples: Vec<(NodeId, NodeId, EdgeId)> = Vec::new();
+    let mut tree_bounds: Vec<(usize, usize)> = Vec::new();
+    // bundle[v]: edges pending below v, always < k. All slots are drained
+    // back to empty by the end of each split, so one allocation serves the
+    // whole call.
+    let mut bundle: Vec<Vec<EdgeId>> = vec![Vec::new(); n];
+    let mut stack: Vec<(NodeId, bool)> = Vec::new();
     while remaining > 0 {
+        // Randomize tie-breaking across rounds by rotating the scan origin.
         let offset = if n > 0 { rng.gen_range(0..n) } else { 0 };
-        let forest = peel_spanning_forest(g, &assigned, offset);
-        debug_assert!(!forest.is_empty());
-        for tree in &forest {
-            split_tree_into_parts(g, tree, k, &mut parts);
-        }
-        for tree in forest {
-            for (_, _, e) in tree {
-                assigned[e.index()] = true;
-                remaining -= 1;
+
+        // One BFS spanning forest over unassigned edges; each tree is a
+        // contiguous run of (parent, child, edge) triples in BFS order.
+        triples.clear();
+        tree_bounds.clear();
+        ws.visited.reset(n);
+        ws.queue.clear();
+        for i in 0..n {
+            let root = NodeId::new((i + offset) % n);
+            if !ws.visited.insert(root.index()) {
+                continue;
             }
+            ws.queue.push_back(root);
+            let start = triples.len();
+            while let Some(v) = ws.queue.pop_front() {
+                for &(w, e) in csr.incident(v) {
+                    if ws.edge_used.contains(e.index()) || ws.visited.contains(w.index()) {
+                        continue;
+                    }
+                    ws.visited.insert(w.index());
+                    triples.push((v, w, e));
+                    ws.queue.push_back(w);
+                }
+            }
+            if triples.len() > start {
+                tree_bounds.push((start, triples.len()));
+            }
+        }
+        debug_assert!(!tree_bounds.is_empty());
+
+        // Children adjacency for the whole round in one counting sort:
+        // trees are node-disjoint, so one flat map covers them all, and
+        // scanning the triples in order keeps each node's child list in
+        // BFS discovery order.
+        ws.bucket_buf.clear();
+        ws.bucket_buf.resize(n + 1, 0);
+        for &(p, _, _) in &triples {
+            ws.bucket_buf[p.index() + 1] += 1;
+        }
+        for i in 0..n {
+            ws.bucket_buf[i + 1] += ws.bucket_buf[i];
+        }
+        ws.bucket_buf2.clear();
+        ws.bucket_buf2.extend_from_slice(&ws.bucket_buf[..n]);
+        ws.pair_buf.clear();
+        ws.pair_buf
+            .resize(triples.len(), (NodeId::new(0), EdgeId(0)));
+        for &(p, c, e) in &triples {
+            let slot = ws.bucket_buf2[p.index()];
+            ws.pair_buf[slot] = (c, e);
+            ws.bucket_buf2[p.index()] += 1;
+        }
+
+        for &(lo, hi) in &tree_bounds {
+            split_tree_into_parts(
+                &triples[lo..hi],
+                k,
+                &ws.bucket_buf,
+                &ws.pair_buf,
+                &mut bundle,
+                &mut stack,
+                &mut parts,
+            );
+        }
+        for &(_, _, e) in &triples {
+            ws.edge_used.insert(e.index());
+            remaining -= 1;
         }
     }
     EdgePartition::new(parts)
 }
 
-/// One BFS spanning forest over unassigned edges. Each tree is returned as
-/// a list of `(parent, child, edge)` triples in BFS discovery order.
-fn peel_spanning_forest(
-    g: &Graph,
-    assigned: &[bool],
-    offset: usize,
-) -> Vec<Vec<(NodeId, NodeId, EdgeId)>> {
-    let n = g.num_nodes();
-    let mut seen = vec![false; n];
-    let mut forest = Vec::new();
-    let mut queue = std::collections::VecDeque::new();
-    for i in 0..n {
-        let root = NodeId::new((i + offset) % n);
-        if seen[root.index()] {
-            continue;
-        }
-        seen[root.index()] = true;
-        queue.push_back(root);
-        let mut tree = Vec::new();
-        while let Some(v) = queue.pop_front() {
-            for &(w, e) in g.incident(v) {
-                if assigned[e.index()] || seen[w.index()] {
-                    continue;
-                }
-                seen[w.index()] = true;
-                tree.push((v, w, e));
-                queue.push_back(w);
-            }
-        }
-        if !tree.is_empty() {
-            forest.push(tree);
-        }
-    }
-    forest
-}
-
-/// Bottom-up splitting of a rooted tree (given as BFS parent triples) into
-/// subtree parts of at most `k` edges.
+/// Bottom-up splitting of a rooted tree (a contiguous run of BFS parent
+/// triples) into subtree parts of at most `k` edges. `child_off`/`child_adj`
+/// is the round's counting-sorted children map: the children of `v` are
+/// `child_adj[child_off[v]..child_off[v + 1]]` in BFS discovery order.
 fn split_tree_into_parts(
-    g: &Graph,
     tree: &[(NodeId, NodeId, EdgeId)],
     k: usize,
+    child_off: &[usize],
+    child_adj: &[(NodeId, EdgeId)],
+    bundle: &mut [Vec<EdgeId>],
+    stack: &mut Vec<(NodeId, bool)>,
     parts: &mut Vec<Vec<EdgeId>>,
 ) {
-    let _ = g;
-    // children[v] = (child, edge) pairs.
-    let mut children: std::collections::HashMap<NodeId, Vec<(NodeId, EdgeId)>> =
-        std::collections::HashMap::new();
-    let mut is_child: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
-    for &(p, c, e) in tree {
-        children.entry(p).or_default().push((c, e));
-        is_child.insert(c);
-    }
-    let root = tree
-        .iter()
-        .map(|&(p, _, _)| p)
-        .find(|p| !is_child.contains(p))
-        .expect("a nonempty tree has a root");
+    // The first triple's parent is the BFS root: it is never anyone's child.
+    let root = tree[0].0;
 
     // Post-order accumulation with an explicit stack.
-    // bundle[v]: edges pending below v, always < k.
-    let mut bundle: std::collections::HashMap<NodeId, Vec<EdgeId>> =
-        std::collections::HashMap::new();
-    let mut stack = vec![(root, false)];
+    stack.clear();
+    stack.push((root, false));
     while let Some((v, processed)) = stack.pop() {
+        let ch = &child_adj[child_off[v.index()]..child_off[v.index() + 1]];
         if !processed {
             stack.push((v, true));
-            if let Some(ch) = children.get(&v) {
-                for &(c, _) in ch {
-                    stack.push((c, false));
-                }
+            for &(c, _) in ch {
+                stack.push((c, false));
             }
             continue;
         }
         let mut acc: Vec<EdgeId> = Vec::new();
-        if let Some(ch) = children.get(&v) {
-            for &(c, e) in ch {
-                let mut sub = bundle.remove(&c).unwrap_or_default();
-                sub.push(e);
-                if sub.len() == k {
-                    parts.push(sub);
-                } else if acc.len() + sub.len() > k {
-                    // Emitting the current bundle keeps both pieces
-                    // subtrees hanging from v.
-                    parts.push(std::mem::replace(&mut acc, sub));
-                } else {
-                    acc.extend(sub);
-                    if acc.len() == k {
-                        parts.push(std::mem::take(&mut acc));
-                    }
+        for &(c, e) in ch {
+            let mut sub = std::mem::take(&mut bundle[c.index()]);
+            sub.push(e);
+            if sub.len() == k {
+                parts.push(sub);
+            } else if acc.len() + sub.len() > k {
+                // Emitting the current bundle keeps both pieces
+                // subtrees hanging from v.
+                parts.push(std::mem::replace(&mut acc, sub));
+            } else {
+                acc.extend(sub);
+                if acc.len() == k {
+                    parts.push(std::mem::take(&mut acc));
                 }
             }
         }
         if !acc.is_empty() {
-            bundle.insert(v, acc);
+            bundle[v.index()] = acc;
         }
     }
-    if let Some(left) = bundle.remove(&root) {
+    let left = std::mem::take(&mut bundle[root.index()]);
+    if !left.is_empty() {
         parts.push(left);
     }
 }

@@ -17,11 +17,11 @@
 //! * [`anneal`] — simulated-annealing refinement that escapes the local
 //!   optima [`refine`] stops at.
 //!
-//! All five run on the *incremental* engine of [`engine`]: closed-form move
+//! All five run on the *incremental* engine of the private `engine` module: closed-form move
 //! deltas, O(1) edge removal, occupied-node lists instead of per-part
 //! size-`n` count arrays, a cached overlap matrix for merging, and residual
 //! adjacency for the packers. The pre-incremental seed implementations are
-//! preserved verbatim in [`reference`]; golden tests pin every function
+//! preserved verbatim in [`mod@reference`]; golden tests pin every function
 //! here to bit-identical outputs against them (same partitions, same RNG
 //! consumption), and the `perf_improve` bench bin tracks the speedup in
 //! `BENCH_improve.json`.

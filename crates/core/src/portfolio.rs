@@ -271,7 +271,10 @@ impl<'a> PortfolioEngine<'a> {
     /// Executes the plan, one outcome slot per attempt. `jobs == 1` runs
     /// in-thread; otherwise a scoped thread pool drains an atomic cursor.
     /// Either path fills identical slots because every attempt's RNG
-    /// stream is self-contained.
+    /// stream is self-contained. Each worker also reuses its own
+    /// thread-local [`grooming_graph::workspace::Workspace`] across every
+    /// attempt it drains, so the construction pipeline's scratch buffers
+    /// are allocated once per thread, not once per attempt.
     fn execute(
         &self,
         g: &Graph,

@@ -20,10 +20,11 @@
 //!   ≤ `3n/(2(r+1))` and cost ≤ `m + ⌈m/k⌉ + 3n/(2(r+1)) − 1`
 //!   (Theorem 10, odd case).
 
-use grooming_graph::euler::{component_euler_walks, trail_decomposition};
+use grooming_graph::euler::{component_euler_walks_in, trail_decomposition_in};
 use grooming_graph::graph::Graph;
 use grooming_graph::matching::maximum_matching;
 use grooming_graph::view::EdgeSubset;
+use grooming_graph::workspace::with_workspace;
 
 use crate::partition::EdgePartition;
 use crate::skeleton::SkeletonCover;
@@ -112,19 +113,23 @@ pub fn regular_euler_detailed(g: &Graph, k: usize) -> Result<RegularEulerRun, No
 
     let (cover, matching_size) = if r % 2 == 0 {
         // Even r: Euler circuit per component; no branches.
-        let backbones = component_euler_walks(g, &EdgeSubset::full(g))
-            .expect("even-regular components are Eulerian");
-        (SkeletonCover::build(g, backbones, &[]), None)
+        with_workspace(|ws| {
+            let backbones = component_euler_walks_in(g, &EdgeSubset::full(g), ws)
+                .expect("even-regular components are Eulerian");
+            (SkeletonCover::build_in(g, backbones, &[], ws), None)
+        })
     } else {
         // Odd r: maximum matching, then trail-decompose G \ M.
         let matching = maximum_matching(g);
         let m_set = EdgeSubset::from_edges(g, matching.edges().iter().copied());
         let rest = m_set.complement(g);
-        let backbones = trail_decomposition(g, &rest);
-        (
-            SkeletonCover::build(g, backbones, matching.edges()),
-            Some(matching.len()),
-        )
+        with_workspace(|ws| {
+            let backbones = trail_decomposition_in(g, &rest, ws);
+            (
+                SkeletonCover::build_in(g, backbones, matching.edges(), ws),
+                Some(matching.len()),
+            )
+        })
     };
     debug_assert!(cover.validate(g, true).is_ok());
 

@@ -22,6 +22,7 @@
 use grooming_graph::graph::Graph;
 use grooming_graph::ids::EdgeId;
 use grooming_graph::walk::Walk;
+use grooming_graph::workspace::{with_workspace, Workspace};
 
 use crate::partition::EdgePartition;
 
@@ -89,19 +90,46 @@ impl Skeleton {
     /// backbone position, first the branches attached there, then the
     /// outgoing backbone edge.
     pub fn serialize(&self) -> Vec<EdgeId> {
-        let positions = self.backbone.nodes().len();
-        let mut buckets: Vec<Vec<EdgeId>> = vec![Vec::new(); positions];
-        for br in &self.branches {
-            buckets[br.attach].push(br.edge);
-        }
         let mut out = Vec::with_capacity(self.size());
-        for (pos, bucket) in buckets.iter().enumerate() {
-            out.extend_from_slice(bucket);
+        self.serialize_into(&mut out, &mut Vec::new(), &mut Vec::new());
+        out
+    }
+
+    /// Appends the serialization to `out`, counting-sorting the branches by
+    /// attach position into the caller-provided scratch buffers instead of
+    /// allocating a `Vec<Vec<_>>` of buckets per call.
+    fn serialize_into(
+        &self,
+        out: &mut Vec<EdgeId>,
+        offsets: &mut Vec<usize>,
+        slots: &mut Vec<EdgeId>,
+    ) {
+        let positions = self.backbone.nodes().len();
+        offsets.clear();
+        offsets.resize(positions + 1, 0);
+        for br in &self.branches {
+            offsets[br.attach + 1] += 1;
+        }
+        for pos in 0..positions {
+            offsets[pos + 1] += offsets[pos];
+        }
+        // Place each branch at its bucket cursor; afterwards `offsets[pos]`
+        // is the *end* of bucket `pos` (the start is the previous end).
+        slots.clear();
+        slots.resize(self.branches.len(), EdgeId(0));
+        for br in &self.branches {
+            slots[offsets[br.attach]] = br.edge;
+            offsets[br.attach] += 1;
+        }
+        out.reserve(self.size());
+        let mut start = 0;
+        for (pos, &end) in offsets.iter().enumerate().take(positions) {
+            out.extend_from_slice(&slots[start..end]);
+            start = end;
             if pos < self.backbone.len() {
                 out.push(self.backbone.edges()[pos]);
             }
         }
-        out
     }
 
     /// **Proposition 1**: splits the skeleton's edges into a prefix of `t`
@@ -186,29 +214,52 @@ impl SkeletonCover {
     /// singleton backbone is created at one endpoint (the paper's
     /// degenerate single-node Euler path) and the edge attaches there.
     pub fn build(g: &Graph, backbones: Vec<Walk>, branch_edges: &[EdgeId]) -> Self {
+        with_workspace(|ws| SkeletonCover::build_in(g, backbones, branch_edges, ws))
+    }
+
+    /// [`SkeletonCover::build`] against a caller-owned [`Workspace`]: the
+    /// node → (skeleton, position) anchor map lives in the stamped counter
+    /// arrays (`counts` = skeleton index + 1, `counts2` = backbone position)
+    /// instead of a fresh `Vec<Option<(usize, usize)>>` per call.
+    pub fn build_in(
+        g: &Graph,
+        backbones: Vec<Walk>,
+        branch_edges: &[EdgeId],
+        ws: &mut Workspace,
+    ) -> Self {
         let n = g.num_nodes();
-        // node -> (skeleton index, first position on that backbone)
-        let mut anchor: Vec<Option<(usize, usize)>> = vec![None; n];
+        ws.counts.reset(n);
+        ws.counts2.reset(n);
         let mut skeletons: Vec<Skeleton> = Vec::with_capacity(backbones.len());
         for walk in backbones {
             let idx = skeletons.len();
             for (pos, &v) in walk.nodes().iter().enumerate() {
-                if anchor[v.index()].is_none() {
-                    anchor[v.index()] = Some((idx, pos));
+                if ws.counts.get(v.index()) == 0 {
+                    ws.counts.set(v.index(), idx as u32 + 1);
+                    ws.counts2.set(v.index(), pos as u32);
                 }
             }
             skeletons.push(Skeleton::from_backbone(walk));
         }
         for &e in branch_edges {
             let (a, b) = g.endpoints(e);
-            let slot = anchor[a.index()].or(anchor[b.index()]);
-            let (idx, pos) = match slot {
+            let hit = [a, b]
+                .into_iter()
+                .find(|v| ws.counts.get(v.index()) != 0)
+                .map(|v| {
+                    (
+                        ws.counts.get(v.index()) as usize - 1,
+                        ws.counts2.get(v.index()) as usize,
+                    )
+                });
+            let (idx, pos) = match hit {
                 Some(s) => s,
                 None => {
                     // Orphan: open a singleton backbone at `a`.
                     let idx = skeletons.len();
                     skeletons.push(Skeleton::from_backbone(Walk::singleton(a)));
-                    anchor[a.index()] = Some((idx, 0));
+                    ws.counts.set(a.index(), idx as u32 + 1);
+                    ws.counts2.set(a.index(), 0);
                     (idx, 0)
                 }
             };
@@ -224,13 +275,23 @@ impl SkeletonCover {
     /// serializations and cutting every `k` edges.
     pub fn to_partition(&self, k: usize) -> EdgePartition {
         assert!(k > 0, "grooming factor must be positive");
-        let mut parts: Vec<Vec<EdgeId>> = Vec::new();
-        let mut current: Vec<EdgeId> = Vec::with_capacity(k);
+        let total = self.total_edges();
+        let mut parts: Vec<Vec<EdgeId>> = Vec::with_capacity(total.div_ceil(k));
+        let mut current: Vec<EdgeId> = Vec::with_capacity(k.min(total));
+        // One serialization buffer set reused across all skeletons.
+        let mut ser: Vec<EdgeId> = Vec::new();
+        let mut offsets: Vec<usize> = Vec::new();
+        let mut slots: Vec<EdgeId> = Vec::new();
         for s in &self.skeletons {
-            for e in s.serialize() {
+            ser.clear();
+            s.serialize_into(&mut ser, &mut offsets, &mut slots);
+            for &e in &ser {
                 current.push(e);
                 if current.len() == k {
-                    parts.push(std::mem::take(&mut current));
+                    // Pre-size the next part: every part but the last is
+                    // exactly `k` edges, so growing it push-by-push would
+                    // reallocate log k times per part.
+                    parts.push(std::mem::replace(&mut current, Vec::with_capacity(k)));
                 }
             }
         }

@@ -21,11 +21,12 @@
 //!
 //! Every step is O(|V| + |E|), so the whole algorithm is linear time.
 
-use grooming_graph::euler::component_euler_walks;
+use grooming_graph::euler::component_euler_walks_in;
 use grooming_graph::graph::Graph;
-use grooming_graph::spanning::{spanning_forest, TreeStrategy};
-use grooming_graph::tree::odd_parity_tree_edges;
+use grooming_graph::spanning::{spanning_forest_in, TreeStrategy};
+use grooming_graph::tree::odd_parity_tree_edges_from_counts;
 use grooming_graph::view::EdgeSubset;
+use grooming_graph::workspace::{with_workspace, Workspace};
 use rand::Rng;
 
 use crate::partition::EdgePartition;
@@ -89,18 +90,34 @@ pub fn spant_euler_detailed<R: Rng>(
             strategy,
         };
     }
+    with_workspace(|ws| spant_euler_in(g, k, strategy, rng, ws))
+}
 
+/// The pipeline body, running every stage against one borrowed [`Workspace`]
+/// (see the workspace module's re-entrancy contract: only `_in` entry points
+/// may be called from here).
+fn spant_euler_in<R: Rng>(
+    g: &Graph,
+    k: usize,
+    strategy: TreeStrategy,
+    rng: &mut R,
+    ws: &mut Workspace,
+) -> SpanTEulerRun {
     // 1. Spanning forest T.
-    let forest = spanning_forest(g, strategy, rng);
+    let forest = spanning_forest_in(g, strategy, rng, ws);
     let tree_set = EdgeSubset::from_edges(g, forest.edges.iter().copied());
     let non_tree = tree_set.complement(g);
 
-    // 2–3. V_odd and E_odd via subtree parity.
-    let mut marked = vec![false; g.num_nodes()];
-    for v in grooming_graph::euler::odd_degree_nodes(g, &non_tree) {
-        marked[v.index()] = true;
+    // 2–3. V_odd and E_odd via subtree parity. The sweep only reads node
+    // parities, so seed `ws.counts` with the raw G\T degrees instead of
+    // materializing the odd-node list (degree ≡ marked mod 2).
+    ws.counts.reset(g.num_nodes());
+    for &e in non_tree.edges() {
+        let (a, b) = g.endpoints(e);
+        ws.counts.add(a.index(), 1);
+        ws.counts.add(b.index(), 1);
     }
-    let e_odd = odd_parity_tree_edges(g, &forest, &marked);
+    let e_odd = odd_parity_tree_edges_from_counts(&forest, ws);
 
     // 4. G'' = E_odd ∪ (E \ T): all degrees even; Euler circuit per component.
     let e_odd_set = EdgeSubset::from_edges(g, e_odd.iter().copied());
@@ -109,13 +126,13 @@ pub fn spant_euler_detailed<R: Rng>(
         grooming_graph::euler::odd_degree_nodes(g, &g2).is_empty(),
         "Lemma 4: G'' must have even degrees everywhere"
     );
-    let backbones =
-        component_euler_walks(g, &g2).expect("even-degree components always have Euler circuits");
+    let backbones = component_euler_walks_in(g, &g2, ws)
+        .expect("even-degree components always have Euler circuits");
     let euler_components = backbones.len();
 
     // 5. Attach the remaining tree edges as branches.
-    let remaining: Vec<_> = tree_set.minus(g, &e_odd_set).edges().to_vec();
-    let cover = SkeletonCover::build(g, backbones, &remaining);
+    let remaining = tree_set.minus(g, &e_odd_set);
+    let cover = SkeletonCover::build_in(g, backbones, remaining.edges(), ws);
     debug_assert!(cover.validate(g, true).is_ok());
 
     // 6. Proposition 2.
@@ -123,7 +140,7 @@ pub fn spant_euler_detailed<R: Rng>(
     SpanTEulerRun {
         partition,
         cover_size: cover.size(),
-        components_g_minus_t: non_tree.spanning_component_count(g),
+        components_g_minus_t: non_tree.spanning_component_count_in(g, ws),
         euler_components,
         strategy,
     }

@@ -7,6 +7,7 @@
 //! clique enumeration, maximum clique, and the largest clique usable under
 //! a grooming factor (`C(q,2) ≤ k`).
 
+use crate::bitset;
 use crate::graph::Graph;
 use crate::ids::NodeId;
 
@@ -34,25 +35,25 @@ impl DenseAdjacency {
     pub fn from_graph(g: &Graph) -> Self {
         assert!(g.is_simple(), "clique enumeration requires a simple graph");
         let n = g.num_nodes();
-        let words = n.div_ceil(64).max(1);
+        let words = bitset::words_for(n).max(1);
         let mut adj = vec![vec![0u64; words]; n];
         for e in g.edges() {
             let (u, v) = g.endpoints(e);
-            adj[u.index()][v.index() / 64] |= 1 << (v.index() % 64);
-            adj[v.index()][u.index() / 64] |= 1 << (u.index() % 64);
+            bitset::set(&mut adj[u.index()], v.index());
+            bitset::set(&mut adj[v.index()], u.index());
         }
         DenseAdjacency { n, words, adj }
     }
 
     /// Removes the edge `{u, v}` from the residual (no-op if absent).
     pub fn remove_edge(&mut self, u: NodeId, v: NodeId) {
-        self.adj[u.index()][v.index() / 64] &= !(1 << (v.index() % 64));
-        self.adj[v.index()][u.index() / 64] &= !(1 << (u.index() % 64));
+        bitset::clear(&mut self.adj[u.index()], v.index());
+        bitset::clear(&mut self.adj[v.index()], u.index());
     }
 
     /// `true` if the residual still contains the edge `{u, v}`.
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
-        self.adj[u.index()][v.index() / 64] & (1 << (v.index() % 64)) != 0
+        bitset::test(&self.adj[u.index()], v.index())
     }
 
     /// All maximal cliques of the residual, each as an ascending node
@@ -66,7 +67,7 @@ impl DenseAdjacency {
         };
         let mut p = vec![0u64; self.words];
         for i in 0..self.n {
-            p[i / 64] |= 1 << (i % 64);
+            bitset::set(&mut p, i);
         }
         expand(&mut ctx, &mut Vec::new(), p, vec![0u64; self.words]);
         for c in &mut ctx.out {
@@ -86,14 +87,6 @@ impl DenseAdjacency {
     }
 }
 
-fn is_set(set: &[u64], i: usize) -> bool {
-    set[i / 64] & (1 << (i % 64)) != 0
-}
-
-fn count(set: &[u64]) -> u32 {
-    set.iter().map(|w| w.count_ones()).sum()
-}
-
 struct Ctx<'a> {
     adj: &'a [Vec<u64>],
     n: usize,
@@ -102,19 +95,17 @@ struct Ctx<'a> {
 }
 
 fn expand(ctx: &mut Ctx, r: &mut Vec<NodeId>, p: Vec<u64>, mut x: Vec<u64>) {
-    if count(&p) == 0 && count(&x) == 0 {
+    if bitset::count(&p) == 0 && bitset::count(&x) == 0 {
         ctx.out.push(r.clone());
         return;
     }
     // Pivot: vertex of P ∪ X with the most neighbors in P.
     let mut pivot = usize::MAX;
-    let mut best = u32::MAX;
+    let mut best = usize::MAX;
     for i in 0..ctx.n {
-        if is_set(&p, i) || is_set(&x, i) {
-            let nb: u32 = (0..ctx.words)
-                .map(|w| (p[w] & ctx.adj[i][w]).count_ones())
-                .sum();
-            let missing = count(&p) - nb;
+        if bitset::test(&p, i) || bitset::test(&x, i) {
+            let nb = bitset::intersection_count(&p, &ctx.adj[i]);
+            let missing = bitset::count(&p) - nb;
             if pivot == usize::MAX || missing < best {
                 pivot = i;
                 best = missing;
@@ -124,7 +115,7 @@ fn expand(ctx: &mut Ctx, r: &mut Vec<NodeId>, p: Vec<u64>, mut x: Vec<u64>) {
     // Candidates: P minus neighbors of the pivot.
     let mut candidates = Vec::new();
     for i in 0..ctx.n {
-        if is_set(&p, i) && !is_set(&ctx.adj[pivot], i) {
+        if bitset::test(&p, i) && !bitset::test(&ctx.adj[pivot], i) {
             candidates.push(i);
         }
     }
@@ -139,8 +130,8 @@ fn expand(ctx: &mut Ctx, r: &mut Vec<NodeId>, p: Vec<u64>, mut x: Vec<u64>) {
         r.push(NodeId::new(v));
         expand(ctx, r, p2, x2);
         r.pop();
-        p[v / 64] &= !(1 << (v % 64));
-        x[v / 64] |= 1 << (v % 64);
+        bitset::clear(&mut p, v);
+        bitset::set(&mut x, v);
     }
 }
 

@@ -13,6 +13,7 @@ use crate::ids::{EdgeId, NodeId};
 /// All bridge edges of `g` (edges whose removal disconnects their
 /// component). Parallel edges are never bridges.
 pub fn bridges(g: &Graph) -> Vec<EdgeId> {
+    let csr = g.csr();
     let n = g.num_nodes();
     let mut disc = vec![usize::MAX; n];
     let mut low = vec![usize::MAX; n];
@@ -30,7 +31,7 @@ pub fn bridges(g: &Graph) -> Vec<EdgeId> {
         timer += 1;
         stack.push((root, None, 0));
         while let Some(&mut (v, via, ref mut cursor)) = stack.last_mut() {
-            let inc = g.incident(v);
+            let inc = csr.incident(v);
             if *cursor < inc.len() {
                 let (w, e) = inc[*cursor];
                 *cursor += 1;
@@ -62,6 +63,7 @@ pub fn bridges(g: &Graph) -> Vec<EdgeId> {
 
 /// All articulation points (cut vertices) of `g`.
 pub fn articulation_points(g: &Graph) -> Vec<NodeId> {
+    let csr = g.csr();
     let n = g.num_nodes();
     let mut disc = vec![usize::MAX; n];
     let mut low = vec![usize::MAX; n];
@@ -79,7 +81,7 @@ pub fn articulation_points(g: &Graph) -> Vec<NodeId> {
         let mut root_children = 0usize;
         stack.push((root, None, 0, 0));
         while let Some(&mut (v, via, ref mut cursor, _)) = stack.last_mut() {
-            let inc = g.incident(v);
+            let inc = csr.incident(v);
             if *cursor < inc.len() {
                 let (w, e) = inc[*cursor];
                 *cursor += 1;

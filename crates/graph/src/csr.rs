@@ -1,0 +1,115 @@
+//! Flat compressed-sparse-row adjacency snapshot.
+//!
+//! [`crate::graph::Graph`] stores adjacency as `Vec<Vec<(NodeId, EdgeId)>>`
+//! — convenient for incremental construction, but every per-node list is its
+//! own heap allocation, so the traversal-heavy inner loops of the grooming
+//! pipeline (spanning forests, Euler walks, component labeling) chase a
+//! pointer per visited node. [`Csr`] is the read-optimized snapshot: one
+//! `offsets` array and one flat `neighbors` array, holding exactly the same
+//! `(neighbor, edge)` pairs **in exactly the same per-node order** as the
+//! nested adjacency, so routing an algorithm through the CSR cannot change
+//! its output. The graph caches the snapshot on first use (see
+//! [`crate::graph::Graph::csr`]) and invalidates it on mutation.
+
+use crate::graph::Graph;
+use crate::ids::{EdgeId, NodeId};
+
+/// Flat adjacency: `neighbors[offsets[v] .. offsets[v + 1]]` are the
+/// `(neighbor, edge)` pairs of node `v`, in edge-insertion order — the same
+/// order [`Graph::incident`] reports.
+#[derive(Clone, Debug)]
+pub struct Csr {
+    /// `n + 1` prefix offsets into `neighbors`.
+    offsets: Vec<u32>,
+    /// All incidences, grouped by node: `2m` entries.
+    neighbors: Vec<(NodeId, EdgeId)>,
+}
+
+impl Csr {
+    /// Builds the snapshot from a graph. `O(n + m)`.
+    pub fn build(g: &Graph) -> Self {
+        let n = g.num_nodes();
+        let mut offsets = vec![0u32; n + 1];
+        for e in g.edges() {
+            let (u, v) = g.endpoints(e);
+            offsets[u.index() + 1] += 1;
+            offsets[v.index() + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut neighbors = vec![(NodeId(0), EdgeId(0)); 2 * g.num_edges()];
+        // Scanning edges in id order appends to each node's range in the
+        // same order `add_edge` pushed into the nested adjacency.
+        for e in g.edges() {
+            let (u, v) = g.endpoints(e);
+            neighbors[cursor[u.index()] as usize] = (v, e);
+            cursor[u.index()] += 1;
+            neighbors[cursor[v.index()] as usize] = (u, e);
+            cursor[v.index()] += 1;
+        }
+        Csr { offsets, neighbors }
+    }
+
+    /// Number of nodes covered by the snapshot.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Incident `(neighbor, edge)` pairs of `v`, in insertion order.
+    #[inline]
+    pub fn incident(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
+        let lo = self.offsets[v.index()] as usize;
+        let hi = self.offsets[v.index() + 1] as usize;
+        &self.neighbors[lo..hi]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn csr_matches_nested_adjacency_exactly() {
+        let g = generators::gnm(30, 90, &mut StdRng::seed_from_u64(3));
+        let csr = Csr::build(&g);
+        assert_eq!(csr.num_nodes(), g.num_nodes());
+        for v in g.nodes() {
+            assert_eq!(csr.incident(v), g.incident(v), "node {v:?}");
+            assert_eq!(csr.degree(v), g.degree(v));
+        }
+    }
+
+    #[test]
+    fn csr_handles_parallels_and_isolated_nodes() {
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(2), NodeId(0));
+        let csr = Csr::build(&g);
+        assert_eq!(csr.incident(NodeId(0)), g.incident(NodeId(0)));
+        assert_eq!(csr.incident(NodeId(1)), g.incident(NodeId(1)));
+        assert!(csr.incident(NodeId(3)).is_empty());
+    }
+
+    #[test]
+    fn cached_snapshot_is_rebuilt_after_mutation() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        assert_eq!(g.csr().incident(NodeId(0)).len(), 1);
+        g.add_edge(NodeId(0), NodeId(2));
+        assert_eq!(g.csr().incident(NodeId(0)).len(), 2);
+        assert_eq!(g.csr().incident(NodeId(0)), g.incident(NodeId(0)));
+    }
+}

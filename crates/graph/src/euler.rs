@@ -10,11 +10,21 @@
 //!
 //! All of these operate on *subsets* of a fixed multigraph's edges, so the
 //! API here takes `(Graph, EdgeSubset)` pairs and returns [`Walk`]s.
+//!
+//! The walk builders come in two flavors: plain entry points with the
+//! historical signatures, and `_in`-suffixed variants that borrow a
+//! [`Workspace`] so repeated calls (thousands per portfolio sweep) reuse the
+//! visited/used/cursor scratch instead of allocating it per walk. The plain
+//! entry points borrow the thread-local workspace via
+//! [`crate::workspace::with_workspace`]. Traversals run on the graph's
+//! cached CSR snapshot ([`Graph::csr`]); per-node incidence order is
+//! identical to the nested adjacency, so outputs are unchanged.
 
 use crate::graph::Graph;
 use crate::ids::{EdgeId, NodeId};
 use crate::view::EdgeSubset;
 use crate::walk::Walk;
+use crate::workspace::{with_workspace, StampSet, StampedCounts, Workspace};
 
 /// Why an Euler walk could not be constructed.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -70,6 +80,73 @@ pub fn has_euler_walk(g: &Graph, subset: &EdgeSubset) -> bool {
         && odd_degree_nodes(g, subset).len() <= 2
 }
 
+/// Per-component statistics gathered in one labeling pass: enough to pick
+/// each component's walk start without materializing per-component subsets.
+#[derive(Default)]
+struct CompStats {
+    /// Smallest edge id in the component (`u32::MAX` sentinel while open).
+    min_edge: Vec<u32>,
+    /// Number of subset edges in the component.
+    edge_count: Vec<u32>,
+    /// Number of odd-degree nodes in the component.
+    odd_count: Vec<u32>,
+    /// Smallest odd-degree node index (`u32::MAX` if none).
+    min_odd: Vec<u32>,
+}
+
+/// Labels the subset's edge components into `ws.comp` (`cid + 1`; `0` =
+/// untouched) and subset degrees into `ws.counts`. Component ids follow the
+/// order of first appearance in `subset.edges()` — the same order
+/// [`EdgeSubset::edge_components`] emits.
+fn label_components(g: &Graph, subset: &EdgeSubset, ws: &mut Workspace) -> CompStats {
+    let csr = g.csr();
+    let n = g.num_nodes();
+    ws.counts.reset(n);
+    for &e in subset.edges() {
+        let (u, v) = g.endpoints(e);
+        ws.counts.add(u.index(), 1);
+        ws.counts.add(v.index(), 1);
+    }
+    ws.comp.reset(n);
+    let mut stats = CompStats::default();
+    for &start_e in subset.edges() {
+        let (root, _) = g.endpoints(start_e);
+        if ws.comp.get(root.index()) != 0 {
+            continue;
+        }
+        let cid = stats.min_edge.len() as u32;
+        stats.min_edge.push(u32::MAX);
+        stats.edge_count.push(0);
+        stats.odd_count.push(0);
+        stats.min_odd.push(u32::MAX);
+        ws.comp.set(root.index(), cid + 1);
+        ws.node_stack.clear();
+        ws.node_stack.push(root);
+        while let Some(v) = ws.node_stack.pop() {
+            for &(w, e) in csr.incident(v) {
+                if subset.contains(e) && ws.comp.get(w.index()) == 0 {
+                    ws.comp.set(w.index(), cid + 1);
+                    ws.node_stack.push(w);
+                }
+            }
+        }
+    }
+    for &e in subset.edges() {
+        let (u, _) = g.endpoints(e);
+        let cid = (ws.comp.get(u.index()) - 1) as usize;
+        stats.edge_count[cid] += 1;
+        stats.min_edge[cid] = stats.min_edge[cid].min(e.index() as u32);
+    }
+    for v in 0..n {
+        if ws.counts.get(v) % 2 == 1 {
+            let cid = (ws.comp.get(v) - 1) as usize;
+            stats.odd_count[cid] += 1;
+            stats.min_odd[cid] = stats.min_odd[cid].min(v as u32);
+        }
+    }
+    stats
+}
+
 /// Builds an Euler walk of the whole subset.
 ///
 /// If exactly two nodes have odd degree the walk runs between them; if none
@@ -80,37 +157,73 @@ pub fn euler_walk(
     subset: &EdgeSubset,
     prefer_start: Option<NodeId>,
 ) -> Result<Walk, EulerError> {
+    with_workspace(|ws| euler_walk_in(g, subset, prefer_start, ws))
+}
+
+/// [`euler_walk`] against a caller-owned [`Workspace`].
+pub fn euler_walk_in(
+    g: &Graph,
+    subset: &EdgeSubset,
+    prefer_start: Option<NodeId>,
+    ws: &mut Workspace,
+) -> Result<Walk, EulerError> {
     if subset.is_empty() {
         return Err(EulerError::Empty);
     }
-    if subset.edge_components(g).len() != 1 {
+    let stats = label_components(g, subset, ws);
+    if stats.min_edge.len() != 1 {
         return Err(EulerError::Disconnected);
     }
-    let odd = odd_degree_nodes(g, subset);
-    let start = match odd.len() {
+    let start = match stats.odd_count[0] {
         0 => prefer_start
-            .filter(|&v| subset.degree(g, v) > 0)
+            .filter(|&v| ws.counts.get(v.index()) > 0)
             .unwrap_or_else(|| {
                 let (u, _) = g.endpoints(subset.edges()[0]);
                 u
             }),
         2 => match prefer_start {
-            Some(v) if odd.contains(&v) => v,
-            _ => odd[0],
+            Some(v) if ws.counts.get(v.index()) % 2 == 1 => v,
+            _ => NodeId(stats.min_odd[0]),
         },
-        k => return Err(EulerError::TooManyOddNodes(k)),
+        k => return Err(EulerError::TooManyOddNodes(k as usize)),
     };
-    Ok(hierholzer(g, subset, start))
+    Ok(hierholzer_in(g, subset, start, subset.len(), ws))
 }
 
 /// Builds one Euler walk per edge component of the subset. Every component
 /// must have at most two odd-degree nodes.
 pub fn component_euler_walks(g: &Graph, subset: &EdgeSubset) -> Result<Vec<Walk>, EulerError> {
-    let comps = subset.edge_components(g);
-    let mut walks = Vec::with_capacity(comps.len());
-    for comp in comps {
-        let sub = EdgeSubset::from_edges(g, comp);
-        walks.push(euler_walk(g, &sub, None)?);
+    with_workspace(|ws| component_euler_walks_in(g, subset, ws))
+}
+
+/// [`component_euler_walks`] against a caller-owned [`Workspace`]: one
+/// labeling pass picks every component's start node, so no per-component
+/// subsets are materialized.
+pub fn component_euler_walks_in(
+    g: &Graph,
+    subset: &EdgeSubset,
+    ws: &mut Workspace,
+) -> Result<Vec<Walk>, EulerError> {
+    let stats = label_components(g, subset, ws);
+    let mut walks = Vec::with_capacity(stats.min_edge.len());
+    for cid in 0..stats.min_edge.len() {
+        let start = match stats.odd_count[cid] {
+            // A circuit starts where the component's smallest edge does —
+            // the start `euler_walk` picked when handed the ascending
+            // per-component edge list.
+            0 => g.endpoints(EdgeId(stats.min_edge[cid])).0,
+            2 => NodeId(stats.min_odd[cid]),
+            k => return Err(EulerError::TooManyOddNodes(k as usize)),
+        };
+        // Hierholzer from a node of component `cid` can only reach that
+        // component's edges, so the full subset works as the edge filter.
+        walks.push(hierholzer_in(
+            g,
+            subset,
+            start,
+            stats.edge_count[cid] as usize,
+            ws,
+        ));
     }
     Ok(walks)
 }
@@ -125,34 +238,109 @@ pub fn component_euler_walks(g: &Graph, subset: &EdgeSubset) -> Result<Vec<Walk>
 /// same construction on a scratch multigraph and translate the resulting
 /// segments back to parent edge ids.
 pub fn trail_decomposition(g: &Graph, subset: &EdgeSubset) -> Vec<Walk> {
+    with_workspace(|ws| trail_decomposition_in(g, subset, ws))
+}
+
+/// [`trail_decomposition`] against a caller-owned [`Workspace`].
+pub fn trail_decomposition_in(g: &Graph, subset: &EdgeSubset, ws: &mut Workspace) -> Vec<Walk> {
+    let stats = label_components(g, subset, ws);
     let mut trails = Vec::new();
-    for comp in subset.edge_components(g) {
-        let comp_subset = EdgeSubset::from_edges(g, comp.iter().copied());
-        let odd = odd_degree_nodes(g, &comp_subset);
-        if odd.len() <= 2 {
-            trails.push(euler_walk(g, &comp_subset, None).expect("component is traversable"));
+    for cid in 0..stats.min_edge.len() {
+        let odd = stats.odd_count[cid] as usize;
+        if odd <= 2 {
+            let start = if odd == 0 {
+                g.endpoints(EdgeId(stats.min_edge[cid])).0
+            } else {
+                NodeId(stats.min_odd[cid])
+            };
+            trails.push(hierholzer_in(
+                g,
+                subset,
+                start,
+                stats.edge_count[cid] as usize,
+                ws,
+            ));
             continue;
         }
+        // Component edges ascending (the order the per-component subset
+        // used to be built in) and odd nodes ascending.
+        let label = cid as u32 + 1;
+        ws.edge_buf.clear();
+        for &e in subset.edges() {
+            let (u, _) = g.endpoints(e);
+            if ws.comp.get(u.index()) == label {
+                ws.edge_buf.push(e);
+            }
+        }
+        ws.edge_buf.sort_unstable();
+        let mut odd_nodes: Vec<NodeId> = Vec::with_capacity(odd);
+        for v in 0..g.num_nodes() {
+            if ws.counts.get(v) % 2 == 1 && ws.comp.get(v) == label {
+                odd_nodes.push(NodeId(v as u32));
+            }
+        }
         // Scratch multigraph: the component's edges plus virtual edges
-        // pairing all odd nodes except odd[0], odd[1].
-        let mut scratch = Graph::new(g.num_nodes());
-        let mut origin: Vec<Option<EdgeId>> = Vec::with_capacity(comp.len() + odd.len() / 2);
-        for &e in &comp {
-            let (u, v) = g.endpoints(e);
-            scratch.add_edge(u, v);
+        // pairing all odd nodes except odd_nodes[0], odd_nodes[1]. Rather
+        // than constructing a whole `Graph` (a heap-allocated adjacency
+        // list per node), lay the scratch adjacency out as a CSR directly
+        // in workspace buffers: scanning the scratch edges in id order
+        // fills each node's range in exactly the per-node order a nested
+        // adjacency (and hence `Csr::build`) would produce.
+        let n = g.num_nodes();
+        let real_m = ws.edge_buf.len();
+        let scratch_m = real_m + (odd_nodes.len() - 2) / 2;
+        let mut origin: Vec<Option<EdgeId>> = Vec::with_capacity(scratch_m);
+        for &e in &ws.edge_buf {
             origin.push(Some(e));
         }
-        for pair in odd[2..].chunks(2) {
-            scratch.add_edge(pair[0], pair[1]);
-            origin.push(None);
+        origin.resize(scratch_m, None);
+        let endpoint = |scratch_e: usize| -> (NodeId, NodeId) {
+            match origin[scratch_e] {
+                Some(e) => g.endpoints(e),
+                None => {
+                    let j = 2 + 2 * (scratch_e - real_m);
+                    (odd_nodes[j], odd_nodes[j + 1])
+                }
+            }
+        };
+        ws.bucket_buf.clear();
+        ws.bucket_buf.resize(n + 1, 0);
+        for se in 0..scratch_m {
+            let (u, v) = endpoint(se);
+            ws.bucket_buf[u.index() + 1] += 1;
+            ws.bucket_buf[v.index() + 1] += 1;
         }
-        let full = EdgeSubset::full(&scratch);
-        let walk = euler_walk(&scratch, &full, Some(odd[0]))
-            .expect("augmented component has exactly two odd nodes");
+        for i in 0..n {
+            ws.bucket_buf[i + 1] += ws.bucket_buf[i];
+        }
+        ws.bucket_buf2.clear();
+        ws.bucket_buf2.extend_from_slice(&ws.bucket_buf[..n]);
+        ws.pair_buf.clear();
+        ws.pair_buf.resize(2 * scratch_m, (NodeId(0), EdgeId(0)));
+        for se in 0..scratch_m {
+            let (u, v) = endpoint(se);
+            let id = EdgeId(se as u32);
+            ws.pair_buf[ws.bucket_buf2[u.index()]] = (v, id);
+            ws.bucket_buf2[u.index()] += 1;
+            ws.pair_buf[ws.bucket_buf2[v.index()]] = (u, id);
+            ws.bucket_buf2[v.index()] += 1;
+        }
+        // The augmented component has exactly two odd nodes and is
+        // connected, so a single Hierholzer from odd_nodes[0] covers it.
+        // The flat walker only touches edge_used/cursor/walk_stack, leaving
+        // ws.comp and ws.counts intact for the remaining components.
+        let (nodes, edges) = hierholzer_flat(
+            &ws.bucket_buf,
+            &ws.pair_buf,
+            scratch_m,
+            odd_nodes[0],
+            &mut ws.edge_used,
+            &mut ws.cursor,
+            &mut ws.walk_stack,
+        );
         // Split the walk at virtual edges.
-        let nodes = walk.nodes();
         let mut seg = Walk::singleton(nodes[0]);
-        for (i, &e) in walk.edges().iter().enumerate() {
+        for (i, &e) in edges.iter().enumerate() {
             match origin[e.index()] {
                 Some(orig) => seg.push(g, orig),
                 None => {
@@ -171,32 +359,44 @@ pub fn trail_decomposition(g: &Graph, subset: &EdgeSubset) -> Vec<Walk> {
     trails
 }
 
-/// Iterative Hierholzer. Precondition: subset is edge-connected, `start` is
-/// touched, and the degree parity admits a walk from `start`.
-fn hierholzer(g: &Graph, subset: &EdgeSubset, start: NodeId) -> Walk {
-    let n = g.num_nodes();
-    let mut used = vec![false; g.num_edges()];
-    let mut cursor = vec![0usize; n];
-    // Stack holds (node, edge that led here).
-    let mut stack: Vec<(NodeId, Option<EdgeId>)> = vec![(start, None)];
-    let mut out_nodes: Vec<NodeId> = Vec::with_capacity(subset.len() + 1);
-    let mut out_edges: Vec<EdgeId> = Vec::with_capacity(subset.len());
+/// Hierholzer over a flat scratch CSR (`offsets` of length `n + 1`,
+/// `neighbors` holding `2 * scratch_m` `(neighbor, scratch edge)` pairs).
+/// Preconditions as [`hierholzer_in`], with every scratch edge in the walk's
+/// component. Returns the walk as raw node/edge sequences (the scratch edge
+/// ids are meaningless outside the caller).
+#[allow(clippy::too_many_arguments)]
+fn hierholzer_flat(
+    offsets: &[usize],
+    neighbors: &[(NodeId, EdgeId)],
+    scratch_m: usize,
+    start: NodeId,
+    edge_used: &mut StampSet,
+    cursor: &mut StampedCounts,
+    walk_stack: &mut Vec<(NodeId, Option<EdgeId>)>,
+) -> (Vec<NodeId>, Vec<EdgeId>) {
+    edge_used.reset(scratch_m);
+    cursor.reset(offsets.len() - 1);
+    walk_stack.clear();
+    walk_stack.push((start, None));
+    let mut out_nodes: Vec<NodeId> = Vec::with_capacity(scratch_m + 1);
+    let mut out_edges: Vec<EdgeId> = Vec::with_capacity(scratch_m);
 
-    while let Some(&(v, via)) = stack.last() {
-        let inc = g.incident(v);
+    while let Some(&(v, via)) = walk_stack.last() {
+        let inc = &neighbors[offsets[v.index()]..offsets[v.index() + 1]];
+        let mut cur = cursor.get(v.index()) as usize;
         let mut advanced = false;
-        while cursor[v.index()] < inc.len() {
-            let (w, e) = inc[cursor[v.index()]];
-            cursor[v.index()] += 1;
-            if subset.contains(e) && !used[e.index()] {
-                used[e.index()] = true;
-                stack.push((w, Some(e)));
+        while cur < inc.len() {
+            let (w, e) = inc[cur];
+            cur += 1;
+            if edge_used.insert(e.index()) {
+                walk_stack.push((w, Some(e)));
                 advanced = true;
                 break;
             }
         }
+        cursor.set(v.index(), cur as u32);
         if !advanced {
-            stack.pop();
+            walk_stack.pop();
             out_nodes.push(v);
             if let Some(e) = via {
                 out_edges.push(e);
@@ -205,8 +405,54 @@ fn hierholzer(g: &Graph, subset: &EdgeSubset, start: NodeId) -> Walk {
     }
     out_nodes.reverse();
     out_edges.reverse();
-    debug_assert_eq!(out_edges.len(), subset.len(), "walk must use every edge");
-    Walk::from_parts(g, out_nodes, out_edges)
+    debug_assert_eq!(out_edges.len(), scratch_m, "walk must use every edge");
+    (out_nodes, out_edges)
+}
+
+/// Iterative Hierholzer against workspace scratch. Preconditions: `start`'s
+/// component contains exactly `expected` subset edges, and the degree parity
+/// admits a walk from `start`.
+fn hierholzer_in(
+    g: &Graph,
+    subset: &EdgeSubset,
+    start: NodeId,
+    expected: usize,
+    ws: &mut Workspace,
+) -> Walk {
+    let csr = g.csr();
+    ws.edge_used.reset(g.num_edges());
+    ws.cursor.reset(g.num_nodes());
+    ws.walk_stack.clear();
+    ws.walk_stack.push((start, None));
+    let mut out_nodes: Vec<NodeId> = Vec::with_capacity(expected + 1);
+    let mut out_edges: Vec<EdgeId> = Vec::with_capacity(expected);
+
+    while let Some(&(v, via)) = ws.walk_stack.last() {
+        let inc = csr.incident(v);
+        let mut cur = ws.cursor.get(v.index()) as usize;
+        let mut advanced = false;
+        while cur < inc.len() {
+            let (w, e) = inc[cur];
+            cur += 1;
+            if subset.contains(e) && ws.edge_used.insert(e.index()) {
+                ws.walk_stack.push((w, Some(e)));
+                advanced = true;
+                break;
+            }
+        }
+        ws.cursor.set(v.index(), cur as u32);
+        if !advanced {
+            ws.walk_stack.pop();
+            out_nodes.push(v);
+            if let Some(e) = via {
+                out_edges.push(e);
+            }
+        }
+    }
+    out_nodes.reverse();
+    out_edges.reverse();
+    debug_assert_eq!(out_edges.len(), expected, "walk must use every edge");
+    Walk::from_parts_trusted(g, out_nodes, out_edges)
 }
 
 #[cfg(test)]
@@ -383,6 +629,25 @@ mod tests {
                 assert!(w.is_closed());
                 assert!(w.validate(&g).is_ok());
             }
+        }
+    }
+
+    #[test]
+    fn workspace_variants_match_plain_entry_points() {
+        let g = generators::gnm(25, 70, &mut StdRng::seed_from_u64(9));
+        let s = full(&g);
+        let mut ws = Workspace::new();
+        assert_eq!(
+            component_euler_walks(&g, &s).ok().map(|w| w.len()),
+            component_euler_walks_in(&g, &s, &mut ws)
+                .ok()
+                .map(|w| w.len())
+        );
+        let a = trail_decomposition(&g, &s);
+        let b = trail_decomposition_in(&g, &s, &mut ws);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.edges(), y.edges());
         }
     }
 }

@@ -1,8 +1,9 @@
 //! The core undirected multigraph type.
 
+use crate::csr::Csr;
 use crate::ids::{EdgeId, NodeId};
-use std::collections::HashSet;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// An undirected multigraph with dense node and edge ids.
 ///
@@ -35,6 +36,9 @@ pub struct Graph {
     endpoints: Vec<(NodeId, NodeId)>,
     /// adj[v] = list of (neighbor, connecting edge id).
     adj: Vec<Vec<(NodeId, EdgeId)>>,
+    /// Flat CSR snapshot of `adj`, built lazily on first [`Graph::csr`] call
+    /// and dropped on mutation.
+    csr: OnceLock<Csr>,
 }
 
 impl Graph {
@@ -43,6 +47,7 @@ impl Graph {
         Graph {
             endpoints: Vec::new(),
             adj: vec![Vec::new(); n],
+            csr: OnceLock::new(),
         }
     }
 
@@ -101,7 +106,17 @@ impl Graph {
         self.endpoints.push((u, v));
         self.adj[u.index()].push((v, id));
         self.adj[v.index()].push((u, id));
+        self.csr.take(); // snapshot is stale now
         id
+    }
+
+    /// The flat CSR adjacency snapshot, built on first use and cached until
+    /// the next mutation. Reports the same `(neighbor, edge)` pairs in the
+    /// same order as [`Graph::incident`]; hot traversal loops prefer it
+    /// because all incidence lists live in one allocation.
+    #[inline]
+    pub fn csr(&self) -> &Csr {
+        self.csr.get_or_init(|| Csr::build(self))
     }
 
     /// The endpoints of edge `e`, in insertion order.
@@ -169,14 +184,36 @@ impl Graph {
 
     /// `true` if the graph has no parallel edges.
     pub fn is_simple(&self) -> bool {
-        let mut seen = HashSet::with_capacity(self.num_edges());
+        // Vec-indexed seen-map keyed by the smaller endpoint: bucket `a`
+        // holds the larger endpoints already paired with `a`. Degrees are
+        // small in practice, so the linear bucket scan beats hashing.
+        let mut seen: Vec<Vec<NodeId>> = vec![Vec::new(); self.num_nodes()];
         for &(u, v) in &self.endpoints {
-            let key = if u < v { (u, v) } else { (v, u) };
-            if !seen.insert(key) {
+            let (a, b) = if u < v { (u, v) } else { (v, u) };
+            let bucket = &mut seen[a.index()];
+            if bucket.contains(&b) {
                 return false;
             }
+            bucket.push(b);
         }
         true
+    }
+
+    /// The first edge id of every distinct endpoint pair, in insertion
+    /// order — i.e. the edge list with parallel copies dropped. Uses the
+    /// same smaller-endpoint seen-map as [`Graph::is_simple`].
+    pub fn edges_deduped(&self) -> Vec<EdgeId> {
+        let mut seen: Vec<Vec<NodeId>> = vec![Vec::new(); self.num_nodes()];
+        let mut out = Vec::with_capacity(self.num_edges());
+        for (i, &(u, v)) in self.endpoints.iter().enumerate() {
+            let (a, b) = if u < v { (u, v) } else { (v, u) };
+            let bucket = &mut seen[a.index()];
+            if !bucket.contains(&b) {
+                bucket.push(b);
+                out.push(EdgeId::new(i));
+            }
+        }
+        out
     }
 
     /// Maximum degree Δ(G); zero on an empty node set.
@@ -191,7 +228,16 @@ impl Graph {
 
     /// The full degree sequence, indexed by node.
     pub fn degrees(&self) -> Vec<usize> {
-        self.adj.iter().map(Vec::len).collect()
+        let mut out = Vec::new();
+        self.degrees_into(&mut out);
+        out
+    }
+
+    /// Writes the degree sequence into `out` (cleared first), reusing its
+    /// allocation — the form the sweep hot path uses.
+    pub fn degrees_into(&self, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(self.adj.iter().map(Vec::len));
     }
 
     /// `true` if every node has degree exactly `r`.
@@ -213,7 +259,16 @@ impl Graph {
 
     /// Nodes with nonzero degree.
     pub fn non_isolated_nodes(&self) -> Vec<NodeId> {
-        self.nodes().filter(|&v| self.degree(v) > 0).collect()
+        let mut out = Vec::new();
+        self.non_isolated_nodes_into(&mut out);
+        out
+    }
+
+    /// Writes the nodes with nonzero degree into `out` (cleared first),
+    /// reusing its allocation.
+    pub fn non_isolated_nodes_into(&self, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend(self.nodes().filter(|&v| self.degree(v) > 0));
     }
 
     /// All edges as endpoint pairs (insertion order).
@@ -334,6 +389,29 @@ mod tests {
         assert_eq!(g.min_degree(), 1);
         assert_eq!(g.odd_degree_count(), 4);
         assert_eq!(g.regularity(), None);
+    }
+
+    #[test]
+    fn edges_deduped_keeps_first_copy() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1)); // e0
+        g.add_edge(NodeId(1), NodeId(0)); // e1, parallel to e0
+        g.add_edge(NodeId(1), NodeId(2)); // e2
+        g.add_edge(NodeId(0), NodeId(1)); // e3, parallel again
+        assert_eq!(g.edges_deduped(), vec![EdgeId(0), EdgeId(2)]);
+        let simple = triangle();
+        assert_eq!(simple.edges_deduped().len(), simple.num_edges());
+    }
+
+    #[test]
+    fn into_variants_reuse_buffers() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        let mut deg = vec![99usize; 10];
+        g.degrees_into(&mut deg);
+        assert_eq!(deg, vec![3, 1, 1, 1]);
+        let mut nodes = Vec::new();
+        g.non_isolated_nodes_into(&mut nodes);
+        assert_eq!(nodes.len(), 4);
     }
 
     #[test]

@@ -12,6 +12,12 @@
 //! * [`Graph`] — an undirected **multigraph** with stable [`NodeId`] /
 //!   [`EdgeId`] handles. Multi-edges matter: the paper's algorithms add
 //!   *virtual edges* that may parallel real ones.
+//! * [`csr`] — a flat compressed-sparse-row adjacency snapshot, cached per
+//!   graph, that the traversal-heavy inner loops run on.
+//! * [`bitset`] — word-packed `u64` bitset primitives shared by edge
+//!   subsets and the dense clique adjacency.
+//! * [`workspace`] — reusable generation-stamped scratch buffers (visited
+//!   sets, parity counters, queues) threaded through the hot paths.
 //! * [`traversal`] — BFS/DFS, connected components.
 //! * [`spanning`] — spanning trees and forests under several strategies
 //!   (BFS, DFS, randomized Kruskal, degree-minimizing local search).
@@ -49,9 +55,11 @@
 #![warn(missing_docs)]
 
 pub mod bipartite;
+pub mod bitset;
 pub mod cliques;
 pub mod coloring;
 pub mod connectivity;
+pub mod csr;
 pub mod decompose;
 pub mod euler;
 pub mod flow;
@@ -67,6 +75,7 @@ pub mod tree;
 pub mod triangles;
 pub mod view;
 pub mod walk;
+pub mod workspace;
 
 pub use graph::Graph;
 pub use ids::{EdgeId, NodeId};

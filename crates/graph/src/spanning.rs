@@ -10,6 +10,7 @@
 
 use crate::graph::Graph;
 use crate::ids::{EdgeId, NodeId};
+use crate::workspace::{with_workspace, Workspace};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -143,43 +144,67 @@ impl SpanningForest {
     }
 
     /// Rebuilds rooted parent pointers from an unrooted tree-edge set.
+    #[cfg(test)]
     fn from_edge_set(g: &Graph, tree_edges: Vec<EdgeId>) -> Self {
-        let n = g.num_nodes();
-        let mut adj: Vec<Vec<(NodeId, EdgeId)>> = vec![Vec::new(); n];
-        for &e in &tree_edges {
-            let (u, v) = g.endpoints(e);
-            adj[u.index()].push((v, e));
-            adj[v.index()].push((u, e));
+        with_workspace(|ws| from_edge_set_in(g, tree_edges, ws))
+    }
+}
+
+/// [`SpanningForest`] reconstruction against workspace scratch: the tree
+/// adjacency is counting-sorted into flat buffers and the BFS reuses the
+/// workspace's visited set and queue. Per-node neighbor order matches the
+/// nested adjacency this replaced (edges scanned in `tree_edges` order).
+fn from_edge_set_in(g: &Graph, tree_edges: Vec<EdgeId>, ws: &mut Workspace) -> SpanningForest {
+    let n = g.num_nodes();
+    ws.bucket_buf.clear();
+    ws.bucket_buf.resize(n + 1, 0);
+    for &e in &tree_edges {
+        let (u, v) = g.endpoints(e);
+        ws.bucket_buf[u.index() + 1] += 1;
+        ws.bucket_buf[v.index() + 1] += 1;
+    }
+    for i in 0..n {
+        ws.bucket_buf[i + 1] += ws.bucket_buf[i];
+    }
+    ws.bucket_buf2.clear();
+    ws.bucket_buf2.extend_from_slice(&ws.bucket_buf[..n]);
+    ws.pair_buf.clear();
+    ws.pair_buf
+        .resize(2 * tree_edges.len(), (NodeId(0), EdgeId(0)));
+    for &e in &tree_edges {
+        let (u, v) = g.endpoints(e);
+        ws.pair_buf[ws.bucket_buf2[u.index()]] = (v, e);
+        ws.bucket_buf2[u.index()] += 1;
+        ws.pair_buf[ws.bucket_buf2[v.index()]] = (u, e);
+        ws.bucket_buf2[v.index()] += 1;
+    }
+    let mut parent = vec![None; n];
+    let mut depth = vec![0usize; n];
+    let mut roots = Vec::new();
+    ws.visited.reset(n);
+    ws.queue.clear();
+    for r in g.nodes() {
+        if !ws.visited.insert(r.index()) {
+            continue;
         }
-        let mut parent = vec![None; n];
-        let mut depth = vec![0usize; n];
-        let mut roots = Vec::new();
-        let mut seen = vec![false; n];
-        for r in g.nodes() {
-            if seen[r.index()] {
-                continue;
-            }
-            seen[r.index()] = true;
-            roots.push(r);
-            let mut queue = std::collections::VecDeque::new();
-            queue.push_back(r);
-            while let Some(v) = queue.pop_front() {
-                for &(w, e) in &adj[v.index()] {
-                    if !seen[w.index()] {
-                        seen[w.index()] = true;
-                        parent[w.index()] = Some((v, e));
-                        depth[w.index()] = depth[v.index()] + 1;
-                        queue.push_back(w);
-                    }
+        roots.push(r);
+        ws.queue.push_back(r);
+        while let Some(v) = ws.queue.pop_front() {
+            for idx in ws.bucket_buf[v.index()]..ws.bucket_buf[v.index() + 1] {
+                let (w, e) = ws.pair_buf[idx];
+                if ws.visited.insert(w.index()) {
+                    parent[w.index()] = Some((v, e));
+                    depth[w.index()] = depth[v.index()] + 1;
+                    ws.queue.push_back(w);
                 }
             }
         }
-        SpanningForest {
-            edges: tree_edges,
-            parent,
-            roots,
-            depth,
-        }
+    }
+    SpanningForest {
+        edges: tree_edges,
+        parent,
+        roots,
+        depth,
     }
 }
 
@@ -188,47 +213,56 @@ impl SpanningForest {
 /// `rng` is consulted only by the randomized strategies; deterministic
 /// strategies ignore it.
 pub fn spanning_forest<R: Rng>(g: &Graph, strategy: TreeStrategy, rng: &mut R) -> SpanningForest {
+    with_workspace(|ws| spanning_forest_in(g, strategy, rng, ws))
+}
+
+/// [`spanning_forest`] against a caller-owned [`Workspace`].
+pub fn spanning_forest_in<R: Rng>(
+    g: &Graph,
+    strategy: TreeStrategy,
+    rng: &mut R,
+    ws: &mut Workspace,
+) -> SpanningForest {
     match strategy {
-        TreeStrategy::Bfs => search_forest(g, true),
-        TreeStrategy::Dfs => search_forest(g, false),
-        TreeStrategy::RandomKruskal => random_kruskal_forest(g, rng),
-        TreeStrategy::LowDegree => low_degree_forest(g, rng),
+        TreeStrategy::Bfs => search_forest_in(g, true, ws),
+        TreeStrategy::Dfs => search_forest_in(g, false, ws),
+        TreeStrategy::RandomKruskal => random_kruskal_forest_in(g, rng, ws),
+        TreeStrategy::LowDegree => low_degree_forest_in(g, rng, ws),
     }
 }
 
-fn search_forest(g: &Graph, bfs: bool) -> SpanningForest {
+fn search_forest_in(g: &Graph, bfs: bool, ws: &mut Workspace) -> SpanningForest {
+    let csr = g.csr();
     let n = g.num_nodes();
     let mut parent = vec![None; n];
     let mut depth = vec![0usize; n];
     let mut roots = Vec::new();
     let mut edges = Vec::new();
-    let mut seen = vec![false; n];
-    let mut deque = std::collections::VecDeque::new();
+    ws.visited.reset(n);
+    ws.queue.clear();
     for r in g.nodes() {
-        if seen[r.index()] {
+        if !ws.visited.insert(r.index()) {
             continue;
         }
-        seen[r.index()] = true;
         roots.push(r);
-        deque.push_back(r);
+        ws.queue.push_back(r);
         while let Some(v) = if bfs {
-            deque.pop_front()
+            ws.queue.pop_front()
         } else {
-            deque.pop_back()
+            ws.queue.pop_back()
         } {
-            for &(w, e) in g.incident(v) {
-                if !seen[w.index()] {
-                    seen[w.index()] = true;
+            for &(w, e) in csr.incident(v) {
+                if ws.visited.insert(w.index()) {
                     parent[w.index()] = Some((v, e));
                     depth[w.index()] = depth[v.index()] + 1;
                     edges.push(e);
-                    deque.push_back(w);
+                    ws.queue.push_back(w);
                 }
             }
         }
     }
-    // DFS via deque.pop_back explores stack-wise but records parents when
-    // first seen, which is a valid spanning forest either way.
+    // DFS via pop_back explores stack-wise but records parents when first
+    // seen, which is a valid spanning forest either way.
     SpanningForest {
         edges,
         parent,
@@ -237,7 +271,7 @@ fn search_forest(g: &Graph, bfs: bool) -> SpanningForest {
     }
 }
 
-fn random_kruskal_forest<R: Rng>(g: &Graph, rng: &mut R) -> SpanningForest {
+fn random_kruskal_forest_in<R: Rng>(g: &Graph, rng: &mut R, ws: &mut Workspace) -> SpanningForest {
     let mut order: Vec<EdgeId> = g.edges().collect();
     order.shuffle(rng);
     let mut dsu = Dsu::new(g.num_nodes());
@@ -248,7 +282,7 @@ fn random_kruskal_forest<R: Rng>(g: &Graph, rng: &mut R) -> SpanningForest {
             tree_edges.push(e);
         }
     }
-    SpanningForest::from_edge_set(g, tree_edges)
+    from_edge_set_in(g, tree_edges, ws)
 }
 
 /// Local-search tree with small maximum degree.
@@ -259,8 +293,8 @@ fn random_kruskal_forest<R: Rng>(g: &Graph, rng: &mut R) -> SpanningForest {
 /// `{u, w}` then reduces the degree pressure at `x`. This is the improvement
 /// step used by Fürer–Raghavachari's (Δ*+1)-approximation, run here as plain
 /// hill climbing with an iteration cap — sufficient for the ablation study.
-fn low_degree_forest<R: Rng>(g: &Graph, rng: &mut R) -> SpanningForest {
-    let mut forest = search_forest(g, true);
+fn low_degree_forest_in<R: Rng>(g: &Graph, rng: &mut R, ws: &mut Workspace) -> SpanningForest {
+    let mut forest = search_forest_in(g, true, ws);
     let m = g.num_edges();
     if m == 0 {
         return forest;
@@ -303,7 +337,7 @@ fn low_degree_forest<R: Rng>(g: &Graph, rng: &mut R) -> SpanningForest {
                 let mut edges = forest.edges.clone();
                 let pos = edges.iter().position(|&x| x == out).unwrap();
                 edges[pos] = e;
-                forest = SpanningForest::from_edge_set(g, edges);
+                forest = from_edge_set_in(g, edges, ws);
                 non_tree[slot] = out;
                 improved = true;
                 break;

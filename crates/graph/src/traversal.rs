@@ -5,6 +5,7 @@ use crate::ids::NodeId;
 
 /// Nodes reachable from `start`, in BFS order (including `start`).
 pub fn bfs_order(g: &Graph, start: NodeId) -> Vec<NodeId> {
+    let csr = g.csr();
     let mut seen = vec![false; g.num_nodes()];
     let mut order = Vec::new();
     let mut queue = std::collections::VecDeque::new();
@@ -12,7 +13,7 @@ pub fn bfs_order(g: &Graph, start: NodeId) -> Vec<NodeId> {
     queue.push_back(start);
     while let Some(v) = queue.pop_front() {
         order.push(v);
-        for &(w, _) in g.incident(v) {
+        for &(w, _) in csr.incident(v) {
             if !seen[w.index()] {
                 seen[w.index()] = true;
                 queue.push_back(w);
@@ -24,6 +25,7 @@ pub fn bfs_order(g: &Graph, start: NodeId) -> Vec<NodeId> {
 
 /// Nodes reachable from `start`, in iterative-DFS preorder.
 pub fn dfs_order(g: &Graph, start: NodeId) -> Vec<NodeId> {
+    let csr = g.csr();
     let mut seen = vec![false; g.num_nodes()];
     let mut order = Vec::new();
     let mut stack = vec![start];
@@ -31,7 +33,7 @@ pub fn dfs_order(g: &Graph, start: NodeId) -> Vec<NodeId> {
     while let Some(v) = stack.pop() {
         order.push(v);
         // Push in reverse so the first-listed neighbor is visited first.
-        for &(w, _) in g.incident(v).iter().rev() {
+        for &(w, _) in csr.incident(v).iter().rev() {
             if !seen[w.index()] {
                 seen[w.index()] = true;
                 stack.push(w);
@@ -70,6 +72,7 @@ impl Components {
 
 /// Computes connected components of `g` over the full node set.
 pub fn connected_components(g: &Graph) -> Components {
+    let csr = g.csr();
     let mut labels = vec![usize::MAX; g.num_nodes()];
     let mut count = 0;
     let mut stack = Vec::new();
@@ -80,7 +83,7 @@ pub fn connected_components(g: &Graph) -> Components {
         labels[v.index()] = count;
         stack.push(v);
         while let Some(x) = stack.pop() {
-            for &(w, _) in g.incident(x) {
+            for &(w, _) in csr.incident(x) {
                 if labels[w.index()] == usize::MAX {
                     labels[w.index()] = count;
                     stack.push(w);
@@ -100,11 +103,12 @@ pub fn is_connected(g: &Graph) -> bool {
 
 /// BFS hop distances from `start`; unreachable nodes get `usize::MAX`.
 pub fn bfs_distances(g: &Graph, start: NodeId) -> Vec<usize> {
+    let csr = g.csr();
     let mut dist = vec![usize::MAX; g.num_nodes()];
     dist[start.index()] = 0;
     let mut queue = std::collections::VecDeque::from([start]);
     while let Some(v) = queue.pop_front() {
-        for &(w, _) in g.incident(v) {
+        for &(w, _) in csr.incident(v) {
             if dist[w.index()] == usize::MAX {
                 dist[w.index()] = dist[v.index()] + 1;
                 queue.push_back(w);

@@ -19,6 +19,7 @@ use crate::graph::Graph;
 use crate::ids::{EdgeId, NodeId};
 use crate::spanning::SpanningForest;
 use crate::walk::Walk;
+use crate::workspace::{with_workspace, Workspace};
 
 /// Edges of the unique forest path between `u` and `v`, ordered from `u`
 /// to `v`. Returns `None` if `u` and `v` lie in different trees.
@@ -64,13 +65,33 @@ pub fn tree_path_walk(g: &Graph, forest: &SpanningForest, u: NodeId, v: NodeId) 
     Some(walk)
 }
 
-/// Nodes of each tree of the forest, ordered by decreasing depth (children
-/// before parents) — a valid processing order for bottom-up accumulation.
-fn bottom_up_order(forest: &SpanningForest) -> Vec<NodeId> {
+/// Fills `ws.order_buf` with the forest's nodes ordered by decreasing depth
+/// (children before parents) — a valid processing order for bottom-up
+/// accumulation. Counting sort by depth: nodes are placed in ascending index
+/// order within each depth, matching the stable comparison sort this
+/// replaced.
+fn bottom_up_order_in(forest: &SpanningForest, ws: &mut Workspace) {
     let n = forest.parent.len();
-    let mut order: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
-    order.sort_by(|a, b| forest.depth[b.index()].cmp(&forest.depth[a.index()]));
-    order
+    let max_d = forest.depth.iter().copied().max().unwrap_or(0);
+    ws.bucket_buf.clear();
+    ws.bucket_buf.resize(max_d + 1, 0);
+    for &d in &forest.depth {
+        ws.bucket_buf[d] += 1;
+    }
+    // Deepest depth writes first: offset[d] = #nodes strictly deeper than d.
+    let mut acc = 0usize;
+    for d in (0..=max_d).rev() {
+        let c = ws.bucket_buf[d];
+        ws.bucket_buf[d] = acc;
+        acc += c;
+    }
+    ws.order_buf.clear();
+    ws.order_buf.resize(n, NodeId(0));
+    for v in 0..n {
+        let d = forest.depth[v];
+        ws.order_buf[ws.bucket_buf[d]] = NodeId(v as u32);
+        ws.bucket_buf[d] += 1;
+    }
 }
 
 /// Computes the paper's `E_odd`: the set of tree edges that lie on an odd
@@ -88,22 +109,43 @@ fn bottom_up_order(forest: &SpanningForest) -> Vec<NodeId> {
 pub fn odd_parity_tree_edges(_g: &Graph, forest: &SpanningForest, marked: &[bool]) -> Vec<EdgeId> {
     let n = forest.parent.len();
     assert_eq!(marked.len(), n, "marked array must cover every node");
-    let mut count = vec![0usize; n];
-    for v in 0..n {
-        if marked[v] {
-            count[v] = 1;
+    with_workspace(|ws| {
+        ws.counts.reset(n);
+        for (v, &m) in marked.iter().enumerate() {
+            if m {
+                ws.counts.set(v, 1);
+            }
         }
-    }
+        odd_parity_tree_edges_from_counts(forest, ws)
+    })
+}
+
+/// [`odd_parity_tree_edges`] driven by pre-seeded per-node values in
+/// `ws.counts` instead of a `marked` boolean array.
+///
+/// Only the **parity** of the seeds matters: seeding node `v` with any value
+/// congruent mod 2 to its markedness gives the same `E_odd`. `SpanT_Euler`
+/// exploits this by seeding with raw `G\T` degrees (a node is marked iff its
+/// non-tree degree is odd), skipping the intermediate marked array entirely.
+///
+/// On return `ws.counts` holds the accumulated subtree sums.
+pub fn odd_parity_tree_edges_from_counts(
+    forest: &SpanningForest,
+    ws: &mut Workspace,
+) -> Vec<EdgeId> {
+    bottom_up_order_in(forest, ws);
     let mut e_odd = Vec::new();
-    for v in bottom_up_order(forest) {
+    for i in 0..ws.order_buf.len() {
+        let v = ws.order_buf[i];
         if let Some((p, e)) = forest.parent[v.index()] {
-            if count[v.index()] % 2 == 1 {
+            let c = ws.counts.get(v.index());
+            if c % 2 == 1 {
                 e_odd.push(e);
             }
-            count[p.index()] += count[v.index()];
+            ws.counts.add(p.index(), c);
         } else {
             debug_assert!(
-                count[v.index()] % 2 == 0,
+                ws.counts.get(v.index()) % 2 == 0,
                 "a tree contains an odd number of marked nodes"
             );
         }
@@ -118,36 +160,71 @@ pub fn odd_parity_tree_edges(_g: &Graph, forest: &SpanningForest, marked: &[bool
 ///
 /// Trees with no edges produce nothing.
 pub fn decompose_into_paths(g: &Graph, forest: &SpanningForest) -> Vec<Walk> {
+    with_workspace(|ws| decompose_into_paths_in(g, forest, ws))
+}
+
+/// [`decompose_into_paths`] against a caller-owned [`Workspace`]: the tree
+/// adjacency is counting-sorted into flat workspace buffers instead of a
+/// fresh `Vec<Vec<_>>` per call.
+pub fn decompose_into_paths_in(
+    g: &Graph,
+    forest: &SpanningForest,
+    ws: &mut Workspace,
+) -> Vec<Walk> {
     let n = g.num_nodes();
-    // Tree adjacency with "used" flags.
-    let mut adj: Vec<Vec<(NodeId, EdgeId)>> = vec![Vec::new(); n];
+    // Flat tree adjacency: offsets in bucket_buf, pairs in pair_buf. Edges
+    // are scanned in `forest.edges` order, so each node's neighbor list
+    // matches the push order of the nested adjacency this replaced.
+    ws.bucket_buf.clear();
+    ws.bucket_buf.resize(n + 1, 0);
     for &e in &forest.edges {
         let (u, v) = g.endpoints(e);
-        adj[u.index()].push((v, e));
-        adj[v.index()].push((u, e));
+        ws.bucket_buf[u.index() + 1] += 1;
+        ws.bucket_buf[v.index() + 1] += 1;
     }
-    let mut used = vec![false; g.num_edges()];
-    let mut deg: Vec<usize> = adj.iter().map(Vec::len).collect();
+    for i in 0..n {
+        ws.bucket_buf[i + 1] += ws.bucket_buf[i];
+    }
+    ws.bucket_buf2.clear();
+    ws.bucket_buf2.extend_from_slice(&ws.bucket_buf[..n]);
+    ws.pair_buf.clear();
+    ws.pair_buf
+        .resize(2 * forest.edges.len(), (NodeId(0), EdgeId(0)));
+    for &e in &forest.edges {
+        let (u, v) = g.endpoints(e);
+        ws.pair_buf[ws.bucket_buf2[u.index()]] = (v, e);
+        ws.bucket_buf2[u.index()] += 1;
+        ws.pair_buf[ws.bucket_buf2[v.index()]] = (u, e);
+        ws.bucket_buf2[v.index()] += 1;
+    }
+    ws.edge_used.reset(g.num_edges());
+    ws.counts.reset(n);
+    for v in 0..n {
+        ws.counts
+            .set(v, (ws.bucket_buf[v + 1] - ws.bucket_buf[v]) as u32);
+    }
+
     let mut remaining = forest.edges.len();
     let mut paths = Vec::new();
-
     while remaining > 0 {
         // Find a leaf of the remaining forest (degree exactly 1).
         let leaf = (0..n)
             .map(NodeId::new)
-            .find(|v| deg[v.index()] == 1)
+            .find(|v| ws.counts.get(v.index()) == 1)
             .expect("a forest with edges has a leaf");
         let mut walk = Walk::singleton(leaf);
         let mut cur = leaf;
         loop {
-            let next = adj[cur.index()]
+            let lo = ws.bucket_buf[cur.index()];
+            let hi = ws.bucket_buf[cur.index() + 1];
+            let next = ws.pair_buf[lo..hi]
                 .iter()
-                .find(|&&(_, e)| !used[e.index()])
+                .find(|&&(_, e)| !ws.edge_used.contains(e.index()))
                 .copied();
             let Some((w, e)) = next else { break };
-            used[e.index()] = true;
-            deg[cur.index()] -= 1;
-            deg[w.index()] -= 1;
+            ws.edge_used.insert(e.index());
+            ws.counts.set(cur.index(), ws.counts.get(cur.index()) - 1);
+            ws.counts.set(w.index(), ws.counts.get(w.index()) - 1);
             remaining -= 1;
             walk.push(g, e);
             cur = w;

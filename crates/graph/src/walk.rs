@@ -50,6 +50,18 @@ impl Walk {
         Walk { nodes, edges }
     }
 
+    /// [`Walk::from_parts`] for walks that are already correct by
+    /// construction (e.g. produced by Hierholzer's algorithm): the per-edge
+    /// endpoint validation runs only in debug builds.
+    pub(crate) fn from_parts_trusted(g: &Graph, nodes: Vec<NodeId>, edges: Vec<EdgeId>) -> Self {
+        debug_assert_eq!(nodes.len(), edges.len() + 1);
+        debug_assert!(edges.iter().enumerate().all(|(i, &e)| {
+            let (a, b) = g.endpoints(e);
+            (a, b) == (nodes[i], nodes[i + 1]) || (b, a) == (nodes[i], nodes[i + 1])
+        }));
+        Walk { nodes, edges }
+    }
+
     /// Appends edge `e` (which must be incident to the current end node).
     ///
     /// # Panics

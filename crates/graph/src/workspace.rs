@@ -1,0 +1,239 @@
+//! Reusable scratch buffers for the construction pipeline.
+//!
+//! The grooming heuristics are run thousands of times per sweep (portfolio
+//! restarts × seeds × grooming factors), and each run used to allocate a
+//! fresh visited array, parity array, BFS queue, and edge buffer per stage.
+//! A [`Workspace`] owns all of those buffers once; algorithms borrow it via
+//! `_in`-suffixed entry points, and the public entry points keep their old
+//! signatures by borrowing a thread-local workspace through
+//! [`with_workspace`].
+//!
+//! The visited/parity arrays use the **generation-stamp trick**
+//! ([`StampSet`] / [`StampedCounts`]): instead of clearing an `n`-sized
+//! array per use, each array stores the generation number at which a slot
+//! was last written, and "clearing" is a single counter bump — slots stamped
+//! with an older generation read as unset/zero. A reset is `O(1)` except
+//! when the buffer must grow or the 32-bit generation wraps (once every
+//! ~4 × 10⁹ resets, when the array is physically zeroed).
+//!
+//! # Re-entrancy contract
+//!
+//! [`with_workspace`] hands out a `RefCell` borrow of the calling thread's
+//! workspace. An `_in` function holding a `&mut Workspace` must therefore
+//! only call other `_in` functions (or workspace-free code) — calling a
+//! public wrapper that grabs the thread-local workspace again would panic on
+//! the nested borrow. Public wrappers are the *only* place the thread-local
+//! is touched.
+
+use crate::ids::{EdgeId, NodeId};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+
+/// A dense set over `0..len` with `O(1)` clearing via generation stamps.
+#[derive(Clone, Debug, Default)]
+pub struct StampSet {
+    stamp: Vec<u32>,
+    gen: u32,
+}
+
+impl StampSet {
+    /// Empties the set and ensures capacity for ids `0..len`.
+    pub fn reset(&mut self, len: usize) {
+        if self.stamp.len() < len {
+            self.stamp.resize(len, 0);
+        }
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            self.stamp.fill(0);
+            self.gen = 1;
+        }
+    }
+
+    /// Inserts `i`; returns `true` if it was not already present.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        if self.stamp[i] == self.gen {
+            false
+        } else {
+            self.stamp[i] = self.gen;
+            true
+        }
+    }
+
+    /// `true` if `i` is in the set.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        self.stamp[i] == self.gen
+    }
+}
+
+/// A dense `0..len → u32` map defaulting to `0`, with `O(1)` clearing via
+/// generation stamps.
+#[derive(Clone, Debug, Default)]
+pub struct StampedCounts {
+    stamp: Vec<u32>,
+    val: Vec<u32>,
+    gen: u32,
+}
+
+impl StampedCounts {
+    /// Zeroes the map and ensures capacity for keys `0..len`.
+    pub fn reset(&mut self, len: usize) {
+        if self.stamp.len() < len {
+            self.stamp.resize(len, 0);
+            self.val.resize(len, 0);
+        }
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            self.stamp.fill(0);
+            self.gen = 1;
+        }
+    }
+
+    /// Current value of key `i` (zero if never written this generation).
+    #[inline]
+    pub fn get(&self, i: usize) -> u32 {
+        if self.stamp[i] == self.gen {
+            self.val[i]
+        } else {
+            0
+        }
+    }
+
+    /// Sets key `i` to `v`.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: u32) {
+        self.stamp[i] = self.gen;
+        self.val[i] = v;
+    }
+
+    /// Adds `delta` to key `i`; returns the new value.
+    #[inline]
+    pub fn add(&mut self, i: usize, delta: u32) -> u32 {
+        let v = self.get(i) + delta;
+        self.set(i, v);
+        v
+    }
+}
+
+/// The shared scratch arena. Fields are public so `_in` functions can borrow
+/// several buffers at once (disjoint field borrows); each function resets
+/// the buffers it uses on entry, so no cross-call invariants exist beyond
+/// retained capacity.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Node-indexed visited set (primary traversal).
+    pub visited: StampSet,
+    /// Node-indexed visited set (secondary, e.g. marked nodes).
+    pub visited2: StampSet,
+    /// Edge-indexed used/assigned set.
+    pub edge_used: StampSet,
+    /// Node-indexed counters (degrees, parities, subtree sums).
+    pub counts: StampedCounts,
+    /// Second node-indexed counter array (e.g. anchor positions).
+    pub counts2: StampedCounts,
+    /// Node → component label + 1 (0 = unlabeled).
+    pub comp: StampedCounts,
+    /// Node → adjacency cursor (Hierholzer).
+    pub cursor: StampedCounts,
+    /// BFS queue.
+    pub queue: VecDeque<NodeId>,
+    /// DFS stack.
+    pub node_stack: Vec<NodeId>,
+    /// Generic node buffer (e.g. touched nodes in first-touch order).
+    pub node_buf: Vec<NodeId>,
+    /// Node ordering buffer (e.g. bottom-up orders).
+    pub order_buf: Vec<NodeId>,
+    /// Generic edge buffer.
+    pub edge_buf: Vec<EdgeId>,
+    /// Counting-sort bucket/offset buffer.
+    pub bucket_buf: Vec<usize>,
+    /// Second counting-sort buffer (cursors alongside offsets).
+    pub bucket_buf2: Vec<usize>,
+    /// Hierholzer walk stack: (node, edge that led here).
+    pub walk_stack: Vec<(NodeId, Option<EdgeId>)>,
+    /// Flat `(neighbor, edge)` pair buffer (counting-sorted adjacencies).
+    pub pair_buf: Vec<(NodeId, EdgeId)>,
+}
+
+impl Workspace {
+    /// A workspace with empty buffers; they grow on first use and are
+    /// retained across calls.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+}
+
+thread_local! {
+    static WORKSPACE: RefCell<Workspace> = RefCell::new(Workspace::new());
+}
+
+/// Runs `f` with a mutable borrow of the calling thread's workspace.
+///
+/// # Panics
+/// Panics if called re-entrantly (from code already holding the thread's
+/// workspace) — see the module-level re-entrancy contract.
+pub fn with_workspace<T>(f: impl FnOnce(&mut Workspace) -> T) -> T {
+    WORKSPACE.with(|ws| {
+        let mut ws = ws
+            .try_borrow_mut()
+            .expect("workspace re-entrancy: an `_in` function called a public wrapper");
+        f(&mut ws)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamp_set_resets_in_constant_time() {
+        let mut s = StampSet::default();
+        s.reset(4);
+        assert!(s.insert(2));
+        assert!(!s.insert(2));
+        assert!(s.contains(2));
+        assert!(!s.contains(3));
+        s.reset(4);
+        assert!(!s.contains(2));
+        assert!(s.insert(2));
+    }
+
+    #[test]
+    fn stamp_set_grows() {
+        let mut s = StampSet::default();
+        s.reset(2);
+        s.insert(1);
+        s.reset(10);
+        assert!(!s.contains(1));
+        assert!(s.insert(9));
+    }
+
+    #[test]
+    fn stamped_counts_default_to_zero() {
+        let mut c = StampedCounts::default();
+        c.reset(3);
+        assert_eq!(c.get(1), 0);
+        assert_eq!(c.add(1, 2), 2);
+        assert_eq!(c.add(1, 3), 5);
+        c.set(0, 7);
+        assert_eq!(c.get(0), 7);
+        c.reset(3);
+        assert_eq!(c.get(1), 0);
+        assert_eq!(c.get(0), 0);
+    }
+
+    #[test]
+    fn with_workspace_reuses_buffers() {
+        let cap = with_workspace(|ws| {
+            ws.edge_buf.clear();
+            ws.edge_buf.extend((0..100u32).map(EdgeId));
+            ws.edge_buf.capacity()
+        });
+        let cap2 = with_workspace(|ws| {
+            ws.edge_buf.clear();
+            ws.edge_buf.capacity()
+        });
+        assert!(cap2 >= cap.min(100));
+    }
+}
