@@ -10,6 +10,9 @@ cargo fmt --all --check
 echo "== cargo clippy (all targets, warnings are errors) =="
 cargo clippy --all-targets -- -D warnings
 
+echo "== cargo build --all-targets (benches, examples, tests compile) =="
+cargo build --all-targets
+
 echo "== tier-1: cargo build --release && cargo test =="
 cargo build --release
 cargo test -q

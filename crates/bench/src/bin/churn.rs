@@ -8,6 +8,7 @@
 
 use grooming::algorithm::Algorithm;
 use grooming::online::OnlineGroomer;
+use grooming::solve::{Instance, Plan, SolveContext, Solver};
 use grooming_bench::{parse_args, PAPER_N};
 use grooming_graph::spanning::TreeStrategy;
 use grooming_sonet::demand::DemandSet;
@@ -44,12 +45,16 @@ fn main() {
                 groomer.add(p);
             }
             online_sum += groomer.sadm_count() as f64;
-            let (_, offline) = groomer
-                .rearrange(Algorithm::SpanTEuler(TreeStrategy::Bfs), &mut rng)
-                .unwrap();
-            offline_sum += offline as f64;
-            let (_, clique) = groomer.rearrange(Algorithm::CliqueFirst, &mut rng).unwrap();
-            clique_sum += clique as f64;
+            let mut ctx = SolveContext::seeded(seed);
+            let rearranged = |algo: Algorithm, ctx: &mut SolveContext| {
+                let sol = algo.solve(&Instance::online(&groomer), ctx).unwrap();
+                let Plan::OnlineRearrange { outcome, .. } = sol.plan else {
+                    unreachable!("online instances yield rearrange plans");
+                };
+                outcome.report.sadm_total as f64
+            };
+            offline_sum += rearranged(Algorithm::SpanTEuler(TreeStrategy::Bfs), &mut ctx);
+            clique_sum += rearranged(Algorithm::CliqueFirst, &mut ctx);
         }
         let s = opts.seeds as f64;
         println!(

@@ -4,17 +4,15 @@
 //! wavelengths simultaneously (its refs [1, 7, 13]) and then fixes the
 //! wavelength side to the minimum. This binary sweeps the other knob: how
 //! many SADMs does each extra wavelength of budget buy, using the
-//! clique-first packer under `groom_with_budget`?
+//! clique-first packer under budgeted solves?
 //!
 //! Usage: `tradeoff [--seeds N] [--fast]`
 
 use grooming::algorithm::Algorithm;
-use grooming::budget::groom_with_budget;
 use grooming::partition::EdgePartition;
+use grooming::solve::{Instance, SolveContext, Solver};
 use grooming_bench::workload::Workload;
 use grooming_bench::{parse_args, PAPER_N};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let opts = parse_args();
@@ -39,11 +37,12 @@ fn main() {
             let mut waves = 0f64;
             for seed in 0..opts.seeds {
                 let g = w.instance(seed);
-                let mut rng = StdRng::seed_from_u64(seed);
-                let p = groom_with_budget(&g, k, budget, Algorithm::CliqueFirst, &mut rng)
+                let mut ctx = SolveContext::seeded(seed);
+                let sol = Algorithm::CliqueFirst
+                    .solve(&Instance::budgeted(g, k, budget), &mut ctx)
                     .expect("budget >= minimum");
-                sadm += p.sadm_cost(&g) as f64;
-                waves += p.num_wavelengths() as f64;
+                sadm += sol.plan.sadm_cost() as f64;
+                waves += sol.plan.wavelengths() as f64;
             }
             let s = opts.seeds as f64;
             println!("{:>10} {:>12.1} {:>14.2}", budget, sadm / s, waves / s);

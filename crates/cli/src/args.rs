@@ -71,6 +71,8 @@ pub struct GroomOptions {
     pub master_seed: Option<u64>,
     /// Extra derived-seed restarts per portfolio entry.
     pub restarts: usize,
+    /// Optional solve deadline in milliseconds (best-so-far on expiry).
+    pub deadline_ms: Option<u64>,
 }
 
 impl Default for GroomOptions {
@@ -87,6 +89,7 @@ impl Default for GroomOptions {
             jobs: 0,
             master_seed: None,
             restarts: 0,
+            deadline_ms: None,
         }
     }
 }
@@ -366,6 +369,11 @@ fn parse_common<'a>(
                         })?)
                     }
                     "--restarts" => opts.restarts = parse_num(flag, value)?,
+                    "--deadline-ms" => {
+                        opts.deadline_ms = Some(value.parse().map_err(|_| {
+                            ParseError("--deadline-ms needs an integer".to_string())
+                        })?)
+                    }
                     "--algo" => {
                         opts.algorithm = algorithm_by_name(value).ok_or_else(|| {
                             ParseError(format!(
@@ -413,6 +421,8 @@ OPTIONS:
                  streams (default: --seed)
   --restarts R   extra derived-seed restarts per portfolio entry
                  (default 0)
+  --deadline-ms T  solve deadline in milliseconds; checked at attempt
+                 boundaries, the best-so-far plan is returned on expiry
   --budget B     enforce a wavelength budget (W <= B)
   --parts        print the per-wavelength demand groups
   --analyze      print the analytic breakdown (histograms, hot nodes, gap)
@@ -557,6 +567,19 @@ mod tests {
         }
         assert!(parse(&argv("random --n 12 --m 30 --jobs x")).is_err());
         assert!(parse(&argv("random --n 12 --m 30 --master-seed y")).is_err());
+    }
+
+    #[test]
+    fn parses_deadline_flag() {
+        match parse(&argv("random --n 12 --m 30 --deadline-ms 250")).unwrap() {
+            Command::Random { opts, .. } => assert_eq!(opts.deadline_ms, Some(250)),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv("random --n 12 --m 30")).unwrap() {
+            Command::Random { opts, .. } => assert_eq!(opts.deadline_ms, None),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("random --n 12 --m 30 --deadline-ms soon")).is_err());
     }
 
     #[test]

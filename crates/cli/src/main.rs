@@ -1,11 +1,16 @@
 //! `upsr-groom`: plan SADM placement for a SONET/WDM UPSR ring.
 
+#![forbid(unsafe_code)]
+
 mod args;
+
+use std::time::Duration;
 
 use args::{algorithm_by_name, parse, Command, GroomOptions, ALGO_NAMES, USAGE};
 use grooming::algorithm::Algorithm;
 use grooming::bounds;
 use grooming::pipeline::groom;
+use grooming::solve::{Instance, Plan, SolveContext, Solver};
 use grooming_sonet::demand::DemandSet;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -137,16 +142,45 @@ fn compare(demands: &DemandSet, opts: &GroomOptions) {
     }
 }
 
+/// A solve context configured from the CLI options: the `--seed` RNG
+/// stream plus the optional `--deadline-ms` deadline.
+fn make_context(opts: &GroomOptions) -> SolveContext {
+    let mut ctx = SolveContext::seeded(opts.seed);
+    if let Some(ms) = opts.deadline_ms {
+        ctx = ctx.with_timeout(Duration::from_millis(ms));
+    }
+    ctx
+}
+
+fn print_solve_summary(ctx: &SolveContext, timed_out: bool) {
+    let stats = ctx.stats();
+    println!(
+        "solve: {} attempt(s), {} swap(s) evaluated, {} scratch reset(s) in {:.1?}{}",
+        stats.attempts,
+        stats.swaps_evaluated,
+        stats.scratch_resets,
+        stats.total_wall_time(),
+        if timed_out {
+            " (deadline hit: best-so-far plan)"
+        } else {
+            ""
+        },
+    );
+}
+
 fn run_one(demands: &DemandSet, algo: Algorithm, opts: &GroomOptions) {
-    let mut rng = StdRng::seed_from_u64(opts.seed);
-    // A wavelength budget routes through the budget layer, then the
+    let mut ctx = make_context(opts);
+    // A wavelength budget routes through the budget instance, then the
     // resulting partition is rebuilt into a full ring assignment via the
     // pipeline for consistent reporting.
     if let Some(budget) = opts.budget {
         let g = demands.to_traffic_graph();
-        match grooming::budget::groom_with_budget(&g, opts.k, budget, algo, &mut rng) {
-            Ok(p) => {
-                let groups: Vec<Vec<grooming_sonet::demand::DemandPair>> = p
+        match algo.solve(&Instance::budgeted(g, opts.k, budget), &mut ctx) {
+            Ok(sol) => {
+                let Plan::Budgeted { partition, .. } = &sol.plan else {
+                    unreachable!("budgeted instances yield budgeted plans");
+                };
+                let groups: Vec<Vec<grooming_sonet::demand::DemandPair>> = partition
                     .parts()
                     .iter()
                     .map(|part| part.iter().map(|e| demands.pairs()[e.index()]).collect())
@@ -159,6 +193,7 @@ fn run_one(demands: &DemandSet, algo: Algorithm, opts: &GroomOptions) {
                     .expect("budgeted partitions stay valid");
                 println!("algorithm: {} (budget {budget})", algo.name());
                 println!("\n{}", assignment.report());
+                print_solve_summary(&ctx, sol.timed_out);
                 if opts.show_parts {
                     print_parts(&assignment);
                 }
@@ -177,8 +212,8 @@ fn run_one(demands: &DemandSet, algo: Algorithm, opts: &GroomOptions) {
         run_portfolio(demands, opts);
         return;
     }
-    let out = match groom(demands, opts.k, algo, &mut rng) {
-        Ok(out) => out,
+    let sol = match algo.solve(&Instance::ring(demands.clone(), opts.k), &mut ctx) {
+        Ok(sol) => sol,
         Err(e) => {
             eprintln!("error: {}: {e}", algo.name());
             eprintln!(
@@ -187,8 +222,12 @@ fn run_one(demands: &DemandSet, algo: Algorithm, opts: &GroomOptions) {
             std::process::exit(1);
         }
     };
+    let Plan::Ring { outcome: out } = sol.plan else {
+        unreachable!("ring instances yield ring plans");
+    };
     println!("algorithm: {}", algo.name());
     println!("\n{}", out.report);
+    print_solve_summary(&ctx, sol.timed_out);
     if opts.analyze {
         let g = demands.to_traffic_graph();
         println!(
@@ -219,17 +258,17 @@ fn run_one(demands: &DemandSet, algo: Algorithm, opts: &GroomOptions) {
 }
 
 fn run_portfolio(demands: &DemandSet, opts: &GroomOptions) {
-    use grooming::portfolio::{best_of_seeded, DEFAULT_PORTFOLIO};
+    use grooming::portfolio::{PortfolioEngine, DEFAULT_PORTFOLIO};
     let g = demands.to_traffic_graph();
     let master = opts.master_seed.unwrap_or(opts.seed);
-    let result = best_of_seeded(
-        &g,
-        opts.k,
-        &DEFAULT_PORTFOLIO,
-        opts.restarts,
-        master,
-        opts.jobs,
-    );
+    let mut engine = PortfolioEngine::new(&DEFAULT_PORTFOLIO)
+        .restarts(opts.restarts)
+        .master_seed(master)
+        .jobs(opts.jobs);
+    if let Some(ms) = opts.deadline_ms {
+        engine = engine.deadline(Some(std::time::Instant::now() + Duration::from_millis(ms)));
+    }
+    let result = engine.run(&g, opts.k);
 
     // Rebuild the ring-side assignment for the standard report.
     let groups: Vec<Vec<grooming_sonet::demand::DemandPair>> = result
@@ -251,29 +290,41 @@ fn run_portfolio(demands: &DemandSet, opts: &GroomOptions) {
     );
     println!("\n{}", assignment.report());
     println!(
-        "portfolio: {} attempts in {:.1?} ({} skipped, {} failed)",
+        "portfolio: {} attempts in {:.1?} ({} skipped, {} failed, {} past deadline){}",
         result.attempts.len(),
         result.wall_time,
         result.skipped.len(),
         result.failed_attempts,
+        result.deadline_skipped,
+        if result.timed_out {
+            " — deadline hit: best-so-far plan"
+        } else {
+            ""
+        },
     );
     println!(
-        "  {:<24} {:>7} {:>6} {:>12} {:>12}",
-        "attempt", "restart", "SADMs", "wavelengths", "time"
+        "  {:<24} {:>7} {:>6} {:>12} {:>8} {:>8} {:>12}",
+        "attempt", "restart", "SADMs", "wavelengths", "swaps", "resets", "time"
     );
     for a in &result.attempts {
         println!(
-            "  {:<24} {:>7} {:>6} {:>12} {:>12.1?}",
+            "  {:<24} {:>7} {:>6} {:>12} {:>8} {:>8} {:>12.1?}",
             a.algorithm.name(),
             a.restart,
             a.cost,
             a.wavelengths,
+            a.swaps_evaluated,
+            a.scratch_resets,
             a.duration,
         );
     }
     for s in &result.skipped {
         println!("  {:<24} (skipped: preconditions not met)", s.name());
     }
+    println!(
+        "  totals: {} swap(s) evaluated, {} scratch reset(s)",
+        result.swaps_evaluated, result.scratch_resets
+    );
     if opts.analyze {
         println!(
             "\n{}",

@@ -3,11 +3,13 @@
 
 use grooming_graph::graph::Graph;
 use grooming_graph::spanning::TreeStrategy;
+use grooming_graph::workspace::Workspace;
 use rand::Rng;
 
 use crate::baselines;
 use crate::partition::EdgePartition;
 use crate::regular_euler::{self, NotRegularError};
+use crate::solve::{SolveConfig, SolveError, SolveStats};
 use crate::spant_euler;
 
 /// Every grooming algorithm in this crate.
@@ -108,27 +110,74 @@ impl Algorithm {
     }
 
     /// Runs the algorithm on traffic graph `g` with grooming factor `k`.
+    ///
+    /// Shim over [`Algorithm::run_in`] with a fresh workspace, default
+    /// config, and throwaway stats — same outputs, per-call scratch
+    /// allocation. Context-aware callers should use
+    /// [`crate::solve::Solver::solve`] or [`Algorithm::run_in`] directly.
     pub fn run<R: Rng>(
         &self,
         g: &Graph,
         k: usize,
         rng: &mut R,
     ) -> Result<EdgePartition, NotRegularError> {
+        let mut stats = SolveStats::default();
+        self.run_in(
+            g,
+            k,
+            rng,
+            &mut Workspace::new(),
+            &SolveConfig::default(),
+            &mut stats,
+        )
+        .map_err(|e| match e {
+            SolveError::NotRegular(err) => err,
+            other => unreachable!("graph-level algorithms only fail as NotRegular, got {other:?}"),
+        })
+    }
+
+    /// Runs the algorithm against a caller-owned [`Workspace`], config, and
+    /// stats sink — the entry point the solve layer and the portfolio
+    /// engine's workers use. Outputs are bit-identical to [`Algorithm::run`]
+    /// on the same RNG stream (the workspace only affects allocation).
+    pub fn run_in<R: Rng>(
+        &self,
+        g: &Graph,
+        k: usize,
+        rng: &mut R,
+        ws: &mut Workspace,
+        config: &SolveConfig,
+        stats: &mut SolveStats,
+    ) -> Result<EdgePartition, SolveError> {
         Ok(match self {
-            Algorithm::Goldschmidt => baselines::goldschmidt(g, k, rng),
-            Algorithm::Brauner => baselines::brauner(g, k),
-            Algorithm::WangGuIcc06 => baselines::wang_gu_icc06(g, k, rng),
-            Algorithm::SpanTEuler(strategy) => spant_euler::spant_euler(g, k, *strategy, rng),
-            Algorithm::RegularEuler => regular_euler::regular_euler(g, k)?,
+            Algorithm::Goldschmidt => baselines::goldschmidt_in(g, k, rng, ws),
+            Algorithm::Brauner => baselines::brauner_in(g, k, ws),
+            Algorithm::WangGuIcc06 => baselines::wang_gu_icc06_in(g, k, rng, ws),
+            Algorithm::SpanTEuler(strategy) => {
+                spant_euler::spant_euler_in(g, k, *strategy, rng, ws)
+            }
+            Algorithm::RegularEuler => regular_euler::regular_euler_in(g, k, ws)?,
             Algorithm::SpanTEulerRefined(strategy) => {
-                let base = spant_euler::spant_euler(g, k, *strategy, rng);
-                crate::improve::refine(g, k, &base, 8)
+                let base = spant_euler::spant_euler_in(g, k, *strategy, rng, ws);
+                let (refined, swaps) =
+                    crate::improve::refine_with_stats(g, k, &base, config.refine_rounds);
+                stats.swaps_evaluated += swaps;
+                refined
             }
             Algorithm::CliqueFirst => crate::improve::clique_first(g, k, rng),
             Algorithm::DenseFirst => crate::improve::dense_first(g, k, rng),
             Algorithm::Portfolio => {
-                crate::portfolio::best_of(g, k, &crate::portfolio::DEFAULT_PORTFOLIO, 0, rng)
-                    .partition
+                // Draw the master with one `next_u64` — the same stream
+                // consumption as the historical `best_of` front door.
+                let master = rng.next_u64();
+                let result =
+                    crate::portfolio::PortfolioEngine::new(&crate::portfolio::DEFAULT_PORTFOLIO)
+                        .master_seed(master)
+                        .jobs(1)
+                        .config(config.clone())
+                        .run_in(g, k, ws);
+                stats.swaps_evaluated += result.swaps_evaluated;
+                result.partition
             }
         })
     }

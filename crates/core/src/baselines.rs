@@ -20,13 +20,13 @@
 //! as the paper's algorithms, so measured differences are purely about how
 //! each algorithm structures the cover.
 
-use grooming_graph::euler::trail_decomposition;
+use grooming_graph::euler::trail_decomposition_in;
 use grooming_graph::graph::Graph;
 use grooming_graph::ids::{EdgeId, NodeId};
-use grooming_graph::spanning::{spanning_forest, TreeStrategy};
-use grooming_graph::tree::decompose_into_paths;
+use grooming_graph::spanning::{spanning_forest_in, TreeStrategy};
+use grooming_graph::tree::decompose_into_paths_in;
 use grooming_graph::view::EdgeSubset;
-use grooming_graph::workspace::{with_workspace, Workspace};
+use grooming_graph::workspace::Workspace;
 use rand::Rng;
 
 use crate::partition::EdgePartition;
@@ -35,14 +35,22 @@ use crate::skeleton::SkeletonCover;
 /// **Algo 1** (Goldschmidt et al. 2003): iterated spanning-forest peeling
 /// with bottom-up subtree splitting. Parts are subtrees of ≤ `k` edges.
 pub fn goldschmidt<R: Rng>(g: &Graph, k: usize, rng: &mut R) -> EdgePartition {
-    assert!(k > 0, "grooming factor must be positive");
-    with_workspace(|ws| goldschmidt_in(g, k, rng, ws))
+    goldschmidt_in(g, k, rng, &mut Workspace::new())
 }
 
 /// The peeling loop against one borrowed [`Workspace`]: the assigned set,
 /// per-round visited set/queue, forest triples, and children adjacency all
 /// live in reused buffers instead of fresh allocations per round.
-fn goldschmidt_in<R: Rng>(g: &Graph, k: usize, rng: &mut R, ws: &mut Workspace) -> EdgePartition {
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn goldschmidt_in<R: Rng>(
+    g: &Graph,
+    k: usize,
+    rng: &mut R,
+    ws: &mut Workspace,
+) -> EdgePartition {
+    assert!(k > 0, "grooming factor must be positive");
     let m = g.num_edges();
     let n = g.num_nodes();
     let csr = g.csr();
@@ -193,12 +201,20 @@ fn split_tree_into_parts(
 /// decomposition realizes the paper's virtual-edge construction; the
 /// Proposition-2 cutter then chops every `k` real edges.
 pub fn brauner(g: &Graph, k: usize) -> EdgePartition {
+    brauner_in(g, k, &mut Workspace::new())
+}
+
+/// [`brauner`] against a caller-owned [`Workspace`].
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn brauner_in(g: &Graph, k: usize, ws: &mut Workspace) -> EdgePartition {
     assert!(k > 0, "grooming factor must be positive");
     if g.is_empty() {
         return EdgePartition::new(Vec::new());
     }
-    let trails = trail_decomposition(g, &EdgeSubset::full(g));
-    let cover = SkeletonCover::build(g, trails, &[]);
+    let trails = trail_decomposition_in(g, &EdgeSubset::full(g), ws);
+    let cover = SkeletonCover::build_in(g, trails, &[], ws);
     debug_assert!(cover.validate(g, true).is_ok());
     cover.to_partition(k)
 }
@@ -206,15 +222,28 @@ pub fn brauner(g: &Graph, k: usize) -> EdgePartition {
 /// **Algo 3** (Wang & Gu ICC'06): skeleton cover from a spanning-tree path
 /// decomposition; non-tree edges ride as branches.
 pub fn wang_gu_icc06<R: Rng>(g: &Graph, k: usize, rng: &mut R) -> EdgePartition {
+    wang_gu_icc06_in(g, k, rng, &mut Workspace::new())
+}
+
+/// [`wang_gu_icc06`] against a caller-owned [`Workspace`].
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn wang_gu_icc06_in<R: Rng>(
+    g: &Graph,
+    k: usize,
+    rng: &mut R,
+    ws: &mut Workspace,
+) -> EdgePartition {
     assert!(k > 0, "grooming factor must be positive");
     if g.is_empty() {
         return EdgePartition::new(Vec::new());
     }
-    let forest = spanning_forest(g, TreeStrategy::RandomKruskal, rng);
-    let backbones = decompose_into_paths(g, &forest);
+    let forest = spanning_forest_in(g, TreeStrategy::RandomKruskal, rng, ws);
+    let backbones = decompose_into_paths_in(g, &forest, ws);
     let tree_set = EdgeSubset::from_edges(g, forest.edges.iter().copied());
     let non_tree: Vec<EdgeId> = tree_set.complement(g).edges().to_vec();
-    let cover = SkeletonCover::build(g, backbones, &non_tree);
+    let cover = SkeletonCover::build_in(g, backbones, &non_tree, ws);
     debug_assert!(cover.validate(g, true).is_ok());
     cover.to_partition(k)
 }

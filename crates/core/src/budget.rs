@@ -134,6 +134,10 @@ pub fn enforce_budget(
 /// assert!(p.num_wavelengths() <= 5);
 /// assert!(groom_with_budget(&g, 8, 4, Algorithm::CliqueFirst, &mut rng).is_err());
 /// ```
+#[deprecated(
+    since = "0.5.0",
+    note = "solve `Instance::budgeted(graph, k, budget)` through `solve::Solver` instead"
+)]
 pub fn groom_with_budget<R: Rng>(
     g: &Graph,
     k: usize,
@@ -168,6 +172,7 @@ pub fn groom_with_budget<R: Rng>(
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::bounds;

@@ -340,6 +340,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn budgeted_exact_lower_bounds_the_heuristic_budget_layer() {
         use crate::budget::groom_with_budget;
         use grooming_graph::spanning::TreeStrategy;

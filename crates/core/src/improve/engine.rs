@@ -107,6 +107,9 @@ pub(crate) struct Engine<'g> {
     info_b: Vec<EdgeInfo>,
     neg_b: Vec<u32>,
     rot_buf: Vec<EdgeId>,
+    /// Candidate swap evaluations performed (instrumentation; never read
+    /// by the search itself, so it cannot affect outputs).
+    pub swaps_evaluated: u64,
 }
 
 impl<'g> Engine<'g> {
@@ -138,6 +141,7 @@ impl<'g> Engine<'g> {
             info_b: Vec::new(),
             neg_b: Vec::new(),
             rot_buf: Vec::new(),
+            swaps_evaluated: 0,
         }
     }
 
@@ -268,7 +272,8 @@ impl<'g> Engine<'g> {
     ///
     /// Equals the seed's `after - before` from the 8-mutation simulation.
     /// Used by `anneal`, where each iteration touches one random pair once.
-    pub fn swap_delta(&self, a: usize, b: usize, e: EdgeId, f: EdgeId) -> isize {
+    pub fn swap_delta(&mut self, a: usize, b: usize, e: EdgeId, f: EdgeId) -> isize {
+        self.swaps_evaluated += 1;
         let (u, v) = self.g.endpoints(e);
         let (x, y) = self.g.endpoints(f);
         let mut delta = 0isize;
@@ -380,6 +385,7 @@ impl<'g> Engine<'g> {
             let (_, _, _, cu, cv) = ea;
             if cu < 0 || cv < 0 {
                 for (j, &fb) in info_b.iter().enumerate() {
+                    self.swaps_evaluated += 1;
                     if pair_delta(ea, fb) < 0 {
                         hit = Some((i, j));
                         break 'rows;
@@ -387,6 +393,7 @@ impl<'g> Engine<'g> {
                 }
             } else {
                 for &j in &neg_b {
+                    self.swaps_evaluated += 1;
                     if pair_delta(ea, info_b[j as usize]) < 0 {
                         hit = Some((i, j as usize));
                         break 'rows;

@@ -62,6 +62,19 @@ pub use packing::{clique_first, dense_first};
 /// assert!(better.sadm_cost(&g) <= base.sadm_cost(&g));
 /// ```
 pub fn refine(g: &Graph, k: usize, partition: &EdgePartition, max_rounds: usize) -> EdgePartition {
+    refine_with_stats(g, k, partition, max_rounds).0
+}
+
+/// [`refine`] plus the number of candidate swaps it evaluated — the
+/// instrumentation counter surfaced through the solve layer's
+/// [`crate::solve::SolveStats::swaps_evaluated`]. The partition returned is
+/// bit-identical to [`refine`]'s (the counter is write-only).
+pub fn refine_with_stats(
+    g: &Graph,
+    k: usize,
+    partition: &EdgePartition,
+    max_rounds: usize,
+) -> (EdgePartition, u64) {
     assert!(k > 0, "grooming factor must be positive");
     let mut eng = Engine::new(g, partition);
 
@@ -106,10 +119,11 @@ pub fn refine(g: &Graph, k: usize, partition: &EdgePartition, max_rounds: usize)
         }
     }
 
+    let swaps = eng.swaps_evaluated;
     let out = EdgePartition::new(eng.into_edge_lists());
     debug_assert!(out.validate(g, k).is_ok());
     debug_assert!(out.sadm_cost(g) <= partition.sadm_cost(g));
-    out
+    (out, swaps)
 }
 
 /// Greedy wavelength merging: while two parts fit on one wavelength, merge

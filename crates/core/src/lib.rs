@@ -42,7 +42,12 @@
 //! * [`online`] — dynamic traffic: demands provisioned one at a time
 //!   without rearrangement, with a rearrangement-window comparison;
 //! * [`analysis`] — planner-facing partition analytics (histograms, hot
-//!   nodes, optimality gap).
+//!   nodes, optimality gap);
+//! * [`solve`] — the context/solver layer: every workload above
+//!   normalizes into a [`solve::Instance`] and solves through one
+//!   [`solve::Solver`] surface against a caller-owned
+//!   [`solve::SolveContext`] (owned RNG stream, reusable workspace,
+//!   deadline + cancellation, instrumentation).
 //!
 //! ## Quick start
 //!
@@ -87,10 +92,14 @@ pub mod portfolio;
 pub mod reference;
 pub mod regular_euler;
 pub mod skeleton;
+pub mod solve;
 pub mod spant_euler;
 
 pub use algorithm::Algorithm;
 pub use partition::EdgePartition;
 pub use pipeline::{groom, GroomingOutcome};
 pub use regular_euler::{regular_euler, regular_euler_detailed};
+pub use solve::{
+    Instance, Plan, PortfolioSolver, Solution, SolveContext, SolveError, SolveStats, Solver,
+};
 pub use spant_euler::{spant_euler, spant_euler_detailed};

@@ -65,6 +65,10 @@ impl NetworkGrooming {
 
 /// Grooms a multi-ring network: route demands into segments, groom every
 /// ring with `algorithm` at grooming factor `k`, aggregate.
+#[deprecated(
+    since = "0.5.0",
+    note = "solve `Instance::multi_ring(network, demands, k)` through `solve::Solver` instead"
+)]
 pub fn groom_network<R: Rng>(
     net: &MultiRingNetwork,
     demands: &[(RingNode, RingNode)],
@@ -91,6 +95,7 @@ pub fn groom_network<R: Rng>(
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use grooming_graph::spanning::TreeStrategy;

@@ -105,6 +105,11 @@ impl OnlineGroomer {
         idx
     }
 
+    /// The grooming factor the groomer was created with.
+    pub fn grooming_factor(&self) -> usize {
+        self.k
+    }
+
     /// Total SADMs deployed so far.
     pub fn sadm_count(&self) -> usize {
         self.waves.iter().map(|w| w.adms).sum()
@@ -142,6 +147,10 @@ impl OnlineGroomer {
     /// The "maintenance window" comparison: re-groom the snapshot with a
     /// static algorithm and report `(online SADMs, offline SADMs)` — the
     /// price of never rearranging.
+    #[deprecated(
+        since = "0.5.0",
+        note = "solve `Instance::online(&groomer)` through `solve::Solver` instead"
+    )]
     pub fn rearrange<R: rand::Rng>(
         &self,
         algorithm: crate::algorithm::Algorithm,
@@ -154,6 +163,7 @@ impl OnlineGroomer {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::algorithm::Algorithm;

@@ -45,8 +45,24 @@ pub fn groom<R: Rng>(
 ) -> Result<GroomingOutcome, NotRegularError> {
     let g = demands.to_traffic_graph();
     let partition = algorithm.run(&g, k, rng)?;
+    Ok(assemble(demands, &g, k, partition))
+}
+
+/// Turns a partition of `demands`' traffic graph `g` into a validated
+/// ring-side grooming with cross-checked cost accounting — the back half of
+/// [`groom`], shared with the solve layer.
+///
+/// # Panics
+/// Panics if any internal consistency check fails (a bug, not an input
+/// error).
+pub(crate) fn assemble(
+    demands: &DemandSet,
+    g: &grooming_graph::graph::Graph,
+    k: usize,
+    partition: EdgePartition,
+) -> GroomingOutcome {
     partition
-        .validate(&g, k)
+        .validate(g, k)
         .expect("algorithms must emit valid partitions");
 
     // Edge i of the traffic graph is demands.pairs()[i].
@@ -63,7 +79,7 @@ pub fn groom<R: Rng>(
         .expect("a valid k-edge partition always fits the ring");
 
     // Cross-check the two cost models.
-    let graph_cost = partition.sadm_cost(&g);
+    let graph_cost = partition.sadm_cost(g);
     let ring_cost = assignment.sadm_count();
     assert_eq!(
         graph_cost, ring_cost,
@@ -72,11 +88,11 @@ pub fn groom<R: Rng>(
     assert_eq!(partition.num_wavelengths(), assignment.num_wavelengths());
 
     let report = assignment.report();
-    Ok(GroomingOutcome {
+    GroomingOutcome {
         partition,
         assignment,
         report,
-    })
+    }
 }
 
 #[cfg(test)]

@@ -17,17 +17,28 @@
 //! `(cost, stable_id, restart)`, which is order-free, so the parallel
 //! result is bit-identical to the sequential (`jobs = 1`) result for the
 //! same master seed.
+//!
+//! # Deadline model
+//!
+//! An optional deadline (and cooperative cancel flag) is checked at
+//! *attempt boundaries only* — never mid-attempt. The first attempt of the
+//! plan always runs, so even an already-expired deadline yields a valid
+//! best-so-far result; [`PortfolioResult::timed_out`] reports the cut.
+//! Which later attempts complete under a racing deadline depends on
+//! wall-clock, but the reduction over whatever completed stays order-free.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use grooming_graph::graph::Graph;
 use grooming_graph::spanning::TreeStrategy;
+use grooming_graph::workspace::Workspace;
 use rand::Rng;
 
 use crate::algorithm::Algorithm;
 use crate::partition::EdgePartition;
+use crate::solve::{SolveConfig, SolveStats};
 
 /// The default portfolio: every algorithm applicable to arbitrary traffic,
 /// ordered cheap-to-expensive.
@@ -73,6 +84,11 @@ pub struct AttemptRecord {
     pub wavelengths: usize,
     /// Wall-clock time of this attempt (informational; not deterministic).
     pub duration: Duration,
+    /// Refinement swaps this attempt evaluated (zero for non-refining
+    /// algorithms).
+    pub swaps_evaluated: u64,
+    /// Scratch-buffer resets this attempt performed in its workspace.
+    pub scratch_resets: u64,
 }
 
 /// The winning entry of a portfolio run.
@@ -97,6 +113,17 @@ pub struct PortfolioResult {
     pub skipped: Vec<Algorithm>,
     /// Attempts that returned an error at runtime (skipped, not fatal).
     pub failed_attempts: usize,
+    /// Planned attempts left unexecuted because the deadline passed or the
+    /// cancel flag was raised.
+    pub deadline_skipped: usize,
+    /// `true` if the deadline/cancel flag cut the run short; the result is
+    /// still the valid best over everything that did run.
+    pub timed_out: bool,
+    /// Refinement swaps evaluated, summed over executed attempts
+    /// (order-independent, hence deterministic for a fixed attempt set).
+    pub swaps_evaluated: u64,
+    /// Scratch-buffer resets, summed over executed attempts.
+    pub scratch_resets: u64,
     /// Wall-clock time of the whole run (informational).
     pub wall_time: Duration,
 }
@@ -135,6 +162,9 @@ pub struct PortfolioEngine<'a> {
     restarts: usize,
     jobs: usize,
     master_seed: u64,
+    deadline: Option<Instant>,
+    cancel: Option<Arc<AtomicBool>>,
+    config: SolveConfig,
 }
 
 impl<'a> PortfolioEngine<'a> {
@@ -146,6 +176,9 @@ impl<'a> PortfolioEngine<'a> {
             restarts: 0,
             jobs: 0,
             master_seed: 0,
+            deadline: None,
+            cancel: None,
+            config: SolveConfig::default(),
         }
     }
 
@@ -168,7 +201,46 @@ impl<'a> PortfolioEngine<'a> {
         self
     }
 
-    /// Runs the portfolio on `(g, k)`.
+    /// An optional absolute deadline, checked at attempt boundaries only;
+    /// the plan's first attempt always runs.
+    pub fn deadline(mut self, deadline: Option<Instant>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// A cooperative cancel flag, checked at the same boundaries as the
+    /// deadline.
+    pub fn cancel_with(mut self, cancel: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Tunables forwarded into every attempt (e.g. refinement rounds).
+    pub fn config(mut self, config: SolveConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    fn should_stop(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::Relaxed))
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Runs the portfolio on `(g, k)` with a throwaway scratch workspace —
+    /// shim over [`PortfolioEngine::run_in`].
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, if the portfolio contains
+    /// [`Algorithm::Portfolio`], or if no entry accepts the instance.
+    pub fn run(&self, g: &Graph, k: usize) -> PortfolioResult {
+        self.run_in(g, k, &mut Workspace::new())
+    }
+
+    /// Runs the portfolio on `(g, k)` against a caller-owned [`Workspace`]
+    /// (used directly by the sequential path; parallel workers own one
+    /// workspace each).
     ///
     /// Applicability is probed once per algorithm ([`Algorithm::applicable`]);
     /// entries that fail the probe are reported in
@@ -177,9 +249,18 @@ impl<'a> PortfolioEngine<'a> {
     /// skipped — it never cancels the remaining restarts.
     ///
     /// # Panics
-    /// Panics if `k == 0` or no portfolio entry accepts the instance.
-    pub fn run(&self, g: &Graph, k: usize) -> PortfolioResult {
+    /// Panics if `k == 0`, if the portfolio contains
+    /// [`Algorithm::Portfolio`] (the meta-algorithm cannot nest inside the
+    /// lineup it is running), or if no entry accepts the instance.
+    pub fn run_in(&self, g: &Graph, k: usize, ws: &mut Workspace) -> PortfolioResult {
         assert!(k > 0, "grooming factor must be positive");
+        assert!(
+            !self
+                .portfolio
+                .iter()
+                .any(|a| matches!(a, Algorithm::Portfolio)),
+            "Algorithm::Portfolio cannot appear inside a portfolio lineup"
+        );
         let started = Instant::now();
 
         // Deduplicate by stable id, keeping first occurrence: duplicate
@@ -213,20 +294,32 @@ impl<'a> PortfolioEngine<'a> {
             })
             .collect();
 
-        let mut outcomes = self.execute(g, k, &plan);
+        let (mut outcomes, timed_out) = self.execute(g, k, &plan, ws);
 
         // Deterministic reduction: per-entry bests in input order, global
         // best under the order-free (cost, stable_id, restart) key.
         let mut attempts = Vec::with_capacity(plan.len());
         let mut failed_attempts = 0usize;
+        let mut deadline_skipped = 0usize;
+        let mut swaps_evaluated = 0u64;
+        let mut scratch_resets = 0u64;
         let mut per_entry_best: Vec<Option<usize>> = vec![None; entries.len()];
         let mut best: Option<(usize, (usize, u64, usize))> = None; // (plan idx, key)
-        for (i, outcome) in outcomes.iter().enumerate() {
+        for (i, slot) in outcomes.iter().enumerate() {
             let (ai, algo, restart, seed) = plan[i];
-            let Some(outcome) = outcome else {
-                failed_attempts += 1;
-                continue;
+            let outcome = match slot {
+                AttemptSlot::Skipped => {
+                    deadline_skipped += 1;
+                    continue;
+                }
+                AttemptSlot::Failed => {
+                    failed_attempts += 1;
+                    continue;
+                }
+                AttemptSlot::Done(outcome) => outcome,
             };
+            swaps_evaluated += outcome.swaps_evaluated;
+            scratch_resets += outcome.scratch_resets;
             attempts.push(AttemptRecord {
                 algorithm: algo,
                 algo_index: ai,
@@ -235,6 +328,8 @@ impl<'a> PortfolioEngine<'a> {
                 cost: outcome.cost,
                 wavelengths: outcome.wavelengths,
                 duration: outcome.duration,
+                swaps_evaluated: outcome.swaps_evaluated,
+                scratch_resets: outcome.scratch_resets,
             });
             let slot = &mut per_entry_best[ai];
             *slot = Some(slot.map_or(outcome.cost, |b| b.min(outcome.cost)));
@@ -248,7 +343,9 @@ impl<'a> PortfolioEngine<'a> {
         let (_, winner, winner_restart, _) = plan[best_idx];
         // Move the winning partition out instead of cloning it; the
         // outcome slots are dropped right after the reduction anyway.
-        let outcome = outcomes[best_idx].take().expect("winner outcome exists");
+        let outcome = std::mem::replace(&mut outcomes[best_idx], AttemptSlot::Skipped)
+            .into_done()
+            .expect("winner outcome exists");
         let all_costs = entries
             .iter()
             .zip(&per_entry_best)
@@ -264,49 +361,76 @@ impl<'a> PortfolioEngine<'a> {
             attempts,
             skipped,
             failed_attempts,
+            deadline_skipped,
+            timed_out,
+            swaps_evaluated,
+            scratch_resets,
             wall_time: started.elapsed(),
         }
     }
 
     /// Executes the plan, one outcome slot per attempt. `jobs == 1` runs
-    /// in-thread; otherwise a scoped thread pool drains an atomic cursor.
-    /// Either path fills identical slots because every attempt's RNG
-    /// stream is self-contained. Each worker also reuses its own
-    /// thread-local [`grooming_graph::workspace::Workspace`] across every
-    /// attempt it drains, so the construction pipeline's scratch buffers
-    /// are allocated once per thread, not once per attempt.
+    /// in-thread against the caller's workspace; otherwise a scoped thread
+    /// pool drains an atomic cursor, each worker owning one
+    /// [`Workspace`] across every attempt it drains (scratch buffers are
+    /// allocated once per worker, not once per attempt). Either path fills
+    /// identical slots because every attempt's RNG stream is
+    /// self-contained. Deadline/cancel checks happen only between
+    /// attempts, and the plan's first attempt is exempt so a valid result
+    /// always exists.
     fn execute(
         &self,
         g: &Graph,
         k: usize,
         plan: &[(usize, Algorithm, usize, u64)],
-    ) -> Vec<Option<AttemptOutcome>> {
+        ws: &mut Workspace,
+    ) -> (Vec<AttemptSlot>, bool) {
         let jobs = effective_jobs(self.jobs, plan.len());
         if jobs <= 1 {
-            return plan
-                .iter()
-                .map(|&(_, algo, _, seed)| run_attempt(g, k, algo, seed))
-                .collect();
+            let mut slots = Vec::with_capacity(plan.len());
+            let mut stopped = false;
+            for (i, &(_, algo, _, seed)) in plan.iter().enumerate() {
+                if i > 0 && (stopped || self.should_stop()) {
+                    stopped = true;
+                    slots.push(AttemptSlot::Skipped);
+                    continue;
+                }
+                slots.push(run_attempt(g, k, algo, seed, &self.config, ws));
+            }
+            return (slots, stopped);
         }
-        let slots: Vec<Mutex<Option<AttemptOutcome>>> =
-            plan.iter().map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<AttemptSlot>> = plan
+            .iter()
+            .map(|_| Mutex::new(AttemptSlot::Skipped))
+            .collect();
         let cursor = AtomicUsize::new(0);
+        let stopped = AtomicBool::new(false);
         std::thread::scope(|scope| {
             for _ in 0..jobs {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(&(_, algo, _, seed)) = plan.get(i) else {
-                        break;
-                    };
-                    let outcome = run_attempt(g, k, algo, seed);
-                    *slots[i].lock().expect("attempt slot poisoned") = outcome;
+                scope.spawn(|| {
+                    let mut worker_ws = Workspace::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(_, algo, _, seed)) = plan.get(i) else {
+                            break;
+                        };
+                        if i > 0 && self.should_stop() {
+                            stopped.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                        let outcome = run_attempt(g, k, algo, seed, &self.config, &mut worker_ws);
+                        *slots[i].lock().expect("attempt slot poisoned") = outcome;
+                    }
                 });
             }
         });
-        slots
-            .into_iter()
-            .map(|slot| slot.into_inner().expect("attempt slot poisoned"))
-            .collect()
+        (
+            slots
+                .into_iter()
+                .map(|slot| slot.into_inner().expect("attempt slot poisoned"))
+                .collect(),
+            stopped.into_inner(),
+        )
     }
 }
 
@@ -321,30 +445,62 @@ fn effective_jobs(jobs: usize, attempts: usize) -> usize {
     requested.min(attempts.max(1))
 }
 
+/// How one planned attempt ended: never started (deadline/cancel), failed
+/// at runtime, or completed.
+enum AttemptSlot {
+    Skipped,
+    Failed,
+    Done(AttemptOutcome),
+}
+
+impl AttemptSlot {
+    fn into_done(self) -> Option<AttemptOutcome> {
+        match self {
+            AttemptSlot::Done(outcome) => Some(outcome),
+            _ => None,
+        }
+    }
+}
+
 struct AttemptOutcome {
     partition: EdgePartition,
     cost: usize,
     wavelengths: usize,
     duration: Duration,
+    swaps_evaluated: u64,
+    scratch_resets: u64,
 }
 
-/// Runs one attempt on its own derived stream. Runtime errors become
-/// `None` (the attempt is skipped, per-restart errors never cancel later
-/// restarts).
-fn run_attempt(g: &Graph, k: usize, algo: Algorithm, seed: u64) -> Option<AttemptOutcome> {
+/// Runs one attempt on its own derived stream against `ws`. Runtime errors
+/// become [`AttemptSlot::Failed`] (the attempt is skipped, per-restart
+/// errors never cancel later restarts).
+fn run_attempt(
+    g: &Graph,
+    k: usize,
+    algo: Algorithm,
+    seed: u64,
+    config: &SolveConfig,
+    ws: &mut Workspace,
+) -> AttemptSlot {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     let started = Instant::now();
+    let resets_before = ws.scratch_resets();
+    let mut stats = SolveStats::default();
     let mut rng = StdRng::seed_from_u64(seed);
-    let partition = algo.run(g, k, &mut rng).ok()?;
+    let Ok(partition) = algo.run_in(g, k, &mut rng, ws, config, &mut stats) else {
+        return AttemptSlot::Failed;
+    };
     debug_assert!(partition.validate(g, k).is_ok());
     let cost = partition.sadm_cost(g);
     let wavelengths = partition.num_wavelengths();
-    Some(AttemptOutcome {
+    AttemptSlot::Done(AttemptOutcome {
         partition,
         cost,
         wavelengths,
         duration: started.elapsed(),
+        swaps_evaluated: stats.swaps_evaluated,
+        scratch_resets: ws.scratch_resets() - resets_before,
     })
 }
 
@@ -377,6 +533,10 @@ pub fn best_of_seeded(
 ///
 /// # Panics
 /// Panics if `k == 0` or no portfolio entry accepts the instance.
+#[deprecated(
+    since = "0.5.0",
+    note = "use `solve::PortfolioSolver` with a `SolveContext` (or `best_of_seeded` for an explicit master seed)"
+)]
 pub fn best_of<R: Rng>(
     g: &Graph,
     k: usize,
@@ -388,6 +548,7 @@ pub fn best_of<R: Rng>(
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::bounds;
@@ -435,6 +596,8 @@ mod tests {
         assert_eq!(result.all_costs.len(), 1);
         assert_eq!(result.skipped, vec![Algorithm::RegularEuler]);
         assert_eq!(result.failed_attempts, 0);
+        assert_eq!(result.deadline_skipped, 0);
+        assert!(!result.timed_out);
     }
 
     #[test]
@@ -453,6 +616,14 @@ mod tests {
     fn empty_portfolio_panics() {
         let g = generators::cycle(4);
         let _ = best_of(&g, 2, &[], 0, &mut StdRng::seed_from_u64(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot appear inside a portfolio lineup")]
+    fn nested_portfolio_entry_panics() {
+        let g = generators::cycle(6);
+        let lineup = [Algorithm::Brauner, Algorithm::Portfolio];
+        let _ = PortfolioEngine::new(&lineup).run(&g, 2);
     }
 
     #[test]
@@ -536,5 +707,73 @@ mod tests {
         let mut sorted = order.clone();
         sorted.sort_unstable();
         assert_eq!(order, sorted);
+    }
+
+    #[test]
+    fn expired_deadline_still_runs_the_first_attempt() {
+        let g = generators::gnm(16, 40, &mut StdRng::seed_from_u64(29));
+        let result = PortfolioEngine::new(&DEFAULT_PORTFOLIO)
+            .restarts(2)
+            .jobs(1)
+            .master_seed(7)
+            .deadline(Some(Instant::now()))
+            .run(&g, 4);
+        assert!(result.timed_out);
+        assert_eq!(result.attempts.len(), 1);
+        assert_eq!(result.deadline_skipped, DEFAULT_PORTFOLIO.len() * 3 - 1);
+        // The survivor is the plan's first attempt, so the result is
+        // deterministic even under a zero deadline.
+        assert_eq!(result.winner.stable_id(), DEFAULT_PORTFOLIO[0].stable_id());
+        assert_eq!(result.winner_restart, 0);
+        result.partition.validate(&g, 4).unwrap();
+    }
+
+    #[test]
+    fn expired_deadline_parallel_also_yields_exactly_attempt_zero() {
+        let g = generators::gnm(16, 40, &mut StdRng::seed_from_u64(31));
+        let sequential = PortfolioEngine::new(&DEFAULT_PORTFOLIO)
+            .jobs(1)
+            .master_seed(9)
+            .deadline(Some(Instant::now()))
+            .run(&g, 4);
+        let parallel = PortfolioEngine::new(&DEFAULT_PORTFOLIO)
+            .jobs(4)
+            .master_seed(9)
+            .deadline(Some(Instant::now()))
+            .run(&g, 4);
+        assert_eq!(sequential.fingerprint(), parallel.fingerprint());
+        assert!(parallel.timed_out);
+    }
+
+    #[test]
+    fn cancel_flag_cuts_the_run_short() {
+        let g = generators::gnm(16, 40, &mut StdRng::seed_from_u64(37));
+        let flag = Arc::new(AtomicBool::new(true));
+        let result = PortfolioEngine::new(&DEFAULT_PORTFOLIO)
+            .jobs(1)
+            .cancel_with(Arc::clone(&flag))
+            .run(&g, 4);
+        assert!(result.timed_out);
+        assert_eq!(result.attempts.len(), 1);
+    }
+
+    #[test]
+    fn no_deadline_reports_no_timeout_and_aggregated_stats() {
+        let g = generators::gnm(18, 50, &mut StdRng::seed_from_u64(41));
+        let result = best_of_seeded(&g, 4, &DEFAULT_PORTFOLIO, 0, 11, 1);
+        assert!(!result.timed_out);
+        assert_eq!(result.deadline_skipped, 0);
+        // The lineup includes SpanT_Euler+refine, so swap evaluations and
+        // scratch resets must both have been counted.
+        assert!(result.swaps_evaluated > 0);
+        assert!(result.scratch_resets > 0);
+        assert_eq!(
+            result.swaps_evaluated,
+            result
+                .attempts
+                .iter()
+                .map(|a| a.swaps_evaluated)
+                .sum::<u64>()
+        );
     }
 }

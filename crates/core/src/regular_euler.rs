@@ -24,7 +24,7 @@ use grooming_graph::euler::{component_euler_walks_in, trail_decomposition_in};
 use grooming_graph::graph::Graph;
 use grooming_graph::matching::maximum_matching;
 use grooming_graph::view::EdgeSubset;
-use grooming_graph::workspace::with_workspace;
+use grooming_graph::workspace::Workspace;
 
 use crate::partition::EdgePartition;
 use crate::skeleton::SkeletonCover;
@@ -92,6 +92,27 @@ pub fn regular_euler(g: &Graph, k: usize) -> Result<EdgePartition, NotRegularErr
 /// # Panics
 /// Panics if `k == 0`.
 pub fn regular_euler_detailed(g: &Graph, k: usize) -> Result<RegularEulerRun, NotRegularError> {
+    regular_euler_detailed_in(g, k, &mut Workspace::new())
+}
+
+/// [`regular_euler`] against a caller-owned [`Workspace`].
+pub fn regular_euler_in(
+    g: &Graph,
+    k: usize,
+    ws: &mut Workspace,
+) -> Result<EdgePartition, NotRegularError> {
+    regular_euler_detailed_in(g, k, ws).map(|run| run.partition)
+}
+
+/// [`regular_euler_detailed`] against a caller-owned [`Workspace`].
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn regular_euler_detailed_in(
+    g: &Graph,
+    k: usize,
+    ws: &mut Workspace,
+) -> Result<RegularEulerRun, NotRegularError> {
     assert!(k > 0, "grooming factor must be positive");
     let r = match g.regularity() {
         Some(r) => r,
@@ -113,23 +134,19 @@ pub fn regular_euler_detailed(g: &Graph, k: usize) -> Result<RegularEulerRun, No
 
     let (cover, matching_size) = if r % 2 == 0 {
         // Even r: Euler circuit per component; no branches.
-        with_workspace(|ws| {
-            let backbones = component_euler_walks_in(g, &EdgeSubset::full(g), ws)
-                .expect("even-regular components are Eulerian");
-            (SkeletonCover::build_in(g, backbones, &[], ws), None)
-        })
+        let backbones = component_euler_walks_in(g, &EdgeSubset::full(g), ws)
+            .expect("even-regular components are Eulerian");
+        (SkeletonCover::build_in(g, backbones, &[], ws), None)
     } else {
         // Odd r: maximum matching, then trail-decompose G \ M.
         let matching = maximum_matching(g);
         let m_set = EdgeSubset::from_edges(g, matching.edges().iter().copied());
         let rest = m_set.complement(g);
-        with_workspace(|ws| {
-            let backbones = trail_decomposition_in(g, &rest, ws);
-            (
-                SkeletonCover::build_in(g, backbones, matching.edges(), ws),
-                Some(matching.len()),
-            )
-        })
+        let backbones = trail_decomposition_in(g, &rest, ws);
+        (
+            SkeletonCover::build_in(g, backbones, matching.edges(), ws),
+            Some(matching.len()),
+        )
     };
     debug_assert!(cover.validate(g, true).is_ok());
 

@@ -22,7 +22,7 @@
 use grooming_graph::graph::Graph;
 use grooming_graph::ids::EdgeId;
 use grooming_graph::walk::Walk;
-use grooming_graph::workspace::{with_workspace, Workspace};
+use grooming_graph::workspace::Workspace;
 
 use crate::partition::EdgePartition;
 
@@ -214,7 +214,7 @@ impl SkeletonCover {
     /// singleton backbone is created at one endpoint (the paper's
     /// degenerate single-node Euler path) and the edge attaches there.
     pub fn build(g: &Graph, backbones: Vec<Walk>, branch_edges: &[EdgeId]) -> Self {
-        with_workspace(|ws| SkeletonCover::build_in(g, backbones, branch_edges, ws))
+        SkeletonCover::build_in(g, backbones, branch_edges, &mut Workspace::new())
     }
 
     /// [`SkeletonCover::build`] against a caller-owned [`Workspace`]: the

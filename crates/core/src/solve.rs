@@ -1,0 +1,963 @@
+//! The context/solver layer: one entry point, many workloads.
+//!
+//! Every grooming workload in this crate — the core single-ring problem,
+//! wavelength-budgeted grooming, online rearrangement windows, multi-ring
+//! networks, weighted splittable demands, and BLSR rings — normalizes into
+//! an [`Instance`], and anything implementing [`Solver`] (a single
+//! [`Algorithm`] or the [`PortfolioSolver`]) turns an instance into a
+//! [`Solution`] against a caller-owned [`SolveContext`].
+//!
+//! The context owns everything a solve needs and everything it reports:
+//!
+//! * **RNG stream** — a seeded [`StdRng`]; solvers draw from it exactly as
+//!   the pre-context entry points did, so fixed seeds reproduce bit-for-bit;
+//! * **workspace** — one [`Workspace`] of reusable scratch buffers threaded
+//!   through the whole construction pipeline (no hidden thread-locals);
+//! * **deadline + cancellation** — an optional [`Instant`] and a shared
+//!   [`AtomicBool`]; both are checked only at *attempt boundaries* (never
+//!   mid-pass), a timed-out solve still returns the best plan found so far
+//!   with [`Solution::timed_out`] set, and the first attempt always runs so
+//!   even an already-expired deadline yields a valid plan;
+//! * **instrumentation** — [`SolveStats`] counters (attempts, swap
+//!   evaluations, scratch resets, per-stage wall time) filled in as the
+//!   solve progresses.
+//!
+//! All workload errors collapse into the single [`SolveError`] taxonomy.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use grooming_graph::graph::Graph;
+use grooming_graph::spanning::TreeStrategy;
+use grooming_graph::workspace::Workspace;
+use grooming_sonet::blsr::{groom_blsr, BlsrAssignment, BlsrRing};
+use grooming_sonet::demand::DemandSet;
+use grooming_sonet::multiring::{MultiRingNetwork, RingNode, RouteError};
+use grooming_sonet::weighted::WeightedDemandSet;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+use crate::algorithm::Algorithm;
+use crate::budget::BudgetError;
+use crate::network::{NetworkError, NetworkGrooming};
+use crate::online::OnlineGroomer;
+use crate::partition::EdgePartition;
+use crate::pipeline::GroomingOutcome;
+use crate::portfolio::{PortfolioEngine, DEFAULT_PORTFOLIO};
+use crate::regular_euler::NotRegularError;
+
+/// The number of local-search refinement rounds `SpanT_Euler+refine` runs
+/// by default — the value every pre-context entry point hard-coded.
+pub const DEFAULT_REFINE_ROUNDS: usize = 8;
+
+/// Tunables a [`SolveContext`] carries into every solver it serves.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct SolveConfig {
+    /// Refinement rounds for [`Algorithm::SpanTEulerRefined`]
+    /// (default [`DEFAULT_REFINE_ROUNDS`]).
+    pub refine_rounds: usize,
+}
+
+impl Default for SolveConfig {
+    fn default() -> Self {
+        SolveConfig {
+            refine_rounds: DEFAULT_REFINE_ROUNDS,
+        }
+    }
+}
+
+/// Instrumentation counters accumulated across every solve served by one
+/// [`SolveContext`].
+#[derive(Clone, Debug, Default)]
+#[non_exhaustive]
+pub struct SolveStats {
+    /// Algorithm attempts executed (one per `(algorithm, restart)` pair in
+    /// a portfolio solve; one per single-algorithm solve).
+    pub attempts: u64,
+    /// Candidate swaps evaluated by the local-search refinement engine.
+    pub swaps_evaluated: u64,
+    /// Generation-stamped scratch-buffer resets performed by the
+    /// construction pipeline (see
+    /// [`grooming_graph::workspace::Workspace::scratch_resets`]).
+    pub scratch_resets: u64,
+    /// Wall-clock time per completed solve stage, in execution order
+    /// (informational; not deterministic).
+    pub stages: Vec<(&'static str, Duration)>,
+}
+
+impl SolveStats {
+    /// Total wall-clock time across all recorded stages.
+    pub fn total_wall_time(&self) -> Duration {
+        self.stages.iter().map(|(_, d)| *d).sum()
+    }
+}
+
+/// Everything one solve needs (RNG stream, scratch workspace, deadline,
+/// cancellation flag, config) and everything it reports ([`SolveStats`]).
+///
+/// ```
+/// use grooming::algorithm::Algorithm;
+/// use grooming::solve::{Instance, SolveContext, Solver};
+/// use grooming_graph::{generators, spanning::TreeStrategy};
+/// use rand::SeedableRng;
+///
+/// let g = generators::gnm(16, 40, &mut rand::rngs::StdRng::seed_from_u64(1));
+/// let mut ctx = SolveContext::seeded(7);
+/// let solution = Algorithm::SpanTEuler(TreeStrategy::Bfs)
+///     .solve(&Instance::upsr(g, 8), &mut ctx)
+///     .unwrap();
+/// assert!(!solution.timed_out);
+/// assert_eq!(ctx.stats().attempts, 1);
+/// ```
+#[derive(Debug)]
+pub struct SolveContext {
+    rng: StdRng,
+    workspace: Workspace,
+    deadline: Option<Instant>,
+    cancel: Arc<AtomicBool>,
+    config: SolveConfig,
+    stats: SolveStats,
+}
+
+impl SolveContext {
+    /// A context whose RNG stream starts from `seed`; no deadline, default
+    /// config, fresh workspace and stats.
+    pub fn seeded(seed: u64) -> Self {
+        SolveContext {
+            rng: StdRng::seed_from_u64(seed),
+            workspace: Workspace::new(),
+            deadline: None,
+            cancel: Arc::new(AtomicBool::new(false)),
+            config: SolveConfig::default(),
+            stats: SolveStats::default(),
+        }
+    }
+
+    /// Sets an absolute deadline. Checked at attempt boundaries only; the
+    /// first attempt always runs, so a solve returns a valid best-so-far
+    /// plan even when the deadline has already passed.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the deadline `timeout` from now ([`Self::with_deadline`]).
+    pub fn with_timeout(self, timeout: Duration) -> Self {
+        self.with_deadline(Instant::now() + timeout)
+    }
+
+    /// Replaces the config.
+    pub fn with_config(mut self, config: SolveConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// A handle another thread can use to cooperatively cancel solves
+    /// served by this context (checked at the same boundaries as the
+    /// deadline).
+    pub fn cancel_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.cancel)
+    }
+
+    /// `true` once the deadline has passed or the cancel flag is set.
+    pub fn expired(&self) -> bool {
+        self.cancelled() || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// `true` once the cancel flag is set.
+    pub fn cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+
+    /// The deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// The config solvers read tunables from.
+    pub fn config(&self) -> &SolveConfig {
+        &self.config
+    }
+
+    /// Instrumentation accumulated so far.
+    pub fn stats(&self) -> &SolveStats {
+        &self.stats
+    }
+
+    /// The context's RNG stream (for callers mixing context solves with
+    /// direct entry-point calls on one stream).
+    pub fn rng_mut(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// The context's scratch workspace.
+    pub fn workspace_mut(&mut self) -> &mut Workspace {
+        &mut self.workspace
+    }
+
+    /// Splits the context into simultaneously-borrowable parts.
+    fn split(&mut self) -> (&mut StdRng, &mut Workspace, &SolveConfig, &mut SolveStats) {
+        (
+            &mut self.rng,
+            &mut self.workspace,
+            &self.config,
+            &mut self.stats,
+        )
+    }
+}
+
+/// Why a solve failed. One taxonomy for every workload; the pre-context
+/// error types ([`NotRegularError`], [`BudgetError`], [`NetworkError`],
+/// [`RouteError`]) convert in with payloads preserved.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SolveError {
+    /// An algorithm requiring a regular traffic graph got an irregular one.
+    NotRegular(NotRegularError),
+    /// A wavelength budget below the minimum `⌈m/k⌉`.
+    InfeasibleBudget {
+        /// The requested budget.
+        budget: usize,
+        /// The minimum possible wavelength count.
+        minimum: usize,
+    },
+    /// A multi-ring demand could not be routed.
+    Route(RouteError),
+    /// A per-ring solve inside a multi-ring instance failed.
+    Ring {
+        /// The ring that failed.
+        ring: usize,
+        /// The underlying failure.
+        source: Box<SolveError>,
+    },
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::NotRegular(e) => write!(f, "{e}"),
+            SolveError::InfeasibleBudget { budget, minimum } => write!(
+                f,
+                "budget of {budget} wavelengths below the minimum {minimum}"
+            ),
+            SolveError::Route(e) => write!(f, "routing: {e}"),
+            SolveError::Ring { ring, source } => write!(f, "ring {ring}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SolveError::NotRegular(e) => Some(e),
+            SolveError::Route(e) => Some(e),
+            SolveError::Ring { source, .. } => Some(source.as_ref()),
+            SolveError::InfeasibleBudget { .. } => None,
+        }
+    }
+}
+
+impl From<NotRegularError> for SolveError {
+    fn from(e: NotRegularError) -> Self {
+        SolveError::NotRegular(e)
+    }
+}
+
+impl From<RouteError> for SolveError {
+    fn from(e: RouteError) -> Self {
+        SolveError::Route(e)
+    }
+}
+
+impl From<BudgetError> for SolveError {
+    fn from(e: BudgetError) -> Self {
+        match e {
+            BudgetError::Infeasible { budget, minimum } => {
+                SolveError::InfeasibleBudget { budget, minimum }
+            }
+            BudgetError::Algorithm(e) => SolveError::NotRegular(e),
+        }
+    }
+}
+
+impl From<NetworkError> for SolveError {
+    fn from(e: NetworkError) -> Self {
+        match e {
+            NetworkError::Route(e) => SolveError::Route(e),
+            NetworkError::Algorithm { ring, source } => SolveError::Ring {
+                ring,
+                source: Box::new(SolveError::NotRegular(source)),
+            },
+        }
+    }
+}
+
+/// A normalized grooming workload — the one input shape every [`Solver`]
+/// accepts.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub enum Instance {
+    /// The paper's core problem: `k`-edge-partition a traffic graph on a
+    /// unidirectional ring.
+    Upsr {
+        /// The traffic graph.
+        graph: Graph,
+        /// The grooming factor.
+        k: usize,
+    },
+    /// A demand set on a UPSR ring, solved through the full pipeline
+    /// (partition + validated ring assignment + cost report).
+    Ring {
+        /// The symmetric unitary demands.
+        demands: DemandSet,
+        /// The grooming factor.
+        k: usize,
+    },
+    /// The core problem under a wavelength budget `W ≤ B`.
+    Budgeted {
+        /// The traffic graph.
+        graph: Graph,
+        /// The grooming factor.
+        k: usize,
+        /// The wavelength budget.
+        budget: usize,
+    },
+    /// A maintenance-window rearrangement: re-groom an online groomer's
+    /// demand snapshot offline, keeping the online cost for comparison.
+    OnlineRearrange {
+        /// The accumulated demand snapshot.
+        demands: DemandSet,
+        /// The grooming factor.
+        k: usize,
+        /// SADMs the online groomer had deployed at snapshot time.
+        online_sadms: usize,
+    },
+    /// A multi-ring network: route demands through gateways, groom every
+    /// ring, aggregate.
+    MultiRing {
+        /// The ring/gateway topology.
+        network: MultiRingNetwork,
+        /// End-to-end demands in ring-node addressing.
+        demands: Vec<(RingNode, RingNode)>,
+        /// The grooming factor.
+        k: usize,
+    },
+    /// Weighted splittable demands: expanded to unit demands and groomed
+    /// through the core path.
+    WeightedSplittable {
+        /// The weighted demand multiset.
+        demands: WeightedDemandSet,
+        /// The grooming factor in tributary units.
+        k: usize,
+    },
+    /// A bidirectional (BLSR) ring, groomed by the deterministic
+    /// shortest-side greedy regardless of solver.
+    Blsr {
+        /// The ring geometry.
+        ring: BlsrRing,
+        /// The symmetric unitary demands.
+        demands: DemandSet,
+        /// The grooming factor.
+        k: usize,
+    },
+}
+
+impl Instance {
+    /// A core UPSR instance over a traffic graph.
+    pub fn upsr(graph: Graph, k: usize) -> Self {
+        Instance::Upsr { graph, k }
+    }
+
+    /// A full-pipeline instance over a demand set.
+    pub fn ring(demands: DemandSet, k: usize) -> Self {
+        Instance::Ring { demands, k }
+    }
+
+    /// A wavelength-budgeted instance.
+    pub fn budgeted(graph: Graph, k: usize, budget: usize) -> Self {
+        Instance::Budgeted { graph, k, budget }
+    }
+
+    /// A rearrangement instance snapshotting `groomer`'s current state.
+    pub fn online(groomer: &OnlineGroomer) -> Self {
+        Instance::OnlineRearrange {
+            demands: groomer.demands(),
+            k: groomer.grooming_factor(),
+            online_sadms: groomer.sadm_count(),
+        }
+    }
+
+    /// A multi-ring network instance.
+    pub fn multi_ring(
+        network: MultiRingNetwork,
+        demands: Vec<(RingNode, RingNode)>,
+        k: usize,
+    ) -> Self {
+        Instance::MultiRing {
+            network,
+            demands,
+            k,
+        }
+    }
+
+    /// A weighted-splittable instance.
+    pub fn weighted(demands: WeightedDemandSet, k: usize) -> Self {
+        Instance::WeightedSplittable { demands, k }
+    }
+
+    /// A BLSR instance.
+    pub fn blsr(ring: BlsrRing, demands: DemandSet, k: usize) -> Self {
+        Instance::Blsr { ring, demands, k }
+    }
+
+    /// The grooming factor of any instance.
+    pub fn grooming_factor(&self) -> usize {
+        match self {
+            Instance::Upsr { k, .. }
+            | Instance::Ring { k, .. }
+            | Instance::Budgeted { k, .. }
+            | Instance::OnlineRearrange { k, .. }
+            | Instance::MultiRing { k, .. }
+            | Instance::WeightedSplittable { k, .. }
+            | Instance::Blsr { k, .. } => *k,
+        }
+    }
+}
+
+/// A solved [`Instance`], shaped per workload.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub enum Plan {
+    /// Core UPSR result.
+    Upsr {
+        /// The `k`-edge partition.
+        partition: EdgePartition,
+        /// Its SADM cost.
+        cost: usize,
+    },
+    /// Full-pipeline result.
+    Ring {
+        /// Partition, validated ring assignment, and cost report.
+        outcome: GroomingOutcome,
+    },
+    /// Budget-enforced result (`W ≤ B` guaranteed).
+    Budgeted {
+        /// The budget-conforming partition.
+        partition: EdgePartition,
+        /// Its SADM cost.
+        cost: usize,
+    },
+    /// Rearrangement result.
+    OnlineRearrange {
+        /// SADMs the online groomer had deployed.
+        online_sadms: usize,
+        /// The offline re-grooming of the snapshot.
+        outcome: GroomingOutcome,
+    },
+    /// Multi-ring result.
+    MultiRing {
+        /// Per-ring outcomes and aggregates.
+        grooming: NetworkGrooming,
+    },
+    /// Weighted-splittable result.
+    WeightedSplittable {
+        /// The grooming of the expanded unit demands.
+        outcome: GroomingOutcome,
+        /// The expanded unit-demand set (edge `i` of the traffic graph is
+        /// `expanded.pairs()[i]`).
+        expanded: DemandSet,
+    },
+    /// BLSR result.
+    Blsr {
+        /// The validated BLSR assignment.
+        assignment: BlsrAssignment,
+    },
+}
+
+impl Plan {
+    /// Total SADM cost of the plan (summed across rings for multi-ring;
+    /// online plans report the *offline* cost).
+    pub fn sadm_cost(&self) -> usize {
+        match self {
+            Plan::Upsr { cost, .. } | Plan::Budgeted { cost, .. } => *cost,
+            Plan::Ring { outcome }
+            | Plan::OnlineRearrange { outcome, .. }
+            | Plan::WeightedSplittable { outcome, .. } => outcome.report.sadm_total,
+            Plan::MultiRing { grooming } => grooming.total_sadms,
+            Plan::Blsr { assignment } => assignment.sadm_count(),
+        }
+    }
+
+    /// Total wavelength count of the plan.
+    pub fn wavelengths(&self) -> usize {
+        match self {
+            Plan::Upsr { partition, .. } | Plan::Budgeted { partition, .. } => {
+                partition.num_wavelengths()
+            }
+            Plan::Ring { outcome }
+            | Plan::OnlineRearrange { outcome, .. }
+            | Plan::WeightedSplittable { outcome, .. } => outcome.report.wavelengths,
+            Plan::MultiRing { grooming } => grooming.total_wavelengths,
+            Plan::Blsr { assignment } => assignment.num_wavelengths(),
+        }
+    }
+
+    /// The graph-side partition, for plans that have exactly one.
+    pub fn partition(&self) -> Option<&EdgePartition> {
+        match self {
+            Plan::Upsr { partition, .. } | Plan::Budgeted { partition, .. } => Some(partition),
+            Plan::Ring { outcome }
+            | Plan::OnlineRearrange { outcome, .. }
+            | Plan::WeightedSplittable { outcome, .. } => Some(&outcome.partition),
+            Plan::MultiRing { .. } | Plan::Blsr { .. } => None,
+        }
+    }
+}
+
+/// A [`Plan`] plus how the solve ended.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// The best plan found.
+    pub plan: Plan,
+    /// `true` if the deadline (or cancel flag) cut the solve short — the
+    /// plan is still the valid best-so-far.
+    pub timed_out: bool,
+    /// `true` if the context's cancel flag was set.
+    pub cancelled: bool,
+}
+
+/// Anything that can turn an [`Instance`] into a [`Solution`] against a
+/// [`SolveContext`]: a single [`Algorithm`], or the [`PortfolioSolver`].
+pub trait Solver {
+    /// Solves `instance`, drawing RNG state, scratch space, deadline, and
+    /// config from `ctx` and accumulating instrumentation into it.
+    fn solve(&self, instance: &Instance, ctx: &mut SolveContext) -> Result<Solution, SolveError>;
+}
+
+impl Solver for Algorithm {
+    /// One attempt of this algorithm per (per-ring) traffic graph, on the
+    /// context's RNG stream — bit-identical to calling [`Algorithm::run`]
+    /// with the same stream.
+    fn solve(&self, instance: &Instance, ctx: &mut SolveContext) -> Result<Solution, SolveError> {
+        solve_instance(instance, ctx, |g, k, ctx| {
+            let resets_before = ctx.workspace.scratch_resets();
+            let (rng, ws, config, stats) = ctx.split();
+            stats.attempts += 1;
+            let partition = self.run_in(g, k, rng, ws, config, stats)?;
+            ctx.stats.scratch_resets += ctx.workspace.scratch_resets() - resets_before;
+            Ok((partition, ctx.expired()))
+        })
+    }
+}
+
+/// The portfolio meta-solver: races a lineup of algorithms (with restarts)
+/// per (per-ring) traffic graph and keeps the cheapest plan, honoring the
+/// context's deadline at attempt boundaries.
+#[derive(Clone, Debug)]
+pub struct PortfolioSolver<'a> {
+    /// The lineup (deduplicated by stable id; must not contain
+    /// [`Algorithm::Portfolio`]).
+    pub portfolio: &'a [Algorithm],
+    /// Extra derived-seed attempts per entry (`0` = single shot).
+    pub restarts: usize,
+    /// Worker threads (`0` = one per core, `1` = sequential in-thread).
+    pub jobs: usize,
+    /// Explicit master seed; `None` draws one from the context's RNG
+    /// (exactly one `next_u64` call — the pre-context `best_of` behavior).
+    pub master_seed: Option<u64>,
+}
+
+impl Default for PortfolioSolver<'static> {
+    fn default() -> Self {
+        PortfolioSolver {
+            portfolio: &DEFAULT_PORTFOLIO,
+            restarts: 0,
+            jobs: 1,
+            master_seed: None,
+        }
+    }
+}
+
+impl Solver for PortfolioSolver<'_> {
+    fn solve(&self, instance: &Instance, ctx: &mut SolveContext) -> Result<Solution, SolveError> {
+        solve_instance(instance, ctx, |g, k, ctx| {
+            let master = match self.master_seed {
+                Some(master) => master,
+                None => ctx.rng.next_u64(),
+            };
+            let result = PortfolioEngine::new(self.portfolio)
+                .restarts(self.restarts)
+                .jobs(self.jobs)
+                .master_seed(master)
+                .deadline(ctx.deadline)
+                .cancel_with(Arc::clone(&ctx.cancel))
+                .config(ctx.config.clone())
+                .run_in(g, k, &mut ctx.workspace);
+            ctx.stats.attempts += result.attempts.len() as u64;
+            ctx.stats.swaps_evaluated += result.swaps_evaluated;
+            ctx.stats.scratch_resets += result.scratch_resets;
+            let timed_out = result.timed_out;
+            Ok((result.partition, timed_out))
+        })
+    }
+}
+
+/// The shared workload dispatcher: normalizes each [`Instance`] variant
+/// down to per-traffic-graph `solve_partition` calls, then re-assembles the
+/// workload-shaped [`Plan`].
+fn solve_instance<F>(
+    instance: &Instance,
+    ctx: &mut SolveContext,
+    mut solve_partition: F,
+) -> Result<Solution, SolveError>
+where
+    F: FnMut(&Graph, usize, &mut SolveContext) -> Result<(EdgePartition, bool), SolveError>,
+{
+    let started = Instant::now();
+    let (plan, timed_out, stage) = match instance {
+        Instance::Upsr { graph, k } => {
+            let (partition, timed) = solve_partition(graph, *k, ctx)?;
+            let cost = partition.sadm_cost(graph);
+            (Plan::Upsr { partition, cost }, timed, "upsr")
+        }
+        Instance::Ring { demands, k } => {
+            let g = demands.to_traffic_graph();
+            let (partition, timed) = solve_partition(&g, *k, ctx)?;
+            let outcome = crate::pipeline::assemble(demands, &g, *k, partition);
+            (Plan::Ring { outcome }, timed, "ring")
+        }
+        Instance::Budgeted { graph, k, budget } => {
+            let minimum = EdgePartition::min_wavelengths(graph.num_edges(), *k);
+            if *budget < minimum {
+                return Err(SolveError::InfeasibleBudget {
+                    budget: *budget,
+                    minimum,
+                });
+            }
+            let (base, timed) = solve_partition(graph, *k, ctx)?;
+            let mut bounded = if base.num_wavelengths() <= *budget {
+                base
+            } else {
+                crate::budget::enforce_budget(graph, *k, &base, *budget)
+            };
+            if bounded.num_wavelengths() > *budget {
+                // Paranoia fallback mirroring `groom_with_budget`: the
+                // enforcement is total for feasible budgets, but keep the
+                // guaranteed-minimum algorithm as a safety net.
+                let (rng, ws, _, _) = ctx.split();
+                bounded = crate::spant_euler::spant_euler_in(graph, *k, TreeStrategy::Bfs, rng, ws);
+            }
+            let cost = bounded.sadm_cost(graph);
+            (
+                Plan::Budgeted {
+                    partition: bounded,
+                    cost,
+                },
+                timed,
+                "budgeted",
+            )
+        }
+        Instance::OnlineRearrange {
+            demands,
+            k,
+            online_sadms,
+        } => {
+            let g = demands.to_traffic_graph();
+            let (partition, timed) = solve_partition(&g, *k, ctx)?;
+            let outcome = crate::pipeline::assemble(demands, &g, *k, partition);
+            (
+                Plan::OnlineRearrange {
+                    online_sadms: *online_sadms,
+                    outcome,
+                },
+                timed,
+                "online-rearrange",
+            )
+        }
+        Instance::MultiRing {
+            network,
+            demands,
+            k,
+        } => {
+            let per_ring = network.route_all(demands).map_err(SolveError::Route)?;
+            let total_segments = per_ring.iter().map(|d| d.len()).sum();
+            let mut rings = Vec::with_capacity(per_ring.len());
+            let mut timed = false;
+            // Every ring solves — a deadline degrades each ring's solve to
+            // its first attempt rather than skipping rings, so the plan is
+            // always complete.
+            for (ring, segs) in per_ring.iter().enumerate() {
+                let g = segs.to_traffic_graph();
+                let (partition, t) =
+                    solve_partition(&g, *k, ctx).map_err(|source| SolveError::Ring {
+                        ring,
+                        source: Box::new(source),
+                    })?;
+                timed |= t;
+                rings.push(crate::pipeline::assemble(segs, &g, *k, partition));
+            }
+            let total_sadms = rings.iter().map(|o| o.report.sadm_total).sum();
+            let total_wavelengths = rings.iter().map(|o| o.report.wavelengths).sum();
+            (
+                Plan::MultiRing {
+                    grooming: NetworkGrooming {
+                        rings,
+                        total_sadms,
+                        total_wavelengths,
+                        total_segments,
+                    },
+                },
+                timed,
+                "multi-ring",
+            )
+        }
+        Instance::WeightedSplittable { demands, k } => {
+            let expanded = demands.expand();
+            let g = expanded.to_traffic_graph();
+            let (partition, timed) = solve_partition(&g, *k, ctx)?;
+            let outcome = crate::pipeline::assemble(&expanded, &g, *k, partition);
+            (
+                Plan::WeightedSplittable {
+                    outcome,
+                    expanded: expanded.clone(),
+                },
+                timed,
+                "weighted-splittable",
+            )
+        }
+        Instance::Blsr { ring, demands, k } => {
+            // BLSR grooming is the deterministic shortest-side greedy; it
+            // is not partition-shaped, so it runs the same under every
+            // solver (the "attempt 0 always runs" rule: even an expired
+            // deadline yields the full plan).
+            let assignment = groom_blsr(*ring, demands, *k);
+            debug_assert!(assignment.validate(Some(demands)).is_ok());
+            (Plan::Blsr { assignment }, ctx.expired(), "blsr")
+        }
+    };
+    ctx.stats.stages.push((stage, started.elapsed()));
+    Ok(Solution {
+        plan,
+        timed_out,
+        cancelled: ctx.cancelled(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grooming_graph::generators;
+    use grooming_sonet::multiring::rn;
+
+    fn graph(seed: u64) -> Graph {
+        generators::gnm(16, 40, &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn upsr_solve_matches_direct_run() {
+        let g = graph(1);
+        for algo in [
+            Algorithm::Brauner,
+            Algorithm::SpanTEuler(TreeStrategy::Bfs),
+            Algorithm::SpanTEulerRefined(TreeStrategy::Dfs),
+            Algorithm::CliqueFirst,
+            Algorithm::Portfolio,
+        ] {
+            let mut ctx = SolveContext::seeded(9);
+            let sol = algo.solve(&Instance::upsr(g.clone(), 8), &mut ctx).unwrap();
+            let mut rng = StdRng::seed_from_u64(9);
+            let direct = algo.run(&g, 8, &mut rng).unwrap();
+            assert_eq!(
+                sol.plan.partition().unwrap().parts(),
+                direct.parts(),
+                "{algo}"
+            );
+            assert_eq!(sol.plan.sadm_cost(), direct.sadm_cost(&g));
+            // RNG streams stay in lockstep after the solve.
+            assert_eq!(ctx.rng_mut().next_u64(), rng.next_u64(), "{algo}");
+            assert!(!sol.timed_out);
+            assert!(!sol.cancelled);
+        }
+    }
+
+    #[test]
+    fn portfolio_solver_matches_seeded_engine() {
+        let g = graph(2);
+        let solver = PortfolioSolver {
+            restarts: 1,
+            master_seed: Some(42),
+            ..PortfolioSolver::default()
+        };
+        let mut ctx = SolveContext::seeded(0);
+        let sol = solver
+            .solve(&Instance::upsr(g.clone(), 6), &mut ctx)
+            .unwrap();
+        let reference = crate::portfolio::best_of_seeded(&g, 6, &DEFAULT_PORTFOLIO, 1, 42, 1);
+        assert_eq!(
+            sol.plan.partition().unwrap().parts(),
+            reference.partition.parts()
+        );
+        assert_eq!(ctx.stats().attempts, reference.attempts.len() as u64);
+        assert!(ctx.stats().scratch_resets > 0);
+        assert!(ctx.stats().swaps_evaluated > 0); // lineup contains +refine
+    }
+
+    #[test]
+    fn budgeted_solve_enforces_budget_and_rejects_infeasible() {
+        let g = graph(3);
+        let minimum = EdgePartition::min_wavelengths(g.num_edges(), 8);
+        let mut ctx = SolveContext::seeded(4);
+        let sol = Algorithm::CliqueFirst
+            .solve(&Instance::budgeted(g.clone(), 8, minimum), &mut ctx)
+            .unwrap();
+        assert!(sol.plan.wavelengths() <= minimum);
+        sol.plan.partition().unwrap().validate(&g, 8).unwrap();
+
+        let err = Algorithm::CliqueFirst
+            .solve(&Instance::budgeted(g, 8, minimum - 1), &mut ctx)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SolveError::InfeasibleBudget {
+                budget: minimum - 1,
+                minimum
+            }
+        );
+    }
+
+    #[test]
+    fn multi_ring_solve_matches_groom_network() {
+        let mut net = MultiRingNetwork::new(vec![8, 6]);
+        net.add_gateway(rn(0, 0), rn(1, 0));
+        let demands = vec![
+            (rn(0, 1), rn(1, 3)),
+            (rn(0, 2), rn(0, 5)),
+            (rn(1, 1), rn(1, 4)),
+        ];
+        let mut ctx = SolveContext::seeded(5);
+        let sol = Algorithm::Brauner
+            .solve(
+                &Instance::multi_ring(net.clone(), demands.clone(), 4),
+                &mut ctx,
+            )
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        #[allow(deprecated)]
+        let reference =
+            crate::network::groom_network(&net, &demands, 4, Algorithm::Brauner, &mut rng).unwrap();
+        let Plan::MultiRing { grooming } = &sol.plan else {
+            panic!("wrong plan shape");
+        };
+        assert_eq!(grooming.total_sadms, reference.total_sadms);
+        assert_eq!(grooming.total_wavelengths, reference.total_wavelengths);
+        assert_eq!(grooming.total_segments, reference.total_segments);
+        assert_eq!(ctx.stats().attempts, net.num_rings() as u64);
+    }
+
+    #[test]
+    fn multi_ring_route_errors_map_into_solve_error() {
+        let net = MultiRingNetwork::new(vec![4, 4]); // no gateways
+        let mut ctx = SolveContext::seeded(6);
+        let err = Algorithm::Brauner
+            .solve(
+                &Instance::multi_ring(net, vec![(rn(0, 0), rn(1, 1))], 4),
+                &mut ctx,
+            )
+            .unwrap_err();
+        assert!(matches!(err, SolveError::Route(_)));
+    }
+
+    #[test]
+    fn not_regular_maps_into_solve_error() {
+        let g = generators::star(6);
+        let mut ctx = SolveContext::seeded(7);
+        let err = Algorithm::RegularEuler
+            .solve(&Instance::upsr(g, 4), &mut ctx)
+            .unwrap_err();
+        assert!(matches!(err, SolveError::NotRegular(_)));
+    }
+
+    #[test]
+    fn blsr_solves_through_the_same_surface() {
+        let demands = DemandSet::random(10, 20, &mut StdRng::seed_from_u64(8));
+        let mut ctx = SolveContext::seeded(8);
+        let sol = Algorithm::Brauner
+            .solve(
+                &Instance::blsr(BlsrRing::new(10), demands.clone(), 4),
+                &mut ctx,
+            )
+            .unwrap();
+        let Plan::Blsr { assignment } = &sol.plan else {
+            panic!("wrong plan shape");
+        };
+        assignment.validate(Some(&demands)).unwrap();
+        assert_eq!(sol.plan.sadm_cost(), assignment.sadm_count());
+    }
+
+    #[test]
+    fn cancel_flag_marks_solution_cancelled() {
+        let g = graph(11);
+        let mut ctx = SolveContext::seeded(11);
+        ctx.cancel_flag().store(true, Ordering::Relaxed);
+        let sol = Algorithm::Brauner
+            .solve(&Instance::upsr(g.clone(), 4), &mut ctx)
+            .unwrap();
+        // Attempt 0 always runs: a valid plan comes back regardless.
+        sol.plan.partition().unwrap().validate(&g, 4).unwrap();
+        assert!(sol.cancelled);
+        assert!(sol.timed_out);
+    }
+
+    #[test]
+    fn stats_track_stages_and_attempts() {
+        let g = graph(12);
+        let mut ctx = SolveContext::seeded(12);
+        Algorithm::Brauner
+            .solve(&Instance::upsr(g.clone(), 4), &mut ctx)
+            .unwrap();
+        Algorithm::Brauner
+            .solve(&Instance::upsr(g, 4), &mut ctx)
+            .unwrap();
+        assert_eq!(ctx.stats().attempts, 2);
+        assert_eq!(ctx.stats().stages.len(), 2);
+        assert_eq!(ctx.stats().stages[0].0, "upsr");
+        assert!(ctx.stats().scratch_resets > 0);
+    }
+
+    #[test]
+    fn error_conversions_preserve_payloads() {
+        let nr = NotRegularError {
+            min_degree: 1,
+            max_degree: 3,
+        };
+        assert_eq!(
+            SolveError::from(BudgetError::Infeasible {
+                budget: 2,
+                minimum: 5
+            }),
+            SolveError::InfeasibleBudget {
+                budget: 2,
+                minimum: 5
+            }
+        );
+        assert_eq!(
+            SolveError::from(BudgetError::Algorithm(nr.clone())),
+            SolveError::NotRegular(nr.clone())
+        );
+        let converted = SolveError::from(NetworkError::Algorithm {
+            ring: 3,
+            source: nr.clone(),
+        });
+        assert_eq!(
+            converted,
+            SolveError::Ring {
+                ring: 3,
+                source: Box::new(SolveError::NotRegular(nr))
+            }
+        );
+        assert!(converted.to_string().contains("ring 3"));
+        assert!(std::error::Error::source(&converted).is_some());
+    }
+}

@@ -26,7 +26,7 @@ use grooming_graph::graph::Graph;
 use grooming_graph::spanning::{spanning_forest_in, TreeStrategy};
 use grooming_graph::tree::odd_parity_tree_edges_from_counts;
 use grooming_graph::view::EdgeSubset;
-use grooming_graph::workspace::{with_workspace, Workspace};
+use grooming_graph::workspace::Workspace;
 use rand::Rng;
 
 use crate::partition::EdgePartition;
@@ -80,6 +80,35 @@ pub fn spant_euler_detailed<R: Rng>(
     strategy: TreeStrategy,
     rng: &mut R,
 ) -> SpanTEulerRun {
+    spant_euler_detailed_in(g, k, strategy, rng, &mut Workspace::new())
+}
+
+/// [`spant_euler`] against a caller-owned [`Workspace`] — the entry point
+/// the solve layer's contexts and portfolio workers use so scratch buffers
+/// are allocated once per owner, not once per run.
+pub fn spant_euler_in<R: Rng>(
+    g: &Graph,
+    k: usize,
+    strategy: TreeStrategy,
+    rng: &mut R,
+    ws: &mut Workspace,
+) -> EdgePartition {
+    spant_euler_detailed_in(g, k, strategy, rng, ws).partition
+}
+
+/// The pipeline body, running every stage against one borrowed [`Workspace`]
+/// (only `_in` entry points are called from here, so the borrow is threaded
+/// through every stage).
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn spant_euler_detailed_in<R: Rng>(
+    g: &Graph,
+    k: usize,
+    strategy: TreeStrategy,
+    rng: &mut R,
+    ws: &mut Workspace,
+) -> SpanTEulerRun {
     assert!(k > 0, "grooming factor must be positive");
     if g.is_empty() {
         return SpanTEulerRun {
@@ -90,19 +119,6 @@ pub fn spant_euler_detailed<R: Rng>(
             strategy,
         };
     }
-    with_workspace(|ws| spant_euler_in(g, k, strategy, rng, ws))
-}
-
-/// The pipeline body, running every stage against one borrowed [`Workspace`]
-/// (see the workspace module's re-entrancy contract: only `_in` entry points
-/// may be called from here).
-fn spant_euler_in<R: Rng>(
-    g: &Graph,
-    k: usize,
-    strategy: TreeStrategy,
-    rng: &mut R,
-    ws: &mut Workspace,
-) -> SpanTEulerRun {
     // 1. Spanning forest T.
     let forest = spanning_forest_in(g, strategy, rng, ws);
     let tree_set = EdgeSubset::from_edges(g, forest.edges.iter().copied());

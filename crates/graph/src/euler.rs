@@ -15,8 +15,9 @@
 //! historical signatures, and `_in`-suffixed variants that borrow a
 //! [`Workspace`] so repeated calls (thousands per portfolio sweep) reuse the
 //! visited/used/cursor scratch instead of allocating it per walk. The plain
-//! entry points borrow the thread-local workspace via
-//! [`crate::workspace::with_workspace`]. Traversals run on the graph's
+//! entry points simply allocate a fresh workspace per call — long-running
+//! pipelines should own a [`Workspace`] and use the `_in` variants.
+//! Traversals run on the graph's
 //! cached CSR snapshot ([`Graph::csr`]); per-node incidence order is
 //! identical to the nested adjacency, so outputs are unchanged.
 
@@ -24,7 +25,7 @@ use crate::graph::Graph;
 use crate::ids::{EdgeId, NodeId};
 use crate::view::EdgeSubset;
 use crate::walk::Walk;
-use crate::workspace::{with_workspace, StampSet, StampedCounts, Workspace};
+use crate::workspace::{StampSet, StampedCounts, Workspace};
 
 /// Why an Euler walk could not be constructed.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -157,7 +158,7 @@ pub fn euler_walk(
     subset: &EdgeSubset,
     prefer_start: Option<NodeId>,
 ) -> Result<Walk, EulerError> {
-    with_workspace(|ws| euler_walk_in(g, subset, prefer_start, ws))
+    euler_walk_in(g, subset, prefer_start, &mut Workspace::new())
 }
 
 /// [`euler_walk`] against a caller-owned [`Workspace`].
@@ -193,7 +194,7 @@ pub fn euler_walk_in(
 /// Builds one Euler walk per edge component of the subset. Every component
 /// must have at most two odd-degree nodes.
 pub fn component_euler_walks(g: &Graph, subset: &EdgeSubset) -> Result<Vec<Walk>, EulerError> {
-    with_workspace(|ws| component_euler_walks_in(g, subset, ws))
+    component_euler_walks_in(g, subset, &mut Workspace::new())
 }
 
 /// [`component_euler_walks`] against a caller-owned [`Workspace`]: one
@@ -238,7 +239,7 @@ pub fn component_euler_walks_in(
 /// same construction on a scratch multigraph and translate the resulting
 /// segments back to parent edge ids.
 pub fn trail_decomposition(g: &Graph, subset: &EdgeSubset) -> Vec<Walk> {
-    with_workspace(|ws| trail_decomposition_in(g, subset, ws))
+    trail_decomposition_in(g, subset, &mut Workspace::new())
 }
 
 /// [`trail_decomposition`] against a caller-owned [`Workspace`].

@@ -10,7 +10,7 @@
 
 use crate::graph::Graph;
 use crate::ids::{EdgeId, NodeId};
-use crate::workspace::{with_workspace, Workspace};
+use crate::workspace::Workspace;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -146,7 +146,7 @@ impl SpanningForest {
     /// Rebuilds rooted parent pointers from an unrooted tree-edge set.
     #[cfg(test)]
     fn from_edge_set(g: &Graph, tree_edges: Vec<EdgeId>) -> Self {
-        with_workspace(|ws| from_edge_set_in(g, tree_edges, ws))
+        from_edge_set_in(g, tree_edges, &mut Workspace::new())
     }
 }
 
@@ -213,7 +213,7 @@ fn from_edge_set_in(g: &Graph, tree_edges: Vec<EdgeId>, ws: &mut Workspace) -> S
 /// `rng` is consulted only by the randomized strategies; deterministic
 /// strategies ignore it.
 pub fn spanning_forest<R: Rng>(g: &Graph, strategy: TreeStrategy, rng: &mut R) -> SpanningForest {
-    with_workspace(|ws| spanning_forest_in(g, strategy, rng, ws))
+    spanning_forest_in(g, strategy, rng, &mut Workspace::new())
 }
 
 /// [`spanning_forest`] against a caller-owned [`Workspace`].

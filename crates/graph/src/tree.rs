@@ -19,7 +19,7 @@ use crate::graph::Graph;
 use crate::ids::{EdgeId, NodeId};
 use crate::spanning::SpanningForest;
 use crate::walk::Walk;
-use crate::workspace::{with_workspace, Workspace};
+use crate::workspace::Workspace;
 
 /// Edges of the unique forest path between `u` and `v`, ordered from `u`
 /// to `v`. Returns `None` if `u` and `v` lie in different trees.
@@ -109,15 +109,14 @@ fn bottom_up_order_in(forest: &SpanningForest, ws: &mut Workspace) {
 pub fn odd_parity_tree_edges(_g: &Graph, forest: &SpanningForest, marked: &[bool]) -> Vec<EdgeId> {
     let n = forest.parent.len();
     assert_eq!(marked.len(), n, "marked array must cover every node");
-    with_workspace(|ws| {
-        ws.counts.reset(n);
-        for (v, &m) in marked.iter().enumerate() {
-            if m {
-                ws.counts.set(v, 1);
-            }
+    let ws = &mut Workspace::new();
+    ws.counts.reset(n);
+    for (v, &m) in marked.iter().enumerate() {
+        if m {
+            ws.counts.set(v, 1);
         }
-        odd_parity_tree_edges_from_counts(forest, ws)
-    })
+    }
+    odd_parity_tree_edges_from_counts(forest, ws)
 }
 
 /// [`odd_parity_tree_edges`] driven by pre-seeded per-node values in
@@ -160,7 +159,7 @@ pub fn odd_parity_tree_edges_from_counts(
 ///
 /// Trees with no edges produce nothing.
 pub fn decompose_into_paths(g: &Graph, forest: &SpanningForest) -> Vec<Walk> {
-    with_workspace(|ws| decompose_into_paths_in(g, forest, ws))
+    decompose_into_paths_in(g, forest, &mut Workspace::new())
 }
 
 /// [`decompose_into_paths`] against a caller-owned [`Workspace`]: the tree

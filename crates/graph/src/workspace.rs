@@ -4,9 +4,12 @@
 //! restarts × seeds × grooming factors), and each run used to allocate a
 //! fresh visited array, parity array, BFS queue, and edge buffer per stage.
 //! A [`Workspace`] owns all of those buffers once; algorithms borrow it via
-//! `_in`-suffixed entry points, and the public entry points keep their old
-//! signatures by borrowing a thread-local workspace through
-//! [`with_workspace`].
+//! `_in`-suffixed entry points. Ownership is always explicit: a solve
+//! context (or a portfolio worker thread) owns one workspace and threads it
+//! down through every `_in` call, while the convenience wrappers without the
+//! `_in` suffix simply allocate a fresh workspace per call. There is no
+//! hidden thread-local state, so re-entrancy is a non-issue: whoever holds
+//! the `&mut Workspace` decides who borrows it next.
 //!
 //! The visited/parity arrays use the **generation-stamp trick**
 //! ([`StampSet`] / [`StampedCounts`]): instead of clearing an `n`-sized
@@ -14,19 +17,11 @@
 //! was last written, and "clearing" is a single counter bump — slots stamped
 //! with an older generation read as unset/zero. A reset is `O(1)` except
 //! when the buffer must grow or the 32-bit generation wraps (once every
-//! ~4 × 10⁹ resets, when the array is physically zeroed).
-//!
-//! # Re-entrancy contract
-//!
-//! [`with_workspace`] hands out a `RefCell` borrow of the calling thread's
-//! workspace. An `_in` function holding a `&mut Workspace` must therefore
-//! only call other `_in` functions (or workspace-free code) — calling a
-//! public wrapper that grabs the thread-local workspace again would panic on
-//! the nested borrow. Public wrappers are the *only* place the thread-local
-//! is touched.
+//! ~4 × 10⁹ resets, when the array is physically zeroed). Every reset also
+//! bumps a lifetime counter, surfaced by [`Workspace::scratch_resets`] for
+//! instrumentation.
 
 use crate::ids::{EdgeId, NodeId};
-use std::cell::RefCell;
 use std::collections::VecDeque;
 
 /// A dense set over `0..len` with `O(1)` clearing via generation stamps.
@@ -34,6 +29,7 @@ use std::collections::VecDeque;
 pub struct StampSet {
     stamp: Vec<u32>,
     gen: u32,
+    resets: u64,
 }
 
 impl StampSet {
@@ -42,11 +38,17 @@ impl StampSet {
         if self.stamp.len() < len {
             self.stamp.resize(len, 0);
         }
+        self.resets += 1;
         self.gen = self.gen.wrapping_add(1);
         if self.gen == 0 {
             self.stamp.fill(0);
             self.gen = 1;
         }
+    }
+
+    /// Lifetime reset count (instrumentation).
+    pub fn resets(&self) -> u64 {
+        self.resets
     }
 
     /// Inserts `i`; returns `true` if it was not already present.
@@ -74,6 +76,7 @@ pub struct StampedCounts {
     stamp: Vec<u32>,
     val: Vec<u32>,
     gen: u32,
+    resets: u64,
 }
 
 impl StampedCounts {
@@ -83,11 +86,17 @@ impl StampedCounts {
             self.stamp.resize(len, 0);
             self.val.resize(len, 0);
         }
+        self.resets += 1;
         self.gen = self.gen.wrapping_add(1);
         if self.gen == 0 {
             self.stamp.fill(0);
             self.gen = 1;
         }
+    }
+
+    /// Lifetime reset count (instrumentation).
+    pub fn resets(&self) -> u64 {
+        self.resets
     }
 
     /// Current value of key `i` (zero if never written this generation).
@@ -162,24 +171,19 @@ impl Workspace {
     pub fn new() -> Self {
         Workspace::default()
     }
-}
 
-thread_local! {
-    static WORKSPACE: RefCell<Workspace> = RefCell::new(Workspace::new());
-}
-
-/// Runs `f` with a mutable borrow of the calling thread's workspace.
-///
-/// # Panics
-/// Panics if called re-entrantly (from code already holding the thread's
-/// workspace) — see the module-level re-entrancy contract.
-pub fn with_workspace<T>(f: impl FnOnce(&mut Workspace) -> T) -> T {
-    WORKSPACE.with(|ws| {
-        let mut ws = ws
-            .try_borrow_mut()
-            .expect("workspace re-entrancy: an `_in` function called a public wrapper");
-        f(&mut ws)
-    })
+    /// Total generation-stamp resets across all stamped buffers — a cheap
+    /// proxy for "scratch passes executed against this workspace", used by
+    /// the solve layer's instrumentation counters.
+    pub fn scratch_resets(&self) -> u64 {
+        self.visited.resets()
+            + self.visited2.resets()
+            + self.edge_used.resets()
+            + self.counts.resets()
+            + self.counts2.resets()
+            + self.comp.resets()
+            + self.cursor.resets()
+    }
 }
 
 #[cfg(test)]
@@ -224,16 +228,22 @@ mod tests {
     }
 
     #[test]
-    fn with_workspace_reuses_buffers() {
-        let cap = with_workspace(|ws| {
-            ws.edge_buf.clear();
-            ws.edge_buf.extend((0..100u32).map(EdgeId));
-            ws.edge_buf.capacity()
-        });
-        let cap2 = with_workspace(|ws| {
-            ws.edge_buf.clear();
-            ws.edge_buf.capacity()
-        });
-        assert!(cap2 >= cap.min(100));
+    fn workspace_reuses_buffers_across_calls() {
+        let mut ws = Workspace::new();
+        ws.edge_buf.clear();
+        ws.edge_buf.extend((0..100u32).map(EdgeId));
+        let cap = ws.edge_buf.capacity();
+        ws.edge_buf.clear();
+        assert!(ws.edge_buf.capacity() >= cap.min(100));
+    }
+
+    #[test]
+    fn scratch_resets_count_every_stamped_buffer() {
+        let mut ws = Workspace::new();
+        assert_eq!(ws.scratch_resets(), 0);
+        ws.visited.reset(4);
+        ws.counts.reset(4);
+        ws.counts.reset(4);
+        assert_eq!(ws.scratch_resets(), 3);
     }
 }

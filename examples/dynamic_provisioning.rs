@@ -6,6 +6,7 @@
 
 use grooming::algorithm::Algorithm;
 use grooming::online::OnlineGroomer;
+use grooming::solve::{Instance, Plan, SolveContext, Solver};
 use grooming_graph::ids::NodeId;
 use grooming_graph::spanning::TreeStrategy;
 use grooming_sonet::cost::CostModel;
@@ -39,9 +40,18 @@ fn main() {
             groomer.add(DemandPair::new(NodeId(a), NodeId(b)));
             total += 1;
         }
-        let (online, offline) = groomer
-            .rearrange(Algorithm::SpanTEuler(TreeStrategy::Bfs), &mut rng)
+        let mut ctx = SolveContext::seeded(99 + quarter);
+        let sol = Algorithm::SpanTEuler(TreeStrategy::Bfs)
+            .solve(&Instance::online(&groomer), &mut ctx)
             .unwrap();
+        let Plan::OnlineRearrange {
+            online_sadms: online,
+            outcome,
+        } = sol.plan
+        else {
+            unreachable!("online instances yield rearrange plans");
+        };
+        let offline = outcome.report.sadm_total;
         let online_cost = model.evaluate(&groomer.assignment().report());
         println!(
             "{:>8} {:>9} {:>12} {:>12} {:>14} {:>15.0}%",

@@ -8,7 +8,7 @@
 //! Run with: `cargo run -p grooming --example metro_network`
 
 use grooming::algorithm::Algorithm;
-use grooming::network::groom_network;
+use grooming::solve::{Instance, Plan, SolveContext, Solver};
 use grooming_graph::spanning::TreeStrategy;
 use grooming_sonet::multiring::{rn, MultiRingNetwork, RingNode};
 use rand::rngs::StdRng;
@@ -40,20 +40,17 @@ fn main() {
     }
 
     let k = 16; // OC-3 tributaries on OC-48 wavelengths
-    let out = groom_network(
-        &net,
-        &demands,
-        k,
-        Algorithm::SpanTEuler(TreeStrategy::Bfs),
-        &mut rng,
-    )
-    .expect("network grooms");
+    let num_rings = net.num_rings();
+    let num_demands = demands.len();
+    let mut ctx = SolveContext::seeded(2026);
+    let sol = Algorithm::SpanTEuler(TreeStrategy::Bfs)
+        .solve(&Instance::multi_ring(net, demands, k), &mut ctx)
+        .expect("network grooms");
+    let Plan::MultiRing { grooming: out } = sol.plan else {
+        unreachable!("multi-ring instances yield network plans");
+    };
 
-    println!(
-        "metro network: {} rings, {} demands, grooming factor k = {k}\n",
-        net.num_rings(),
-        demands.len()
-    );
+    println!("metro network: {num_rings} rings, {num_demands} demands, grooming factor k = {k}\n");
     println!(
         "{:<10} {:>6} {:>8} {:>13} {:>12}",
         "ring", "nodes", "pairs", "wavelengths", "SADMs"
@@ -75,7 +72,7 @@ fn main() {
         out.total_sadms,
         out.total_wavelengths,
         out.total_segments,
-        demands.len(),
-        out.total_segments - demands.len()
+        num_demands,
+        out.total_segments - num_demands
     );
 }

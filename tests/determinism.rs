@@ -2,6 +2,10 @@
 //! results across runs, for every algorithm — reproducibility is what makes
 //! EXPERIMENTS.md's numbers auditable.
 
+// The deprecated wrappers stay covered here until they are removed: their
+// determinism contract must hold for as long as they exist.
+#![allow(deprecated)]
+
 use grooming::algorithm::Algorithm;
 use grooming::budget::groom_with_budget;
 use grooming::pipeline::groom;

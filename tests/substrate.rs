@@ -2,6 +2,9 @@
 //! protection switching, BLSR grooming, and the wavelength-budget layer —
 //! exercised together through realistic scenarios.
 
+// The deprecated wrappers stay covered here until they are removed.
+#![allow(deprecated)]
+
 use grooming::algorithm::Algorithm;
 use grooming::budget::groom_with_budget;
 use grooming::pipeline::groom;
