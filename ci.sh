@@ -10,12 +10,41 @@ cargo fmt --all --check
 echo "== cargo clippy (all targets, warnings are errors) =="
 cargo clippy --all-targets -- -D warnings
 
+echo "== guard: no non-test code calls deprecated wrappers =="
+# The solve surface superseded best_of / groom_with_budget / groom_network
+# / OnlineGroomer::rearrange. Their #[deprecated] definitions remain and
+# their own tests may call them; everything else goes through
+# grooming::solve. Scan every source file up to its first #[cfg(test)]
+# marker (test modules sit at the bottom) for surviving call sites,
+# skipping comment lines and the definitions themselves.
+guard_bad=0
+while IFS= read -r f; do
+  hits=$(awk '/#\[cfg\(test\)\]/{exit} {print FILENAME":"FNR": "$0}' "$f" \
+    | grep -E '(best_of|groom_with_budget|groom_network|\.rearrange)\(' \
+    | grep -vE '^[^:]+:[0-9]+:[[:space:]]*//' \
+    | grep -vE 'fn (best_of|groom_with_budget|groom_network|rearrange)' || true)
+  if [ -n "$hits" ]; then
+    echo "$hits"
+    guard_bad=1
+  fi
+done < <(find crates/*/src examples -name '*.rs')
+if [ "$guard_bad" -ne 0 ]; then
+  echo "error: deprecated wrapper called from non-test code (use grooming::solve)"
+  exit 1
+fi
+
 echo "== cargo build --all-targets (benches, examples, tests compile) =="
 cargo build --all-targets
 
 echo "== tier-1: cargo build --release && cargo test =="
 cargo build --release
 cargo test -q
+
+echo "== service smoke: groomd over TCP (digest-asserted transcript) =="
+# Serves a canned mixed batch on an ephemeral loopback port at 1 and 2
+# workers and asserts the response transcripts are byte-identical — the
+# service determinism contract, exercised over a real socket.
+target/release/groomd_smoke
 
 echo "== perf smoke: improvement-engine baseline (release, --fast) =="
 # Asserts bit-identity between the incremental engine and the preserved

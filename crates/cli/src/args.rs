@@ -40,10 +40,42 @@ pub enum Command {
         /// Common options.
         opts: GroomOptions,
     },
+    /// Run the long-lived grooming service (`groomd`) on a TCP listener.
+    Serve {
+        /// Service options.
+        opts: ServeOptions,
+    },
     /// List available algorithms.
     Algos,
     /// Print usage.
     Help,
+}
+
+/// Options for the `serve` command.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeOptions {
+    /// Listen address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads (`0` = one per core).
+    pub workers: usize,
+    /// Admission queue capacity in items.
+    pub queue: usize,
+    /// Master seed for per-item RNG stream derivation.
+    pub master_seed: u64,
+    /// Default per-request deadline in milliseconds.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:0".into(),
+            workers: 0,
+            queue: 256,
+            master_seed: 0,
+            deadline_ms: None,
+        }
+    }
 }
 
 /// Options shared by the grooming commands.
@@ -113,20 +145,10 @@ pub enum PatternKind {
     },
 }
 
-/// Algorithm names accepted by `--algo`.
+/// Algorithm names accepted by `--algo` (shared with the `groomd` wire
+/// protocol through [`Algorithm::by_name`]).
 pub fn algorithm_by_name(name: &str) -> Option<Algorithm> {
-    Some(match name {
-        "goldschmidt" | "algo1" => Algorithm::Goldschmidt,
-        "brauner" | "algo2" => Algorithm::Brauner,
-        "wang-gu" | "wanggu" | "algo3" => Algorithm::WangGuIcc06,
-        "spant-euler" | "spant" => Algorithm::SpanTEuler(TreeStrategy::Bfs),
-        "spant-refined" | "refined" => Algorithm::SpanTEulerRefined(TreeStrategy::Bfs),
-        "regular-euler" | "regular" => Algorithm::RegularEuler,
-        "clique-first" | "clique" => Algorithm::CliqueFirst,
-        "dense-first" | "dense" => Algorithm::DenseFirst,
-        "auto" | "portfolio" => Algorithm::Portfolio,
-        _ => return None,
-    })
+    Algorithm::by_name(name)
 }
 
 /// All `--algo` spellings, for help text and the `algos` command.
@@ -318,8 +340,39 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             };
             Ok(Command::Pattern { n, kind, opts })
         }
+        "serve" => {
+            let mut opts = ServeOptions::default();
+            while let Some(arg) = it.next() {
+                let flag = arg.as_str();
+                let value = it
+                    .next()
+                    .ok_or_else(|| ParseError(format!("{flag} needs a value")))?;
+                match flag {
+                    "--addr" => opts.addr = value.to_string(),
+                    "--workers" => opts.workers = parse_num(flag, value)?,
+                    "--queue" => {
+                        opts.queue = parse_num(flag, value)?;
+                        if opts.queue == 0 {
+                            return Err(ParseError("--queue must be positive".into()));
+                        }
+                    }
+                    "--master-seed" => {
+                        opts.master_seed = value
+                            .parse()
+                            .map_err(|_| ParseError("--master-seed needs an integer".to_string()))?
+                    }
+                    "--deadline-ms" => {
+                        opts.deadline_ms = Some(value.parse().map_err(|_| {
+                            ParseError("--deadline-ms needs an integer".to_string())
+                        })?)
+                    }
+                    _ => return Err(ParseError(format!("unknown flag {flag:?} for serve"))),
+                }
+            }
+            Ok(Command::Serve { opts })
+        }
         other => Err(ParseError(format!(
-            "unknown command {other:?} (try: groom, random, regular, algos, help)"
+            "unknown command {other:?} (try: groom, random, regular, serve, algos, help)"
         ))),
     }
 }
@@ -408,6 +461,8 @@ USAGE:
                                                 all-to-all | locality (--m M
                                                 [--alpha A]) | hubbed
                                                 (--hubs a,b,...)
+  upsr-groom serve [OPTIONS]                    run the grooming service
+                                                (groomd) on a TCP listener
   upsr-groom algos                              list algorithms
   upsr-groom help                               this text
 
@@ -428,6 +483,18 @@ OPTIONS:
   --analyze      print the analytic breakdown (histograms, hot nodes, gap)
   --dot FILE     write a Graphviz rendering (edges colored by wavelength)
   --compare      run every applicable algorithm and compare
+
+SERVE OPTIONS:
+  --addr A       listen address (default 127.0.0.1:0 = ephemeral port;
+                 the bound address is printed on startup)
+  --workers N    solve worker threads (0 = one per core; default 0).
+                 Worker count never changes a response, only throughput
+  --queue C      admission queue capacity in items (default 256);
+                 over-capacity batches are rejected, never buffered
+  --master-seed S  master seed for per-item RNG streams (default 0)
+  --deadline-ms T  default per-request deadline (requests may override)
+  Type `quit` on stdin (or send the SHUTDOWN verb) for a graceful,
+  draining shutdown.
 
 FILE FORMATS:
   edge list: line 1 `n m`, then m lines `u v` (0-based), `#` comments.
@@ -580,6 +647,33 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert!(parse(&argv("random --n 12 --m 30 --deadline-ms soon")).is_err());
+    }
+
+    #[test]
+    fn parses_serve_command() {
+        assert_eq!(
+            parse(&argv("serve")).unwrap(),
+            Command::Serve {
+                opts: ServeOptions::default()
+            }
+        );
+        match parse(&argv(
+            "serve --addr 127.0.0.1:7045 --workers 4 --queue 64 --master-seed 9 --deadline-ms 500",
+        ))
+        .unwrap()
+        {
+            Command::Serve { opts } => {
+                assert_eq!(opts.addr, "127.0.0.1:7045");
+                assert_eq!(opts.workers, 4);
+                assert_eq!(opts.queue, 64);
+                assert_eq!(opts.master_seed, 9);
+                assert_eq!(opts.deadline_ms, Some(500));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("serve --queue 0")).is_err());
+        assert!(parse(&argv("serve --addr")).is_err());
+        assert!(parse(&argv("serve --bogus 1")).is_err());
     }
 
     #[test]

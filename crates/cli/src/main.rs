@@ -98,7 +98,98 @@ fn main() {
             };
             run(&demands, &opts);
         }
+        Command::Serve { opts } => run_serve(&opts),
     }
+}
+
+/// The `serve` command: run groomd on a TCP listener until a graceful
+/// shutdown is requested — either the wire `SHUTDOWN` verb from any
+/// connection or a `quit` line on stdin. (No signal handler: the
+/// workspace forbids unsafe code and the environment has no signal crate,
+/// so Ctrl-C is an abrupt exit; use `quit`/`SHUTDOWN` to drain.)
+fn run_serve(opts: &args::ServeOptions) {
+    use grooming_service::{tcp, Service, ServiceConfig};
+
+    // `ServiceConfig` is non_exhaustive: built by mutating the default.
+    #[allow(clippy::field_reassign_with_default)]
+    let config = {
+        let mut config = ServiceConfig::default();
+        config.workers = opts.workers;
+        config.queue_capacity = opts.queue;
+        config.master_seed = opts.master_seed;
+        config.default_deadline = opts.deadline_ms.map(Duration::from_millis);
+        config
+    };
+    let service = Service::start(config);
+
+    let listener = match std::net::TcpListener::bind(&opts.addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", opts.addr);
+            std::process::exit(1);
+        }
+    };
+    let server = match tcp::serve(listener, &service) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot start server: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "groomd listening on {} ({} worker(s), queue capacity {} item(s), master seed {})",
+        server.addr(),
+        service.workers(),
+        opts.queue,
+        opts.master_seed
+    );
+    println!("type `quit` to drain and exit (or send the SHUTDOWN verb)");
+
+    // Watch stdin for `quit`. EOF only stops the watcher — a backgrounded
+    // server with a closed stdin keeps serving until wire SHUTDOWN.
+    {
+        let service = service.clone();
+        std::thread::Builder::new()
+            .name("groomd-stdin".into())
+            .spawn(move || {
+                let stdin = std::io::stdin();
+                let mut line = String::new();
+                loop {
+                    line.clear();
+                    match stdin.read_line(&mut line) {
+                        Ok(0) | Err(_) => return,
+                        Ok(_) => {
+                            let word = line.trim();
+                            if word.eq_ignore_ascii_case("quit")
+                                || word.eq_ignore_ascii_case("shutdown")
+                            {
+                                service.begin_shutdown();
+                                return;
+                            }
+                        }
+                    }
+                }
+            })
+            .expect("spawn stdin watcher");
+    }
+
+    server.join();
+    let snapshot = service.shutdown();
+    let c = &snapshot.counters;
+    println!(
+        "groomd drained: {} request(s) accepted, {} item(s) completed \
+         ({} failed, {} timed out, {} cancelled), {} request(s) rejected",
+        c.accepted_requests,
+        c.completed_items,
+        c.failed_items,
+        c.timed_out_items,
+        c.cancelled_items,
+        c.rejected_requests
+    );
+    println!(
+        "solve totals: {} attempt(s), {} swap(s) evaluated, {} scratch reset(s)",
+        snapshot.solve.attempts, snapshot.solve.swaps_evaluated, snapshot.solve.scratch_resets
+    );
 }
 
 fn run(demands: &DemandSet, opts: &GroomOptions) {

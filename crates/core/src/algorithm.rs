@@ -73,6 +73,41 @@ impl Algorithm {
         }
     }
 
+    /// Resolves a CLI/wire spelling (`spant-euler`, `auto`, `algo2`, …) to
+    /// an algorithm — the inverse direction of [`Algorithm::name`], shared
+    /// by the `upsr-groom` argument parser and the `groomd` wire protocol.
+    pub fn by_name(name: &str) -> Option<Algorithm> {
+        Some(match name {
+            "goldschmidt" | "algo1" => Algorithm::Goldschmidt,
+            "brauner" | "algo2" => Algorithm::Brauner,
+            "wang-gu" | "wanggu" | "algo3" => Algorithm::WangGuIcc06,
+            "spant-euler" | "spant" => Algorithm::SpanTEuler(TreeStrategy::Bfs),
+            "spant-refined" | "refined" => Algorithm::SpanTEulerRefined(TreeStrategy::Bfs),
+            "regular-euler" | "regular" => Algorithm::RegularEuler,
+            "clique-first" | "clique" => Algorithm::CliqueFirst,
+            "dense-first" | "dense" => Algorithm::DenseFirst,
+            "auto" | "portfolio" => Algorithm::Portfolio,
+            _ => return None,
+        })
+    }
+
+    /// The canonical CLI/wire spelling — round-trips through
+    /// [`Algorithm::by_name`]. Tree-strategy variants flatten to their
+    /// canonical (BFS) spelling: the wire does not distinguish strategies.
+    pub fn wire_name(&self) -> &'static str {
+        match self {
+            Algorithm::Goldschmidt => "goldschmidt",
+            Algorithm::Brauner => "brauner",
+            Algorithm::WangGuIcc06 => "wang-gu",
+            Algorithm::SpanTEuler(_) => "spant-euler",
+            Algorithm::SpanTEulerRefined(_) => "spant-refined",
+            Algorithm::RegularEuler => "regular-euler",
+            Algorithm::CliqueFirst => "clique-first",
+            Algorithm::DenseFirst => "dense-first",
+            Algorithm::Portfolio => "auto",
+        }
+    }
+
     /// A stable identity for seed derivation and tie-breaking in the
     /// portfolio engine: unlike a portfolio index, it never changes when
     /// entries are reordered, added, or removed. See

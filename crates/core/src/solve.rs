@@ -92,6 +92,20 @@ impl SolveStats {
     pub fn total_wall_time(&self) -> Duration {
         self.stages.iter().map(|(_, d)| *d).sum()
     }
+
+    /// Folds `other` into `self`: counters add, stage records append.
+    ///
+    /// This is the reduction a multi-worker service uses to aggregate
+    /// per-worker stats into one snapshot — counter totals are
+    /// order-independent, while the stage list keeps whatever interleaving
+    /// the merge order produced (it is informational, like the durations
+    /// it carries).
+    pub fn merge(&mut self, other: &SolveStats) {
+        self.attempts += other.attempts;
+        self.swaps_evaluated += other.swaps_evaluated;
+        self.scratch_resets += other.scratch_resets;
+        self.stages.extend(other.stages.iter().copied());
+    }
 }
 
 /// Everything one solve needs (RNG stream, scratch workspace, deadline,
@@ -146,6 +160,28 @@ impl SolveContext {
     /// Sets the deadline `timeout` from now ([`Self::with_deadline`]).
     pub fn with_timeout(self, timeout: Duration) -> Self {
         self.with_deadline(Instant::now() + timeout)
+    }
+
+    /// Replaces the scratch workspace — the handle a worker pool uses to
+    /// thread one *warm* [`Workspace`] through many short-lived contexts
+    /// (pair with [`Self::into_workspace`] to get it back). Workspace
+    /// contents never influence results, only allocation traffic.
+    pub fn with_workspace(mut self, workspace: Workspace) -> Self {
+        self.workspace = workspace;
+        self
+    }
+
+    /// Consumes the context, returning its workspace for reuse.
+    pub fn into_workspace(self) -> Workspace {
+        self.workspace
+    }
+
+    /// Replaces the cancel flag with a shared one, so one external switch
+    /// (a service's shutdown latch) cancels every context it was installed
+    /// into. Checked at the same attempt boundaries as the deadline.
+    pub fn with_cancel_flag(mut self, cancel: Arc<AtomicBool>) -> Self {
+        self.cancel = cancel;
+        self
     }
 
     /// Replaces the config.
@@ -924,6 +960,97 @@ mod tests {
         assert_eq!(ctx.stats().stages.len(), 2);
         assert_eq!(ctx.stats().stages[0].0, "upsr");
         assert!(ctx.stats().scratch_resets > 0);
+    }
+
+    #[test]
+    fn stats_merge_sums_counters_and_appends_stages() {
+        // Simulate three workers' stats and fold them into one snapshot:
+        // merged counters must equal the per-worker sums exactly.
+        let workers = [
+            SolveStats {
+                attempts: 3,
+                swaps_evaluated: 100,
+                scratch_resets: 7,
+                stages: vec![("upsr", Duration::from_millis(1))],
+                ..SolveStats::default()
+            },
+            SolveStats {
+                attempts: 0,
+                swaps_evaluated: 0,
+                scratch_resets: 0,
+                stages: vec![],
+                ..SolveStats::default()
+            },
+            SolveStats {
+                attempts: 5,
+                swaps_evaluated: 41,
+                scratch_resets: 11,
+                stages: vec![
+                    ("ring", Duration::from_millis(2)),
+                    ("blsr", Duration::from_millis(3)),
+                ],
+                ..SolveStats::default()
+            },
+        ];
+        let mut merged = SolveStats::default();
+        for w in &workers {
+            merged.merge(w);
+        }
+        assert_eq!(merged.attempts, workers.iter().map(|w| w.attempts).sum());
+        assert_eq!(
+            merged.swaps_evaluated,
+            workers.iter().map(|w| w.swaps_evaluated).sum()
+        );
+        assert_eq!(
+            merged.scratch_resets,
+            workers.iter().map(|w| w.scratch_resets).sum()
+        );
+        assert_eq!(
+            merged.stages.len(),
+            workers.iter().map(|w| w.stages.len()).sum()
+        );
+        assert_eq!(
+            merged.total_wall_time(),
+            workers.iter().map(|w| w.total_wall_time()).sum()
+        );
+    }
+
+    #[test]
+    fn workspace_round_trips_warm_through_contexts() {
+        let g = graph(13);
+        let mut ctx = SolveContext::seeded(13);
+        Algorithm::Brauner
+            .solve(&Instance::upsr(g.clone(), 4), &mut ctx)
+            .unwrap();
+        let warm = ctx.into_workspace();
+        let resets_before = warm.scratch_resets();
+        assert!(resets_before > 0);
+        // A second context adopting the warm workspace keeps its counters
+        // and produces the same plan as a cold one (scratch never affects
+        // results).
+        let mut ctx2 = SolveContext::seeded(13).with_workspace(warm);
+        let sol2 = Algorithm::Brauner
+            .solve(&Instance::upsr(g.clone(), 4), &mut ctx2)
+            .unwrap();
+        let mut cold = SolveContext::seeded(13);
+        let sol_cold = Algorithm::Brauner
+            .solve(&Instance::upsr(g, 4), &mut cold)
+            .unwrap();
+        assert_eq!(
+            sol2.plan.partition().unwrap().parts(),
+            sol_cold.plan.partition().unwrap().parts()
+        );
+        assert!(ctx2.into_workspace().scratch_resets() > resets_before);
+    }
+
+    #[test]
+    fn shared_cancel_flag_cancels_adopting_context() {
+        let shared = Arc::new(AtomicBool::new(false));
+        let ctx = SolveContext::seeded(1).with_cancel_flag(Arc::clone(&shared));
+        assert!(!ctx.cancelled());
+        shared.store(true, Ordering::Relaxed);
+        assert!(ctx.cancelled());
+        assert!(ctx.expired());
     }
 
     #[test]

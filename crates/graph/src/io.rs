@@ -14,11 +14,16 @@
 use crate::graph::Graph;
 use crate::ids::NodeId;
 
-/// Errors from [`parse_edge_list`].
+/// Errors from [`parse_edge_list`], [`parse_demand_list`], and friends.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseError {
     /// The `n m` header line is missing or malformed.
     BadHeader(String),
+    /// The format version is not one this build understands.
+    UnsupportedVersion {
+        /// The version token found in the header.
+        found: String,
+    },
     /// An edge line is malformed.
     BadEdge {
         /// 1-based line number.
@@ -28,6 +33,13 @@ pub enum ParseError {
     },
     /// An endpoint is out of the declared node range or is a self-loop.
     BadEndpoint {
+        /// 1-based line number.
+        line: usize,
+        /// Offending line content.
+        content: String,
+    },
+    /// A demand entry carries an invalid unit count (zero or unparsable).
+    BadUnits {
         /// 1-based line number.
         line: usize,
         /// Offending line content.
@@ -46,11 +58,17 @@ impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ParseError::BadHeader(s) => write!(f, "bad header line: {s:?}"),
+            ParseError::UnsupportedVersion { found } => {
+                write!(f, "unsupported format version {found:?}")
+            }
             ParseError::BadEdge { line, content } => {
                 write!(f, "bad edge on line {line}: {content:?}")
             }
             ParseError::BadEndpoint { line, content } => {
                 write!(f, "bad endpoint on line {line}: {content:?}")
+            }
+            ParseError::BadUnits { line, content } => {
+                write!(f, "bad unit count on line {line}: {content:?}")
             }
             ParseError::EdgeCountMismatch { declared, found } => {
                 write!(f, "header declares {declared} edges, found {found}")
@@ -127,6 +145,154 @@ pub fn parse_edge_list(text: &str) -> Result<Graph, ParseError> {
         return Err(ParseError::EdgeCountMismatch { declared: m, found });
     }
     Ok(g)
+}
+
+// ---------------------------------------------------------------------------
+// demand lists: the versioned wire format for (weighted) demand sets
+// ---------------------------------------------------------------------------
+//
+// The grooming service ships demand sets over a newline-delimited text
+// protocol; this is the instance payload it speaks. The format is
+// explicitly versioned so the wire protocol can evolve without silently
+// misreading old captures:
+//
+// ```text
+// demands v1 <n> <m>
+// u v          # one unit of symmetric demand between u and v
+// u v units    # `units` units (weighted entry; units >= 1)
+// ```
+//
+// `#` comments and blank lines are ignored, endpoints are 0-based and must
+// be distinct and `< n`, and exactly `m` entry lines must follow the
+// header. A demand set is graph-shaped (one parallel edge per unit), but
+// the list is kept as raw `(u, v, units)` triples so this crate stays
+// ignorant of the SONET-side `DemandSet`/`WeightedDemandSet` types — the
+// caller decides whether to expand units into parallel edges.
+
+/// The magic+version token opening a [`parse_demand_list`] payload.
+pub const DEMAND_LIST_V1: &str = "demands v1";
+
+/// A parsed (possibly weighted) demand list: `n` ring nodes and `(u, v,
+/// units)` entries in input order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DemandList {
+    /// Number of ring nodes.
+    pub nodes: usize,
+    /// `(u, v, units)` triples, `u != v`, both `< nodes`, `units >= 1`.
+    pub entries: Vec<(u32, u32, u32)>,
+}
+
+impl DemandList {
+    /// Total demand units (entries weighted by their unit count).
+    pub fn total_units(&self) -> u64 {
+        self.entries.iter().map(|&(_, _, u)| u as u64).sum()
+    }
+}
+
+/// Serializes a demand list in canonical v1 form (unit entries omit the
+/// trailing `1`), the inverse of [`parse_demand_list`].
+pub fn format_demand_list(list: &DemandList) -> String {
+    let mut out = String::with_capacity(24 + 8 * list.entries.len());
+    out.push_str(&format!(
+        "{DEMAND_LIST_V1} {} {}\n",
+        list.nodes,
+        list.entries.len()
+    ));
+    for &(u, v, units) in &list.entries {
+        if units == 1 {
+            out.push_str(&format!("{u} {v}\n"));
+        } else {
+            out.push_str(&format!("{u} {v} {units}\n"));
+        }
+    }
+    out
+}
+
+/// Parses the versioned demand-list format. Malformed input — including
+/// unknown versions, self-demands, out-of-range endpoints, zero units, and
+/// count mismatches — returns `Err`; this function never panics.
+pub fn parse_demand_list(text: &str) -> Result<DemandList, ParseError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| ParseError::BadHeader("<empty input>".into()))?;
+    let mut parts = header.split_whitespace();
+    if parts.next() != Some("demands") {
+        return Err(ParseError::BadHeader(header.into()));
+    }
+    let version = parts
+        .next()
+        .ok_or_else(|| ParseError::BadHeader(header.into()))?;
+    if version != "v1" {
+        return Err(ParseError::UnsupportedVersion {
+            found: version.into(),
+        });
+    }
+    let n: usize = parts
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| ParseError::BadHeader(header.into()))?;
+    let m: usize = parts
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| ParseError::BadHeader(header.into()))?;
+    if parts.next().is_some() {
+        return Err(ParseError::BadHeader(header.into()));
+    }
+
+    let mut entries = Vec::new();
+    for (line_no, line) in lines {
+        let mut toks = line.split_whitespace();
+        let (u, v) = match (
+            toks.next().and_then(|t| t.parse::<u32>().ok()),
+            toks.next().and_then(|t| t.parse::<u32>().ok()),
+        ) {
+            (Some(u), Some(v)) => (u, v),
+            _ => {
+                return Err(ParseError::BadEdge {
+                    line: line_no,
+                    content: line.into(),
+                })
+            }
+        };
+        let units = match toks.next() {
+            None => 1,
+            Some(tok) => match tok.parse::<u32>() {
+                Ok(u) if u >= 1 => u,
+                _ => {
+                    return Err(ParseError::BadUnits {
+                        line: line_no,
+                        content: line.into(),
+                    })
+                }
+            },
+        };
+        if toks.next().is_some() {
+            return Err(ParseError::BadEdge {
+                line: line_no,
+                content: line.into(),
+            });
+        }
+        if u as usize >= n || v as usize >= n || u == v {
+            return Err(ParseError::BadEndpoint {
+                line: line_no,
+                content: line.into(),
+            });
+        }
+        entries.push((u, v, units));
+    }
+    if entries.len() != m {
+        return Err(ParseError::EdgeCountMismatch {
+            declared: m,
+            found: entries.len(),
+        });
+    }
+    Ok(DemandList { nodes: n, entries })
 }
 
 /// Serializes a graph to Graphviz DOT, with an optional color class per
@@ -446,5 +612,126 @@ mod tests {
                 found: 1
             })
         ));
+    }
+
+    #[test]
+    fn demand_list_round_trips_with_comments_and_weights() {
+        let text = "# metro demands\ndemands v1 6 3\n0 3\n\n2 1 4\n# trailing\n5 0 1\n";
+        let list = parse_demand_list(text).unwrap();
+        assert_eq!(list.nodes, 6);
+        assert_eq!(list.entries, vec![(0, 3, 1), (2, 1, 4), (5, 0, 1)]);
+        assert_eq!(list.total_units(), 6);
+        // Canonical form: unit entries drop the trailing `1`.
+        let canonical = format_demand_list(&list);
+        assert_eq!(canonical, "demands v1 6 3\n0 3\n2 1 4\n5 0\n");
+        assert_eq!(parse_demand_list(&canonical).unwrap(), list);
+    }
+
+    #[test]
+    fn demand_list_rejects_malformed_input() {
+        // Every adversarial case is an Err, never a panic.
+        for (case, text) in [
+            ("empty", ""),
+            ("not demands", "edges v1 3 1\n0 1\n"),
+            ("missing version", "demands\n"),
+            ("future version", "demands v2 3 1\n0 1\n"),
+            ("junk version", "demands vx 3 1\n0 1\n"),
+            ("missing counts", "demands v1 3\n"),
+            ("extra header field", "demands v1 3 1 9\n0 1\n"),
+            ("negative n", "demands v1 -3 1\n0 1\n"),
+            (
+                "huge n overflow",
+                "demands v1 99999999999999999999 1\n0 1\n",
+            ),
+            ("one endpoint", "demands v1 3 1\n0\n"),
+            ("non-numeric endpoint", "demands v1 3 1\n0 x\n"),
+            ("four fields", "demands v1 3 1\n0 1 2 3\n"),
+            ("out of range", "demands v1 3 1\n0 3\n"),
+            ("self demand", "demands v1 3 1\n1 1\n"),
+            ("zero units", "demands v1 3 1\n0 1 0\n"),
+            ("negative units", "demands v1 3 1\n0 1 -2\n"),
+            ("units overflow", "demands v1 3 1\n0 1 5000000000\n"),
+            ("too few entries", "demands v1 3 2\n0 1\n"),
+            ("too many entries", "demands v1 3 1\n0 1\n1 2\n"),
+        ] {
+            assert!(parse_demand_list(text).is_err(), "case {case:?}");
+        }
+        assert!(matches!(
+            parse_demand_list("demands v7 2 0\n"),
+            Err(ParseError::UnsupportedVersion { found }) if found == "v7"
+        ));
+        assert!(matches!(
+            parse_demand_list("demands v1 3 1\n0 1 0\n"),
+            Err(ParseError::BadUnits { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_demand_list_round_trips() {
+        let list = DemandList {
+            nodes: 4,
+            entries: vec![],
+        };
+        let text = format_demand_list(&list);
+        assert_eq!(parse_demand_list(&text).unwrap(), list);
+        assert_eq!(list.total_units(), 0);
+    }
+}
+
+#[cfg(test)]
+mod demand_list_props {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    /// A random demand list: `n` in 2..=40, up to 60 entries, units 1..=9.
+    fn arb_demand_list() -> impl Strategy<Value = DemandList> {
+        (2usize..=40, 0usize..=60, any::<u64>()).prop_map(|(n, m, seed)| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let entries = (0..m)
+                .map(|_| {
+                    let u = rng.gen_range(0..n as u32);
+                    let v = loop {
+                        let v = rng.gen_range(0..n as u32);
+                        if v != u {
+                            break v;
+                        }
+                    };
+                    (u, v, rng.gen_range(1..=9u32))
+                })
+                .collect();
+            DemandList { nodes: n, entries }
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn demand_list_round_trip(list in arb_demand_list()) {
+            let text = format_demand_list(&list);
+            let back = parse_demand_list(&text).unwrap();
+            prop_assert_eq!(&back, &list);
+            // Serialization is canonical: a second round trip is bytewise
+            // stable.
+            prop_assert_eq!(format_demand_list(&back), text);
+        }
+
+        #[test]
+        fn demand_list_parse_never_panics_on_mutations(
+            list in arb_demand_list(),
+            flip in any::<u64>(),
+        ) {
+            // Corrupt one byte of a valid serialization; the parser must
+            // return (Ok or Err), not panic.
+            let mut bytes = format_demand_list(&list).into_bytes();
+            if !bytes.is_empty() {
+                let i = (flip as usize) % bytes.len();
+                bytes[i] = bytes[i].wrapping_add((flip >> 32) as u8 | 1);
+            }
+            if let Ok(text) = String::from_utf8(bytes) {
+                let _ = parse_demand_list(&text);
+            }
+        }
     }
 }

@@ -1,0 +1,139 @@
+//! CI smoke for groomd's TCP path: serve a canned batch on an ephemeral
+//! loopback port at two worker counts and assert the response transcripts
+//! are byte-identical (printed as an FNV-1a digest). Exercises, over a
+//! real socket: PING, a mixed BATCH, STATS, SHUTDOWN, and the drain.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+use grooming_service::{tcp, Service, ServiceConfig};
+
+/// A mixed-kind batch in the wire grammar — the canned workload.
+const CANNED_BATCH: &str = "\
+BATCH id=100 count=3
+ITEM upsr k=4
+demands v1 8 12
+0 1
+0 3
+1 2
+1 5
+2 3
+2 6
+3 4
+4 5
+4 7
+5 6
+6 7
+0 7
+ITEM ring k=3
+demands v1 7 8
+0 2
+0 4
+1 3
+1 5
+2 6
+3 5
+4 6
+2 5
+ITEM weighted k=4
+demands v1 6 4
+0 3 3
+1 4 2
+2 5 1
+0 2
+END
+";
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn read_line(reader: &mut BufReader<TcpStream>) -> String {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line).expect("read from groomd");
+    assert!(n > 0, "groomd hung up early");
+    line
+}
+
+/// One full client session over TCP; returns the batch transcript.
+fn run_once(workers: usize) -> String {
+    // `ServiceConfig` is non_exhaustive, so from this bin crate it can only
+    // be built by mutating the default.
+    #[allow(clippy::field_reassign_with_default)]
+    let config = {
+        let mut config = ServiceConfig::default();
+        config.workers = workers;
+        config.master_seed = 2006;
+        config
+    };
+    let service = Service::start(config);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let server = tcp::serve(listener, &service).expect("start server");
+
+    let stream = TcpStream::connect(server.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    writer.write_all(b"PING\n").unwrap();
+    assert_eq!(read_line(&mut reader), "PONG\n");
+
+    writer.write_all(CANNED_BATCH.as_bytes()).unwrap();
+    let mut transcript = String::new();
+    loop {
+        let line = read_line(&mut reader);
+        let done = line == "END\n";
+        transcript.push_str(&line);
+        if done {
+            break;
+        }
+    }
+
+    writer.write_all(b"STATS\n").unwrap();
+    let stats = read_line(&mut reader);
+    assert!(
+        stats.starts_with("STATS accepted_requests=1 accepted_items=3 "),
+        "unexpected stats line: {stats:?}"
+    );
+
+    writer.write_all(b"SHUTDOWN\n").unwrap();
+    assert_eq!(read_line(&mut reader), "BYE\n");
+    server.join();
+    let snapshot = service.shutdown();
+    assert_eq!(snapshot.counters.completed_items, 3, "drain lost items");
+    assert_eq!(snapshot.queue_depth, 0);
+
+    transcript
+}
+
+fn main() {
+    let first = run_once(1);
+    assert!(
+        first.starts_with("RESULT 100 count=3\nPLAN 0 sadms="),
+        "unexpected transcript: {first:?}"
+    );
+    assert!(
+        !first.contains("ERROR"),
+        "canned batch must solve: {first:?}"
+    );
+
+    let second = run_once(2);
+    assert_eq!(
+        fnv1a(first.as_bytes()),
+        fnv1a(second.as_bytes()),
+        "transcripts diverged across worker counts:\n--- 1 worker ---\n{first}--- 2 workers ---\n{second}"
+    );
+    println!(
+        "groomd smoke OK: {} transcript bytes, digest 0x{:016x} at 1 and 2 workers",
+        first.len(),
+        fnv1a(first.as_bytes())
+    );
+}

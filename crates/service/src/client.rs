@@ -1,0 +1,95 @@
+//! The in-process client: the request → response cycle without sockets.
+//!
+//! Tests and examples drive the service through this client so the
+//! determinism contract (byte-identical transcripts at any worker count)
+//! can be asserted without any networking in the loop — the TCP path in
+//! [`crate::tcp`] formats responses with the *same*
+//! [`crate::protocol::format_batch_response`], so an in-process transcript
+//! is exactly what a socket client would have read.
+
+use std::time::Duration;
+
+use grooming::algorithm::Algorithm;
+use grooming::solve::Instance;
+
+use crate::protocol;
+use crate::service::{BatchResponse, Request, Service, StatsSnapshot, SubmitError, Ticket};
+
+/// Per-submission options (all optional).
+#[derive(Clone, Debug, Default)]
+#[non_exhaustive]
+pub struct RequestOptions {
+    /// Explicit request id; `None` takes the client's next sequential id.
+    pub id: Option<u64>,
+    /// Per-request deadline (queue wait counts against it).
+    pub deadline: Option<Duration>,
+    /// Solver override; `None` runs the default portfolio.
+    pub algo: Option<Algorithm>,
+}
+
+/// A thin, id-assigning front end over a [`Service`] handle.
+pub struct Client {
+    service: Service,
+    next_id: u64,
+}
+
+impl Client {
+    /// A client over `service`, assigning request ids from 1 upward.
+    pub fn new(service: &Service) -> Self {
+        Client {
+            service: service.clone(),
+            next_id: 1,
+        }
+    }
+
+    /// Submits a batch without waiting; the returned [`Ticket`] resolves
+    /// exactly once.
+    pub fn submit(
+        &mut self,
+        items: Vec<Instance>,
+        options: RequestOptions,
+    ) -> Result<Ticket, SubmitError> {
+        let id = options.id.unwrap_or_else(|| {
+            let id = self.next_id;
+            self.next_id += 1;
+            id
+        });
+        self.service.submit(Request {
+            id,
+            items,
+            deadline: options.deadline,
+            algo: options.algo,
+        })
+    }
+
+    /// Submits a batch and blocks for its response.
+    pub fn solve_batch(
+        &mut self,
+        items: Vec<Instance>,
+        options: RequestOptions,
+    ) -> Result<BatchResponse, SubmitError> {
+        Ok(self.submit(items, options)?.wait())
+    }
+
+    /// Submits a batch and returns the response formatted exactly as the
+    /// TCP server would have written it — the transcript the determinism
+    /// tests compare byte for byte.
+    pub fn solve_transcript(
+        &mut self,
+        items: Vec<Instance>,
+        options: RequestOptions,
+    ) -> Result<String, SubmitError> {
+        self.solve_batch(items, options)
+            .map(|r| protocol::format_batch_response(&r))
+    }
+
+    /// The service's current stats snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.service.stats()
+    }
+
+    /// The underlying service handle.
+    pub fn service(&self) -> &Service {
+        &self.service
+    }
+}

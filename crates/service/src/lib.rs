@@ -1,0 +1,52 @@
+//! `groomd` — a long-running grooming solve service.
+//!
+//! Everything below PR 4's solve surface treats a grooming run as a batch
+//! computation: build a [`grooming::solve::SolveContext`], solve, exit.
+//! This crate turns that surface into a *service*: a resident process that
+//! admits demand-set requests, solves them on a worker pool, and returns
+//! groomed plans — the shape an operator actually provisions traffic with.
+//!
+//! The pieces, bottom to top:
+//!
+//! * [`service`] — the core: a **bounded admission queue** with explicit
+//!   backpressure (an over-capacity submission gets a
+//!   [`service::SubmitError::QueueFull`] reply carrying the queue depth —
+//!   the service never buffers unbounded memory and never blocks the
+//!   submitter), a **worker pool** of std threads each owning one warm
+//!   [`grooming_graph::workspace::Workspace`], **per-request deadlines**
+//!   mapped onto the context's deadline/cancel machinery (an expired
+//!   request still returns its best-so-far plan flagged `timed_out`), and
+//!   **graceful shutdown** (stop admitting, flip the shared cancel flag so
+//!   in-flight solves cut at their next attempt boundary, drain every
+//!   accepted request exactly once, snapshot the stats).
+//! * [`client`] — the in-process [`client::Client`]: the same request →
+//!   response cycle without sockets, used by tests and examples to assert
+//!   determinism bit for bit.
+//! * [`protocol`] — the hand-rolled newline-delimited text protocol (no
+//!   serde): `BATCH`/`STATS`/`PING`/`SHUTDOWN` verbs, instance payloads in
+//!   the versioned demand-list format of [`grooming_graph::io`].
+//! * [`tcp`] — the same core served over a loopback
+//!   [`std::net::TcpListener`] (the CLI's `serve` subcommand).
+//!
+//! # Determinism contract
+//!
+//! Every item of every request owns an independent RNG stream derived
+//! order-free from `(master_seed, request_id, item_index)` by a SplitMix64
+//! finalizer ([`service::item_seed`]) — the same discipline the portfolio
+//! engine uses for its attempts. No worker shares RNG state with any
+//! other, and batch responses are re-assembled in submission order, so a
+//! given `(batch, master_seed)` yields a byte-identical response
+//! transcript at *any* worker count.
+
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod protocol;
+pub mod service;
+pub mod tcp;
+
+pub use client::{Client, RequestOptions};
+pub use service::{
+    item_seed, BatchResponse, ItemError, ItemOutcome, Request, Service, ServiceConfig,
+    ServiceCounters, StatsSnapshot, SubmitError, Ticket,
+};

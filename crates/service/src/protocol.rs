@@ -1,0 +1,835 @@
+//! The hand-rolled newline-delimited wire protocol.
+//!
+//! One request per block, one verb per line, demand payloads in the
+//! versioned demand-list format of [`grooming_graph::io`]. No serde, no
+//! framing bytes — a transcript is readable with `nc` and diffable with
+//! `diff`, which is exactly how the determinism contract is asserted.
+//!
+//! # Requests
+//!
+//! ```text
+//! PING
+//! STATS
+//! SHUTDOWN
+//! BATCH id=<u64> count=<N> [deadline_ms=<D>] [algo=<name>]
+//!   ⟨N × item stanza⟩
+//! END
+//! ```
+//!
+//! Each item stanza is one `ITEM` line followed by a strict demand-list
+//! block (its `demands v1 <n> <m>` header plus exactly `m` entry lines —
+//! no comments or blank lines inside a stanza; those are only allowed
+//! *between* top-level requests):
+//!
+//! ```text
+//! ITEM <kind> k=<K> [budget=<B>] [sadms=<S>]
+//! demands v1 <n> <m>
+//! <u> <v> [units]
+//! ...
+//! ```
+//!
+//! Kinds: `upsr`, `ring`, `budgeted` (requires `budget=`), `weighted`,
+//! `online` (requires `sadms=`), `blsr`. Multi-ring instances are
+//! in-process only — their gateway topology has no demand-list encoding —
+//! so [`format_batch_request`] refuses them with
+//! [`WireFormatError::NotWireable`].
+//!
+//! # Responses
+//!
+//! ```text
+//! RESULT <id> count=<N>
+//! PLAN <i> sadms=<S> wavelengths=<W> timed_out=<bool> cancelled=<bool>
+//! ERROR <i> <message>
+//! END
+//! ```
+//!
+//! plus `REJECTED <id> ...` for refused admissions, `PONG` for `PING`, a
+//! single `STATS ...` line, and `BYE` acknowledging `SHUTDOWN`. `PLAN`
+//! lines carry costs, not wall-clock — transcripts are pure functions of
+//! `(request, master_seed)` and compare byte for byte across worker
+//! counts.
+//!
+//! # Admission limits on the wire
+//!
+//! Parsing enforces [`crate::ServiceConfig::max_nodes`] /
+//! [`crate::ServiceConfig::max_units`] *before* expanding a payload into a
+//! graph or demand set, so an adversarial `demands v1 1000000000 …` header
+//! is refused as text and never allocates.
+
+use std::io;
+use std::time::Duration;
+
+use grooming::algorithm::Algorithm;
+use grooming::solve::Instance;
+use grooming_graph::graph::Graph;
+use grooming_graph::ids::NodeId;
+use grooming_graph::io::{format_demand_list, parse_demand_list, DemandList, ParseError};
+use grooming_sonet::blsr::BlsrRing;
+use grooming_sonet::demand::DemandSet;
+use grooming_sonet::weighted::WeightedDemandSet;
+
+use crate::service::{
+    BatchResponse, ItemOutcome, Request, ServiceConfig, StatsSnapshot, SubmitError,
+};
+
+/// A parsed top-level request.
+#[derive(Debug)]
+pub enum WireRequest {
+    /// Liveness probe; answered with `PONG`.
+    Ping,
+    /// Stats snapshot; answered with one `STATS` line.
+    Stats,
+    /// Begin graceful shutdown; answered with `BYE`.
+    Shutdown,
+    /// A batch submission.
+    Batch(Request),
+}
+
+/// Why a request block failed to parse (the connection can keep going —
+/// the server answers `ERR <reason>` and reads the next block).
+#[derive(Clone, Debug)]
+pub enum WireError {
+    /// A structurally invalid line.
+    Malformed {
+        /// What was being parsed.
+        context: &'static str,
+        /// The offending line.
+        line: String,
+    },
+    /// A demand-list payload failed to parse.
+    Demand(ParseError),
+    /// The payload exceeds an admission limit; refused before expansion.
+    TooLarge {
+        /// What exceeded the limit.
+        what: &'static str,
+        /// The declared size.
+        got: u64,
+        /// The configured limit.
+        limit: u64,
+    },
+    /// The stream ended in the middle of a request block.
+    UnexpectedEof,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Malformed { context, line } => {
+                write!(f, "malformed {context}: {line:?}")
+            }
+            WireError::Demand(e) => write!(f, "bad demand list: {e}"),
+            WireError::TooLarge { what, got, limit } => {
+                write!(f, "payload too large: {got} {what} exceeds limit {limit}")
+            }
+            WireError::UnexpectedEof => write!(f, "unexpected end of stream mid-request"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A parse failure or an underlying transport failure.
+#[derive(Debug)]
+pub enum RequestError {
+    /// The socket/reader failed; the connection is dead.
+    Io(io::Error),
+    /// The bytes arrived but did not parse; the connection survives.
+    Wire(WireError),
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::Io(e) => write!(f, "transport error: {e}"),
+            RequestError::Wire(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+impl From<WireError> for RequestError {
+    fn from(e: WireError) -> Self {
+        RequestError::Wire(e)
+    }
+}
+
+fn malformed(context: &'static str, line: &str) -> RequestError {
+    RequestError::Wire(WireError::Malformed {
+        context,
+        line: line.to_string(),
+    })
+}
+
+fn next_line(rest: &mut dyn Iterator<Item = io::Result<String>>) -> Result<String, RequestError> {
+    match rest.next() {
+        None => Err(RequestError::Wire(WireError::UnexpectedEof)),
+        Some(Err(e)) => Err(RequestError::Io(e)),
+        Some(Ok(line)) => Ok(line),
+    }
+}
+
+/// Parses one request block. `first` is the verb line (already read, known
+/// non-empty); `rest` yields the following lines of the same stream.
+/// Limits from `config` are enforced on declared sizes before any payload
+/// is expanded.
+pub fn parse_request(
+    first: &str,
+    rest: &mut dyn Iterator<Item = io::Result<String>>,
+    config: &ServiceConfig,
+) -> Result<WireRequest, RequestError> {
+    let first = first.trim();
+    let mut toks = first.split_whitespace();
+    let verb = toks.next().ok_or_else(|| malformed("request", first))?;
+    match verb {
+        "PING" | "STATS" | "SHUTDOWN" => {
+            if toks.next().is_some() {
+                return Err(malformed("request (verb takes no arguments)", first));
+            }
+            Ok(match verb {
+                "PING" => WireRequest::Ping,
+                "STATS" => WireRequest::Stats,
+                _ => WireRequest::Shutdown,
+            })
+        }
+        "BATCH" => parse_batch(first, toks, rest, config),
+        _ => Err(malformed("request (unknown verb)", first)),
+    }
+}
+
+fn parse_batch(
+    header: &str,
+    fields: std::str::SplitWhitespace<'_>,
+    rest: &mut dyn Iterator<Item = io::Result<String>>,
+    config: &ServiceConfig,
+) -> Result<WireRequest, RequestError> {
+    let mut id = None;
+    let mut count = None;
+    let mut deadline = None;
+    let mut algo = None;
+    for tok in fields {
+        let (key, value) = tok
+            .split_once('=')
+            .ok_or_else(|| malformed("BATCH header", header))?;
+        match key {
+            "id" => {
+                id = Some(
+                    value
+                        .parse::<u64>()
+                        .map_err(|_| malformed("BATCH id", header))?,
+                )
+            }
+            "count" => {
+                count = Some(
+                    value
+                        .parse::<usize>()
+                        .map_err(|_| malformed("BATCH count", header))?,
+                )
+            }
+            "deadline_ms" => {
+                let ms = value
+                    .parse::<u64>()
+                    .map_err(|_| malformed("BATCH deadline_ms", header))?;
+                deadline = Some(Duration::from_millis(ms));
+            }
+            "algo" => {
+                algo = Some(
+                    Algorithm::by_name(value)
+                        .ok_or_else(|| malformed("BATCH algo (unknown name)", header))?,
+                )
+            }
+            _ => return Err(malformed("BATCH header (unknown field)", header)),
+        }
+    }
+    let id = id.ok_or_else(|| malformed("BATCH header (missing id=)", header))?;
+    let count = count.ok_or_else(|| malformed("BATCH header (missing count=)", header))?;
+    // A batch bigger than the whole queue can never be admitted; refuse it
+    // as text before reading (or allocating for) a single stanza.
+    if count > config.queue_capacity {
+        return Err(RequestError::Wire(WireError::TooLarge {
+            what: "items",
+            got: count as u64,
+            limit: config.queue_capacity as u64,
+        }));
+    }
+
+    let mut items = Vec::new();
+    for _ in 0..count {
+        let item_line = next_line(rest)?;
+        let list = read_demand_block(rest, config)?;
+        items.push(parse_item(item_line.trim(), &list)?);
+    }
+    let end = next_line(rest)?;
+    if end.trim() != "END" {
+        return Err(malformed("BATCH terminator (expected END)", end.trim()));
+    }
+
+    Ok(WireRequest::Batch(Request {
+        id,
+        items,
+        deadline,
+        algo,
+    }))
+}
+
+/// Reads one strict demand-list block (header + exactly `m` entry lines)
+/// off the stream, refusing oversized declarations before buffering.
+fn read_demand_block(
+    rest: &mut dyn Iterator<Item = io::Result<String>>,
+    config: &ServiceConfig,
+) -> Result<DemandList, RequestError> {
+    let header = next_line(rest)?;
+    let header = header.trim();
+    // Peek the declared sizes off the header so limits apply before any
+    // entry line is read; full validation is parse_demand_list's job.
+    let mut peek = header.split_whitespace().skip(2);
+    let n = peek.next().and_then(|t| t.parse::<u64>().ok());
+    let m = peek.next().and_then(|t| t.parse::<u64>().ok());
+    let (n, m) = match (n, m) {
+        (Some(n), Some(m)) => (n, m),
+        // Not even header-shaped: let the real parser name the problem.
+        _ => {
+            return parse_demand_list(header).map_err(|e| RequestError::Wire(WireError::Demand(e)))
+        }
+    };
+    if n > config.max_nodes as u64 {
+        return Err(RequestError::Wire(WireError::TooLarge {
+            what: "nodes",
+            got: n,
+            limit: config.max_nodes as u64,
+        }));
+    }
+    // Every entry carries at least one unit, so m alone can trip the cap.
+    if m > config.max_units {
+        return Err(RequestError::Wire(WireError::TooLarge {
+            what: "units",
+            got: m,
+            limit: config.max_units,
+        }));
+    }
+
+    let mut text = String::with_capacity(header.len() + 8 * m as usize);
+    text.push_str(header);
+    text.push('\n');
+    for _ in 0..m {
+        let line = next_line(rest)?;
+        text.push_str(line.trim());
+        text.push('\n');
+    }
+    let list = parse_demand_list(&text).map_err(|e| RequestError::Wire(WireError::Demand(e)))?;
+    if list.nodes < 2 {
+        return Err(malformed("demand list (need at least 2 nodes)", header));
+    }
+    if list.total_units() > config.max_units {
+        return Err(RequestError::Wire(WireError::TooLarge {
+            what: "units",
+            got: list.total_units(),
+            limit: config.max_units,
+        }));
+    }
+    Ok(list)
+}
+
+fn parse_item(line: &str, list: &DemandList) -> Result<Instance, RequestError> {
+    let mut toks = line.split_whitespace();
+    if toks.next() != Some("ITEM") {
+        return Err(malformed("item stanza (expected ITEM)", line));
+    }
+    let kind = toks.next().ok_or_else(|| malformed("ITEM kind", line))?;
+    let mut k = None;
+    let mut budget = None;
+    let mut sadms = None;
+    for tok in toks {
+        let (key, value) = tok
+            .split_once('=')
+            .ok_or_else(|| malformed("ITEM field", line))?;
+        let parsed = value
+            .parse::<usize>()
+            .map_err(|_| malformed("ITEM field value", line))?;
+        match key {
+            "k" => k = Some(parsed),
+            "budget" => budget = Some(parsed),
+            "sadms" => sadms = Some(parsed),
+            _ => return Err(malformed("ITEM field (unknown key)", line)),
+        }
+    }
+    let k = k.ok_or_else(|| malformed("ITEM (missing k=)", line))?;
+    if k == 0 {
+        return Err(malformed("ITEM (k must be >= 1)", line));
+    }
+    // Fields that a kind does not consume are rejected, not ignored.
+    let instance = match kind {
+        "upsr" if budget.is_none() && sadms.is_none() => Instance::upsr(graph_from_list(list), k),
+        "ring" if budget.is_none() && sadms.is_none() => {
+            Instance::ring(demand_set_from_list(list), k)
+        }
+        "budgeted" if sadms.is_none() => {
+            let budget =
+                budget.ok_or_else(|| malformed("ITEM budgeted (missing budget=)", line))?;
+            if budget == 0 {
+                return Err(malformed("ITEM budgeted (budget must be >= 1)", line));
+            }
+            Instance::budgeted(graph_from_list(list), k, budget)
+        }
+        "weighted" if budget.is_none() && sadms.is_none() => {
+            Instance::weighted(weighted_from_list(list), k)
+        }
+        "online" if budget.is_none() => {
+            let online_sadms =
+                sadms.ok_or_else(|| malformed("ITEM online (missing sadms=)", line))?;
+            Instance::OnlineRearrange {
+                demands: demand_set_from_list(list),
+                k,
+                online_sadms,
+            }
+        }
+        "blsr" if budget.is_none() && sadms.is_none() => {
+            Instance::blsr(BlsrRing::new(list.nodes), demand_set_from_list(list), k)
+        }
+        "upsr" | "ring" | "budgeted" | "weighted" | "online" | "blsr" => {
+            return Err(malformed("ITEM (field not valid for this kind)", line))
+        }
+        _ => return Err(malformed("ITEM (unknown kind)", line)),
+    };
+    Ok(instance)
+}
+
+fn graph_from_list(list: &DemandList) -> Graph {
+    let mut g = Graph::new(list.nodes);
+    for &(u, v, units) in &list.entries {
+        for _ in 0..units {
+            g.add_edge(NodeId(u), NodeId(v));
+        }
+    }
+    g
+}
+
+fn demand_set_from_list(list: &DemandList) -> DemandSet {
+    let mut d = DemandSet::new(list.nodes);
+    for &(u, v, units) in &list.entries {
+        for _ in 0..units {
+            d.add(NodeId(u), NodeId(v));
+        }
+    }
+    d
+}
+
+fn weighted_from_list(list: &DemandList) -> WeightedDemandSet {
+    let mut w = WeightedDemandSet::new(list.nodes);
+    for &(u, v, units) in &list.entries {
+        w.add(NodeId(u), NodeId(v), units);
+    }
+    w
+}
+
+/// Why an in-process value cannot be put on the wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireFormatError {
+    /// The instance kind has no wire encoding (e.g. multi-ring).
+    NotWireable(&'static str),
+}
+
+impl std::fmt::Display for WireFormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireFormatError::NotWireable(what) => {
+                write!(f, "not representable on the wire: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireFormatError {}
+
+/// Serializes a request block, the inverse of [`parse_request`].
+///
+/// Non-default tree strategies flatten to their canonical wire spelling
+/// (`spant-euler` always means the BFS strategy on the wire).
+pub fn format_batch_request(request: &Request) -> Result<String, WireFormatError> {
+    let mut out = format!("BATCH id={} count={}", request.id, request.items.len());
+    if let Some(deadline) = request.deadline {
+        out.push_str(&format!(" deadline_ms={}", deadline.as_millis()));
+    }
+    if let Some(algo) = request.algo {
+        out.push_str(&format!(" algo={}", algo.wire_name()));
+    }
+    out.push('\n');
+    for item in &request.items {
+        out.push_str(&format_item(item)?);
+    }
+    out.push_str("END\n");
+    Ok(out)
+}
+
+/// Serializes one item stanza (`ITEM` line + demand-list block).
+pub fn format_item(instance: &Instance) -> Result<String, WireFormatError> {
+    let (head, list) = match instance {
+        Instance::Upsr { graph, k } => (format!("ITEM upsr k={k}"), graph_to_list(graph)),
+        Instance::Ring { demands, k } => (format!("ITEM ring k={k}"), demand_set_to_list(demands)),
+        Instance::Budgeted { graph, k, budget } => (
+            format!("ITEM budgeted k={k} budget={budget}"),
+            graph_to_list(graph),
+        ),
+        Instance::WeightedSplittable { demands, k } => {
+            (format!("ITEM weighted k={k}"), weighted_to_list(demands))
+        }
+        Instance::OnlineRearrange {
+            demands,
+            k,
+            online_sadms,
+        } => (
+            format!("ITEM online k={k} sadms={online_sadms}"),
+            demand_set_to_list(demands),
+        ),
+        Instance::Blsr { ring, demands, k } => {
+            if ring.num_nodes() != demands.num_nodes() {
+                return Err(WireFormatError::NotWireable(
+                    "blsr ring size differs from demand node count",
+                ));
+            }
+            (format!("ITEM blsr k={k}"), demand_set_to_list(demands))
+        }
+        Instance::MultiRing { .. } => return Err(WireFormatError::NotWireable("multi-ring")),
+        _ => return Err(WireFormatError::NotWireable("unknown instance kind")),
+    };
+    Ok(format!("{head}\n{}", format_demand_list(&list)))
+}
+
+fn graph_to_list(graph: &Graph) -> DemandList {
+    DemandList {
+        nodes: graph.num_nodes(),
+        entries: graph
+            .edges()
+            .map(|e| {
+                let (u, v) = graph.endpoints(e);
+                (u.0, v.0, 1)
+            })
+            .collect(),
+    }
+}
+
+fn demand_set_to_list(demands: &DemandSet) -> DemandList {
+    DemandList {
+        nodes: demands.num_nodes(),
+        entries: demands
+            .pairs()
+            .iter()
+            .map(|p| (p.lo().0, p.hi().0, 1))
+            .collect(),
+    }
+}
+
+fn weighted_to_list(demands: &WeightedDemandSet) -> DemandList {
+    DemandList {
+        nodes: demands.num_nodes(),
+        entries: demands
+            .demands()
+            .iter()
+            .map(|d| (d.pair.lo().0, d.pair.hi().0, d.units))
+            .collect(),
+    }
+}
+
+/// Serializes a batch response. This is *the* transcript shape: the TCP
+/// server and [`crate::Client::solve_transcript`] both emit these bytes,
+/// and they are a pure function of `(request, master_seed)` — no
+/// wall-clock, no worker identity.
+pub fn format_batch_response(response: &BatchResponse) -> String {
+    let mut out = format!("RESULT {} count={}\n", response.id, response.items.len());
+    for (i, item) in response.items.iter().enumerate() {
+        match item {
+            ItemOutcome::Solved {
+                plan,
+                timed_out,
+                cancelled,
+            } => {
+                out.push_str(&format!(
+                    "PLAN {i} sadms={} wavelengths={} timed_out={timed_out} cancelled={cancelled}\n",
+                    plan.sadm_cost(),
+                    plan.wavelengths(),
+                ));
+            }
+            ItemOutcome::Failed { error } => {
+                out.push_str(&format!("ERROR {i} {error}\n"));
+            }
+        }
+    }
+    out.push_str("END\n");
+    out
+}
+
+/// Serializes an admission refusal.
+pub fn format_rejected(id: u64, error: &SubmitError) -> String {
+    match error {
+        SubmitError::QueueFull { queue_depth } => {
+            format!("REJECTED {id} queue_full depth={queue_depth}\n")
+        }
+        SubmitError::ShuttingDown => format!("REJECTED {id} shutting_down\n"),
+    }
+}
+
+/// Serializes a stats snapshot as a single `STATS` line.
+pub fn format_stats(snapshot: &StatsSnapshot) -> String {
+    let c = &snapshot.counters;
+    let s = &snapshot.solve;
+    format!(
+        "STATS accepted_requests={} accepted_items={} rejected_requests={} \
+         completed_items={} failed_items={} timed_out_items={} cancelled_items={} \
+         queue_depth={} workers={} attempts={} swaps_evaluated={} scratch_resets={} stages={}\n",
+        c.accepted_requests,
+        c.accepted_items,
+        c.rejected_requests,
+        c.completed_items,
+        c.failed_items,
+        c.timed_out_items,
+        c.cancelled_items,
+        snapshot.queue_depth,
+        snapshot.workers,
+        s.attempts,
+        s.swaps_evaluated,
+        s.scratch_resets,
+        s.stages.len(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{ItemError, ServiceConfig};
+    use grooming::solve::{SolveContext, Solver};
+    use grooming_graph::generators;
+    use grooming_sonet::multiring::{rn, MultiRingNetwork};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn parse_str(text: &str, config: &ServiceConfig) -> Result<WireRequest, RequestError> {
+        let mut lines = text.lines().map(|l| Ok(l.to_string()));
+        let first = lines.next().unwrap().unwrap();
+        parse_request(&first, &mut lines, config)
+    }
+
+    fn sample_request() -> Request {
+        let mut rng = StdRng::seed_from_u64(11);
+        let graph = generators::gnm(8, 14, &mut rng);
+        let demands = DemandSet::random(9, 16, &mut rng);
+        let mut weighted = WeightedDemandSet::new(6);
+        weighted.add(NodeId(0), NodeId(3), 3);
+        weighted.add(NodeId(1), NodeId(4), 1);
+        Request {
+            id: 42,
+            items: vec![
+                Instance::upsr(graph.clone(), 4),
+                Instance::ring(demands.clone(), 3),
+                Instance::budgeted(graph, 4, 7),
+                Instance::weighted(weighted, 4),
+                Instance::OnlineRearrange {
+                    demands: demands.clone(),
+                    k: 3,
+                    online_sadms: 12,
+                },
+                Instance::blsr(BlsrRing::new(9), demands, 3),
+            ],
+            deadline: Some(Duration::from_millis(250)),
+            algo: Some(Algorithm::Brauner),
+        }
+    }
+
+    #[test]
+    fn batch_request_round_trips_byte_for_byte() {
+        let request = sample_request();
+        let wire = format_batch_request(&request).unwrap();
+        let parsed = match parse_str(&wire, &ServiceConfig::default()).unwrap() {
+            WireRequest::Batch(r) => r,
+            other => panic!("expected batch, got {other:?}"),
+        };
+        assert_eq!(parsed.id, request.id);
+        assert_eq!(parsed.deadline, request.deadline);
+        assert_eq!(parsed.algo, request.algo);
+        assert_eq!(parsed.items.len(), request.items.len());
+        // Instance has no PartialEq; format → parse → format must be the
+        // identity on the wire bytes.
+        assert_eq!(format_batch_request(&parsed).unwrap(), wire);
+    }
+
+    #[test]
+    fn simple_verbs_parse_and_reject_arguments() {
+        let config = ServiceConfig::default();
+        assert!(matches!(
+            parse_str("PING\n", &config),
+            Ok(WireRequest::Ping)
+        ));
+        assert!(matches!(
+            parse_str("  STATS \n", &config),
+            Ok(WireRequest::Stats)
+        ));
+        assert!(matches!(
+            parse_str("SHUTDOWN\n", &config),
+            Ok(WireRequest::Shutdown)
+        ));
+        assert!(matches!(
+            parse_str("PING now\n", &config),
+            Err(RequestError::Wire(WireError::Malformed { .. }))
+        ));
+        assert!(matches!(
+            parse_str("HELLO\n", &config),
+            Err(RequestError::Wire(WireError::Malformed { .. }))
+        ));
+    }
+
+    #[test]
+    fn oversized_declarations_are_refused_before_expansion() {
+        let config = ServiceConfig {
+            max_nodes: 16,
+            max_units: 10,
+            queue_capacity: 4,
+            ..ServiceConfig::default()
+        };
+        // A huge node count is refused off the header alone.
+        let text = "BATCH id=1 count=1\nITEM upsr k=4\ndemands v1 1000000000 1\n0 1\nEND\n";
+        assert!(matches!(
+            parse_str(text, &config),
+            Err(RequestError::Wire(WireError::TooLarge {
+                what: "nodes",
+                ..
+            }))
+        ));
+        // So is an entry count beyond the unit cap (units >= entries).
+        let text = "BATCH id=1 count=1\nITEM upsr k=4\ndemands v1 4 4000000000\n0 1\nEND\n";
+        assert!(matches!(
+            parse_str(text, &config),
+            Err(RequestError::Wire(WireError::TooLarge {
+                what: "units",
+                ..
+            }))
+        ));
+        // Weighted units multiply out; the cap applies to the total.
+        let text = "BATCH id=1 count=1\nITEM weighted k=4\ndemands v1 4 2\n0 1 9\n1 2 9\nEND\n";
+        assert!(matches!(
+            parse_str(text, &config),
+            Err(RequestError::Wire(WireError::TooLarge {
+                what: "units",
+                ..
+            }))
+        ));
+        // A batch that can never fit the queue is refused as text.
+        let text = "BATCH id=1 count=5\n";
+        assert!(matches!(
+            parse_str(text, &config),
+            Err(RequestError::Wire(WireError::TooLarge {
+                what: "items",
+                ..
+            }))
+        ));
+    }
+
+    #[test]
+    fn malformed_blocks_error_instead_of_panicking() {
+        let config = ServiceConfig::default();
+        let cases = [
+            "BATCH count=1\nITEM upsr k=4\ndemands v1 2 0\nEND\n", // missing id
+            "BATCH id=1\nEND\n",                                   // missing count
+            "BATCH id=1 count=1 algo=nope\nITEM upsr k=4\ndemands v1 2 0\nEND\n",
+            "BATCH id=1 count=1\nITEM upsr\ndemands v1 2 0\nEND\n", // missing k
+            "BATCH id=1 count=1\nITEM upsr k=0\ndemands v1 2 0\nEND\n",
+            "BATCH id=1 count=1\nITEM upsr k=4 budget=3\ndemands v1 2 0\nEND\n",
+            "BATCH id=1 count=1\nITEM budgeted k=4\ndemands v1 2 0\nEND\n", // missing budget
+            "BATCH id=1 count=1\nITEM online k=4\ndemands v1 2 0\nEND\n",   // missing sadms
+            "BATCH id=1 count=1\nITEM warp k=4\ndemands v1 2 0\nEND\n",     // unknown kind
+            "BATCH id=1 count=1\nITEM upsr k=4\ndemands v1 1 0\nEND\n",     // < 2 nodes
+            "BATCH id=1 count=1\nITEM upsr k=4\ndemands v2 2 0\nEND\n",     // bad version
+            "BATCH id=1 count=1\nITEM upsr k=4\ndemands v1 2 1\n0 0\nEND\n", // self-demand
+            "BATCH id=1 count=1\nITEM upsr k=4\ndemands v1 2 1\n0 1\nEXTRA\n", // no END
+        ];
+        for text in cases {
+            assert!(
+                matches!(parse_str(text, &config), Err(RequestError::Wire(_))),
+                "expected wire error for {text:?}"
+            );
+        }
+        // Truncation mid-block is EOF, not a panic.
+        let text = "BATCH id=1 count=2\nITEM upsr k=4\ndemands v1 3 2\n0 1\n";
+        assert!(matches!(
+            parse_str(text, &config),
+            Err(RequestError::Wire(WireError::UnexpectedEof))
+        ));
+    }
+
+    #[test]
+    fn multi_ring_instances_are_not_wireable() {
+        let mut network = MultiRingNetwork::new(vec![4, 4]);
+        network.add_gateway(rn(0, 0), rn(1, 0));
+        let instance = Instance::multi_ring(network, vec![(rn(0, 1), rn(1, 2))], 4);
+        assert_eq!(
+            format_item(&instance),
+            Err(WireFormatError::NotWireable("multi-ring"))
+        );
+        let request = Request::batch(1, vec![instance]);
+        assert!(format_batch_request(&request).is_err());
+    }
+
+    #[test]
+    fn response_transcript_has_the_documented_shape() {
+        let graph = generators::gnm(8, 14, &mut StdRng::seed_from_u64(3));
+        let mut ctx = SolveContext::seeded(1);
+        let solution = Algorithm::Goldschmidt
+            .solve(&Instance::upsr(graph, 4), &mut ctx)
+            .unwrap();
+        let response = BatchResponse {
+            id: 7,
+            items: vec![
+                ItemOutcome::Solved {
+                    plan: solution.plan.clone(),
+                    timed_out: false,
+                    cancelled: false,
+                },
+                ItemOutcome::Failed {
+                    error: ItemError::TooLarge {
+                        what: "nodes",
+                        got: 99,
+                        limit: 8,
+                    },
+                },
+            ],
+        };
+        let transcript = format_batch_response(&response);
+        let lines: Vec<&str> = transcript.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "RESULT 7 count=2");
+        assert_eq!(
+            lines[1],
+            format!(
+                "PLAN 0 sadms={} wavelengths={} timed_out=false cancelled=false",
+                solution.plan.sadm_cost(),
+                solution.plan.wavelengths()
+            )
+        );
+        assert_eq!(
+            lines[2],
+            "ERROR 1 instance too large: 99 nodes exceeds limit 8"
+        );
+        assert_eq!(lines[3], "END");
+    }
+
+    #[test]
+    fn rejections_and_stats_format_one_line_each() {
+        assert_eq!(
+            format_rejected(3, &SubmitError::QueueFull { queue_depth: 17 }),
+            "REJECTED 3 queue_full depth=17\n"
+        );
+        assert_eq!(
+            format_rejected(4, &SubmitError::ShuttingDown),
+            "REJECTED 4 shutting_down\n"
+        );
+        let snapshot = StatsSnapshot {
+            counters: Default::default(),
+            queue_depth: 2,
+            workers: 3,
+            solve: Default::default(),
+        };
+        let line = format_stats(&snapshot);
+        assert!(line.starts_with("STATS accepted_requests=0 "));
+        assert!(line.contains(" queue_depth=2 workers=3 "));
+        assert!(line.ends_with("stages=0\n"));
+        assert_eq!(line.lines().count(), 1);
+    }
+}

@@ -1,0 +1,207 @@
+//! The loopback TCP front end: the [`crate::protocol`] grammar served off
+//! a [`std::net::TcpListener`].
+//!
+//! One thread accepts, one thread per connection parses request blocks and
+//! writes replies. Batch handling is synchronous per connection — a
+//! connection submits, blocks on its [`crate::service::Ticket`], and
+//! writes the transcript — so concurrency comes from many connections
+//! and/or many items per batch, both of which fan out across the worker
+//! pool.
+//!
+//! A `SHUTDOWN` verb (from *any* connection) begins the service's graceful
+//! shutdown: the accept loop stops admitting connections, in-flight
+//! batches drain and get their responses, idle connections are closed.
+//! Reads poll with a short timeout so an idle connection notices shutdown;
+//! a client that stalls mid-request-block for longer than the poll
+//! interval is dropped (blocks are expected to arrive whole).
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::thread;
+use std::time::Duration;
+
+use crate::protocol::{self, RequestError, WireRequest};
+use crate::service::Service;
+
+/// How long a connection read waits before re-checking for shutdown.
+const READ_POLL: Duration = Duration::from_millis(200);
+
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// A running TCP front end over a [`Service`].
+pub struct TcpServer {
+    addr: SocketAddr,
+    accept: thread::JoinHandle<()>,
+}
+
+impl TcpServer {
+    /// The bound address (useful with an ephemeral port 0 listener).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the accept loop exits (it does once the service's
+    /// shutdown has begun) and every connection handler has finished.
+    /// Call [`Service::shutdown`] afterwards to join the workers and take
+    /// the final stats snapshot.
+    pub fn join(self) {
+        self.accept.join().expect("accept thread panicked");
+    }
+}
+
+/// Serves `service` on `listener` until shutdown begins. Returns
+/// immediately; the accept loop runs on its own thread.
+pub fn serve(listener: TcpListener, service: &Service) -> io::Result<TcpServer> {
+    let addr = listener.local_addr()?;
+    // Non-blocking accept so the loop can poll for shutdown.
+    listener.set_nonblocking(true)?;
+    let service = service.clone();
+    let accept = thread::Builder::new()
+        .name("groomd-accept".into())
+        .spawn(move || accept_loop(&listener, &service))
+        .expect("spawn accept thread");
+    Ok(TcpServer { addr, accept })
+}
+
+fn accept_loop(listener: &TcpListener, service: &Service) {
+    let mut connections: Vec<thread::JoinHandle<()>> = Vec::new();
+    while !service.is_shutting_down() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let service = service.clone();
+                let handle = thread::Builder::new()
+                    .name("groomd-conn".into())
+                    .spawn(move || handle_connection(stream, &service))
+                    .expect("spawn connection thread");
+                connections.push(handle);
+            }
+            // WouldBlock = nothing pending; anything else (e.g. EMFILE)
+            // is also just backed off — the listener itself stays up.
+            Err(_) => thread::sleep(ACCEPT_POLL),
+        }
+        // Reap finished handlers so the vec doesn't grow with history.
+        connections.retain(|h| !h.is_finished());
+    }
+    for handle in connections {
+        let _ = handle.join();
+    }
+}
+
+fn is_poll_timeout(kind: io::ErrorKind) -> bool {
+    matches!(kind, io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+fn handle_connection(stream: TcpStream, service: &Service) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    let mut lines = BufReader::new(read_half).lines();
+    loop {
+        let first = match lines.next() {
+            None => break,
+            Some(Err(e)) if is_poll_timeout(e.kind()) => {
+                if service.is_shutting_down() {
+                    break;
+                }
+                continue;
+            }
+            Some(Err(_)) => break,
+            Some(Ok(line)) => line,
+        };
+        let first = first.trim().to_string();
+        // Blank lines and comments are allowed between request blocks.
+        if first.is_empty() || first.starts_with('#') {
+            continue;
+        }
+        let reply = match protocol::parse_request(&first, &mut lines, service.config()) {
+            // Transport failure (including a mid-block read timeout):
+            // the connection is not recoverable.
+            Err(RequestError::Io(_)) => break,
+            // A parse failure is answered and the connection kept.
+            Err(RequestError::Wire(e)) => format!("ERR {e}\n"),
+            Ok(WireRequest::Ping) => "PONG\n".to_string(),
+            Ok(WireRequest::Stats) => protocol::format_stats(&service.stats()),
+            Ok(WireRequest::Shutdown) => {
+                service.begin_shutdown();
+                let _ = writer.write_all(b"BYE\n");
+                break;
+            }
+            Ok(WireRequest::Batch(request)) => {
+                let id = request.id;
+                match service.submit(request) {
+                    Err(e) => protocol::format_rejected(id, &e),
+                    // Blocking here is the drain guarantee at work: an
+                    // accepted batch always gets its transcript, even if
+                    // shutdown begins while it is in flight.
+                    Ok(ticket) => protocol::format_batch_response(&ticket.wait()),
+                }
+            }
+        };
+        if writer.write_all(reply.as_bytes()).is_err() {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+
+    fn connect(addr: SocketAddr) -> TcpStream {
+        let stream = TcpStream::connect(addr).expect("connect to groomd");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        stream
+    }
+
+    fn roundtrip(stream: &mut TcpStream, request: &str, reply_lines: usize) -> String {
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut out = String::new();
+        for _ in 0..reply_lines {
+            let mut line = String::new();
+            assert!(reader.read_line(&mut line).unwrap() > 0, "server hung up");
+            out.push_str(&line);
+        }
+        out
+    }
+
+    #[test]
+    fn tcp_serves_ping_batch_stats_and_shutdown() {
+        let config = ServiceConfig {
+            workers: 2,
+            master_seed: 7,
+            ..Default::default()
+        };
+        let service = Service::start(config);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let server = serve(listener, &service).unwrap();
+        let addr = server.addr();
+
+        let mut stream = connect(addr);
+        assert_eq!(roundtrip(&mut stream, "PING\n", 1), "PONG\n");
+        // Parse errors keep the connection alive.
+        let err = roundtrip(&mut stream, "FROB\n", 1);
+        assert!(err.starts_with("ERR "), "got {err:?}");
+        let batch = "BATCH id=1 count=1\nITEM ring k=4\ndemands v1 6 3\n0 1\n1 2\n2 5\nEND\n";
+        let transcript = roundtrip(&mut stream, batch, 3);
+        assert!(transcript.starts_with("RESULT 1 count=1\nPLAN 0 sadms="));
+        assert!(transcript.ends_with("END\n"));
+        let stats = roundtrip(&mut stream, "STATS\n", 1);
+        assert!(stats.starts_with("STATS accepted_requests=1 accepted_items=1 "));
+
+        // SHUTDOWN from a second connection: acknowledged, then drained.
+        let mut other = connect(addr);
+        assert_eq!(roundtrip(&mut other, "SHUTDOWN\n", 1), "BYE\n");
+        server.join();
+        let snapshot = service.shutdown();
+        assert_eq!(snapshot.counters.accepted_items, 1);
+        assert_eq!(snapshot.counters.completed_items, 1);
+        assert_eq!(snapshot.queue_depth, 0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Drive groomd in-process: a mixed-workload batch (UPSR, budgeted,
+//! multi-ring) through the socket-free [`grooming_service::Client`], then
+//! the final stats snapshot.
+//!
+//! ```text
+//! cargo run --release -p grooming-service --example service_demo
+//! ```
+//!
+//! The multi-ring item is the reason this demo uses the in-process client:
+//! gateway topologies have no wire encoding, so a TCP client could not
+//! submit one — but the service solves any [`grooming::solve::Instance`].
+
+use grooming::solve::Instance;
+use grooming_graph::generators;
+use grooming_service::{Client, ItemOutcome, RequestOptions, Service, ServiceConfig};
+use grooming_sonet::demand::DemandSet;
+use grooming_sonet::multiring::{rn, MultiRingNetwork};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // `ServiceConfig` is non_exhaustive: built by mutating the default.
+    #[allow(clippy::field_reassign_with_default)]
+    let config = {
+        let mut config = ServiceConfig::default();
+        config.workers = 2;
+        config.master_seed = 7;
+        config
+    };
+    let service = Service::start(config);
+    let mut client = Client::new(&service);
+
+    // A two-ring network bridged by one gateway pair.
+    let mut network = MultiRingNetwork::new(vec![8, 6]);
+    network.add_gateway(rn(0, 0), rn(1, 0));
+    let cross_ring = vec![
+        (rn(0, 2), rn(1, 3)),
+        (rn(0, 5), rn(1, 1)),
+        (rn(0, 1), rn(0, 6)),
+        (rn(1, 2), rn(1, 4)),
+    ];
+
+    let mut rng = StdRng::seed_from_u64(11);
+    let graph = generators::gnm(12, 26, &mut rng);
+    let items = vec![
+        Instance::ring(DemandSet::random(10, 20, &mut rng), 4),
+        Instance::budgeted(graph, 4, 8),
+        Instance::multi_ring(network, cross_ring, 4),
+    ];
+    let labels = [
+        "upsr ring (n=10, m=20, k=4)",
+        "budgeted (B=8)",
+        "multi-ring (8+6 nodes)",
+    ];
+
+    println!(
+        "groomd demo: {} worker(s), mixed batch of {} items",
+        service.workers(),
+        items.len()
+    );
+    let response = client
+        .solve_batch(items, RequestOptions::default())
+        .expect("batch admitted");
+
+    for (label, outcome) in labels.iter().zip(&response.items) {
+        match outcome {
+            ItemOutcome::Solved {
+                plan,
+                timed_out,
+                cancelled,
+            } => println!(
+                "  {label:<28} {} SADMs on {} wavelength(s){}{}",
+                plan.sadm_cost(),
+                plan.wavelengths(),
+                if *timed_out { " (timed out)" } else { "" },
+                if *cancelled { " (cancelled)" } else { "" },
+            ),
+            ItemOutcome::Failed { error } => println!("  {label:<28} failed: {error}"),
+        }
+    }
+
+    let snapshot = service.shutdown();
+    let c = &snapshot.counters;
+    println!(
+        "stats: {} request(s), {} item(s) completed, {} failed, {} timed out; \
+         {} solve attempt(s), {} swap(s) evaluated",
+        c.accepted_requests,
+        c.completed_items,
+        c.failed_items,
+        c.timed_out_items,
+        snapshot.solve.attempts,
+        snapshot.solve.swaps_evaluated
+    );
+}

@@ -1,0 +1,228 @@
+//! Integration tests for groomd: the determinism contract, explicit
+//! backpressure, deadline behaviour, and the drain-on-shutdown guarantee.
+
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use grooming::portfolio::DEFAULT_PORTFOLIO;
+use grooming::solve::{Instance, PortfolioSolver, SolveContext, Solver};
+use grooming_graph::generators;
+use grooming_graph::ids::NodeId;
+use grooming_service::{
+    item_seed, Client, ItemOutcome, Request, Service, ServiceConfig, SubmitError,
+};
+use grooming_sonet::blsr::BlsrRing;
+use grooming_sonet::demand::DemandSet;
+use grooming_sonet::weighted::WeightedDemandSet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+// `ServiceConfig` is non_exhaustive, so outside its crate it can only be
+// built by mutating the default.
+#[allow(clippy::field_reassign_with_default)]
+fn config(workers: usize) -> ServiceConfig {
+    let mut config = ServiceConfig::default();
+    config.workers = workers;
+    config.master_seed = 42;
+    config
+}
+
+/// A mixed workload touching every wire-representable instance kind.
+fn mixed_items() -> Vec<Instance> {
+    let mut rng = StdRng::seed_from_u64(7);
+    let graph = generators::gnm(10, 18, &mut rng);
+    let demands = DemandSet::random(9, 14, &mut rng);
+    let mut weighted = WeightedDemandSet::new(6);
+    weighted.add(NodeId(0), NodeId(3), 3);
+    weighted.add(NodeId(1), NodeId(4), 2);
+    weighted.add(NodeId(2), NodeId(5), 1);
+    vec![
+        Instance::upsr(graph.clone(), 4),
+        Instance::ring(demands.clone(), 3),
+        Instance::budgeted(graph, 4, 6),
+        Instance::weighted(weighted, 4),
+        Instance::OnlineRearrange {
+            demands: demands.clone(),
+            k: 3,
+            online_sadms: 20,
+        },
+        Instance::blsr(BlsrRing::new(9), demands, 3),
+    ]
+}
+
+#[test]
+fn transcripts_are_byte_identical_across_worker_counts() {
+    let mut transcripts = Vec::new();
+    for workers in [1, 4] {
+        let service = Service::start(config(workers));
+        let mut client = Client::new(&service);
+        let transcript = client
+            .solve_transcript(mixed_items(), Default::default())
+            .unwrap();
+        service.shutdown();
+        transcripts.push(transcript);
+    }
+    assert_eq!(
+        transcripts[0], transcripts[1],
+        "worker count leaked into the response transcript"
+    );
+    // And the transcript is a real, fully-solved one, not a pile of
+    // coincidentally-equal errors.
+    assert!(transcripts[0].starts_with("RESULT 1 count=6\nPLAN 0 sadms="));
+    assert!(!transcripts[0].contains("ERROR"));
+    assert!(transcripts[0].ends_with("END\n"));
+}
+
+#[test]
+fn overload_is_rejected_with_observed_depth() {
+    let service = Service::start({
+        let mut c = config(1);
+        c.queue_capacity = 4;
+        c
+    });
+    // Hold the worker off the queue so the admission arithmetic is exact.
+    service.pause();
+    let small = || vec![Instance::ring(DemandSet::all_to_all(5), 3); 3];
+    let ticket = service.submit(Request::batch(1, small())).unwrap();
+    // 3 of 4 slots taken: another 3-item batch cannot fit — all or
+    // nothing, with the observed depth in the refusal.
+    match service.submit(Request::batch(2, small())) {
+        Err(SubmitError::QueueFull { queue_depth }) => assert_eq!(queue_depth, 3),
+        other => panic!("expected QueueFull, got {:?}", other.map(|t| t.id())),
+    }
+    // A single item still fits; the queue is then exactly full.
+    let one = service
+        .submit(Request::batch(
+            3,
+            vec![Instance::ring(DemandSet::all_to_all(4), 3)],
+        ))
+        .unwrap();
+    match service.submit(Request::batch(
+        4,
+        vec![Instance::ring(DemandSet::all_to_all(4), 3)],
+    )) {
+        Err(SubmitError::QueueFull { queue_depth }) => assert_eq!(queue_depth, 4),
+        other => panic!("expected QueueFull, got {:?}", other.map(|t| t.id())),
+    }
+    service.resume();
+    assert_eq!(ticket.wait().items.len(), 3);
+    assert_eq!(one.wait().items.len(), 1);
+    let stats = service.shutdown();
+    assert_eq!(stats.counters.accepted_requests, 2);
+    assert_eq!(stats.counters.rejected_requests, 2);
+    assert_eq!(stats.counters.completed_items, 4);
+    // Post-shutdown submissions are refused, not dropped.
+    match service.submit(Request::batch(5, vec![])) {
+        Err(SubmitError::ShuttingDown) => {}
+        other => panic!("expected ShuttingDown, got {:?}", other.map(|t| t.id())),
+    }
+}
+
+#[test]
+fn zero_deadline_returns_a_valid_best_so_far_plan() {
+    let service = Service::start(config(1));
+    let response = service
+        .submit(Request {
+            id: 1,
+            items: vec![Instance::ring(
+                DemandSet::random(10, 20, &mut StdRng::seed_from_u64(3)),
+                4,
+            )],
+            deadline: Some(Duration::ZERO),
+            algo: None,
+        })
+        .unwrap()
+        .wait();
+    let ItemOutcome::Solved {
+        plan, timed_out, ..
+    } = &response.items[0]
+    else {
+        panic!("expected a solved item, got {:?}", response.items[0]);
+    };
+    assert!(timed_out, "an already-expired deadline must be reported");
+    // Best-so-far, but still a complete valid plan.
+    assert!(plan.sadm_cost() > 0);
+    assert!(plan.wavelengths() > 0);
+    let stats = service.shutdown();
+    assert_eq!(stats.counters.timed_out_items, 1);
+}
+
+#[test]
+fn shutdown_under_load_drains_every_accepted_request_exactly_once() {
+    let service = Service::start({
+        let mut c = config(2);
+        c.queue_capacity = 64;
+        c
+    });
+    // Queue a pile of batches while the workers are held off, so shutdown
+    // begins with everything still pending.
+    service.pause();
+    let mut tickets = Vec::new();
+    for id in 1..=5 {
+        let items = vec![Instance::ring(DemandSet::all_to_all(6), 3); 3];
+        tickets.push(service.submit(Request::batch(id, items)).unwrap());
+    }
+    // Waiters on their own threads: every one must resolve.
+    let resolved = Arc::new(Mutex::new(Vec::new()));
+    let waiters: Vec<_> = tickets
+        .into_iter()
+        .map(|t| {
+            let resolved = Arc::clone(&resolved);
+            thread::spawn(move || {
+                let response = t.wait();
+                resolved
+                    .lock()
+                    .unwrap()
+                    .push((response.id, response.items.len()));
+            })
+        })
+        .collect();
+    // Shutdown overrides the pause: the queue drains, nothing is dropped.
+    let stats = service.shutdown();
+    for w in waiters {
+        w.join().unwrap();
+    }
+    let mut got = resolved.lock().unwrap().clone();
+    got.sort_unstable();
+    assert_eq!(got, vec![(1, 3), (2, 3), (3, 3), (4, 3), (5, 3)]);
+    assert_eq!(stats.counters.accepted_items, 15);
+    assert_eq!(stats.counters.completed_items, 15);
+    assert_eq!(stats.queue_depth, 0);
+}
+
+#[test]
+fn service_solve_stats_equal_the_sum_of_solo_solves() {
+    // The service's merged instrumentation must equal re-solving each item
+    // by hand with the same derived seed — merge() loses nothing, and the
+    // derivation is a pure function of (master, request, index).
+    let master = 42;
+    let request_id = 1;
+    let items = mixed_items();
+    let mut expected_attempts = 0u64;
+    let mut expected_swaps = 0u64;
+    for (index, instance) in items.iter().enumerate() {
+        let seed = item_seed(master, request_id, index);
+        let mut ctx = SolveContext::seeded(seed);
+        // Exactly the solver the service runs for algo-less requests.
+        PortfolioSolver {
+            portfolio: &DEFAULT_PORTFOLIO,
+            restarts: 0,
+            jobs: 1,
+            master_seed: Some(seed),
+        }
+        .solve(instance, &mut ctx)
+        .unwrap();
+        expected_attempts += ctx.stats().attempts;
+        expected_swaps += ctx.stats().swaps_evaluated;
+    }
+
+    let service = Service::start(config(3));
+    service
+        .submit(Request::batch(request_id, items))
+        .unwrap()
+        .wait();
+    let stats = service.shutdown();
+    assert_eq!(stats.solve.attempts, expected_attempts);
+    assert_eq!(stats.solve.swaps_evaluated, expected_swaps);
+}
