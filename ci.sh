@@ -60,6 +60,15 @@ echo "== perf smoke: construction-pipeline baseline (release, --fast) =="
 # run: target/release/perf_pipeline
 target/release/perf_pipeline --fast --out /tmp/BENCH_pipeline_fast.json
 
+echo "== perf smoke: groomd service baseline (release, --fast) =="
+# Drives groomd over a real loopback socket: asserts the response
+# transcript digest is byte-identical at 1 worker, 4 workers, and with the
+# solve cache cold and warm, then ramps pipelined bursts against a small
+# queue to record the blocking point. The checked-in
+# results/BENCH_groomd.json is produced by the full run:
+# target/release/perf_service
+target/release/perf_service --fast --out /tmp/BENCH_groomd_fast.json
+
 echo "== cargo doc (no deps, warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 

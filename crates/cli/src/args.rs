@@ -60,6 +60,10 @@ pub struct ServeOptions {
     pub workers: usize,
     /// Admission queue capacity in items.
     pub queue: usize,
+    /// Admission queue capacity in estimated work units.
+    pub work_capacity: u64,
+    /// Solve-cache capacity in plans (`0` disables the cache).
+    pub cache: usize,
     /// Master seed for per-item RNG stream derivation.
     pub master_seed: u64,
     /// Default per-request deadline in milliseconds.
@@ -72,6 +76,8 @@ impl Default for ServeOptions {
             addr: "127.0.0.1:0".into(),
             workers: 0,
             queue: 256,
+            work_capacity: 1 << 22,
+            cache: 1024,
             master_seed: 0,
             deadline_ms: None,
         }
@@ -356,6 +362,15 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                             return Err(ParseError("--queue must be positive".into()));
                         }
                     }
+                    "--work-capacity" => {
+                        opts.work_capacity = value.parse().map_err(|_| {
+                            ParseError("--work-capacity needs an integer".to_string())
+                        })?;
+                        if opts.work_capacity == 0 {
+                            return Err(ParseError("--work-capacity must be positive".into()));
+                        }
+                    }
+                    "--cache" => opts.cache = parse_num(flag, value)?,
                     "--master-seed" => {
                         opts.master_seed = value
                             .parse()
@@ -491,8 +506,14 @@ SERVE OPTIONS:
                  Worker count never changes a response, only throughput
   --queue C      admission queue capacity in items (default 256);
                  over-capacity batches are rejected, never buffered
+  --work-capacity W  admission queue capacity in estimated work units
+                 (default 4194304); admission is bounded by items AND work
+  --cache N      solve-cache capacity in plans (default 1024; 0 disables).
+                 Hits return byte-identical plans without re-solving
   --master-seed S  master seed for per-item RNG streams (default 0)
-  --deadline-ms T  default per-request deadline (requests may override)
+  --deadline-ms T  default per-request deadline (requests may override);
+                 under saturation, requests whose deadline cannot survive
+                 the estimated queue wait are shed at admission
   Type `quit` on stdin (or send the SHUTDOWN verb) for a graceful,
   draining shutdown.
 
@@ -658,7 +679,8 @@ mod tests {
             }
         );
         match parse(&argv(
-            "serve --addr 127.0.0.1:7045 --workers 4 --queue 64 --master-seed 9 --deadline-ms 500",
+            "serve --addr 127.0.0.1:7045 --workers 4 --queue 64 --work-capacity 8192 \
+             --cache 0 --master-seed 9 --deadline-ms 500",
         ))
         .unwrap()
         {
@@ -666,12 +688,15 @@ mod tests {
                 assert_eq!(opts.addr, "127.0.0.1:7045");
                 assert_eq!(opts.workers, 4);
                 assert_eq!(opts.queue, 64);
+                assert_eq!(opts.work_capacity, 8192);
+                assert_eq!(opts.cache, 0);
                 assert_eq!(opts.master_seed, 9);
                 assert_eq!(opts.deadline_ms, Some(500));
             }
             other => panic!("unexpected {other:?}"),
         }
         assert!(parse(&argv("serve --queue 0")).is_err());
+        assert!(parse(&argv("serve --work-capacity 0")).is_err());
         assert!(parse(&argv("serve --addr")).is_err());
         assert!(parse(&argv("serve --bogus 1")).is_err());
     }

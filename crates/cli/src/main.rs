@@ -116,6 +116,12 @@ fn run_serve(opts: &args::ServeOptions) {
         let mut config = ServiceConfig::default();
         config.workers = opts.workers;
         config.queue_capacity = opts.queue;
+        config.queue_work_capacity = opts.work_capacity;
+        // Saturation begins at half the work capacity; the shed policy
+        // only ever applies to requests that carry (or inherit) a
+        // deadline.
+        config.shed_watermark = opts.work_capacity / 2;
+        config.cache_capacity = opts.cache;
         config.master_seed = opts.master_seed;
         config.default_deadline = opts.deadline_ms.map(Duration::from_millis);
         config
@@ -137,10 +143,13 @@ fn run_serve(opts: &args::ServeOptions) {
         }
     };
     println!(
-        "groomd listening on {} ({} worker(s), queue capacity {} item(s), master seed {})",
+        "groomd listening on {} ({} worker(s), queue capacity {} item(s) / {} work unit(s), \
+         cache {} plan(s), master seed {})",
         server.addr(),
         service.workers(),
         opts.queue,
+        opts.work_capacity,
+        opts.cache,
         opts.master_seed
     );
     println!("type `quit` to drain and exit (or send the SHUTDOWN verb)");
@@ -178,17 +187,40 @@ fn run_serve(opts: &args::ServeOptions) {
     let c = &snapshot.counters;
     println!(
         "groomd drained: {} request(s) accepted, {} item(s) completed \
-         ({} failed, {} timed out, {} cancelled), {} request(s) rejected",
+         ({} failed, {} timed out, {} cancelled), {} request(s) rejected ({} shed)",
         c.accepted_requests,
         c.completed_items,
         c.failed_items,
         c.timed_out_items,
         c.cancelled_items,
-        c.rejected_requests
+        c.rejected_requests,
+        c.shed_requests
+    );
+    println!(
+        "solve cache: {} hit(s), {} miss(es), {} plan(s) held, {} evicted",
+        c.cache_hits, c.cache_misses, snapshot.cache_entries, snapshot.cache_evictions
     );
     println!(
         "solve totals: {} attempt(s), {} swap(s) evaluated, {} scratch reset(s)",
         snapshot.solve.attempts, snapshot.solve.swaps_evaluated, snapshot.solve.scratch_resets
+    );
+    print_latency("queue wait", &snapshot.queue_wait);
+    print_latency("solve time", &snapshot.solve_time);
+}
+
+/// One drain-summary line per latency histogram: count, mean, and the
+/// bucket-upper-bound percentiles.
+fn print_latency(label: &str, h: &grooming_service::Histogram) {
+    if h.is_empty() {
+        println!("{label}: no samples");
+        return;
+    }
+    println!(
+        "{label}: {} sample(s), mean {:?}, p50 <= {:?}, p99 <= {:?}",
+        h.count(),
+        h.mean(),
+        h.percentile(0.5),
+        h.percentile(0.99)
     );
 }
 

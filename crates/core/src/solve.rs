@@ -68,6 +68,18 @@ impl Default for SolveConfig {
     }
 }
 
+/// Aggregated wall-clock accounting for one kind of solve stage (one name
+/// per [`Instance`] variant).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StageTime {
+    /// The stage name.
+    pub stage: &'static str,
+    /// Completed solves of this stage.
+    pub calls: u64,
+    /// Total wall clock across those calls.
+    pub total: Duration,
+}
+
 /// Instrumentation counters accumulated across every solve served by one
 /// [`SolveContext`].
 #[derive(Clone, Debug, Default)]
@@ -82,29 +94,60 @@ pub struct SolveStats {
     /// construction pipeline (see
     /// [`grooming_graph::workspace::Workspace::scratch_resets`]).
     pub scratch_resets: u64,
-    /// Wall-clock time per completed solve stage, in execution order
-    /// (informational; not deterministic).
-    pub stages: Vec<(&'static str, Duration)>,
+    /// Wall-clock time per stage *kind*, aggregated by name in
+    /// first-recorded order (informational; not deterministic). Bounded by
+    /// the number of distinct stage names, so a long-running service can
+    /// merge per-worker stats forever without growing a ledger.
+    pub stages: Vec<StageTime>,
 }
 
 impl SolveStats {
     /// Total wall-clock time across all recorded stages.
     pub fn total_wall_time(&self) -> Duration {
-        self.stages.iter().map(|(_, d)| *d).sum()
+        self.stages.iter().map(|s| s.total).sum()
     }
 
-    /// Folds `other` into `self`: counters add, stage records append.
+    /// Completed stage calls across all stage kinds (one per solved
+    /// instance).
+    pub fn stage_calls(&self) -> u64 {
+        self.stages.iter().map(|s| s.calls).sum()
+    }
+
+    /// Records one completed stage call, folding into the existing entry
+    /// for `stage` if there is one.
+    pub fn record_stage(&mut self, stage: &'static str, elapsed: Duration) {
+        self.fold_stage(stage, 1, elapsed);
+    }
+
+    fn fold_stage(&mut self, stage: &'static str, calls: u64, total: Duration) {
+        match self.stages.iter_mut().find(|s| s.stage == stage) {
+            Some(s) => {
+                s.calls += calls;
+                s.total += total;
+            }
+            None => self.stages.push(StageTime {
+                stage,
+                calls,
+                total,
+            }),
+        }
+    }
+
+    /// Folds `other` into `self`: counters add, stage aggregates fold by
+    /// name.
     ///
     /// This is the reduction a multi-worker service uses to aggregate
-    /// per-worker stats into one snapshot — counter totals are
-    /// order-independent, while the stage list keeps whatever interleaving
-    /// the merge order produced (it is informational, like the durations
-    /// it carries).
+    /// per-worker stats into one snapshot — counter totals and per-stage
+    /// sums are order-independent; only the first-seen order of stage
+    /// names depends on the merge order (informational, like the
+    /// durations).
     pub fn merge(&mut self, other: &SolveStats) {
         self.attempts += other.attempts;
         self.swaps_evaluated += other.swaps_evaluated;
         self.scratch_resets += other.scratch_resets;
-        self.stages.extend(other.stages.iter().copied());
+        for s in &other.stages {
+            self.fold_stage(s.stage, s.calls, s.total);
+        }
     }
 }
 
@@ -773,7 +816,7 @@ where
             (Plan::Blsr { assignment }, ctx.expired(), "blsr")
         }
     };
-    ctx.stats.stages.push((stage, started.elapsed()));
+    ctx.stats.record_stage(stage, started.elapsed());
     Ok(Solution {
         plan,
         timed_out,
@@ -957,21 +1000,33 @@ mod tests {
             .solve(&Instance::upsr(g, 4), &mut ctx)
             .unwrap();
         assert_eq!(ctx.stats().attempts, 2);
-        assert_eq!(ctx.stats().stages.len(), 2);
-        assert_eq!(ctx.stats().stages[0].0, "upsr");
+        // Two solves of the same kind fold into one aggregated entry.
+        assert_eq!(ctx.stats().stages.len(), 1);
+        assert_eq!(ctx.stats().stages[0].stage, "upsr");
+        assert_eq!(ctx.stats().stages[0].calls, 2);
+        assert_eq!(ctx.stats().stage_calls(), 2);
         assert!(ctx.stats().scratch_resets > 0);
     }
 
     #[test]
-    fn stats_merge_sums_counters_and_appends_stages() {
+    fn stats_merge_sums_counters_and_folds_stages() {
         // Simulate three workers' stats and fold them into one snapshot:
-        // merged counters must equal the per-worker sums exactly.
+        // merged counters must equal the per-worker sums exactly, and
+        // same-named stage entries must fold instead of appending (a
+        // long-running service merges forever — the ledger stays bounded).
+        fn stage(name: &'static str, calls: u64, ms: u64) -> StageTime {
+            StageTime {
+                stage: name,
+                calls,
+                total: Duration::from_millis(ms),
+            }
+        }
         let workers = [
             SolveStats {
                 attempts: 3,
                 swaps_evaluated: 100,
                 scratch_resets: 7,
-                stages: vec![("upsr", Duration::from_millis(1))],
+                stages: vec![stage("upsr", 1, 1)],
                 ..SolveStats::default()
             },
             SolveStats {
@@ -985,10 +1040,7 @@ mod tests {
                 attempts: 5,
                 swaps_evaluated: 41,
                 scratch_resets: 11,
-                stages: vec![
-                    ("ring", Duration::from_millis(2)),
-                    ("blsr", Duration::from_millis(3)),
-                ],
+                stages: vec![stage("ring", 2, 2), stage("upsr", 1, 3)],
                 ..SolveStats::default()
             },
         ];
@@ -1005,9 +1057,14 @@ mod tests {
             merged.scratch_resets,
             workers.iter().map(|w| w.scratch_resets).sum()
         );
+        // "upsr" appears in two workers but folds into one entry.
         assert_eq!(
-            merged.stages.len(),
-            workers.iter().map(|w| w.stages.len()).sum()
+            merged.stages,
+            vec![stage("upsr", 2, 4), stage("ring", 2, 2)]
+        );
+        assert_eq!(
+            merged.stage_calls(),
+            workers.iter().map(|w| w.stage_calls()).sum::<u64>()
         );
         assert_eq!(
             merged.total_wall_time(),

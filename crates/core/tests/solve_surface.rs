@@ -165,8 +165,10 @@ fn all_variants_solve_through_one_surface() {
         assert!(sol.plan.wavelengths() > 0);
     }
     // 6 partition-shaped instances (multi-ring counts one per ring, BLSR is
-    // deterministic and draws no attempt) and one stage per instance.
+    // deterministic and draws no attempt) and one stage call per instance
+    // (the seven distinct workloads aggregate into seven stage kinds).
     assert_eq!(ctx.stats().attempts, 7);
+    assert_eq!(ctx.stats().stage_calls(), instances.len() as u64);
     assert_eq!(ctx.stats().stages.len(), instances.len());
 
     // Unified error taxonomy: an infeasible budget and a non-regular graph

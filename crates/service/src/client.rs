@@ -27,6 +27,26 @@ pub struct RequestOptions {
     pub algo: Option<Algorithm>,
 }
 
+impl RequestOptions {
+    /// Sets an explicit request id.
+    pub fn with_id(mut self, id: u64) -> Self {
+        self.id = Some(id);
+        self
+    }
+
+    /// Sets the per-request deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Overrides the solver for every item of the batch.
+    pub fn with_algo(mut self, algo: Algorithm) -> Self {
+        self.algo = Some(algo);
+        self
+    }
+}
+
 /// A thin, id-assigning front end over a [`Service`] handle.
 pub struct Client {
     service: Service,

@@ -1,0 +1,171 @@
+//! A fixed-bucket, log-spaced latency histogram — no dependencies, no
+//! allocation, O(1) record, bounded memory forever.
+//!
+//! Buckets are powers of two in microseconds: bucket `i` counts samples in
+//! `[2^i, 2^(i+1))` µs (bucket 0 additionally absorbs sub-microsecond
+//! samples, the top bucket absorbs everything above ~36 minutes). That
+//! gives ~3 significant bits of resolution across nine decades — plenty
+//! for queue-wait and solve-time distributions — while keeping the whole
+//! histogram 33 machine words, cheap enough to clone into every
+//! [`crate::StatsSnapshot`].
+//!
+//! Percentiles are read as the *upper bound* of the bucket containing the
+//! requested rank, so a reported p99 never understates the observed
+//! latency by more than one bucket ratio (2×).
+
+use std::time::Duration;
+
+/// Number of log2 buckets: `[1µs, 2µs) … [2^31µs, ∞)`.
+pub const NUM_BUCKETS: usize = 32;
+
+/// A log2-bucketed histogram of [`Duration`] samples.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; NUM_BUCKETS],
+    count: u64,
+    total: Duration,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// The bucket index a sample falls into.
+    fn bucket(sample: Duration) -> usize {
+        let us = sample.as_micros().max(1) as u64;
+        // floor(log2(us)), clamped to the top bucket.
+        ((63 - us.leading_zeros()) as usize).min(NUM_BUCKETS - 1)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: Duration) {
+        self.counts[Self::bucket(sample)] += 1;
+        self.count += 1;
+        self.total += sample;
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all recorded samples.
+    pub fn total(&self) -> Duration {
+        self.total
+    }
+
+    /// Arithmetic mean of the recorded samples ([`Duration::ZERO`] when
+    /// empty).
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.count.min(u32::MAX as u64) as u32
+        }
+    }
+
+    /// The `p`-quantile (`0.0 ..= 1.0`) as the upper bound of the bucket
+    /// holding the sample of that rank; [`Duration::ZERO`] when empty.
+    pub fn percentile(&self, p: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Duration::from_micros(1u64 << (i + 1).min(63));
+            }
+        }
+        // Unreachable while counts sum to count; keep a sane fallback.
+        Duration::from_micros(u64::MAX)
+    }
+
+    /// Folds `other` into `self` (bucket-wise addition).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total += other.total;
+    }
+
+    /// The non-empty buckets as `(lower_µs, upper_µs, count)`, in
+    /// ascending latency order — the display form the CLI summary prints.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (1u64 << i, 1u64 << (i + 1).min(63), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_log_spaced_buckets() {
+        let mut h = Histogram::new();
+        h.record(Duration::from_nanos(10)); // sub-µs clamps to bucket 0
+        h.record(Duration::from_micros(1));
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_millis(1));
+        h.record(Duration::from_secs(3600)); // beyond top bucket, clamped
+        assert_eq!(h.count(), 5);
+        let buckets: Vec<_> = h.nonzero_buckets().collect();
+        assert_eq!(buckets[0], (1, 2, 2)); // 10ns + 1µs
+        assert_eq!(buckets[1], (2, 4, 1)); // 3µs
+        assert_eq!(buckets[2], (1 << 9, 1 << 10, 1)); // 1ms = 1000µs ∈ [512, 1024)
+        assert_eq!(buckets[3].2, 1); // the clamped hour
+    }
+
+    #[test]
+    fn percentiles_are_bucket_upper_bounds() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(Duration::from_micros(10)); // bucket [8, 16)
+        }
+        h.record(Duration::from_millis(50)); // bucket [32768, 65536)µs
+        assert_eq!(h.percentile(0.5), Duration::from_micros(16));
+        assert_eq!(h.percentile(0.99), Duration::from_micros(16));
+        assert_eq!(h.percentile(1.0), Duration::from_micros(65536));
+        assert_eq!(Histogram::new().percentile(0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn merge_is_bucket_wise_addition() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(Duration::from_micros(5));
+        b.record(Duration::from_micros(5));
+        b.record(Duration::from_secs(1));
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), 3);
+        assert_eq!(merged.total(), a.total() + b.total());
+        let mut direct = Histogram::new();
+        direct.record(Duration::from_micros(5));
+        direct.record(Duration::from_micros(5));
+        direct.record(Duration::from_secs(1));
+        assert_eq!(merged, direct);
+    }
+
+    #[test]
+    fn mean_tracks_total_over_count() {
+        let mut h = Histogram::new();
+        h.record(Duration::from_millis(2));
+        h.record(Duration::from_millis(4));
+        assert_eq!(h.mean(), Duration::from_millis(3));
+        assert_eq!(Histogram::new().mean(), Duration::ZERO);
+    }
+}

@@ -558,37 +558,68 @@ pub fn format_batch_response(response: &BatchResponse) -> String {
     out
 }
 
-/// Serializes an admission refusal.
+/// Serializes an admission refusal. Every numeric field is a deterministic
+/// function of the queue contents at rejection time, so saturation tests
+/// can assert rejection lines byte for byte.
 pub fn format_rejected(id: u64, error: &SubmitError) -> String {
     match error {
-        SubmitError::QueueFull { queue_depth } => {
-            format!("REJECTED {id} queue_full depth={queue_depth}\n")
+        SubmitError::QueueFull {
+            queue_depth,
+            queued_cost,
+        } => {
+            format!("REJECTED {id} queue_full depth={queue_depth} cost={queued_cost}\n")
+        }
+        SubmitError::Shed {
+            estimated_wait_ms,
+            deadline_ms,
+        } => {
+            format!("REJECTED {id} shed wait_ms={estimated_wait_ms} deadline_ms={deadline_ms}\n")
         }
         SubmitError::ShuttingDown => format!("REJECTED {id} shutting_down\n"),
     }
 }
 
 /// Serializes a stats snapshot as a single `STATS` line.
+///
+/// Counter fields are deterministic; the trailing `qwait_*`/`solve_*`
+/// percentile fields are wall-clock observations (histogram bucket upper
+/// bounds, in µs) and are the one part of the protocol that is *not*
+/// transcript-stable — determinism checks digest `BATCH` responses, not
+/// `STATS` lines.
 pub fn format_stats(snapshot: &StatsSnapshot) -> String {
     let c = &snapshot.counters;
     let s = &snapshot.solve;
     format!(
-        "STATS accepted_requests={} accepted_items={} rejected_requests={} \
+        "STATS accepted_requests={} accepted_items={} rejected_requests={} shed_requests={} \
          completed_items={} failed_items={} timed_out_items={} cancelled_items={} \
-         queue_depth={} workers={} attempts={} swaps_evaluated={} scratch_resets={} stages={}\n",
+         cache_hits={} cache_misses={} cache_entries={} cache_evictions={} \
+         queue_depth={} queued_cost={} in_flight={} workers={} \
+         attempts={} swaps_evaluated={} scratch_resets={} stage_calls={} \
+         qwait_p50_us={} qwait_p99_us={} solve_p50_us={} solve_p99_us={}\n",
         c.accepted_requests,
         c.accepted_items,
         c.rejected_requests,
+        c.shed_requests,
         c.completed_items,
         c.failed_items,
         c.timed_out_items,
         c.cancelled_items,
+        c.cache_hits,
+        c.cache_misses,
+        snapshot.cache_entries,
+        snapshot.cache_evictions,
         snapshot.queue_depth,
+        snapshot.queued_cost,
+        snapshot.in_flight,
         snapshot.workers,
         s.attempts,
         s.swaps_evaluated,
         s.scratch_resets,
-        s.stages.len(),
+        s.stage_calls(),
+        snapshot.queue_wait.percentile(0.5).as_micros(),
+        snapshot.queue_wait.percentile(0.99).as_micros(),
+        snapshot.solve_time.percentile(0.5).as_micros(),
+        snapshot.solve_time.percentile(0.99).as_micros(),
     )
 }
 
@@ -813,8 +844,24 @@ mod tests {
     #[test]
     fn rejections_and_stats_format_one_line_each() {
         assert_eq!(
-            format_rejected(3, &SubmitError::QueueFull { queue_depth: 17 }),
-            "REJECTED 3 queue_full depth=17\n"
+            format_rejected(
+                3,
+                &SubmitError::QueueFull {
+                    queue_depth: 17,
+                    queued_cost: 4096
+                }
+            ),
+            "REJECTED 3 queue_full depth=17 cost=4096\n"
+        );
+        assert_eq!(
+            format_rejected(
+                5,
+                &SubmitError::Shed {
+                    estimated_wait_ms: 900,
+                    deadline_ms: 250
+                }
+            ),
+            "REJECTED 5 shed wait_ms=900 deadline_ms=250\n"
         );
         assert_eq!(
             format_rejected(4, &SubmitError::ShuttingDown),
@@ -823,13 +870,20 @@ mod tests {
         let snapshot = StatsSnapshot {
             counters: Default::default(),
             queue_depth: 2,
+            queued_cost: 640,
+            in_flight: 1,
             workers: 3,
             solve: Default::default(),
+            queue_wait: Default::default(),
+            solve_time: Default::default(),
+            cache_entries: 0,
+            cache_evictions: 0,
         };
         let line = format_stats(&snapshot);
-        assert!(line.starts_with("STATS accepted_requests=0 "));
-        assert!(line.contains(" queue_depth=2 workers=3 "));
-        assert!(line.ends_with("stages=0\n"));
+        assert!(line.starts_with("STATS accepted_requests=0 accepted_items=0 "));
+        assert!(line.contains(" queue_depth=2 queued_cost=640 in_flight=1 workers=3 "));
+        assert!(line.contains(" cache_hits=0 cache_misses=0 "));
+        assert!(line.ends_with("qwait_p50_us=0 qwait_p99_us=0 solve_p50_us=0 solve_p99_us=0\n"));
         assert_eq!(line.lines().count(), 1);
     }
 }

@@ -1,38 +1,65 @@
 //! The loopback TCP front end: the [`crate::protocol`] grammar served off
-//! a [`std::net::TcpListener`].
+//! a [`std::net::TcpListener`] by an event-driven poller.
 //!
-//! One thread accepts, one thread per connection parses request blocks and
-//! writes replies. Batch handling is synchronous per connection — a
-//! connection submits, blocks on its [`crate::service::Ticket`], and
-//! writes the transcript — so concurrency comes from many connections
-//! and/or many items per batch, both of which fan out across the worker
-//! pool.
+//! One thread multiplexes *every* connection. The listener and all
+//! accepted streams are nonblocking; each tick of the poller accepts
+//! pending connections, reads whatever bytes have arrived on each stream
+//! into a per-connection buffer, carves complete request blocks out of the
+//! buffered lines, submits them, and flushes completed replies — in
+//! request order per connection, interleaved freely across connections.
+//! Solve parallelism still lives in the service's worker pool; the poller
+//! only moves bytes and never blocks on any one peer.
+//!
+//! Three properties the old thread-per-connection loop lacked, now load
+//! bearing:
+//!
+//! * **Slow clients lose nothing.** Bytes accumulate in a per-connection
+//!   buffer across arbitrarily many reads; a line (or a whole request
+//!   block) may arrive one byte at a time with stalls anywhere and is
+//!   reassembled intact. (The old loop's `BufReader::lines()` discarded a
+//!   partially-read line whenever the read timed out mid-line.)
+//! * **Pipelining.** A client may write many request blocks back to back
+//!   without reading. Replies come back in submission order; a cheap
+//!   `PING` behind a pending `BATCH` waits its turn rather than
+//!   overtaking.
+//! * **Accept-error taxonomy.** `WouldBlock` just means "nothing pending";
+//!   per-connection failures (reset/aborted) are logged and the listener
+//!   keeps serving; only a *persistent streak* of fatal accept errors
+//!   (e.g. EMFILE) gives up — by beginning a graceful service shutdown,
+//!   never by silently spinning.
 //!
 //! A `SHUTDOWN` verb (from *any* connection) begins the service's graceful
-//! shutdown: the accept loop stops admitting connections, in-flight
-//! batches drain and get their responses, idle connections are closed.
-//! Reads poll with a short timeout so an idle connection notices shutdown;
-//! a client that stalls mid-request-block for longer than the poll
-//! interval is dropped (blocks are expected to arrive whole).
+//! shutdown: accepting stops, already-admitted batches drain and their
+//! transcripts are flushed, then connections close and the poller exits.
+//!
+//! Connections that buffer pathological amounts of un-parseable input
+//! (beyond [`MAX_BUFFERED_BYTES`]) are dropped — the bound keeps one
+//! misbehaving peer from growing server memory without limit.
 
-use std::io::{self, BufRead, BufReader, Write};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::thread;
 use std::time::Duration;
 
 use crate::protocol::{self, RequestError, WireRequest};
-use crate::service::Service;
+use crate::service::{Service, Ticket};
 
-/// How long a connection read waits before re-checking for shutdown.
-const READ_POLL: Duration = Duration::from_millis(200);
+/// How long the poller sleeps when a tick moved no bytes at all.
+const IDLE_SLEEP: Duration = Duration::from_millis(2);
 
-/// How long the accept loop sleeps when no connection is pending.
-const ACCEPT_POLL: Duration = Duration::from_millis(20);
+/// Per-connection cap on buffered input (raw bytes + assembled lines). A
+/// peer that exceeds it without completing a request block is dropped.
+pub const MAX_BUFFERED_BYTES: usize = 16 << 20;
+
+/// How many *consecutive* fatal accept errors the listener tolerates
+/// before it gives up and begins a graceful shutdown.
+const MAX_FATAL_ACCEPTS: u32 = 8;
 
 /// A running TCP front end over a [`Service`].
 pub struct TcpServer {
     addr: SocketAddr,
-    accept: thread::JoinHandle<()>,
+    poller: thread::JoinHandle<()>,
 }
 
 impl TcpServer {
@@ -41,107 +68,388 @@ impl TcpServer {
         self.addr
     }
 
-    /// Blocks until the accept loop exits (it does once the service's
-    /// shutdown has begun) and every connection handler has finished.
+    /// Blocks until the poller exits: it does once the service's shutdown
+    /// has begun and every connection has flushed its pending replies.
     /// Call [`Service::shutdown`] afterwards to join the workers and take
     /// the final stats snapshot.
     pub fn join(self) {
-        self.accept.join().expect("accept thread panicked");
+        self.poller.join().expect("poller thread panicked");
     }
 }
 
 /// Serves `service` on `listener` until shutdown begins. Returns
-/// immediately; the accept loop runs on its own thread.
+/// immediately; the poller runs on its own thread.
 pub fn serve(listener: TcpListener, service: &Service) -> io::Result<TcpServer> {
     let addr = listener.local_addr()?;
-    // Non-blocking accept so the loop can poll for shutdown.
     listener.set_nonblocking(true)?;
     let service = service.clone();
-    let accept = thread::Builder::new()
-        .name("groomd-accept".into())
-        .spawn(move || accept_loop(&listener, &service))
-        .expect("spawn accept thread");
-    Ok(TcpServer { addr, accept })
+    let poller = thread::Builder::new()
+        .name("groomd-poller".into())
+        .spawn(move || poller_loop(&listener, &service))
+        .expect("spawn poller thread");
+    Ok(TcpServer { addr, poller })
 }
 
-fn accept_loop(listener: &TcpListener, service: &Service) {
-    let mut connections: Vec<thread::JoinHandle<()>> = Vec::new();
-    while !service.is_shutting_down() {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let service = service.clone();
-                let handle = thread::Builder::new()
-                    .name("groomd-conn".into())
-                    .spawn(move || handle_connection(stream, &service))
-                    .expect("spawn connection thread");
-                connections.push(handle);
-            }
-            // WouldBlock = nothing pending; anything else (e.g. EMFILE)
-            // is also just backed off — the listener itself stays up.
-            Err(_) => thread::sleep(ACCEPT_POLL),
+/// One reply slot of a connection's in-order reply queue.
+enum PendingReply {
+    /// Already-formatted bytes (PONG, STATS, ERR, REJECTED, BYE).
+    Ready(String),
+    /// A submitted batch still solving; formatted when the ticket
+    /// resolves. Order in the queue is answer order on the wire.
+    Batch(Ticket),
+}
+
+/// One multiplexed client connection.
+struct Connection {
+    stream: TcpStream,
+    /// Raw bytes read but not yet split at a newline.
+    inbuf: Vec<u8>,
+    /// Complete lines not yet consumed by a request block.
+    lines: VecDeque<String>,
+    /// Bytes held in `lines` (for the buffer cap).
+    line_bytes: usize,
+    /// Replies not yet written, oldest first.
+    pending: VecDeque<PendingReply>,
+    /// Formatted reply bytes not yet accepted by the socket.
+    outbuf: Vec<u8>,
+    /// Peer half-closed its write side; drain and close.
+    eof: bool,
+    /// Stop consuming input; close once replies are flushed.
+    closing: bool,
+    /// Transport failed; drop immediately.
+    dead: bool,
+}
+
+impl Connection {
+    fn new(stream: TcpStream) -> io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        Ok(Connection {
+            stream,
+            inbuf: Vec::new(),
+            lines: VecDeque::new(),
+            line_bytes: 0,
+            pending: VecDeque::new(),
+            outbuf: Vec::new(),
+            eof: false,
+            closing: false,
+            dead: false,
+        })
+    }
+
+    /// `true` once the connection can be dropped from the poll set.
+    fn finished(&self) -> bool {
+        self.dead
+            || ((self.eof || self.closing) && self.pending.is_empty() && self.outbuf.is_empty())
+    }
+
+    /// One poll tick: read, frame, submit, flush. Returns `true` if any
+    /// bytes moved (the poller's idle detector).
+    fn tick(&mut self, service: &Service) -> bool {
+        let mut activity = false;
+        if !self.dead && !self.eof && !self.closing {
+            activity |= self.read_input();
         }
-        // Reap finished handlers so the vec doesn't grow with history.
-        connections.retain(|h| !h.is_finished());
+        self.split_lines();
+        if !self.dead && !self.closing {
+            activity |= self.process_blocks(service);
+        }
+        activity |= self.flush_ready();
+        activity |= self.write_output();
+        activity
     }
-    for handle in connections {
-        let _ = handle.join();
-    }
-}
 
-fn is_poll_timeout(kind: io::ErrorKind) -> bool {
-    matches!(kind, io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
-}
-
-fn handle_connection(stream: TcpStream, service: &Service) {
-    let _ = stream.set_read_timeout(Some(READ_POLL));
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut writer = stream;
-    let mut lines = BufReader::new(read_half).lines();
-    loop {
-        let first = match lines.next() {
-            None => break,
-            Some(Err(e)) if is_poll_timeout(e.kind()) => {
-                if service.is_shutting_down() {
+    /// Drains whatever the socket has into `inbuf` without ever blocking.
+    fn read_input(&mut self) -> bool {
+        let mut moved = false;
+        let mut buf = [0u8; 4096];
+        loop {
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    self.eof = true;
                     break;
                 }
-                continue;
-            }
-            Some(Err(_)) => break,
-            Some(Ok(line)) => line,
-        };
-        let first = first.trim().to_string();
-        // Blank lines and comments are allowed between request blocks.
-        if first.is_empty() || first.starts_with('#') {
-            continue;
-        }
-        let reply = match protocol::parse_request(&first, &mut lines, service.config()) {
-            // Transport failure (including a mid-block read timeout):
-            // the connection is not recoverable.
-            Err(RequestError::Io(_)) => break,
-            // A parse failure is answered and the connection kept.
-            Err(RequestError::Wire(e)) => format!("ERR {e}\n"),
-            Ok(WireRequest::Ping) => "PONG\n".to_string(),
-            Ok(WireRequest::Stats) => protocol::format_stats(&service.stats()),
-            Ok(WireRequest::Shutdown) => {
-                service.begin_shutdown();
-                let _ = writer.write_all(b"BYE\n");
-                break;
-            }
-            Ok(WireRequest::Batch(request)) => {
-                let id = request.id;
-                match service.submit(request) {
-                    Err(e) => protocol::format_rejected(id, &e),
-                    // Blocking here is the drain guarantee at work: an
-                    // accepted batch always gets its transcript, even if
-                    // shutdown begins while it is in flight.
-                    Ok(ticket) => protocol::format_batch_response(&ticket.wait()),
+                Ok(n) => {
+                    self.inbuf.extend_from_slice(&buf[..n]);
+                    moved = true;
+                    if self.inbuf.len() + self.line_bytes > MAX_BUFFERED_BYTES {
+                        // A peer this far ahead of the parser is not a
+                        // grooming client; cut it loose.
+                        self.dead = true;
+                        return true;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    break;
                 }
             }
+        }
+        moved
+    }
+
+    /// Moves complete lines (`…\n`, optional `\r` stripped) from `inbuf`
+    /// to `lines`. A trailing partial line stays buffered — that is the
+    /// whole slow-client fix: nothing is ever discarded at a read
+    /// boundary.
+    fn split_lines(&mut self) {
+        while let Some(pos) = self.inbuf.iter().position(|&b| b == b'\n') {
+            let mut line: Vec<u8> = self.inbuf.drain(..=pos).collect();
+            line.pop(); // the \n
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            let line = String::from_utf8_lossy(&line).into_owned();
+            self.line_bytes += line.len();
+            self.lines.push_back(line);
+        }
+    }
+
+    /// Carves complete request blocks off `lines` and submits them.
+    fn process_blocks(&mut self, service: &Service) -> bool {
+        let mut moved = false;
+        loop {
+            // Blank lines and comments are allowed between blocks.
+            match self.lines.front() {
+                None => break,
+                Some(l) => {
+                    let t = l.trim();
+                    if t.is_empty() || t.starts_with('#') {
+                        self.line_bytes -= l.len();
+                        self.lines.pop_front();
+                        continue;
+                    }
+                }
+            }
+            let Some(len) = block_bounds(&self.lines, service) else {
+                break; // incomplete — wait for more bytes
+            };
+            let mut block: Vec<String> = Vec::with_capacity(len);
+            for _ in 0..len {
+                let line = self.lines.pop_front().expect("bounded by lines.len()");
+                self.line_bytes -= line.len();
+                block.push(line);
+            }
+            moved = true;
+            let first = block.remove(0);
+            let mut rest = block.into_iter().map(Ok::<String, io::Error>);
+            // On a parse error the rest of the *framed* block is dropped
+            // with it, so the stream resynchronizes at the block boundary
+            // instead of misreading payload lines as new requests.
+            let reply = match protocol::parse_request(first.trim(), &mut rest, service.config()) {
+                Err(RequestError::Io(_)) => unreachable!("in-memory lines never fail"),
+                Err(RequestError::Wire(e)) => PendingReply::Ready(format!("ERR {e}\n")),
+                Ok(WireRequest::Ping) => PendingReply::Ready("PONG\n".to_string()),
+                Ok(WireRequest::Stats) => {
+                    PendingReply::Ready(protocol::format_stats(&service.stats()))
+                }
+                Ok(WireRequest::Shutdown) => {
+                    service.begin_shutdown();
+                    self.closing = true;
+                    self.pending
+                        .push_back(PendingReply::Ready("BYE\n".to_string()));
+                    break;
+                }
+                Ok(WireRequest::Batch(request)) => {
+                    let id = request.id;
+                    match service.submit(request) {
+                        Err(e) => PendingReply::Ready(protocol::format_rejected(id, &e)),
+                        Ok(ticket) => PendingReply::Batch(ticket),
+                    }
+                }
+            };
+            self.pending.push_back(reply);
+        }
+        moved
+    }
+
+    /// Moves resolved replies (in order) from `pending` into `outbuf`. A
+    /// ready reply behind an unresolved batch waits — answer order is
+    /// submission order.
+    fn flush_ready(&mut self) -> bool {
+        let mut moved = false;
+        loop {
+            let text = match self.pending.front() {
+                None => break,
+                Some(PendingReply::Ready(_)) => {
+                    let Some(PendingReply::Ready(s)) = self.pending.pop_front() else {
+                        unreachable!("front was Ready");
+                    };
+                    s
+                }
+                Some(PendingReply::Batch(ticket)) => match ticket.poll() {
+                    None => break,
+                    Some(response) => {
+                        self.pending.pop_front();
+                        protocol::format_batch_response(&response)
+                    }
+                },
+            };
+            self.outbuf.extend_from_slice(text.as_bytes());
+            moved = true;
+        }
+        moved
+    }
+
+    /// Writes as much of `outbuf` as the socket accepts right now.
+    fn write_output(&mut self) -> bool {
+        let mut written = 0;
+        while written < self.outbuf.len() {
+            match self.stream.write(&self.outbuf[written..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    break;
+                }
+                Ok(n) => written += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        self.outbuf.drain(..written);
+        written > 0
+    }
+}
+
+/// Syntactic framing: how many buffered lines the next request block
+/// spans, or `None` if it is still incomplete.
+///
+/// The scanner consumes exactly what [`protocol::parse_request`] *could*
+/// consume: one line for simple verbs (and for headers the parser rejects
+/// before reading payload), and `BATCH` arithmetic —
+/// `count × (ITEM line + demand header + m entries) + END` — using the
+/// same declared-size fields and the same admission caps the parser
+/// enforces. An `END` where an `ITEM` was expected closes the block early
+/// (the parser reports the truncation as an error, and the stream stays in
+/// sync at the boundary).
+fn block_bounds(lines: &VecDeque<String>, service: &Service) -> Option<usize> {
+    let config = service.config();
+    let first = lines[0].trim();
+    let mut toks = first.split_whitespace();
+    if toks.next() != Some("BATCH") {
+        return Some(1);
+    }
+    let mut count: Option<usize> = None;
+    for tok in toks {
+        if let Some(v) = tok.strip_prefix("count=") {
+            count = v.parse().ok();
+        }
+    }
+    // Headers the parser refuses without reading payload frame as one
+    // line: bad/missing count, or a batch that can never fit the queue.
+    let Some(count) = count else {
+        return Some(1);
+    };
+    if count > config.queue_capacity {
+        return Some(1);
+    }
+    let mut idx = 1;
+    for _ in 0..count {
+        // The ITEM line. A premature END ends the block here; the parser
+        // turns it into an UnexpectedEof-style error for the client.
+        let item = lines.get(idx)?;
+        if item.trim() == "END" {
+            return Some(idx + 1);
+        }
+        idx += 1;
+        // The demand-list header declares the entry count.
+        let header = lines.get(idx)?;
+        let mut peek = header.split_whitespace().skip(2);
+        let n = peek.next().and_then(|t| t.parse::<u64>().ok());
+        let m = peek.next().and_then(|t| t.parse::<u64>().ok());
+        idx += 1;
+        let (Some(n), Some(m)) = (n, m) else {
+            // Not header-shaped: the parser stops (with an error) right
+            // after reading it.
+            return Some(idx);
         };
-        if writer.write_all(reply.as_bytes()).is_err() {
+        if n > config.max_nodes as u64 || m > config.max_units {
+            // The parser refuses oversized declarations before reading a
+            // single entry line; frame the block the same way.
+            return Some(idx);
+        }
+        let end = idx + m as usize;
+        if lines.len() < end {
+            return None;
+        }
+        idx = end;
+    }
+    // The END terminator (the parser consumes it whatever it says).
+    lines.get(idx)?;
+    Some(idx + 1)
+}
+
+/// Classifies an accept error: transient ones are logged and skipped,
+/// fatal ones count toward the give-up streak.
+fn accept_error_is_transient(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::Interrupted
+    )
+}
+
+/// The event loop: accept, tick every connection, reap, sleep when idle.
+fn poller_loop(listener: &TcpListener, service: &Service) {
+    let mut conns: Vec<Connection> = Vec::new();
+    let mut fatal_streak = 0u32;
+    let mut accepting = true;
+    loop {
+        let mut activity = false;
+        if service.is_shutting_down() {
+            accepting = false;
+            for conn in &mut conns {
+                conn.closing = true;
+            }
+        }
+        while accepting {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    fatal_streak = 0;
+                    match Connection::new(stream) {
+                        Ok(conn) => {
+                            conns.push(conn);
+                            activity = true;
+                        }
+                        Err(e) => eprintln!("groomd: failed to set up connection: {e}"),
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if accept_error_is_transient(e.kind()) => {
+                    // The handshake died, not the listener: note it and
+                    // keep serving.
+                    eprintln!("groomd: transient accept error: {e}");
+                }
+                Err(e) => {
+                    fatal_streak += 1;
+                    eprintln!("groomd: accept error ({fatal_streak}/{MAX_FATAL_ACCEPTS}): {e}");
+                    if fatal_streak >= MAX_FATAL_ACCEPTS {
+                        // The listener is wedged (EMFILE and friends).
+                        // Refusing silently forever helps nobody; drain
+                        // and stop cleanly instead.
+                        eprintln!("groomd: listener wedged; beginning shutdown");
+                        service.begin_shutdown();
+                        accepting = false;
+                    }
+                    break;
+                }
+            }
+        }
+        for conn in &mut conns {
+            activity |= conn.tick(service);
+        }
+        conns.retain(|c| !c.finished());
+        if !accepting && conns.is_empty() {
             break;
+        }
+        if !activity {
+            thread::sleep(IDLE_SLEEP);
         }
     }
 }
@@ -150,6 +458,7 @@ fn handle_connection(stream: TcpStream, service: &Service) {
 mod tests {
     use super::*;
     use crate::service::ServiceConfig;
+    use std::io::{BufRead, BufReader};
 
     fn connect(addr: SocketAddr) -> TcpStream {
         let stream = TcpStream::connect(addr).expect("connect to groomd");
@@ -159,11 +468,10 @@ mod tests {
         stream
     }
 
-    fn roundtrip(stream: &mut TcpStream, request: &str, reply_lines: usize) -> String {
-        stream.write_all(request.as_bytes()).unwrap();
+    fn read_lines(stream: &TcpStream, n: usize) -> String {
         let mut reader = BufReader::new(stream.try_clone().unwrap());
         let mut out = String::new();
-        for _ in 0..reply_lines {
+        for _ in 0..n {
             let mut line = String::new();
             assert!(reader.read_line(&mut line).unwrap() > 0, "server hung up");
             out.push_str(&line);
@@ -171,16 +479,27 @@ mod tests {
         out
     }
 
-    #[test]
-    fn tcp_serves_ping_batch_stats_and_shutdown() {
-        let config = ServiceConfig {
-            workers: 2,
-            master_seed: 7,
-            ..Default::default()
-        };
+    fn roundtrip(stream: &mut TcpStream, request: &str, reply_lines: usize) -> String {
+        stream.write_all(request.as_bytes()).unwrap();
+        read_lines(stream, reply_lines)
+    }
+
+    fn start_server(config: ServiceConfig) -> (Service, TcpServer) {
         let service = Service::start(config);
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let server = serve(listener, &service).unwrap();
+        (service, server)
+    }
+
+    const BATCH: &str = "BATCH id=1 count=1\nITEM ring k=4\ndemands v1 6 3\n0 1\n1 2\n2 5\nEND\n";
+
+    #[test]
+    fn tcp_serves_ping_batch_stats_and_shutdown() {
+        let (service, server) = start_server(ServiceConfig {
+            workers: 2,
+            master_seed: 7,
+            ..Default::default()
+        });
         let addr = server.addr();
 
         let mut stream = connect(addr);
@@ -188,8 +507,7 @@ mod tests {
         // Parse errors keep the connection alive.
         let err = roundtrip(&mut stream, "FROB\n", 1);
         assert!(err.starts_with("ERR "), "got {err:?}");
-        let batch = "BATCH id=1 count=1\nITEM ring k=4\ndemands v1 6 3\n0 1\n1 2\n2 5\nEND\n";
-        let transcript = roundtrip(&mut stream, batch, 3);
+        let transcript = roundtrip(&mut stream, BATCH, 3);
         assert!(transcript.starts_with("RESULT 1 count=1\nPLAN 0 sadms="));
         assert!(transcript.ends_with("END\n"));
         let stats = roundtrip(&mut stream, "STATS\n", 1);
@@ -203,5 +521,115 @@ mod tests {
         assert_eq!(snapshot.counters.accepted_items, 1);
         assert_eq!(snapshot.counters.completed_items, 1);
         assert_eq!(snapshot.queue_depth, 0);
+    }
+
+    /// The slow-client regression: a stall in the middle of a line (longer
+    /// than any polling interval) must not discard the bytes already read.
+    /// The old `BufReader::lines()` loop dropped the partial line on its
+    /// read timeout and answered `ERR` to the remainder.
+    #[test]
+    fn mid_line_stalls_do_not_drop_bytes() {
+        let (service, server) = start_server(ServiceConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        let mut stream = connect(server.addr());
+
+        stream.write_all(b"PI").unwrap();
+        thread::sleep(Duration::from_millis(250));
+        stream.write_all(b"NG\n").unwrap();
+        assert_eq!(read_lines(&stream, 1), "PONG\n");
+
+        // The same across a whole batch block, fragmented at hostile
+        // boundaries: mid-verb, mid-number, mid-payload.
+        let (a, rest) = BATCH.split_at(9);
+        let (b, c) = rest.split_at(25);
+        for frag in [a, b, c] {
+            stream.write_all(frag.as_bytes()).unwrap();
+            thread::sleep(Duration::from_millis(120));
+        }
+        let transcript = read_lines(&stream, 3);
+        assert!(transcript.starts_with("RESULT 1 count=1\nPLAN 0 sadms="));
+
+        // Byte-by-byte, no stalls: reassembly is boundary-independent.
+        for byte in "PING\n".bytes() {
+            stream.write_all(&[byte]).unwrap();
+        }
+        assert_eq!(read_lines(&stream, 1), "PONG\n");
+
+        service.begin_shutdown();
+        server.join();
+        service.shutdown();
+    }
+
+    /// Pipelining: many blocks written back to back on one connection are
+    /// answered completely and in order — including a cheap PING queued
+    /// behind two batches.
+    #[test]
+    fn pipelined_blocks_answer_in_order() {
+        let (service, server) = start_server(ServiceConfig {
+            workers: 2,
+            master_seed: 3,
+            ..Default::default()
+        });
+        let mut stream = connect(server.addr());
+
+        let second = BATCH.replace("id=1", "id=2");
+        let mut wire = String::new();
+        wire.push_str(BATCH);
+        wire.push_str(&second);
+        wire.push_str("PING\n");
+        stream.write_all(wire.as_bytes()).unwrap();
+
+        let reply = read_lines(&stream, 7);
+        let lines: Vec<&str> = reply.lines().collect();
+        assert_eq!(lines[0], "RESULT 1 count=1");
+        assert!(lines[1].starts_with("PLAN 0 "));
+        assert_eq!(lines[2], "END");
+        assert_eq!(lines[3], "RESULT 2 count=1");
+        assert_eq!(lines[5], "END");
+        assert_eq!(lines[6], "PONG");
+        // Identical content ⇒ identical plan line, whatever the request
+        // id (content-derived seeds; the second is a cache hit).
+        assert_eq!(lines[1], lines[4]);
+
+        let snapshot = service.stats();
+        assert_eq!(snapshot.counters.accepted_requests, 2);
+        assert_eq!(snapshot.counters.cache_hits, 1);
+
+        service.begin_shutdown();
+        server.join();
+        service.shutdown();
+    }
+
+    /// A client that dies mid-block neither wedges the poller nor poisons
+    /// other connections.
+    #[test]
+    fn disconnect_mid_block_leaves_server_healthy() {
+        let (service, server) = start_server(ServiceConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        let addr = server.addr();
+
+        {
+            let mut dying = connect(addr);
+            // Half a batch: header + ITEM line, then vanish.
+            dying
+                .write_all(b"BATCH id=9 count=1\nITEM ring k=4\ndemands v1 6 3\n0 1\n")
+                .unwrap();
+        } // dropped: RST/FIN mid-block
+
+        let mut stream = connect(addr);
+        assert_eq!(roundtrip(&mut stream, "PING\n", 1), "PONG\n");
+        let transcript = roundtrip(&mut stream, BATCH, 3);
+        assert!(transcript.starts_with("RESULT 1 count=1\n"));
+        // The dead half-block admitted nothing.
+        let snapshot = service.stats();
+        assert_eq!(snapshot.counters.accepted_requests, 1);
+
+        service.begin_shutdown();
+        server.join();
+        service.shutdown();
     }
 }

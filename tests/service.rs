@@ -10,7 +10,8 @@ use grooming::solve::{Instance, PortfolioSolver, SolveContext, Solver};
 use grooming_graph::generators;
 use grooming_graph::ids::NodeId;
 use grooming_service::{
-    item_seed, Client, ItemOutcome, Request, Service, ServiceConfig, SubmitError,
+    estimated_cost, instance_digest, item_seed, Client, ItemOutcome, Request, Service,
+    ServiceConfig, SubmitError,
 };
 use grooming_sonet::blsr::BlsrRing;
 use grooming_sonet::demand::DemandSet;
@@ -88,7 +89,7 @@ fn overload_is_rejected_with_observed_depth() {
     // 3 of 4 slots taken: another 3-item batch cannot fit — all or
     // nothing, with the observed depth in the refusal.
     match service.submit(Request::batch(2, small())) {
-        Err(SubmitError::QueueFull { queue_depth }) => assert_eq!(queue_depth, 3),
+        Err(SubmitError::QueueFull { queue_depth, .. }) => assert_eq!(queue_depth, 3),
         other => panic!("expected QueueFull, got {:?}", other.map(|t| t.id())),
     }
     // A single item still fits; the queue is then exactly full.
@@ -102,7 +103,7 @@ fn overload_is_rejected_with_observed_depth() {
         4,
         vec![Instance::ring(DemandSet::all_to_all(4), 3)],
     )) {
-        Err(SubmitError::QueueFull { queue_depth }) => assert_eq!(queue_depth, 4),
+        Err(SubmitError::QueueFull { queue_depth, .. }) => assert_eq!(queue_depth, 4),
         other => panic!("expected QueueFull, got {:?}", other.map(|t| t.id())),
     }
     service.resume();
@@ -195,14 +196,14 @@ fn shutdown_under_load_drains_every_accepted_request_exactly_once() {
 fn service_solve_stats_equal_the_sum_of_solo_solves() {
     // The service's merged instrumentation must equal re-solving each item
     // by hand with the same derived seed — merge() loses nothing, and the
-    // derivation is a pure function of (master, request, index).
+    // derivation is a pure function of (master, instance content).
     let master = 42;
     let request_id = 1;
     let items = mixed_items();
     let mut expected_attempts = 0u64;
     let mut expected_swaps = 0u64;
-    for (index, instance) in items.iter().enumerate() {
-        let seed = item_seed(master, request_id, index);
+    for instance in items.iter() {
+        let seed = item_seed(master, instance_digest(instance, None));
         let mut ctx = SolveContext::seeded(seed);
         // Exactly the solver the service runs for algo-less requests.
         PortfolioSolver {
@@ -225,4 +226,109 @@ fn service_solve_stats_equal_the_sum_of_solo_solves() {
     let stats = service.shutdown();
     assert_eq!(stats.solve.attempts, expected_attempts);
     assert_eq!(stats.solve.swaps_evaluated, expected_swaps);
+}
+
+/// Every [`grooming_service::StatsSnapshot`] taken under full concurrent
+/// load must balance: `accepted_items == completed_items + queue_depth +
+/// in_flight`. The old implementation assembled snapshots from three
+/// separately-locked pieces and could observe an item in none (or two) of
+/// the three buckets.
+#[test]
+fn snapshots_balance_under_concurrent_load() {
+    let service = Service::start({
+        let mut c = config(3);
+        c.queue_capacity = 512;
+        c.cache_capacity = 0; // every item really solves
+        c
+    });
+    let submitter = {
+        let service = service.clone();
+        thread::spawn(move || {
+            let mut waiters = Vec::new();
+            for id in 1..=20 {
+                let items = vec![Instance::ring(DemandSet::all_to_all(7), 3); 4];
+                waiters.push(service.submit(Request::batch(id, items)).unwrap());
+            }
+            for w in waiters {
+                w.wait();
+            }
+        })
+    };
+    // Hammer snapshots the whole time work is admitted and completed.
+    while !submitter.is_finished() {
+        let s = service.stats();
+        assert_eq!(
+            s.counters.accepted_items,
+            s.counters.completed_items + s.queue_depth as u64 + s.in_flight,
+            "snapshot books must balance at every instant: {s:?}"
+        );
+    }
+    submitter.join().unwrap();
+    let s = service.shutdown();
+    assert_eq!(s.counters.accepted_items, 80);
+    assert_eq!(s.counters.completed_items, 80);
+    assert_eq!(s.in_flight, 0);
+    assert_eq!(s.queue_depth, 0);
+    // Latency ledgers saw every item exactly once.
+    assert_eq!(s.queue_wait.count(), 80);
+    assert_eq!(s.solve_time.count(), 80);
+}
+
+/// Under saturation the shed policy refuses deadline-unmeetable work with
+/// numbers that are a pure function of the queue contents — byte-stable
+/// rejections, and exactly-once completion for everything admitted.
+#[test]
+fn saturation_sheds_deadline_unmeetable_work_deterministically() {
+    let item = || Instance::ring(DemandSet::all_to_all(8), 4);
+    let cost = estimated_cost(&item());
+    let service = Service::start({
+        let mut c = config(2);
+        c.queue_work_capacity = cost * 4;
+        c.shed_watermark = cost; // saturated after one queued item
+        c.shed_cost_per_ms = 1; // 1 work unit per ms: wait == queued cost
+        c
+    });
+    service.pause();
+    let admitted = service
+        .submit(Request::batch(1, vec![item(), item()]))
+        .unwrap();
+    // Saturated (2·cost ≥ watermark): a deadline shorter than the
+    // estimated wait is shed, with the exact arithmetic in the refusal.
+    let doomed = Request {
+        id: 2,
+        items: vec![item()],
+        deadline: Some(Duration::from_millis(1)),
+        algo: None,
+    };
+    match service.submit(doomed) {
+        Err(SubmitError::Shed {
+            estimated_wait_ms,
+            deadline_ms,
+        }) => {
+            assert_eq!(estimated_wait_ms, 2 * cost);
+            assert_eq!(deadline_ms, 1);
+        }
+        other => panic!("expected Shed, got {:?}", other.map(|t| t.id())),
+    }
+    // A deadline that survives the estimated wait is admitted even under
+    // saturation — shedding is deadline-aware, not a hard gate …
+    let patient = service
+        .submit(Request {
+            id: 3,
+            items: vec![item()],
+            deadline: Some(Duration::from_secs(3600)),
+            algo: None,
+        })
+        .unwrap();
+    // … and so is work with no deadline at all.
+    let undated = service.submit(Request::batch(4, vec![item()])).unwrap();
+    service.resume();
+    assert_eq!(admitted.wait().items.len(), 2);
+    assert_eq!(patient.wait().items.len(), 1);
+    assert_eq!(undated.wait().items.len(), 1);
+    let stats = service.shutdown();
+    assert_eq!(stats.counters.accepted_requests, 3);
+    assert_eq!(stats.counters.rejected_requests, 1);
+    assert_eq!(stats.counters.shed_requests, 1);
+    assert_eq!(stats.counters.completed_items, 4);
 }
