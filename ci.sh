@@ -69,6 +69,16 @@ echo "== perf smoke: groomd service baseline (release, --fast) =="
 # target/release/perf_service
 target/release/perf_service --fast --out /tmp/BENCH_groomd_fast.json
 
+echo "== perf smoke: million-edge scale tier (release, --fast) =="
+# Runs the three scale-tier generator families at n = 10^4 through the
+# auto-sharded construction and sparse-incidence refinement, asserts the
+# sharded-vs-unsharded and sparse-vs-dense bit-identity contracts, and
+# asserts peak RSS stays under the fast tier's documented ceiling (the
+# binary exits non-zero on a breach). The checked-in
+# results/BENCH_scale.json is produced by the full run:
+# target/release/perf_scale
+target/release/perf_scale --fast --out /tmp/BENCH_scale_fast.json
+
 echo "== cargo doc (no deps, warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 

@@ -189,11 +189,11 @@ impl Algorithm {
             Algorithm::Brauner => baselines::brauner_in(g, k, ws),
             Algorithm::WangGuIcc06 => baselines::wang_gu_icc06_in(g, k, rng, ws),
             Algorithm::SpanTEuler(strategy) => {
-                spant_euler::spant_euler_in(g, k, *strategy, rng, ws)
+                spant_euler_dispatch(g, k, *strategy, rng, ws, config)
             }
             Algorithm::RegularEuler => regular_euler::regular_euler_in(g, k, ws)?,
             Algorithm::SpanTEulerRefined(strategy) => {
-                let base = spant_euler::spant_euler_in(g, k, *strategy, rng, ws);
+                let base = spant_euler_dispatch(g, k, *strategy, rng, ws, config);
                 let (refined, swaps) =
                     crate::improve::refine_with_stats(g, k, &base, config.refine_rounds);
                 stats.swaps_evaluated += swaps;
@@ -215,6 +215,26 @@ impl Algorithm {
                 result.partition
             }
         })
+    }
+}
+
+/// Routes a `SpanT_Euler` construction through the component-sharded or
+/// unsharded pipeline per the config's [`ShardMode`](crate::solve::ShardMode).
+/// Results are identical either way (see
+/// [`spant_euler::spant_euler_sharded_detailed_in`]); the mode only picks
+/// the memory-locality strategy.
+fn spant_euler_dispatch<R: Rng>(
+    g: &Graph,
+    k: usize,
+    strategy: TreeStrategy,
+    rng: &mut R,
+    ws: &mut Workspace,
+    config: &SolveConfig,
+) -> EdgePartition {
+    if config.shard.shards(g.num_edges()) {
+        spant_euler::spant_euler_sharded_in(g, k, strategy, rng, ws)
+    } else {
+        spant_euler::spant_euler_in(g, k, strategy, rng, ws)
     }
 }
 

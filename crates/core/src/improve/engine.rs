@@ -85,6 +85,141 @@ fn pair_delta(ea: EdgeInfo, fb: EdgeInfo) -> i32 {
         + cv * ((v != x) & (v != y)) as i32
 }
 
+/// Dense-incidence budget: above this many `W · n` entries (2²² u32s,
+/// 16 MiB) the engine switches to the sparse per-part representation. At
+/// the million-edge tier (`n = 10⁵`, `W ≈ m/k`) the dense matrix would be
+/// tens of gigabytes; below the threshold dense wins on constant factors.
+const DENSE_INCIDENCE_MAX: usize = 1 << 22;
+
+/// How the engine stores incidence counts. `Auto` applies the
+/// [`DENSE_INCIDENCE_MAX`] density threshold; the forced variants exist for
+/// the bit-identity tests and the `perf_scale` bench comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum IncidenceMode {
+    Auto,
+    ForceDense,
+    ForceSparse,
+}
+
+/// Per-part node incidence counts, dense or sparse.
+///
+/// Dense is the original flat `W × n` matrix (O(1) lookups, O(W·n)
+/// memory). Sparse keeps one `(node, count)` row per part; a part holds at
+/// most `k` edges, so rows have ≤ 2k entries and lookups are O(k) scans —
+/// independent of `n`. Both answer exactly the same counts, so every
+/// consumer is bit-identical across representations.
+enum Incidence {
+    Dense(Vec<u32>),
+    Sparse(Vec<Vec<(u32, u32)>>),
+}
+
+impl Incidence {
+    #[inline]
+    fn get(&self, n: usize, p: usize, x: NodeId) -> u32 {
+        match self {
+            Incidence::Dense(cnt) => cnt[p * n + x.index()],
+            Incidence::Sparse(rows) => rows[p]
+                .iter()
+                .find(|&&(nd, _)| nd == x.0)
+                .map_or(0, |&(_, c)| c),
+        }
+    }
+
+    /// Increments the count of `x` in part `p`; returns the new count.
+    #[inline]
+    fn inc(&mut self, n: usize, p: usize, x: NodeId) -> u32 {
+        match self {
+            Incidence::Dense(cnt) => {
+                let slot = &mut cnt[p * n + x.index()];
+                *slot += 1;
+                *slot
+            }
+            Incidence::Sparse(rows) => {
+                let row = &mut rows[p];
+                match row.iter_mut().find(|(nd, _)| *nd == x.0) {
+                    Some((_, c)) => {
+                        *c += 1;
+                        *c
+                    }
+                    None => {
+                        row.push((x.0, 1));
+                        1
+                    }
+                }
+            }
+        }
+    }
+
+    /// Decrements the count of `x` in part `p`; returns the new count.
+    #[inline]
+    fn dec(&mut self, n: usize, p: usize, x: NodeId) -> u32 {
+        match self {
+            Incidence::Dense(cnt) => {
+                let slot = &mut cnt[p * n + x.index()];
+                *slot -= 1;
+                *slot
+            }
+            Incidence::Sparse(rows) => {
+                let row = &mut rows[p];
+                let i = row
+                    .iter()
+                    .position(|&(nd, _)| nd == x.0)
+                    .expect("decrement of absent incidence count");
+                row[i].1 -= 1;
+                let c = row[i].1;
+                if c == 0 {
+                    row.swap_remove(i);
+                }
+                c
+            }
+        }
+    }
+}
+
+/// Fenwick tree over part indices holding *deferred* rotation amounts
+/// (difference-array form: range add, point query by prefix sum). Used by
+/// [`Engine::swap_sweep`] to replay the edge-vector rotations of
+/// skipped-but-provably-rejected swap pairs without visiting them.
+struct RotFenwick {
+    tree: Vec<u64>,
+}
+
+impl RotFenwick {
+    fn new(w: usize) -> Self {
+        RotFenwick {
+            tree: vec![0; w + 1],
+        }
+    }
+
+    fn point_add(&mut self, mut i: usize, delta: u64) {
+        i += 1;
+        while i < self.tree.len() {
+            self.tree[i] = self.tree[i].wrapping_add(delta);
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Adds `delta` to every index in `[l, r)`.
+    fn range_add(&mut self, l: usize, r: usize, delta: u64) {
+        if l >= r {
+            return;
+        }
+        self.point_add(l, delta);
+        self.point_add(r, delta.wrapping_neg());
+    }
+
+    /// Current value at index `i` (exact: cancellations net out).
+    fn value(&self, mut i: usize) -> u64 {
+        i += 1;
+        let mut s = 0u64;
+        while i > 0 {
+            s = s.wrapping_add(self.tree[i]);
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+}
+
 /// The incremental local-search state: parts plus the shared indices and
 /// scratch buffers described in the module docs.
 pub(crate) struct Engine<'g> {
@@ -96,12 +231,11 @@ pub(crate) struct Engine<'g> {
     edge_pos: Vec<u32>,
     /// Node → indices of the parts occupying it (unordered, duplicate-free).
     at_node: Vec<Vec<u32>>,
-    /// Flat `W × n` incidence-count matrix: `cnt[p * n + x]` is how many
-    /// edges of part `p` touch node `x`. One allocation, O(1) lookups,
-    /// O(1) upkeep per endpoint on every mutation. The part count `W` is
-    /// fixed for an engine's lifetime (parts may empty but never vanish),
-    /// so the stride stays valid.
-    cnt: Vec<u32>,
+    /// Incidence counts, dense (`W × n` matrix) or sparse (per-part rows)
+    /// per the density threshold. The part count `W` is fixed for an
+    /// engine's lifetime (parts may empty but never vanish), so dense
+    /// strides and sparse row indices stay valid.
+    inc: Incidence,
     /// Reusable swap-pass scratch (no per-pair allocation).
     info_a: Vec<EdgeInfo>,
     info_b: Vec<EdgeInfo>,
@@ -114,17 +248,30 @@ pub(crate) struct Engine<'g> {
 
 impl<'g> Engine<'g> {
     pub fn new(g: &'g Graph, partition: &EdgePartition) -> Self {
+        Self::with_mode(g, partition, IncidenceMode::Auto)
+    }
+
+    pub fn with_mode(g: &'g Graph, partition: &EdgePartition, mode: IncidenceMode) -> Self {
         let parts = build_parts(g, partition);
         let n = g.num_nodes();
+        let dense = match mode {
+            IncidenceMode::Auto => parts.len().saturating_mul(n) <= DENSE_INCIDENCE_MAX,
+            IncidenceMode::ForceDense => true,
+            IncidenceMode::ForceSparse => false,
+        };
+        let mut inc = if dense {
+            Incidence::Dense(vec![0u32; parts.len() * n])
+        } else {
+            Incidence::Sparse(vec![Vec::new(); parts.len()])
+        };
         let mut edge_pos = vec![0u32; g.num_edges()];
         let mut at_node: Vec<Vec<u32>> = vec![Vec::new(); n];
-        let mut cnt = vec![0u32; parts.len() * n];
         for (i, p) in parts.iter().enumerate() {
             for (pos, &e) in p.edges.iter().enumerate() {
                 edge_pos[e.index()] = pos as u32;
                 let (u, v) = g.endpoints(e);
-                cnt[i * n + u.index()] += 1;
-                cnt[i * n + v.index()] += 1;
+                inc.inc(n, i, u);
+                inc.inc(n, i, v);
             }
             for &x in &p.occ {
                 at_node[x.index()].push(i as u32);
@@ -136,7 +283,7 @@ impl<'g> Engine<'g> {
             parts,
             edge_pos,
             at_node,
-            cnt,
+            inc,
             info_a: Vec::new(),
             info_b: Vec::new(),
             neg_b: Vec::new(),
@@ -155,10 +302,10 @@ impl<'g> Engine<'g> {
         self.parts.into_iter().map(|p| p.edges).collect()
     }
 
-    /// Incidence count of node `x` in part `p`. O(1).
+    /// Incidence count of node `x` in part `p`. O(1) dense, O(k) sparse.
     #[inline]
     pub fn cnt_of(&self, p: usize, x: NodeId) -> u32 {
-        self.cnt[p * self.n + x.index()]
+        self.inc.get(self.n, p, x)
     }
 
     /// Removes `e` from part `a` in O(1) + occupancy upkeep.
@@ -175,9 +322,7 @@ impl<'g> Engine<'g> {
         }
         let (u, v) = self.g.endpoints(e);
         for x in [u, v] {
-            let idx = a * self.n + x.index();
-            self.cnt[idx] -= 1;
-            if self.cnt[idx] == 0 {
+            if self.inc.dec(self.n, a, x) == 0 {
                 self.vacate(a, x);
             }
         }
@@ -187,9 +332,7 @@ impl<'g> Engine<'g> {
     pub fn add_edge_to(&mut self, a: usize, e: EdgeId) {
         let (u, v) = self.g.endpoints(e);
         for x in [u, v] {
-            let idx = a * self.n + x.index();
-            self.cnt[idx] += 1;
-            if self.cnt[idx] == 1 {
+            if self.inc.inc(self.n, a, x) == 1 {
                 self.parts[a].occ.push(x);
                 self.at_node[x.index()].push(a as u32);
             }
@@ -438,5 +581,132 @@ impl<'g> Engine<'g> {
         self.info_b = info_b;
         self.neg_b = neg_b;
         applied
+    }
+
+    /// One full swap phase — the all-pairs `(a, b)` sweep of the reference,
+    /// restricted to *candidate* pairs found through the `at_node` inverted
+    /// index. Returns `true` if any swap was applied.
+    ///
+    /// An improving combination needs a negative contribution term, and
+    /// `(cnt_b(u) == 0) − (cnt_a(u) == 1) < 0` forces `u` to be occupied by
+    /// *both* parts; likewise for the `b`-side terms. So pairs sharing no
+    /// occupied node are guaranteed misses with zero evaluated combinations
+    /// (every row of the scan has only non-negative `a`-contributions and
+    /// an empty `neg_b`). They still matter to bit-identity, though: a
+    /// missed pair rotates both edge vectors (`rotate_first(a, 1)`,
+    /// `rotate_first(b, la)`). Those rotations are replayed exactly but
+    /// lazily — part lengths are constant across the phase (hits exchange
+    /// edges 1:1), rotations on one part compose additively, so skipped
+    /// pairs' effects accumulate in a Fenwick tree (`b`-side) and nonempty
+    /// prefix counts (`a`-side) and are flushed before any part is next
+    /// read. The result (partitions *and* `swaps_evaluated`) is
+    /// bit-identical to the reference's all-pairs sweep.
+    pub fn swap_sweep(&mut self) -> bool {
+        let w = self.parts.len();
+        if w < 2 {
+            return false;
+        }
+        // Lengths are constant for the whole phase: prefix[i] = number of
+        // nonempty parts with index < i.
+        let mut prefix = vec![0u32; w + 1];
+        for p in 0..w {
+            prefix[p + 1] = prefix[p] + !self.parts[p].edges.is_empty() as u32;
+        }
+        let nonempty_in = |l: usize, r: usize| {
+            if l >= r {
+                0u64
+            } else {
+                (prefix[r] - prefix[l]) as u64
+            }
+        };
+        let mut fen = RotFenwick::new(w);
+        // Fenwick amount already applied to each part.
+        let mut flushed = vec![0u64; w];
+        let mut cands: Vec<u32> = Vec::new();
+        let mut evaluated: Vec<u32> = Vec::new();
+        let mut improved = false;
+
+        for a in 0..w {
+            let la = self.parts[a].edges.len();
+            if la == 0 {
+                continue; // every pair (a, ·) is a complete no-op
+            }
+            // Candidate partners: parts above `a` sharing an occupied node.
+            cands.clear();
+            for &x in &self.parts[a].occ {
+                for &p in &self.at_node[x.index()] {
+                    if p as usize > a && !self.parts[p as usize].edges.is_empty() {
+                        cands.push(p);
+                    }
+                }
+            }
+            cands.sort_unstable();
+            cands.dedup();
+            evaluated.clear();
+
+            let mut prev = a;
+            let mut hit_at: Option<usize> = None;
+            for &bc in &cands {
+                let b = bc as usize;
+                // Flush `a`: deferred Fenwick rotations (from earlier rows)
+                // plus one rotation per skipped nonempty partner in the gap.
+                let pend_a = fen.value(a).wrapping_sub(flushed[a]) + nonempty_in(prev + 1, b);
+                if pend_a > 0 {
+                    self.rotate_first(a, pend_a as usize);
+                }
+                flushed[a] = fen.value(a);
+                // Flush `b`: deferred rotations from earlier rows.
+                let pend_b = fen.value(b).wrapping_sub(flushed[b]);
+                if pend_b > 0 {
+                    self.rotate_first(b, pend_b as usize);
+                }
+                flushed[b] = fen.value(b);
+
+                if self.swap_pass_pair(a, b) {
+                    improved = true;
+                    hit_at = Some(b);
+                    break;
+                }
+                evaluated.push(bc);
+                prev = b;
+            }
+
+            match hit_at {
+                // Hit: the reference aborts the row (`continue 'swaps`), so
+                // only partners strictly below the hit owe the deferred
+                // `rotate_first(b, la)`; the ones evaluated already got it
+                // inside `swap_pass_pair`.
+                Some(bh) => {
+                    fen.range_add(a + 1, bh, la as u64);
+                    for &b in &evaluated {
+                        fen.range_add(b as usize, b as usize + 1, (la as u64).wrapping_neg());
+                    }
+                }
+                // Full row of misses: `a` rotates once per nonempty partner
+                // after the last candidate; every partner owes `la`.
+                None => {
+                    let tail = nonempty_in(prev + 1, w);
+                    let pend_a = fen.value(a).wrapping_sub(flushed[a]) + tail;
+                    if pend_a > 0 {
+                        self.rotate_first(a, pend_a as usize);
+                    }
+                    flushed[a] = fen.value(a);
+                    fen.range_add(a + 1, w, la as u64);
+                    for &b in &evaluated {
+                        fen.range_add(b as usize, b as usize + 1, (la as u64).wrapping_neg());
+                    }
+                }
+            }
+        }
+
+        // Phase end: every part must carry its full rotation history before
+        // anything else reads the edge vectors.
+        for (p, &done) in flushed.iter().enumerate() {
+            let pend = fen.value(p).wrapping_sub(done);
+            if pend > 0 {
+                self.rotate_first(p, pend as usize);
+            }
+        }
+        improved
     }
 }

@@ -35,7 +35,7 @@ use grooming_graph::ids::EdgeId;
 use rand::Rng;
 
 use crate::partition::EdgePartition;
-use engine::{build_parts, Engine};
+use engine::{build_parts, Engine, IncidenceMode};
 
 pub use packing::{clique_first, dense_first};
 
@@ -75,8 +75,39 @@ pub fn refine_with_stats(
     partition: &EdgePartition,
     max_rounds: usize,
 ) -> (EdgePartition, u64) {
+    refine_with_stats_mode(g, k, partition, max_rounds, IncidenceMode::Auto)
+}
+
+/// Bench/test hook: [`refine`] with the engine's incidence representation
+/// pinned to sparse (`true`) or dense (`false`) instead of the density
+/// threshold picking one. Outputs are bit-identical across representations;
+/// `perf_scale` uses this to measure the dense-vs-sparse tradeoff and the
+/// bit-identity tests use it to prove the claim.
+#[doc(hidden)]
+pub fn refine_forced_incidence(
+    g: &Graph,
+    k: usize,
+    partition: &EdgePartition,
+    max_rounds: usize,
+    sparse: bool,
+) -> EdgePartition {
+    let mode = if sparse {
+        IncidenceMode::ForceSparse
+    } else {
+        IncidenceMode::ForceDense
+    };
+    refine_with_stats_mode(g, k, partition, max_rounds, mode).0
+}
+
+fn refine_with_stats_mode(
+    g: &Graph,
+    k: usize,
+    partition: &EdgePartition,
+    max_rounds: usize,
+    mode: IncidenceMode,
+) -> (EdgePartition, u64) {
     assert!(k > 0, "grooming factor must be positive");
-    let mut eng = Engine::new(g, partition);
+    let mut eng = Engine::with_mode(g, partition, mode);
 
     for _ in 0..max_rounds {
         let mut improved = false;
@@ -104,14 +135,12 @@ pub fn refine_with_stats(
         }
 
         // Pairwise swaps (handle full parts, the common case after
-        // Proposition 2 cutting).
-        'swaps: for a in 0..eng.parts.len() {
-            for b in (a + 1)..eng.parts.len() {
-                if eng.swap_pass_pair(a, b) {
-                    improved = true;
-                    continue 'swaps;
-                }
-            }
+        // Proposition 2 cutting). The sweep visits only pairs sharing an
+        // occupied node — found through the inverted index — and replays
+        // the skipped pairs' vector rotations lazily, staying bit-identical
+        // to the reference's all-pairs scan.
+        if eng.swap_sweep() {
+            improved = true;
         }
 
         if !improved {
@@ -421,6 +450,27 @@ mod tests {
         // k < 3 short-circuits.
         let p = clique_first(&g, 2, &mut rng(5));
         p.validate(&g, 2).unwrap();
+    }
+
+    #[test]
+    fn sparse_and_dense_incidence_refine_identically() {
+        // The incidence representation must be unobservable: forcing the
+        // sparse rows and the dense matrix on the same inputs has to yield
+        // the same partitions edge-for-edge (not merely equal cost).
+        for seed in 0..6u64 {
+            let g = generators::gnm(24, 70, &mut rng(seed));
+            for k in [2usize, 5, 9, 16] {
+                let base = spant_euler(&g, k, TreeStrategy::Dfs, &mut rng(seed));
+                let dense = refine_forced_incidence(&g, k, &base, 8, false);
+                let sparse = refine_forced_incidence(&g, k, &base, 8, true);
+                assert_eq!(
+                    dense.parts(),
+                    sparse.parts(),
+                    "representation leaked into the output (seed {seed}, k {k})"
+                );
+                assert_eq!(dense.parts(), refine(&g, k, &base, 8).parts());
+            }
+        }
     }
 
     #[test]

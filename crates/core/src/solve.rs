@@ -51,6 +51,43 @@ use crate::regular_euler::NotRegularError;
 /// by default — the value every pre-context entry point hard-coded.
 pub const DEFAULT_REFINE_ROUNDS: usize = 8;
 
+/// Edge count above which [`ShardMode::Auto`] switches `SpanT_Euler` to the
+/// component-sharded pipeline. Below it the `O(n + m)` component split is
+/// pure overhead on graphs that solve in microseconds anyway; above it the
+/// per-component working sets start paying for themselves.
+pub const SHARD_AUTO_MIN_EDGES: usize = 1 << 14;
+
+/// When the solve layer runs `SpanT_Euler` through the component-sharded
+/// pipeline ([`crate::spant_euler::spant_euler_sharded_in`]).
+///
+/// Sharding never changes results: the sharded pipeline is bit-identical
+/// to the unsharded one for the RNG-free tree strategies and falls back to
+/// it for the RNG-consuming ones, so this knob only trades the split
+/// overhead against per-component memory locality.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ShardMode {
+    /// Shard once the graph has at least [`SHARD_AUTO_MIN_EDGES`] edges.
+    #[default]
+    Auto,
+    /// Always route through the sharded pipeline (it still falls back
+    /// internally when the graph has at most one edge-bearing component or
+    /// the tree strategy consumes RNG).
+    Always,
+    /// Never shard — always the unsharded pipeline.
+    Never,
+}
+
+impl ShardMode {
+    /// Whether a graph with `num_edges` edges should take the sharded path.
+    pub fn shards(&self, num_edges: usize) -> bool {
+        match self {
+            ShardMode::Auto => num_edges >= SHARD_AUTO_MIN_EDGES,
+            ShardMode::Always => true,
+            ShardMode::Never => false,
+        }
+    }
+}
+
 /// Tunables a [`SolveContext`] carries into every solver it serves.
 #[derive(Clone, Debug, PartialEq, Eq)]
 #[non_exhaustive]
@@ -58,12 +95,16 @@ pub struct SolveConfig {
     /// Refinement rounds for [`Algorithm::SpanTEulerRefined`]
     /// (default [`DEFAULT_REFINE_ROUNDS`]).
     pub refine_rounds: usize,
+    /// Component-sharding policy for `SpanT_Euler` (default
+    /// [`ShardMode::Auto`]; never affects results).
+    pub shard: ShardMode,
 }
 
 impl Default for SolveConfig {
     fn default() -> Self {
         SolveConfig {
             refine_rounds: DEFAULT_REFINE_ROUNDS,
+            shard: ShardMode::default(),
         }
     }
 }
@@ -859,6 +900,34 @@ mod tests {
             assert!(!sol.timed_out);
             assert!(!sol.cancelled);
         }
+    }
+
+    #[test]
+    fn shard_mode_never_changes_solutions() {
+        // A fragmented instance (sparse gnm => several components): the
+        // sharded and unsharded pipelines must agree bit-for-bit through
+        // the solve surface, for the construction and its refined form.
+        let g = generators::gnm(40, 30, &mut StdRng::seed_from_u64(21));
+        for algo in [
+            Algorithm::SpanTEuler(TreeStrategy::Dfs),
+            Algorithm::SpanTEulerRefined(TreeStrategy::Bfs),
+        ] {
+            let mut plans = Vec::new();
+            for shard in [ShardMode::Never, ShardMode::Always, ShardMode::Auto] {
+                let mut ctx = SolveContext::seeded(3).with_config(SolveConfig {
+                    shard,
+                    ..SolveConfig::default()
+                });
+                let sol = algo.solve(&Instance::upsr(g.clone(), 4), &mut ctx).unwrap();
+                plans.push(sol.plan.partition().unwrap().parts().to_vec());
+            }
+            assert_eq!(plans[0], plans[1], "{algo}: sharded diverged");
+            assert_eq!(plans[0], plans[2], "{algo}: auto diverged");
+        }
+        assert!(!ShardMode::Auto.shards(SHARD_AUTO_MIN_EDGES - 1));
+        assert!(ShardMode::Auto.shards(SHARD_AUTO_MIN_EDGES));
+        assert!(ShardMode::Always.shards(0));
+        assert!(!ShardMode::Never.shards(usize::MAX));
     }
 
     #[test]

@@ -65,6 +65,39 @@ proptest! {
     }
 
     #[test]
+    fn sharded_solve_is_bit_identical_to_unsharded(
+        n in 6usize..=48,
+        frac in 0.0f64..=0.12,
+        k in arb_k(),
+        seed in any::<u64>(),
+    ) {
+        // Sparse gnm skews heavily multi-component — the regime the
+        // component-sharded pipeline exists for. Both RNG-free strategies
+        // must reassemble the exact unsharded partition AND diagnostics;
+        // the RNG-consuming ones must fall back without touching the
+        // stream.
+        use grooming::spant_euler::{spant_euler_detailed_in, spant_euler_sharded_detailed_in};
+        use grooming_graph::workspace::Workspace;
+        let max_m = n * (n - 1) / 2;
+        let m = ((max_m as f64) * frac).round() as usize;
+        let g = generators::gnm(n, m.min(max_m), &mut StdRng::seed_from_u64(seed));
+        let mut ws = Workspace::new();
+        for strategy in TreeStrategy::ALL {
+            let mut r1 = StdRng::seed_from_u64(seed ^ 0x5eed);
+            let mut r2 = StdRng::seed_from_u64(seed ^ 0x5eed);
+            let base = spant_euler_detailed_in(&g, k, strategy, &mut r1, &mut ws);
+            let sharded = spant_euler_sharded_detailed_in(&g, k, strategy, &mut r2, &mut ws);
+            prop_assert_eq!(base.partition.parts(), sharded.partition.parts(),
+                "partition diverged ({:?})", strategy);
+            prop_assert_eq!(base.cover_size, sharded.cover_size);
+            prop_assert_eq!(base.components_g_minus_t, sharded.components_g_minus_t);
+            prop_assert_eq!(base.euler_components, sharded.euler_components);
+            use rand::RngCore as _;
+            prop_assert_eq!(r1.next_u64(), r2.next_u64(), "RNG stream diverged");
+        }
+    }
+
+    #[test]
     fn regular_euler_respects_theorem10(
         n_half in 3usize..=16,
         r_pick in any::<u64>(),

@@ -43,6 +43,11 @@ fn decode_pair(idx: usize) -> (u32, u32) {
 /// Uniform random simple graph with exactly `m` edges (the paper's random
 /// traffic graph model with `m = round(n^(1+d))`).
 ///
+/// Cost is O(m) time and memory at scale: `rand::seq::index::sample` uses
+/// Floyd's algorithm once the pair count outgrows its Fisher–Yates cutoff,
+/// so `gnm(100_000, 2_000_000, ..)` never materialises the ~5·10⁹-entry
+/// pair table.
+///
 /// # Panics
 /// Panics if `m > C(n, 2)`.
 pub fn gnm<R: Rng>(n: usize, m: usize, rng: &mut R) -> Graph {
@@ -64,13 +69,173 @@ pub fn dense_ratio_edges(n: usize, d: f64) -> usize {
     m.min(pair_count(n))
 }
 
-/// Erdős–Rényi `G(n, p)`.
+/// Erdős–Rényi `G(n, p)` via geometric skip sampling: instead of one
+/// Bernoulli draw per pair (O(n²) at any density), the gap to the next
+/// present edge is drawn directly as `⌊ln(1−U) / ln(1−p)⌋`, giving
+/// O(n + m) expected time. Usable at `n = 10⁵` for sparse `p`.
+///
+/// Note: this changed the RNG stream relative to the original per-pair
+/// loop (one uniform per *edge* rather than per *pair*). `gnp` has no
+/// golden-pinned instances, so no digests move.
 pub fn gnp<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
     let mut g = Graph::new(n);
-    for u in 0..n as u32 {
-        for v in (u + 1)..n as u32 {
-            if rng.gen_bool(p.clamp(0.0, 1.0)) {
-                g.add_edge(NodeId(u), NodeId(v));
+    let p = p.clamp(0.0, 1.0);
+    if n < 2 || p <= 0.0 {
+        return g;
+    }
+    if p >= 1.0 {
+        return complete(n);
+    }
+    let total = pair_count(n);
+    let log_q = (1.0 - p).ln(); // < 0 since 0 < p < 1
+    let mut idx = 0usize;
+    while idx < total {
+        // U in [0, 1) so 1−U in (0, 1]: the gap is finite and >= 0.
+        let u = rng.gen_range(0.0f64..1.0);
+        let gap = ((1.0 - u).ln() / log_q).floor();
+        if gap >= (total - idx) as f64 {
+            break;
+        }
+        idx += gap as usize;
+        let (v, w) = decode_pair(idx);
+        g.add_edge(NodeId(v), NodeId(w));
+        idx += 1;
+    }
+    g
+}
+
+/// Chung–Lu expected-degree random graph: edge `{u, v}` is present with
+/// probability `min(w_u · w_v / Σw, 1)`, independently. Implemented with
+/// the Miller–Hagberg skip-sampling scheme — nodes are visited in
+/// descending-weight order and the inner loop thins a geometric skip at
+/// the current upper-bound probability — for O(n + m) expected time.
+///
+/// Node `i` of the returned graph keeps weight `weights[i]` regardless of
+/// the internal ordering.
+///
+/// # Panics
+/// Panics if any weight is negative or non-finite.
+pub fn chung_lu<R: Rng>(weights: &[f64], rng: &mut R) -> Graph {
+    let n = weights.len();
+    let mut g = Graph::new(n);
+    assert!(
+        weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+        "Chung-Lu weights must be finite and non-negative"
+    );
+    let s: f64 = weights.iter().sum();
+    if n < 2 || s <= 0.0 {
+        return g;
+    }
+    // Descending-weight order (ties broken by node id) makes the
+    // upper-bound probability monotone along the inner loop.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by(|&a, &b| {
+        weights[b as usize]
+            .partial_cmp(&weights[a as usize])
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+    let w: Vec<f64> = order.iter().map(|&i| weights[i as usize]).collect();
+    for i in 0..n - 1 {
+        if w[i] <= 0.0 {
+            break; // all remaining weights are zero
+        }
+        let mut j = i + 1;
+        let mut p = (w[i] * w[j] / s).min(1.0);
+        while j < n && p > 0.0 {
+            if p < 1.0 {
+                let u = rng.gen_range(0.0f64..1.0);
+                let gap = ((1.0 - u).ln() / (1.0 - p).ln()).floor();
+                if gap >= (n - j) as f64 {
+                    break;
+                }
+                j += gap as usize;
+            }
+            // Thinning: the skip over-samples at rate p >= q; accept with
+            // probability q/p to land at the exact per-pair probability.
+            let q = (w[i] * w[j] / s).min(1.0);
+            if rng.gen_range(0.0f64..1.0) < q / p {
+                g.add_edge(NodeId(order[i]), NodeId(order[j]));
+            }
+            p = q;
+            j += 1;
+        }
+    }
+    g
+}
+
+/// Power-law random graph: Chung–Lu with deterministic weights
+/// `w_i ∝ (i+1)^(−1/(γ−1))` scaled to mean `avg_degree` — the standard
+/// continuous approximation of a degree exponent `γ`.
+///
+/// # Panics
+/// Panics unless `γ > 2` (finite mean) and `avg_degree > 0`.
+pub fn power_law<R: Rng>(n: usize, gamma: f64, avg_degree: f64, rng: &mut R) -> Graph {
+    assert!(
+        gamma > 2.0,
+        "power-law exponent must exceed 2 (got {gamma})"
+    );
+    assert!(
+        avg_degree > 0.0 && avg_degree.is_finite(),
+        "average degree must be positive"
+    );
+    if n == 0 {
+        return Graph::new(0);
+    }
+    let alpha = -1.0 / (gamma - 1.0);
+    let mut weights: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(alpha)).collect();
+    let mean: f64 = weights.iter().sum::<f64>() / n as f64;
+    let scale = avg_degree / mean;
+    for w in &mut weights {
+        *w *= scale;
+    }
+    chung_lu(&weights, rng)
+}
+
+/// Random geometric graph: `n` points uniform in the unit square, an edge
+/// whenever two points are within Euclidean distance `radius`. A grid of
+/// cells with side `>= radius` restricts candidate pairs to the 3×3 cell
+/// neighborhood, for O(n + m) expected time.
+///
+/// # Panics
+/// Panics unless `0 < radius` and `radius` is finite.
+pub fn random_geometric<R: Rng>(n: usize, radius: f64, rng: &mut R) -> Graph {
+    assert!(
+        radius > 0.0 && radius.is_finite(),
+        "radius must be positive and finite"
+    );
+    let mut g = Graph::new(n);
+    if n < 2 {
+        return g;
+    }
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen_range(0.0f64..1.0), rng.gen_range(0.0f64..1.0)))
+        .collect();
+    // floor(1/r) cells of side 1/cells >= r; capped at n so the grid stays
+    // O(n²_cells) <= O(n²)… and at least 1. For sub-1/n radii the cap keeps
+    // cell side 1/n > radius, so the 3x3 scan stays sufficient.
+    let cells = (((1.0 / radius) as usize).max(1)).min(n);
+    let cell_of = |x: f64| ((x * cells as f64) as usize).min(cells - 1);
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); cells * cells];
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        buckets[cell_of(y) * cells + cell_of(x)].push(i as u32);
+    }
+    let r2 = radius * radius;
+    for u in 0..n {
+        let (x, y) = pts[u];
+        let (cx, cy) = (cell_of(x), cell_of(y));
+        for dy in cy.saturating_sub(1)..=(cy + 1).min(cells - 1) {
+            for dx in cx.saturating_sub(1)..=(cx + 1).min(cells - 1) {
+                for &v in &buckets[dy * cells + dx] {
+                    if (v as usize) <= u {
+                        continue;
+                    }
+                    let (px, py) = pts[v as usize];
+                    let (ddx, ddy) = (px - x, py - y);
+                    if ddx * ddx + ddy * ddy <= r2 {
+                        g.add_edge(NodeId::new(u), NodeId(v));
+                    }
+                }
             }
         }
     }
@@ -358,6 +523,98 @@ mod tests {
         assert_eq!(g0.num_edges(), 0);
         let g1 = gnp(10, 1.0, &mut rng(1));
         assert_eq!(g1.num_edges(), 45);
+    }
+
+    #[test]
+    fn gnp_skip_sampling_tracks_density() {
+        let n = 200;
+        let p = 0.1;
+        let g = gnp(n, p, &mut rng(11));
+        assert!(g.is_simple());
+        let expected = (pair_count(n) as f64 * p) as usize; // 1990
+        let m = g.num_edges();
+        assert!(
+            m > expected * 8 / 10 && m < expected * 12 / 10,
+            "edge count {m} far from expected {expected}"
+        );
+    }
+
+    #[test]
+    fn chung_lu_uniform_weights_match_gnp_density() {
+        // Uniform weight w on all nodes = G(n, p) with p = w²/(n·w) = w/n.
+        let n = 300;
+        let w = 8.0;
+        let g = chung_lu(&vec![w; n], &mut rng(3));
+        assert!(g.is_simple());
+        let expected = (pair_count(n) as f64 * w / n as f64) as usize; // ~1196
+        let m = g.num_edges();
+        assert!(
+            m > expected * 7 / 10 && m < expected * 13 / 10,
+            "edge count {m} far from expected {expected}"
+        );
+    }
+
+    #[test]
+    fn chung_lu_degenerate_inputs() {
+        assert_eq!(chung_lu(&[], &mut rng(0)).num_nodes(), 0);
+        assert_eq!(chung_lu(&[1.0], &mut rng(0)).num_edges(), 0);
+        assert_eq!(chung_lu(&[0.0; 10], &mut rng(0)).num_edges(), 0);
+        // Zero-weight nodes stay isolated.
+        let mut w = vec![5.0; 20];
+        w[7] = 0.0;
+        let g = chung_lu(&w, &mut rng(5));
+        assert_eq!(g.degree(NodeId(7)), 0);
+    }
+
+    #[test]
+    fn power_law_is_skewed_and_simple() {
+        let g = power_law(500, 2.5, 6.0, &mut rng(9));
+        assert!(g.is_simple());
+        let degs: Vec<usize> = (0..500).map(|i| g.degree(NodeId::new(i))).collect();
+        let max = *degs.iter().max().unwrap();
+        let mean = degs.iter().sum::<usize>() as f64 / 500.0;
+        assert!(mean > 2.0 && mean < 12.0, "mean degree {mean}");
+        assert!(max as f64 > 3.0 * mean, "hub degree {max} vs mean {mean}");
+    }
+
+    #[test]
+    fn random_geometric_matches_brute_force() {
+        let n = 60;
+        let radius = 0.22;
+        let mut r = rng(13);
+        let g = random_geometric(n, radius, &mut r);
+        assert!(g.is_simple());
+        // Re-derive the points from the same seed: the generator draws
+        // exactly 2n uniforms up front.
+        let mut r2 = rng(13);
+        let pts: Vec<(f64, f64)> = (0..n)
+            .map(|_| (r2.gen_range(0.0f64..1.0), r2.gen_range(0.0f64..1.0)))
+            .collect();
+        let have: HashSet<(u32, u32)> = g
+            .edge_list()
+            .iter()
+            .map(|&(u, v)| (u.0.min(v.0), u.0.max(v.0)))
+            .collect();
+        let mut want = HashSet::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                let (dx, dy) = (pts[u].0 - pts[v].0, pts[u].1 - pts[v].1);
+                if dx * dx + dy * dy <= radius * radius {
+                    want.insert((u as u32, v as u32));
+                }
+            }
+        }
+        assert_eq!(have, want);
+    }
+
+    #[test]
+    fn random_geometric_extreme_radii() {
+        // Radius covering the whole square: complete graph.
+        let g = random_geometric(12, 2.0, &mut rng(1));
+        assert_eq!(g.num_edges(), pair_count(12));
+        // Tiny radius below 1/n: the cell-count cap must not lose pairs.
+        let g = random_geometric(40, 1e-9, &mut rng(2));
+        assert_eq!(g.num_edges(), 0);
     }
 
     #[test]

@@ -366,4 +366,46 @@ mod tests {
         let g = two_triangles();
         let _ = EdgeSubset::from_edges(&g, [EdgeId(99)]);
     }
+
+    /// A path graph with exactly `m` edges (edge `i` = `(i, i+1)`).
+    fn path_graph(m: usize) -> Graph {
+        let edges: Vec<(u32, u32)> = (0..m as u32).map(|i| (i, i + 1)).collect();
+        Graph::from_edges(m + 1, &edges)
+    }
+
+    #[test]
+    fn set_algebra_masks_word_tails() {
+        // Membership is packed 64 edges per word; every operation that
+        // writes whole words (full, complement, minus, union) must mask the
+        // final partial word, or phantom edges beyond `m` leak into edge
+        // lists. Exercise m straddling each side of the word boundaries.
+        for m in [1, 63, 64, 65, 127, 128, 129, 6400, 6401] {
+            let g = path_graph(m);
+            let full = EdgeSubset::full(&g);
+            assert_eq!(full.len(), m, "m = {m}");
+            assert!(full.contains(EdgeId((m - 1) as u32)));
+
+            let empty = full.minus(&g, &full);
+            assert!(empty.is_empty(), "m = {m}");
+
+            // complement of empty regenerates exactly 0..m, ascending.
+            let all = empty.complement(&g);
+            assert_eq!(all.len(), m, "m = {m}");
+            assert!(all.edges().windows(2).all(|w| w[0] < w[1]));
+            assert_eq!(all.edges().last().copied(), Some(EdgeId((m - 1) as u32)));
+
+            // Even/odd halves partition the full set.
+            let evens = EdgeSubset::from_edges(&g, (0..m as u32).step_by(2).map(EdgeId));
+            let odds = evens.complement(&g);
+            assert_eq!(evens.len() + odds.len(), m, "m = {m}");
+            let rejoined = evens.union(&g, &odds);
+            assert_eq!(rejoined.len(), m, "m = {m}");
+            assert!(evens.minus(&g, &rejoined).is_empty());
+
+            // The boundary edge itself lands in the right half.
+            let last = EdgeId((m - 1) as u32);
+            assert_eq!(evens.contains(last), (m - 1) % 2 == 0, "m = {m}");
+            assert_eq!(odds.contains(last), (m - 1) % 2 == 1, "m = {m}");
+        }
+    }
 }

@@ -238,6 +238,34 @@ mod tests {
     }
 
     #[test]
+    fn stamp_buffers_stay_correct_across_many_resets() {
+        // The scale tier leans on O(1) generation-bump resets: a long-lived
+        // workspace is reset hundreds of thousands of times per sweep. No
+        // generation may ever bleed state into the next, and the backing
+        // arrays must never grow past the largest requested length.
+        const RESETS: usize = 100_001;
+        let len = 67; // straddles a 64-slot boundary for good measure
+        let mut s = StampSet::default();
+        let mut c = StampedCounts::default();
+        for i in 0..RESETS {
+            s.reset(len);
+            c.reset(len);
+            let slot = i % len;
+            assert!(!s.contains(slot), "stale set entry at reset {i}");
+            assert!(s.insert(slot));
+            assert!(s.contains(slot));
+            assert!(!s.contains((slot + 1) % len));
+            assert_eq!(c.get(slot), 0, "stale count at reset {i}");
+            assert_eq!(c.add(slot, slot as u32 + 1), slot as u32 + 1);
+            assert_eq!(c.get((slot + 1) % len), 0);
+        }
+        assert_eq!(s.resets(), RESETS as u64);
+        assert_eq!(c.resets(), RESETS as u64);
+        assert_eq!(s.stamp.len(), len);
+        assert_eq!(c.val.len(), len);
+    }
+
+    #[test]
     fn scratch_resets_count_every_stamped_buffer() {
         let mut ws = Workspace::new();
         assert_eq!(ws.scratch_resets(), 0);

@@ -242,8 +242,27 @@ pub mod seq {
     pub mod index {
         use super::{Rng, RngCore};
 
-        /// Samples `amount` distinct indices from `0..length`, in the order
-        /// produced by a partial Fisher–Yates walk (uniform over subsets).
+        /// Lengths up to this bound always take the partial Fisher–Yates
+        /// path, so the RNG streams of every small-size caller (including
+        /// the workspace's golden-pinned instances) are bit-identical to
+        /// the pre-Floyd implementation.
+        const FLOYD_LENGTH_MIN: usize = 1 << 16;
+
+        /// Above [`FLOYD_LENGTH_MIN`], Floyd's algorithm kicks in only for
+        /// genuinely sparse requests (`amount * FLOYD_SPARSITY <= length`);
+        /// denser requests keep Fisher–Yates, whose O(length) table is then
+        /// within a constant factor of the output size.
+        const FLOYD_SPARSITY: usize = 8;
+
+        /// Samples `amount` distinct indices from `0..length`, uniformly
+        /// over subsets.
+        ///
+        /// Small lengths (`<= 65536`) use a partial Fisher–Yates walk and
+        /// produce the exact RNG stream and output this function has always
+        /// produced. Larger lengths with `amount ≪ length` switch to
+        /// Floyd's algorithm, which needs O(amount) memory instead of an
+        /// O(length) index table (~40 GB at `length = C(1e5, 2)`), at the
+        /// cost of a different (still uniform) stream.
         ///
         /// # Panics
         /// Panics if `amount > length`.
@@ -256,6 +275,19 @@ pub mod seq {
                 amount <= length,
                 "cannot sample {amount} distinct values from {length}"
             );
+            if length > FLOYD_LENGTH_MIN && amount.saturating_mul(FLOYD_SPARSITY) <= length {
+                return sample_floyd(rng, length, amount);
+            }
+            sample_fisher_yates(rng, length, amount)
+        }
+
+        /// Partial Fisher–Yates walk over a dense index table. Consumes
+        /// exactly `amount` draws of `gen_range(i..length)`.
+        fn sample_fisher_yates<R: RngCore + ?Sized>(
+            rng: &mut R,
+            length: usize,
+            amount: usize,
+        ) -> Vec<usize> {
             let mut indices: Vec<usize> = (0..length).collect();
             for i in 0..amount {
                 let j = rng.gen_range(i..length);
@@ -264,6 +296,28 @@ pub mod seq {
             indices.truncate(amount);
             indices
         }
+
+        /// Floyd's combination sampling: exactly `amount` draws of
+        /// `gen_range(0..=j)` for `j` in `(length - amount)..length`, and
+        /// O(amount) memory. Uniform over subsets; output in insertion
+        /// order.
+        fn sample_floyd<R: RngCore + ?Sized>(
+            rng: &mut R,
+            length: usize,
+            amount: usize,
+        ) -> Vec<usize> {
+            let mut chosen = std::collections::HashSet::with_capacity(amount);
+            let mut picks = Vec::with_capacity(amount);
+            for j in (length - amount)..length {
+                let t = rng.gen_range(0..=j);
+                let pick = if chosen.insert(t) { t } else { j };
+                if pick != t {
+                    chosen.insert(pick);
+                }
+                picks.push(pick);
+            }
+            picks
+        }
     }
 }
 
@@ -271,7 +325,7 @@ pub mod seq {
 mod tests {
     use super::rngs::StdRng;
     use super::seq::SliceRandom;
-    use super::{Rng, SeedableRng};
+    use super::{Rng, RngCore, SeedableRng};
 
     #[test]
     fn same_seed_same_stream() {
@@ -332,5 +386,68 @@ mod tests {
         let set: std::collections::HashSet<_> = picks.iter().collect();
         assert_eq!(set.len(), 30);
         assert!(picks.iter().all(|&i| i < 100));
+    }
+
+    /// The partial Fisher–Yates walk `sample` has always used, spelled out
+    /// inline so the test below can detect any change to the small-length
+    /// output or RNG consumption.
+    fn fisher_yates_reference(rng: &mut StdRng, length: usize, amount: usize) -> Vec<usize> {
+        let mut indices: Vec<usize> = (0..length).collect();
+        for i in 0..amount {
+            let j = rng.gen_range(i..length);
+            indices.swap(i, j);
+        }
+        indices.truncate(amount);
+        indices
+    }
+
+    #[test]
+    fn small_length_sample_stream_is_unchanged() {
+        // Covers the pair-count lengths of the golden-pinned gnm
+        // instances (C(6,2)=15, C(36,2)=630, C(150,2)=11175) plus the
+        // largest length still on the Fisher–Yates path.
+        for (length, amount) in [(15, 15), (630, 216), (11175, 1200), (1 << 16, 64)] {
+            let mut a = StdRng::seed_from_u64(42);
+            let mut b = StdRng::seed_from_u64(42);
+            let got = super::seq::index::sample(&mut a, length, amount);
+            let want = fisher_yates_reference(&mut b, length, amount);
+            assert_eq!(got, want, "output moved at length={length}");
+            // Same number of draws consumed: the generators stay in step.
+            assert_eq!(
+                a.next_u64(),
+                b.next_u64(),
+                "stream desynced at length={length}"
+            );
+        }
+    }
+
+    #[test]
+    fn floyd_sample_distinct_in_range_and_draw_count() {
+        let length = (1usize << 16) + 1; // just past the Fisher–Yates cutoff
+        let amount = 500;
+        let mut rng = StdRng::seed_from_u64(6);
+        let picks = super::seq::index::sample(&mut rng, length, amount);
+        assert_eq!(picks.len(), amount);
+        let set: std::collections::HashSet<_> = picks.iter().collect();
+        assert_eq!(set.len(), amount);
+        assert!(picks.iter().all(|&i| i < length));
+        // Floyd consumes exactly `amount` draws.
+        let mut replay = StdRng::seed_from_u64(6);
+        for j in (length - amount)..length {
+            let _ = replay.gen_range(0..=j);
+        }
+        assert_eq!(rng.next_u64(), replay.next_u64());
+    }
+
+    #[test]
+    fn floyd_sample_handles_huge_lengths() {
+        // C(1e5, 2) — the dense table would be ~40 GB; Floyd is O(amount).
+        let length = 100_000 * 99_999 / 2;
+        let mut rng = StdRng::seed_from_u64(7);
+        let picks = super::seq::index::sample(&mut rng, length, 2_000);
+        assert_eq!(picks.len(), 2_000);
+        let set: std::collections::HashSet<_> = picks.iter().collect();
+        assert_eq!(set.len(), 2_000);
+        assert!(picks.iter().all(|&i| i < length));
     }
 }
