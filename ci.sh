@@ -32,6 +32,27 @@ if [ "$guard_bad" -ne 0 ]; then
   echo "error: deprecated wrapper called from non-test code (use grooming::solve)"
   exit 1
 fi
+# The rearrange-era "react to churn with a full re-groom" pattern: solving
+# Instance::online from non-test code. The warm-start path
+# (Instance::reconfigure from OnlineGroomer::snapshot) replaced it; the
+# churn bench keeps one deliberate online-vs-offline comparison.
+guard_bad=0
+while IFS= read -r f; do
+  case "$f" in
+    crates/bench/src/bin/churn.rs) continue ;;   # the comparative study
+  esac
+  hits=$(awk '/#\[cfg\(test\)\]/{exit} {print FILENAME":"FNR": "$0}' "$f" \
+    | grep -F 'Instance::online(' \
+    | grep -vE '^[^:]+:[0-9]+:[[:space:]]*(//|note =)' || true)
+  if [ -n "$hits" ]; then
+    echo "$hits"
+    guard_bad=1
+  fi
+done < <(find crates/*/src examples -name '*.rs')
+if [ "$guard_bad" -ne 0 ]; then
+  echo "error: full re-groom of an online snapshot outside the churn bench (warm-start with Instance::reconfigure instead)"
+  exit 1
+fi
 
 echo "== cargo build --all-targets (benches, examples, tests compile) =="
 cargo build --all-targets
@@ -78,6 +99,16 @@ echo "== perf smoke: million-edge scale tier (release, --fast) =="
 # results/BENCH_scale.json is produced by the full run:
 # target/release/perf_scale
 target/release/perf_scale --fast --out /tmp/BENCH_scale_fast.json
+
+echo "== perf smoke: churn warm-start baseline (release, --fast) =="
+# Replays the pinned churn trace at n = 10^4: warm-starts each window from
+# the previous plan, re-solves it cold for comparison, and asserts the
+# empty-delta byte-identity, the never-worse-than-prior cost invariant,
+# per-window warm <= cold, and the 5x aggregate warm-vs-cold speedup floor
+# (the binary exits non-zero on any breach). The checked-in
+# results/BENCH_churn.json is produced by the full run:
+# target/release/perf_churn
+target/release/perf_churn --fast --out /tmp/BENCH_churn_fast.json
 
 echo "== cargo doc (no deps, warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet

@@ -201,8 +201,13 @@ fn run_serve(opts: &args::ServeOptions) {
         c.cache_hits, c.cache_misses, snapshot.cache_entries, snapshot.cache_evictions
     );
     println!(
-        "solve totals: {} attempt(s), {} swap(s) evaluated, {} scratch reset(s)",
-        snapshot.solve.attempts, snapshot.solve.swaps_evaluated, snapshot.solve.scratch_resets
+        "solve totals: {} attempt(s), {} swap(s) evaluated, {} scratch reset(s), \
+         {} part(s) repaired, {} SADM(s) moved",
+        snapshot.solve.attempts,
+        snapshot.solve.swaps_evaluated,
+        snapshot.solve.scratch_resets,
+        snapshot.solve.parts_repaired,
+        snapshot.solve.sadms_moved
     );
     print_latency("queue wait", &snapshot.queue_wait);
     print_latency("solve time", &snapshot.solve_time);
@@ -277,8 +282,18 @@ fn make_context(opts: &GroomOptions) -> SolveContext {
 
 fn print_solve_summary(ctx: &SolveContext, timed_out: bool) {
     let stats = ctx.stats();
+    // Warm-start repair counters only appear when a reconfigure ran —
+    // cold solves keep the familiar three-field line.
+    let repairs = if stats.parts_repaired > 0 || stats.sadms_moved > 0 {
+        format!(
+            ", {} part(s) repaired, {} SADM(s) moved",
+            stats.parts_repaired, stats.sadms_moved
+        )
+    } else {
+        String::new()
+    };
     println!(
-        "solve: {} attempt(s), {} swap(s) evaluated, {} scratch reset(s) in {:.1?}{}",
+        "solve: {} attempt(s), {} swap(s) evaluated, {} scratch reset(s){repairs} in {:.1?}{}",
         stats.attempts,
         stats.swaps_evaluated,
         stats.scratch_resets,

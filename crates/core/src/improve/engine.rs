@@ -39,12 +39,13 @@ pub(crate) struct Part {
     pub occ: Vec<NodeId>,
 }
 
-/// Builds the per-part state for a partition in one pass (a shared stamp
+/// Builds the per-part state for raw edge lists in one pass (a shared stamp
 /// array stands in for the seed's per-part `vec![0; n]` count buffers).
-pub(crate) fn build_parts(g: &Graph, partition: &EdgePartition) -> Vec<Part> {
+/// Unlike [`EdgePartition`], the lists may contain empty parts — warm
+/// repair seeds engines with vacated (possibly emptied) slots in place.
+pub(crate) fn build_parts(g: &Graph, lists: &[Vec<EdgeId>]) -> Vec<Part> {
     let mut mark = vec![u32::MAX; g.num_nodes()];
-    partition
-        .parts()
+    lists
         .iter()
         .enumerate()
         .map(|(i, edges)| {
@@ -252,7 +253,15 @@ impl<'g> Engine<'g> {
     }
 
     pub fn with_mode(g: &'g Graph, partition: &EdgePartition, mode: IncidenceMode) -> Self {
-        let parts = build_parts(g, partition);
+        Self::from_lists(g, partition.parts(), mode)
+    }
+
+    /// Builds an engine from raw edge lists, which — unlike an
+    /// [`EdgePartition`] — may contain empty parts. Warm repair uses this
+    /// to ingest a prior plan with removed edges already vacated and spare
+    /// slots appended for the first-fit placement of added edges.
+    pub fn from_lists(g: &'g Graph, lists: &[Vec<EdgeId>], mode: IncidenceMode) -> Self {
+        let parts = build_parts(g, lists);
         let n = g.num_nodes();
         let dense = match mode {
             IncidenceMode::Auto => parts.len().saturating_mul(n) <= DENSE_INCIDENCE_MAX,
@@ -708,5 +717,113 @@ impl<'g> Engine<'g> {
             }
         }
         improved
+    }
+
+    /// Collects every part (other than `a`) sharing at least one occupied
+    /// node with `a` into `out`, sorted ascending and duplicate-free — the
+    /// node-sharing neighborhood a warm repair's restricted sweep visits.
+    pub fn partners_sharing_nodes(&self, a: usize, out: &mut Vec<u32>) {
+        out.clear();
+        for &x in &self.parts[a].occ {
+            for &p in &self.at_node[x.index()] {
+                if p as usize != a {
+                    out.push(p);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    /// Occupancy churn the swap `e ↔ f` would cause: the number of SADM
+    /// placements created plus reclaimed across both parts — the quantity a
+    /// warm repair's `rearrange_budget` bounds. O(1), mutation-free.
+    pub fn swap_churn(&self, a: usize, b: usize, e: EdgeId, f: EdgeId) -> usize {
+        let (u, v) = self.g.endpoints(e);
+        let (x, y) = self.g.endpoints(f);
+        let mut churn = 0usize;
+        for z in [x, y] {
+            if z != u && z != v {
+                churn += (self.cnt_of(a, z) == 0) as usize; // enters a
+                churn += (self.cnt_of(b, z) == 1) as usize; // leaves b
+            }
+        }
+        for z in [u, v] {
+            if z != x && z != y {
+                churn += (self.cnt_of(b, z) == 0) as usize; // enters b
+                churn += (self.cnt_of(a, z) == 1) as usize; // leaves a
+            }
+        }
+        churn
+    }
+
+    /// Places an unassigned edge by the online first-fit-with-affinity
+    /// rule: among parts with spare capacity, the lowest-indexed one
+    /// introducing the fewest new nodes (parts already holding an endpoint
+    /// are found through `at_node`, so the lookup touches only those); with
+    /// no affinity candidate, the lowest-indexed part with space. Returns
+    /// the receiving part.
+    ///
+    /// # Panics
+    /// Panics if every part is at capacity `k` — warm repair sizes the
+    /// engine so total capacity always covers the edges to place.
+    pub fn place_with_affinity(&mut self, e: EdgeId, k: usize) -> usize {
+        let (u, v) = self.g.endpoints(e);
+        let mut best: Option<(usize, usize)> = None; // (new_nodes, part)
+        for &p in self.at_node[u.index()]
+            .iter()
+            .chain(&self.at_node[v.index()])
+        {
+            let p = p as usize;
+            if self.parts[p].edges.len() >= k {
+                continue;
+            }
+            let new_nodes = (self.cnt_of(p, u) == 0) as usize + (self.cnt_of(p, v) == 0) as usize;
+            if best.is_none_or(|(bn, bp)| new_nodes < bn || (new_nodes == bn && p < bp)) {
+                best = Some((new_nodes, p));
+            }
+        }
+        let target = match best {
+            Some((_, p)) => p,
+            None => (0..self.parts.len())
+                .find(|&p| self.parts[p].edges.len() < k)
+                .expect("warm placement requires spare capacity"),
+        };
+        self.add_edge_to(target, e);
+        target
+    }
+
+    /// Warm repair's budgeted swap pass for the pair `(a, b)`: applies the
+    /// first strictly-improving swap whose occupancy churn fits the
+    /// remaining `budget` (improving swaps that exceed it are skipped, not
+    /// aborted on), debits the budget, and returns the churn spent; `None`
+    /// if no affordable improving swap exists.
+    ///
+    /// Unlike [`Self::swap_pass_pair`] this performs no trial permutations
+    /// or rotations — warm starts carry no bit-identity contract against
+    /// the reference sweep, so the bookkeeping that exists only to replay
+    /// the seed's rejected-trial vector effects is dropped.
+    pub fn repair_pair(&mut self, a: usize, b: usize, budget: &mut Option<usize>) -> Option<usize> {
+        for i in 0..self.parts[a].edges.len() {
+            let e = self.parts[a].edges[i];
+            for j in 0..self.parts[b].edges.len() {
+                let f = self.parts[b].edges[j];
+                if self.swap_delta(a, b, e, f) < 0 {
+                    let churn = self.swap_churn(a, b, e, f);
+                    if budget.is_some_and(|left| churn > left) {
+                        continue;
+                    }
+                    if let Some(left) = budget.as_mut() {
+                        *left -= churn;
+                    }
+                    self.remove_edge_from(a, e);
+                    self.remove_edge_from(b, f);
+                    self.add_edge_to(a, f);
+                    self.add_edge_to(b, e);
+                    return Some(churn);
+                }
+            }
+        }
+        None
     }
 }

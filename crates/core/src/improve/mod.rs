@@ -155,6 +155,188 @@ fn refine_with_stats_mode(
     (out, swaps)
 }
 
+/// What a [`warm_repair`] run did to the plan it resumed from.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Distinct parts the repair touched: vacated by removals, receivers of
+    /// added edges, and parts modified by the local re-optimization. Zero
+    /// for an empty delta.
+    pub parts_repaired: u64,
+    /// Occupancy churn spent by the re-optimization: SADM placements
+    /// created plus reclaimed by its moves and swaps. Applying the delta
+    /// itself (vacating removed edges, first-fit-placing added ones) is
+    /// mandatory and does not count; [`warm_repair`]'s `rearrange_budget`
+    /// bounds exactly this quantity.
+    pub sadms_moved: u64,
+    /// Candidate swaps the restricted sweep evaluated.
+    pub swaps_evaluated: u64,
+}
+
+/// Resumes a prior plan against a changed edge set instead of solving from
+/// scratch — the warm-start path of the solve surface's `Reconfigure`
+/// workload.
+///
+/// `seed_parts` is the prior plan with removed edges already deleted
+/// (parts may be empty; `vacated_parts` names the ones that lost edges)
+/// and `added` lists the edges of `g` that `seed_parts` does not place.
+/// The engine ingests the seed directly into its incremental state, places
+/// each added edge by the online first-fit-with-affinity rule, then
+/// locally re-optimizes — single-edge moves and pairwise swaps restricted
+/// to *dirty* parts (touched by the delta or by a previous repair move)
+/// and their node-sharing neighbors, for at most `max_rounds` rounds.
+///
+/// `rearrange_budget` bounds the re-optimization's occupancy churn
+/// ([`RepairReport::sadms_moved`]); improving moves that would exceed the
+/// remaining budget are skipped. `None` means unbounded.
+///
+/// Contracts: the result is always a valid partition and never costs more
+/// than the seed-plus-delta placement (only strictly improving moves are
+/// applied after it); an empty delta reproduces the prior plan
+/// byte-identically with `parts_repaired == 0`. Warm starts are *not*
+/// bit-identical to cold solves — this is a different algorithm, pinned by
+/// the never-worse invariant instead of goldens.
+///
+/// # Panics
+/// Panics if `k == 0`, if `seed_parts` plus `added` is not an exact
+/// partition of `g`'s edges, or if an edge id is out of range.
+pub fn warm_repair(
+    g: &Graph,
+    k: usize,
+    seed_parts: &[Vec<EdgeId>],
+    vacated_parts: &[usize],
+    added: &[EdgeId],
+    rearrange_budget: Option<usize>,
+    max_rounds: usize,
+) -> (EdgePartition, RepairReport) {
+    assert!(k > 0, "grooming factor must be positive");
+    let m = g.num_edges();
+    // Pad with empty slots so first-fit can always place: W·k ≥ m
+    // guarantees a part with spare capacity while edges remain.
+    let needed = if m == 0 {
+        seed_parts.len()
+    } else {
+        seed_parts.len().max(EdgePartition::min_wavelengths(m, k))
+    };
+    let mut lists: Vec<Vec<EdgeId>> = Vec::with_capacity(needed);
+    lists.extend(seed_parts.iter().cloned());
+    lists.resize(needed, Vec::new());
+    let mut eng = Engine::from_lists(g, &lists, IncidenceMode::Auto);
+    drop(lists);
+
+    let w = eng.parts.len();
+    let mut touched = vec![false; w]; // everything the repair laid hands on
+    let mut dirty: Vec<u32> = Vec::new(); // frontier for the restricted sweep
+    let mut dirty_mark = vec![false; w];
+    for &p in vacated_parts {
+        touched[p] = true;
+        if !dirty_mark[p] {
+            dirty_mark[p] = true;
+            dirty.push(p as u32);
+        }
+    }
+    for &e in added {
+        let p = eng.place_with_affinity(e, k);
+        touched[p] = true;
+        if !dirty_mark[p] {
+            dirty_mark[p] = true;
+            dirty.push(p as u32);
+        }
+    }
+    // Cost after the mandatory delta application — the never-worse anchor.
+    let baseline_cost = eng.cost();
+
+    let mut budget = rearrange_budget;
+    let mut moved = 0u64;
+    let mut partners: Vec<u32> = Vec::new();
+
+    for _ in 0..max_rounds {
+        if dirty.is_empty() {
+            break;
+        }
+        dirty.sort_unstable();
+        let mut improved = false;
+        let mut next: Vec<u32> = Vec::new();
+        let mut next_mark = vec![false; w];
+        let wake = |p: usize, next: &mut Vec<u32>, next_mark: &mut Vec<bool>| {
+            if !next_mark[p] {
+                next_mark[p] = true;
+                next.push(p as u32);
+            }
+        };
+
+        // Single-edge moves out of dirty parts (mirrors the cold refine's
+        // move pass, restricted to the frontier and budget-gated).
+        for &a in &dirty {
+            let a = a as usize;
+            let mut ei = 0;
+            while ei < eng.parts[a].edges.len() {
+                let e = eng.parts[a].edges[ei];
+                let (u, v) = g.endpoints(e);
+                let freed = (eng.cnt_of(a, u) == 1) as usize + (eng.cnt_of(a, v) == 1) as usize;
+                if freed > 0 {
+                    if let Some(b) = eng.first_move_target(a, u, v, freed, k) {
+                        let added_nodes =
+                            (eng.cnt_of(b, u) == 0) as usize + (eng.cnt_of(b, v) == 0) as usize;
+                        let churn = freed + added_nodes;
+                        if budget.is_none_or(|left| churn <= left) {
+                            if let Some(left) = budget.as_mut() {
+                                *left -= churn;
+                            }
+                            eng.remove_edge_from(a, e);
+                            eng.add_edge_to(b, e);
+                            moved += churn as u64;
+                            improved = true;
+                            for p in [a, b] {
+                                touched[p] = true;
+                                wake(p, &mut next, &mut next_mark);
+                            }
+                            continue; // slot refilled by swap_remove
+                        }
+                    }
+                }
+                ei += 1;
+            }
+        }
+
+        // Pairwise swaps between each dirty part and its node-sharing
+        // neighbors; each application strictly reduces cost, so the inner
+        // loop terminates.
+        for &a in &dirty {
+            let a = a as usize;
+            eng.partners_sharing_nodes(a, &mut partners);
+            for &bp in &partners {
+                let b = bp as usize;
+                while let Some(churn) = eng.repair_pair(a, b, &mut budget) {
+                    moved += churn as u64;
+                    improved = true;
+                    for p in [a, b] {
+                        touched[p] = true;
+                        wake(p, &mut next, &mut next_mark);
+                    }
+                }
+            }
+        }
+
+        if !improved {
+            break;
+        }
+        dirty = next;
+        dirty_mark = next_mark;
+    }
+    let _ = dirty_mark;
+
+    let report = RepairReport {
+        parts_repaired: touched.iter().filter(|&&t| t).count() as u64,
+        sadms_moved: moved,
+        swaps_evaluated: eng.swaps_evaluated,
+    };
+    let out = EdgePartition::new(eng.into_edge_lists());
+    debug_assert!(out.validate(g, k).is_ok());
+    debug_assert!(out.sadm_cost(g) <= baseline_cost);
+    let _ = baseline_cost;
+    (out, report)
+}
+
 /// Greedy wavelength merging: while two parts fit on one wavelength, merge
 /// the pair with the largest node overlap. Cost never increases; the
 /// wavelength count strictly decreases with every merge.
@@ -166,7 +348,7 @@ fn refine_with_stats_mode(
 /// [`reference::merge_parts`].
 pub fn merge_parts(g: &Graph, k: usize, partition: &EdgePartition) -> EdgePartition {
     assert!(k > 0, "grooming factor must be positive");
-    let mut parts = build_parts(g, partition);
+    let mut parts = build_parts(g, partition.parts());
     let w0 = parts.len();
 
     if w0 >= 2 {

@@ -24,15 +24,17 @@
 //!
 //! All workload errors collapse into the single [`SolveError`] taxonomy.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use grooming_graph::graph::Graph;
+use grooming_graph::ids::EdgeId;
 use grooming_graph::spanning::TreeStrategy;
 use grooming_graph::workspace::Workspace;
 use grooming_sonet::blsr::{groom_blsr, BlsrAssignment, BlsrRing};
-use grooming_sonet::demand::DemandSet;
+use grooming_sonet::demand::{DemandPair, DemandSet};
 use grooming_sonet::multiring::{MultiRingNetwork, RingNode, RouteError};
 use grooming_sonet::weighted::WeightedDemandSet;
 use rand::rngs::StdRng;
@@ -42,7 +44,7 @@ use crate::algorithm::Algorithm;
 use crate::budget::BudgetError;
 use crate::network::{NetworkError, NetworkGrooming};
 use crate::online::OnlineGroomer;
-use crate::partition::EdgePartition;
+use crate::partition::{EdgePartition, PartitionError};
 use crate::pipeline::GroomingOutcome;
 use crate::portfolio::{PortfolioEngine, DEFAULT_PORTFOLIO};
 use crate::regular_euler::NotRegularError;
@@ -98,6 +100,13 @@ pub struct SolveConfig {
     /// Component-sharding policy for `SpanT_Euler` (default
     /// [`ShardMode::Auto`]; never affects results).
     pub shard: ShardMode,
+    /// For [`Instance::Reconfigure`] warm starts: a bound on the SADM
+    /// movement (occupancy churn) the repair's local re-optimization may
+    /// spend — rearrangement as a first-class constraint next to SADM
+    /// count. `None` (the default) means unbounded; applying the delta
+    /// itself is always allowed. See
+    /// [`crate::improve::RepairReport::sadms_moved`].
+    pub rearrange_budget: Option<usize>,
 }
 
 impl Default for SolveConfig {
@@ -105,6 +114,7 @@ impl Default for SolveConfig {
         SolveConfig {
             refine_rounds: DEFAULT_REFINE_ROUNDS,
             shard: ShardMode::default(),
+            rearrange_budget: None,
         }
     }
 }
@@ -135,6 +145,13 @@ pub struct SolveStats {
     /// construction pipeline (see
     /// [`grooming_graph::workspace::Workspace::scratch_resets`]).
     pub scratch_resets: u64,
+    /// Parts touched by warm-start repairs ([`Instance::Reconfigure`]):
+    /// vacated, receiving added edges, or locally re-optimized. Zero when
+    /// no reconfigure solves ran (or their deltas were empty).
+    pub parts_repaired: u64,
+    /// Occupancy churn spent by warm-start repairs' re-optimization (what
+    /// [`SolveConfig::rearrange_budget`] bounds).
+    pub sadms_moved: u64,
     /// Wall-clock time per stage *kind*, aggregated by name in
     /// first-recorded order (informational; not deterministic). Bounded by
     /// the number of distinct stage names, so a long-running service can
@@ -186,6 +203,8 @@ impl SolveStats {
         self.attempts += other.attempts;
         self.swaps_evaluated += other.swaps_evaluated;
         self.scratch_resets += other.scratch_resets;
+        self.parts_repaired += other.parts_repaired;
+        self.sadms_moved += other.sadms_moved;
         for s in &other.stages {
             self.fold_stage(s.stage, s.calls, s.total);
         }
@@ -328,6 +347,39 @@ impl SolveContext {
     }
 }
 
+/// A demand churn window: pairs provisioned and pairs withdrawn since a
+/// prior plan was computed — the input that makes a solve resumable.
+///
+/// `removed` is a multiset against the prior snapshot: each entry retires
+/// one unit of that pair, matched against the earliest surviving
+/// occurrence (lowest prior edge id first), so repeated pairs drain
+/// deterministically.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DemandDelta {
+    /// Pairs provisioned since the prior plan.
+    pub added: Vec<DemandPair>,
+    /// Pairs withdrawn since the prior plan (must exist in the snapshot).
+    pub removed: Vec<DemandPair>,
+}
+
+impl DemandDelta {
+    /// A delta adding `added` and removing `removed`.
+    pub fn new(added: Vec<DemandPair>, removed: Vec<DemandPair>) -> Self {
+        DemandDelta { added, removed }
+    }
+
+    /// `true` if the delta changes nothing — a warm start from an empty
+    /// delta returns the prior plan byte-identically with zero repairs.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Total churn units (`added + removed`).
+    pub fn len(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+}
+
 /// Why a solve failed. One taxonomy for every workload; the pre-context
 /// error types ([`NotRegularError`], [`BudgetError`], [`NetworkError`],
 /// [`RouteError`]) convert in with payloads preserved.
@@ -352,6 +404,15 @@ pub enum SolveError {
         /// The underlying failure.
         source: Box<SolveError>,
     },
+    /// A reconfigure instance's prior plan is not a valid partition of its
+    /// snapshot's traffic graph.
+    PriorPlan(PartitionError),
+    /// A reconfigure delta withdrew a pair the prior snapshot does not
+    /// hold (or more units of it than exist).
+    MissingDemand {
+        /// The over-withdrawn pair.
+        pair: DemandPair,
+    },
 }
 
 impl std::fmt::Display for SolveError {
@@ -364,6 +425,10 @@ impl std::fmt::Display for SolveError {
             ),
             SolveError::Route(e) => write!(f, "routing: {e}"),
             SolveError::Ring { ring, source } => write!(f, "ring {ring}: {source}"),
+            SolveError::PriorPlan(e) => write!(f, "prior plan: {e}"),
+            SolveError::MissingDemand { pair } => {
+                write!(f, "delta removes {pair} beyond the prior snapshot")
+            }
         }
     }
 }
@@ -374,7 +439,8 @@ impl std::error::Error for SolveError {
             SolveError::NotRegular(e) => Some(e),
             SolveError::Route(e) => Some(e),
             SolveError::Ring { source, .. } => Some(source.as_ref()),
-            SolveError::InfeasibleBudget { .. } => None,
+            SolveError::PriorPlan(e) => Some(e),
+            SolveError::InfeasibleBudget { .. } | SolveError::MissingDemand { .. } => None,
         }
     }
 }
@@ -482,6 +548,21 @@ pub enum Instance {
         /// The grooming factor.
         k: usize,
     },
+    /// A warm start: resume a prior plan against a demand delta, repairing
+    /// only the parts the delta touches instead of solving from scratch.
+    /// Like [`Instance::Blsr`] this runs its own deterministic algorithm
+    /// ([`crate::improve::warm_repair`]) regardless of solver.
+    Reconfigure {
+        /// The prior demand snapshot (edge `i` of its traffic graph is
+        /// `demands.pairs()[i]` — the numbering `prior` partitions).
+        demands: DemandSet,
+        /// The prior plan's partition over that snapshot's traffic graph.
+        prior: EdgePartition,
+        /// The churn since the prior plan.
+        delta: DemandDelta,
+        /// The grooming factor.
+        k: usize,
+    },
 }
 
 impl Instance {
@@ -532,6 +613,23 @@ impl Instance {
         Instance::Blsr { ring, demands, k }
     }
 
+    /// A warm-start instance resuming `prior` (a plan for `demands`'
+    /// traffic graph — typically [`Plan::partition`] of the previous
+    /// solve) against `delta`.
+    pub fn reconfigure(
+        demands: DemandSet,
+        prior: EdgePartition,
+        delta: DemandDelta,
+        k: usize,
+    ) -> Self {
+        Instance::Reconfigure {
+            demands,
+            prior,
+            delta,
+            k,
+        }
+    }
+
     /// The grooming factor of any instance.
     pub fn grooming_factor(&self) -> usize {
         match self {
@@ -541,7 +639,8 @@ impl Instance {
             | Instance::OnlineRearrange { k, .. }
             | Instance::MultiRing { k, .. }
             | Instance::WeightedSplittable { k, .. }
-            | Instance::Blsr { k, .. } => *k,
+            | Instance::Blsr { k, .. }
+            | Instance::Reconfigure { k, .. } => *k,
         }
     }
 }
@@ -594,6 +693,17 @@ pub enum Plan {
         /// The validated BLSR assignment.
         assignment: BlsrAssignment,
     },
+    /// Warm-start result: the repaired grooming of the post-delta
+    /// demands, plus what the repair disturbed.
+    Reconfigure {
+        /// The repaired grooming (partition + validated assignment + cost
+        /// report) over the post-delta demand set.
+        outcome: GroomingOutcome,
+        /// Distinct parts the repair touched (zero for an empty delta).
+        parts_repaired: u64,
+        /// Occupancy churn the local re-optimization spent.
+        sadms_moved: u64,
+    },
 }
 
 impl Plan {
@@ -604,7 +714,8 @@ impl Plan {
             Plan::Upsr { cost, .. } | Plan::Budgeted { cost, .. } => *cost,
             Plan::Ring { outcome }
             | Plan::OnlineRearrange { outcome, .. }
-            | Plan::WeightedSplittable { outcome, .. } => outcome.report.sadm_total,
+            | Plan::WeightedSplittable { outcome, .. }
+            | Plan::Reconfigure { outcome, .. } => outcome.report.sadm_total,
             Plan::MultiRing { grooming } => grooming.total_sadms,
             Plan::Blsr { assignment } => assignment.sadm_count(),
         }
@@ -618,7 +729,8 @@ impl Plan {
             }
             Plan::Ring { outcome }
             | Plan::OnlineRearrange { outcome, .. }
-            | Plan::WeightedSplittable { outcome, .. } => outcome.report.wavelengths,
+            | Plan::WeightedSplittable { outcome, .. }
+            | Plan::Reconfigure { outcome, .. } => outcome.report.wavelengths,
             Plan::MultiRing { grooming } => grooming.total_wavelengths,
             Plan::Blsr { assignment } => assignment.num_wavelengths(),
         }
@@ -630,7 +742,8 @@ impl Plan {
             Plan::Upsr { partition, .. } | Plan::Budgeted { partition, .. } => Some(partition),
             Plan::Ring { outcome }
             | Plan::OnlineRearrange { outcome, .. }
-            | Plan::WeightedSplittable { outcome, .. } => Some(&outcome.partition),
+            | Plan::WeightedSplittable { outcome, .. }
+            | Plan::Reconfigure { outcome, .. } => Some(&outcome.partition),
             Plan::MultiRing { .. } | Plan::Blsr { .. } => None,
         }
     }
@@ -856,6 +969,15 @@ where
             debug_assert!(assignment.validate(Some(demands)).is_ok());
             (Plan::Blsr { assignment }, ctx.expired(), "blsr")
         }
+        Instance::Reconfigure {
+            demands,
+            prior,
+            delta,
+            k,
+        } => {
+            let (plan, timed) = solve_reconfigure(demands, prior, delta, *k, ctx)?;
+            (plan, timed, "reconfigure")
+        }
     };
     ctx.stats.record_stage(stage, started.elapsed());
     Ok(Solution {
@@ -863,6 +985,130 @@ where
         timed_out,
         cancelled: ctx.cancelled(),
     })
+}
+
+/// The warm-start path: validate the prior plan, apply the delta to the
+/// snapshot, remap the surviving placement into the post-delta edge
+/// numbering, and hand it to [`crate::improve::warm_repair`]. Like the
+/// BLSR arm this ignores the solver — warm repair is its own deterministic
+/// algorithm, so reconfigure transcripts are trivially worker-count
+/// invariant.
+fn solve_reconfigure(
+    demands: &DemandSet,
+    prior: &EdgePartition,
+    delta: &DemandDelta,
+    k: usize,
+    ctx: &mut SolveContext,
+) -> Result<(Plan, bool), SolveError> {
+    let m_old = demands.len();
+
+    // The prior plan must partition the snapshot's edges exactly (checked
+    // without materializing the old traffic graph: only the edge count and
+    // `k` matter). Wire-facing, so a malformed prior is an error, not a
+    // panic.
+    let mut seen = vec![false; m_old];
+    for (i, part) in prior.parts().iter().enumerate() {
+        if part.len() > k {
+            return Err(SolveError::PriorPlan(PartitionError::PartTooLarge {
+                part: i,
+                size: part.len(),
+                k,
+            }));
+        }
+        for &e in part {
+            if e.index() >= m_old {
+                return Err(SolveError::PriorPlan(PartitionError::EdgeOutOfRange(e)));
+            }
+            if seen[e.index()] {
+                return Err(SolveError::PriorPlan(PartitionError::EdgeRepeated(e)));
+            }
+            seen[e.index()] = true;
+        }
+    }
+    if let Some(missing) = seen.iter().position(|&s| !s) {
+        return Err(SolveError::PriorPlan(PartitionError::EdgeMissing(
+            EdgeId::new(missing),
+        )));
+    }
+
+    // Subtract the removals: each removed unit retires the earliest
+    // surviving occurrence of its pair, and survivors keep their relative
+    // order, so `old_to_new` is a monotone remap of the surviving ids.
+    let mut to_remove: HashMap<DemandPair, usize> = HashMap::new();
+    for &p in &delta.removed {
+        *to_remove.entry(p).or_insert(0) += 1;
+    }
+    let mut old_to_new = vec![u32::MAX; m_old];
+    let mut new_demands = DemandSet::new(demands.num_nodes());
+    for (i, &p) in demands.pairs().iter().enumerate() {
+        if let Some(c) = to_remove.get_mut(&p) {
+            if *c > 0 {
+                *c -= 1;
+                continue;
+            }
+        }
+        old_to_new[i] = new_demands.len() as u32;
+        new_demands.add(p.lo(), p.hi());
+    }
+    if m_old - new_demands.len() != delta.removed.len() {
+        // Over-withdrawal: report the first offending pair (deterministic
+        // scan of the delta, not of the hash map).
+        for &p in &delta.removed {
+            let have = demands.pairs().iter().filter(|&&q| q == p).count();
+            let want = delta.removed.iter().filter(|&&q| q == p).count();
+            if want > have {
+                return Err(SolveError::MissingDemand { pair: p });
+            }
+        }
+        unreachable!("removal count mismatch without an over-withdrawn pair");
+    }
+
+    // Remap the surviving placement; parts that lost edges are the
+    // removal side of the dirty frontier.
+    let mut seed_parts: Vec<Vec<EdgeId>> = Vec::with_capacity(prior.num_wavelengths());
+    let mut vacated: Vec<usize> = Vec::new();
+    for part in prior.parts() {
+        let mut mapped = Vec::with_capacity(part.len());
+        for &e in part {
+            let ni = old_to_new[e.index()];
+            if ni != u32::MAX {
+                mapped.push(EdgeId(ni));
+            }
+        }
+        if mapped.len() < part.len() {
+            vacated.push(seed_parts.len());
+        }
+        seed_parts.push(mapped);
+    }
+
+    // Append the additions and repair.
+    let first_added = new_demands.len();
+    for &p in &delta.added {
+        new_demands.add(p.lo(), p.hi());
+    }
+    let added_ids: Vec<EdgeId> = (first_added..new_demands.len()).map(EdgeId::new).collect();
+    let g = new_demands.to_traffic_graph();
+    let (partition, report) = crate::improve::warm_repair(
+        &g,
+        k,
+        &seed_parts,
+        &vacated,
+        &added_ids,
+        ctx.config.rearrange_budget,
+        ctx.config.refine_rounds,
+    );
+    ctx.stats.parts_repaired += report.parts_repaired;
+    ctx.stats.sadms_moved += report.sadms_moved;
+    ctx.stats.swaps_evaluated += report.swaps_evaluated;
+    let outcome = crate::pipeline::assemble(&new_demands, &g, k, partition);
+    Ok((
+        Plan::Reconfigure {
+            outcome,
+            parts_repaired: report.parts_repaired,
+            sadms_moved: report.sadms_moved,
+        },
+        ctx.expired(),
+    ))
 }
 
 #[cfg(test)]

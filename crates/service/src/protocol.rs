@@ -14,6 +14,9 @@
 //! BATCH id=<u64> count=<N> [deadline_ms=<D>] [algo=<name>]
 //!   ⟨N × item stanza⟩
 //! END
+//! RECONFIGURE id=<u64> count=<N> [deadline_ms=<D>] [algo=<name>]
+//!   ⟨N × reconfigure stanza⟩
+//! END
 //! ```
 //!
 //! Each item stanza is one `ITEM` line followed by a strict demand-list
@@ -29,10 +32,30 @@
 //! ```
 //!
 //! Kinds: `upsr`, `ring`, `budgeted` (requires `budget=`), `weighted`,
-//! `online` (requires `sadms=`), `blsr`. Multi-ring instances are
-//! in-process only — their gateway topology has no demand-list encoding —
-//! so [`format_batch_request`] refuses them with
+//! `online` (requires `sadms=`), `blsr`, `reconfigure`. Multi-ring
+//! instances are in-process only — their gateway topology has no
+//! demand-list encoding — so [`format_batch_request`] refuses them with
 //! [`WireFormatError::NotWireable`].
+//!
+//! A `reconfigure` stanza is the warm-start workload: the prior demand
+//! snapshot, the prior plan, and the churn delta, all in the same
+//! `demands v1` framing plus one `plan v1` block:
+//!
+//! ```text
+//! ITEM reconfigure k=<K>
+//! demands v1 <n> <m>        ⟨prior snapshot, m entry lines⟩
+//! plan v1 <W>               ⟨prior partition, W part lines⟩
+//! <len> <e1> ... <elen>
+//! demands v1 <n> <a>        ⟨added pairs, a entry lines⟩
+//! demands v1 <n> <r>        ⟨removed pairs, r entry lines⟩
+//! ```
+//!
+//! Part lines reference prior-snapshot edge ids (entry `i` of the prior
+//! block, units expanded, is edge `i`). `RECONFIGURE` is `BATCH` restricted
+//! to `reconfigure` stanzas — either verb admits them, and responses use
+//! the same `RESULT` transcript shape. Because [`format_item`] covers the
+//! stanza, the solve cache keys on the (prior plan, delta) content
+//! automatically.
 //!
 //! # Responses
 //!
@@ -60,12 +83,13 @@ use std::io;
 use std::time::Duration;
 
 use grooming::algorithm::Algorithm;
-use grooming::solve::Instance;
+use grooming::partition::EdgePartition;
+use grooming::solve::{DemandDelta, Instance};
 use grooming_graph::graph::Graph;
-use grooming_graph::ids::NodeId;
+use grooming_graph::ids::{EdgeId, NodeId};
 use grooming_graph::io::{format_demand_list, parse_demand_list, DemandList, ParseError};
 use grooming_sonet::blsr::BlsrRing;
-use grooming_sonet::demand::DemandSet;
+use grooming_sonet::demand::{DemandPair, DemandSet};
 use grooming_sonet::weighted::WeightedDemandSet;
 
 use crate::service::{
@@ -192,7 +216,8 @@ pub fn parse_request(
                 _ => WireRequest::Shutdown,
             })
         }
-        "BATCH" => parse_batch(first, toks, rest, config),
+        "BATCH" => parse_batch(first, toks, rest, config, false),
+        "RECONFIGURE" => parse_batch(first, toks, rest, config, true),
         _ => Err(malformed("request (unknown verb)", first)),
     }
 }
@@ -202,6 +227,7 @@ fn parse_batch(
     fields: std::str::SplitWhitespace<'_>,
     rest: &mut dyn Iterator<Item = io::Result<String>>,
     config: &ServiceConfig,
+    reconfigure_only: bool,
 ) -> Result<WireRequest, RequestError> {
     let mut id = None;
     let mut count = None;
@@ -256,8 +282,21 @@ fn parse_batch(
     let mut items = Vec::new();
     for _ in 0..count {
         let item_line = next_line(rest)?;
-        let list = read_demand_block(rest, config)?;
-        items.push(parse_item(item_line.trim(), &list)?);
+        let item_line = item_line.trim().to_string();
+        let is_reconfigure = item_line.split_whitespace().nth(1) == Some("reconfigure");
+        if reconfigure_only && !is_reconfigure {
+            return Err(malformed(
+                "RECONFIGURE item (kind must be reconfigure)",
+                &item_line,
+            ));
+        }
+        let instance = if is_reconfigure {
+            parse_reconfigure_item(&item_line, rest, config)?
+        } else {
+            let list = read_demand_block(rest, config)?;
+            parse_item(&item_line, &list)?
+        };
+        items.push(instance);
     }
     let end = next_line(rest)?;
     if end.trim() != "END" {
@@ -328,6 +367,107 @@ fn read_demand_block(
         }));
     }
     Ok(list)
+}
+
+/// Reads one strict plan block (`plan v1 <W>` header + exactly `W` part
+/// lines, each `<len> <e1> ... <elen>`), refusing oversized declarations
+/// before buffering. Edge-id *semantics* (coverage of the prior snapshot)
+/// are the solver's job — [`grooming::solve::SolveError::PriorPlan`]
+/// surfaces as a per-item `ERROR`, not a wire error.
+fn read_plan_block(
+    rest: &mut dyn Iterator<Item = io::Result<String>>,
+    config: &ServiceConfig,
+) -> Result<Vec<Vec<EdgeId>>, RequestError> {
+    let header = next_line(rest)?;
+    let header = header.trim();
+    let mut toks = header.split_whitespace();
+    let w = match (toks.next(), toks.next(), toks.next(), toks.next()) {
+        (Some("plan"), Some("v1"), Some(w), None) => w.parse::<u64>().ok(),
+        _ => None,
+    };
+    let Some(w) = w else {
+        return Err(malformed("plan block header", header));
+    };
+    // A non-degenerate part holds at least one edge, and edges are capped
+    // by the unit limit — so the part count is too.
+    if w > config.max_units {
+        return Err(RequestError::Wire(WireError::TooLarge {
+            what: "plan parts",
+            got: w,
+            limit: config.max_units,
+        }));
+    }
+    let mut parts = Vec::with_capacity(w as usize);
+    for _ in 0..w {
+        let line = next_line(rest)?;
+        let line = line.trim();
+        let mut toks = line.split_whitespace();
+        let len = toks
+            .next()
+            .and_then(|t| t.parse::<usize>().ok())
+            .ok_or_else(|| malformed("plan part line (length)", line))?;
+        let mut part = Vec::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            let id = toks
+                .next()
+                .and_then(|t| t.parse::<u32>().ok())
+                .ok_or_else(|| malformed("plan part line (edge id)", line))?;
+            part.push(EdgeId(id));
+        }
+        if toks.next().is_some() {
+            return Err(malformed("plan part line (trailing tokens)", line));
+        }
+        parts.push(part);
+    }
+    Ok(parts)
+}
+
+/// Parses one `reconfigure` stanza: the `ITEM` line, then the prior
+/// snapshot, the prior plan, the added pairs, and the removed pairs.
+fn parse_reconfigure_item(
+    line: &str,
+    rest: &mut dyn Iterator<Item = io::Result<String>>,
+    config: &ServiceConfig,
+) -> Result<Instance, RequestError> {
+    let mut toks = line.split_whitespace();
+    if toks.next() != Some("ITEM") {
+        return Err(malformed("item stanza (expected ITEM)", line));
+    }
+    let kind = toks.next();
+    debug_assert_eq!(kind, Some("reconfigure"));
+    let mut k = None;
+    for tok in toks {
+        let (key, value) = tok
+            .split_once('=')
+            .ok_or_else(|| malformed("ITEM field", line))?;
+        let parsed = value
+            .parse::<usize>()
+            .map_err(|_| malformed("ITEM field value", line))?;
+        match key {
+            "k" => k = Some(parsed),
+            _ => return Err(malformed("ITEM (field not valid for this kind)", line)),
+        }
+    }
+    let k = k.ok_or_else(|| malformed("ITEM (missing k=)", line))?;
+    if k == 0 {
+        return Err(malformed("ITEM (k must be >= 1)", line));
+    }
+    let prior_list = read_demand_block(rest, config)?;
+    let parts = read_plan_block(rest, config)?;
+    let added_list = read_demand_block(rest, config)?;
+    let removed_list = read_demand_block(rest, config)?;
+    if added_list.nodes != prior_list.nodes || removed_list.nodes != prior_list.nodes {
+        return Err(malformed(
+            "reconfigure delta (node count differs from the prior snapshot)",
+            line,
+        ));
+    }
+    Ok(Instance::reconfigure(
+        demand_set_from_list(&prior_list),
+        EdgePartition::new(parts),
+        DemandDelta::new(pairs_from_list(&added_list), pairs_from_list(&removed_list)),
+        k,
+    ))
 }
 
 fn parse_item(line: &str, list: &DemandList) -> Result<Instance, RequestError> {
@@ -414,6 +554,16 @@ fn demand_set_from_list(list: &DemandList) -> DemandSet {
     d
 }
 
+fn pairs_from_list(list: &DemandList) -> Vec<DemandPair> {
+    let mut pairs = Vec::new();
+    for &(u, v, units) in &list.entries {
+        for _ in 0..units {
+            pairs.push(DemandPair::new(NodeId(u), NodeId(v)));
+        }
+    }
+    pairs
+}
+
 fn weighted_from_list(list: &DemandList) -> WeightedDemandSet {
     let mut w = WeightedDemandSet::new(list.nodes);
     for &(u, v, units) in &list.entries {
@@ -446,7 +596,26 @@ impl std::error::Error for WireFormatError {}
 /// Non-default tree strategies flatten to their canonical wire spelling
 /// (`spant-euler` always means the BFS strategy on the wire).
 pub fn format_batch_request(request: &Request) -> Result<String, WireFormatError> {
-    let mut out = format!("BATCH id={} count={}", request.id, request.items.len());
+    format_request_with_verb("BATCH", request)
+}
+
+/// Serializes a request under the `RECONFIGURE` verb — `BATCH` restricted
+/// to warm-start items; any other kind is refused.
+pub fn format_reconfigure_request(request: &Request) -> Result<String, WireFormatError> {
+    if request
+        .items
+        .iter()
+        .any(|i| !matches!(i, Instance::Reconfigure { .. }))
+    {
+        return Err(WireFormatError::NotWireable(
+            "RECONFIGURE carries only reconfigure items",
+        ));
+    }
+    format_request_with_verb("RECONFIGURE", request)
+}
+
+fn format_request_with_verb(verb: &str, request: &Request) -> Result<String, WireFormatError> {
+    let mut out = format!("{verb} id={} count={}", request.id, request.items.len());
     if let Some(deadline) = request.deadline {
         out.push_str(&format!(" deadline_ms={}", deadline.as_millis()));
     }
@@ -489,10 +658,39 @@ pub fn format_item(instance: &Instance) -> Result<String, WireFormatError> {
             }
             (format!("ITEM blsr k={k}"), demand_set_to_list(demands))
         }
+        Instance::Reconfigure {
+            demands,
+            prior,
+            delta,
+            k,
+        } => {
+            let n = demands.num_nodes();
+            let mut out = format!("ITEM reconfigure k={k}\n");
+            out.push_str(&format_demand_list(&demand_set_to_list(demands)));
+            out.push_str(&format!("plan v1 {}\n", prior.parts().len()));
+            for part in prior.parts() {
+                out.push_str(&part.len().to_string());
+                for e in part {
+                    out.push(' ');
+                    out.push_str(&e.index().to_string());
+                }
+                out.push('\n');
+            }
+            out.push_str(&format_demand_list(&pairs_to_list(n, &delta.added)));
+            out.push_str(&format_demand_list(&pairs_to_list(n, &delta.removed)));
+            return Ok(out);
+        }
         Instance::MultiRing { .. } => return Err(WireFormatError::NotWireable("multi-ring")),
         _ => return Err(WireFormatError::NotWireable("unknown instance kind")),
     };
     Ok(format!("{head}\n{}", format_demand_list(&list)))
+}
+
+fn pairs_to_list(nodes: usize, pairs: &[DemandPair]) -> DemandList {
+    DemandList {
+        nodes,
+        entries: pairs.iter().map(|p| (p.lo().0, p.hi().0, 1)).collect(),
+    }
 }
 
 fn graph_to_list(graph: &Graph) -> DemandList {
@@ -595,6 +793,7 @@ pub fn format_stats(snapshot: &StatsSnapshot) -> String {
          cache_hits={} cache_misses={} cache_entries={} cache_evictions={} \
          queue_depth={} queued_cost={} in_flight={} workers={} \
          attempts={} swaps_evaluated={} scratch_resets={} stage_calls={} \
+         parts_repaired={} sadms_moved={} \
          qwait_p50_us={} qwait_p99_us={} solve_p50_us={} solve_p99_us={}\n",
         c.accepted_requests,
         c.accepted_items,
@@ -616,6 +815,8 @@ pub fn format_stats(snapshot: &StatsSnapshot) -> String {
         s.swaps_evaluated,
         s.scratch_resets,
         s.stage_calls(),
+        s.parts_repaired,
+        s.sadms_moved,
         snapshot.queue_wait.percentile(0.5).as_micros(),
         snapshot.queue_wait.percentile(0.99).as_micros(),
         snapshot.solve_time.percentile(0.5).as_micros(),
@@ -680,6 +881,111 @@ mod tests {
         // Instance has no PartialEq; format → parse → format must be the
         // identity on the wire bytes.
         assert_eq!(format_batch_request(&parsed).unwrap(), wire);
+    }
+
+    fn sample_reconfigure() -> Instance {
+        let mut rng = StdRng::seed_from_u64(23);
+        let demands = DemandSet::random(8, 12, &mut rng);
+        let prior =
+            grooming::algorithm::Algorithm::SpanTEuler(grooming_graph::spanning::TreeStrategy::Bfs)
+                .solve(
+                    &Instance::ring(demands.clone(), 3),
+                    &mut SolveContext::seeded(2),
+                )
+                .unwrap()
+                .plan
+                .partition()
+                .expect("ring plan")
+                .clone();
+        let delta = DemandDelta::new(
+            vec![DemandPair::new(NodeId(1), NodeId(6))],
+            vec![demands.pairs()[2]],
+        );
+        Instance::reconfigure(demands, prior, delta, 3)
+    }
+
+    #[test]
+    fn reconfigure_request_round_trips_byte_for_byte() {
+        let request = Request::batch(7, vec![sample_reconfigure(), sample_reconfigure()]);
+        let wire = format_reconfigure_request(&request).unwrap();
+        assert!(wire.starts_with("RECONFIGURE id=7 count=2\n"));
+        let parsed = match parse_str(&wire, &ServiceConfig::default()).unwrap() {
+            WireRequest::Batch(r) => r,
+            other => panic!("expected batch, got {other:?}"),
+        };
+        assert_eq!(parsed.id, request.id);
+        assert_eq!(parsed.items.len(), 2);
+        assert_eq!(format_reconfigure_request(&parsed).unwrap(), wire);
+        // The same stanzas ride in a plain BATCH too.
+        let batch_wire = format_batch_request(&request).unwrap();
+        let reparsed = match parse_str(&batch_wire, &ServiceConfig::default()).unwrap() {
+            WireRequest::Batch(r) => r,
+            other => panic!("expected batch, got {other:?}"),
+        };
+        assert_eq!(format_batch_request(&reparsed).unwrap(), batch_wire);
+    }
+
+    #[test]
+    fn reconfigure_verb_rejects_other_item_kinds() {
+        let config = ServiceConfig::default();
+        let text = "RECONFIGURE id=1 count=1\nITEM upsr k=4\ndemands v1 2 1\n0 1\nEND\n";
+        assert!(matches!(
+            parse_str(text, &config),
+            Err(RequestError::Wire(WireError::Malformed { .. }))
+        ));
+        let mixed = Request::batch(
+            1,
+            vec![
+                sample_reconfigure(),
+                Instance::ring(DemandSet::random(6, 5, &mut StdRng::seed_from_u64(1)), 2),
+            ],
+        );
+        assert_eq!(
+            format_reconfigure_request(&mixed),
+            Err(WireFormatError::NotWireable(
+                "RECONFIGURE carries only reconfigure items"
+            ))
+        );
+    }
+
+    #[test]
+    fn malformed_reconfigure_stanzas_error_instead_of_panicking() {
+        let config = ServiceConfig::default();
+        let cases = [
+            // Plan header is not a plan header.
+            "BATCH id=1 count=1\nITEM reconfigure k=2\ndemands v1 3 1\n0 1\nplans v1 1\n1 0\n\
+             demands v1 3 0\ndemands v1 3 0\nEND\n",
+            // Delta node count differs from the prior snapshot.
+            "BATCH id=1 count=1\nITEM reconfigure k=2\ndemands v1 3 1\n0 1\nplan v1 1\n1 0\n\
+             demands v1 4 0\ndemands v1 3 0\nEND\n",
+            // Fields from other kinds are rejected.
+            "BATCH id=1 count=1\nITEM reconfigure k=2 budget=3\ndemands v1 3 1\n0 1\n\
+             plan v1 1\n1 0\ndemands v1 3 0\ndemands v1 3 0\nEND\n",
+            // Part line with trailing garbage.
+            "BATCH id=1 count=1\nITEM reconfigure k=2\ndemands v1 3 1\n0 1\nplan v1 1\n1 0 9\n\
+             demands v1 3 0\ndemands v1 3 0\nEND\n",
+        ];
+        for text in cases {
+            assert!(
+                matches!(parse_str(text, &config), Err(RequestError::Wire(_))),
+                "expected wire error for {text:?}"
+            );
+        }
+        // A plan declaring more parts than the unit cap is refused off the
+        // header, before any part line is read.
+        let config = ServiceConfig {
+            max_units: 4,
+            ..ServiceConfig::default()
+        };
+        let text = "BATCH id=1 count=1\nITEM reconfigure k=2\ndemands v1 3 1\n0 1\n\
+                    plan v1 4000000000\nEND\n";
+        assert!(matches!(
+            parse_str(text, &config),
+            Err(RequestError::Wire(WireError::TooLarge {
+                what: "plan parts",
+                ..
+            }))
+        ));
     }
 
     #[test]

@@ -97,6 +97,12 @@ fn instance_size(instance: &Instance) -> (usize, u64) {
         Instance::WeightedSplittable { demands, .. } => {
             (demands.num_nodes(), demands.total_units())
         }
+        // A warm start touches the prior snapshot plus the churn, so the
+        // whole post-delta demand volume is the work measure.
+        Instance::Reconfigure { demands, delta, .. } => (
+            demands.num_nodes(),
+            (demands.len() + delta.added.len() + delta.removed.len()) as u64,
+        ),
         // `Instance` is non-exhaustive; future variants pass the guard
         // until a size notion is defined for them.
         _ => (0, 0),

@@ -320,17 +320,18 @@ impl Connection {
 ///
 /// The scanner consumes exactly what [`protocol::parse_request`] *could*
 /// consume: one line for simple verbs (and for headers the parser rejects
-/// before reading payload), and `BATCH` arithmetic —
-/// `count × (ITEM line + demand header + m entries) + END` — using the
-/// same declared-size fields and the same admission caps the parser
-/// enforces. An `END` where an `ITEM` was expected closes the block early
-/// (the parser reports the truncation as an error, and the stream stays in
-/// sync at the boundary).
+/// before reading payload), and `BATCH`/`RECONFIGURE` arithmetic — per
+/// item, an ITEM line plus one demand block (or, for `reconfigure`
+/// stanzas, a demand block, a plan block, and two delta blocks), plus the
+/// `END` terminator — using the same declared-size fields and the same
+/// admission caps the parser enforces. An `END` where an `ITEM` was
+/// expected closes the block early (the parser reports the truncation as
+/// an error, and the stream stays in sync at the boundary).
 fn block_bounds(lines: &VecDeque<String>, service: &Service) -> Option<usize> {
     let config = service.config();
     let first = lines[0].trim();
     let mut toks = first.split_whitespace();
-    if toks.next() != Some("BATCH") {
+    if !matches!(toks.next(), Some("BATCH") | Some("RECONFIGURE")) {
         return Some(1);
     }
     let mut count: Option<usize> = None;
@@ -352,35 +353,95 @@ fn block_bounds(lines: &VecDeque<String>, service: &Service) -> Option<usize> {
         // The ITEM line. A premature END ends the block here; the parser
         // turns it into an UnexpectedEof-style error for the client.
         let item = lines.get(idx)?;
-        if item.trim() == "END" {
+        let item = item.trim();
+        if item == "END" {
             return Some(idx + 1);
         }
+        let is_reconfigure = item.split_whitespace().nth(1) == Some("reconfigure");
         idx += 1;
-        // The demand-list header declares the entry count.
-        let header = lines.get(idx)?;
-        let mut peek = header.split_whitespace().skip(2);
-        let n = peek.next().and_then(|t| t.parse::<u64>().ok());
-        let m = peek.next().and_then(|t| t.parse::<u64>().ok());
-        idx += 1;
-        let (Some(n), Some(m)) = (n, m) else {
-            // Not header-shaped: the parser stops (with an error) right
-            // after reading it.
-            return Some(idx);
-        };
-        if n > config.max_nodes as u64 || m > config.max_units {
-            // The parser refuses oversized declarations before reading a
-            // single entry line; frame the block the same way.
-            return Some(idx);
+        if is_reconfigure {
+            // prior demands, prior plan, added, removed — in that order.
+            for block in ["demands", "plan", "demands", "demands"] {
+                let (next, complete) = if block == "plan" {
+                    frame_plan_block(lines, idx, config)?
+                } else {
+                    frame_demand_block(lines, idx, config)?
+                };
+                if !complete {
+                    return Some(next);
+                }
+                idx = next;
+            }
+        } else {
+            let (next, complete) = frame_demand_block(lines, idx, config)?;
+            if !complete {
+                return Some(next);
+            }
+            idx = next;
         }
-        let end = idx + m as usize;
-        if lines.len() < end {
-            return None;
-        }
-        idx = end;
     }
     // The END terminator (the parser consumes it whatever it says).
     lines.get(idx)?;
     Some(idx + 1)
+}
+
+/// Frames one demand-list block starting at line `idx`. `Some((next,
+/// true))` spans the whole block; `Some((next, false))` means the parser
+/// refuses right after the header (frame the block as ending at `next`);
+/// `None` means more bytes are needed.
+fn frame_demand_block(
+    lines: &VecDeque<String>,
+    idx: usize,
+    config: &crate::service::ServiceConfig,
+) -> Option<(usize, bool)> {
+    // The demand-list header declares the entry count.
+    let header = lines.get(idx)?;
+    let mut peek = header.split_whitespace().skip(2);
+    let n = peek.next().and_then(|t| t.parse::<u64>().ok());
+    let m = peek.next().and_then(|t| t.parse::<u64>().ok());
+    let idx = idx + 1;
+    let (Some(n), Some(m)) = (n, m) else {
+        // Not header-shaped: the parser stops (with an error) right
+        // after reading it.
+        return Some((idx, false));
+    };
+    if n > config.max_nodes as u64 || m > config.max_units {
+        // The parser refuses oversized declarations before reading a
+        // single entry line; frame the block the same way.
+        return Some((idx, false));
+    }
+    let end = idx + m as usize;
+    if lines.len() < end {
+        return None;
+    }
+    Some((end, true))
+}
+
+/// Frames one `plan v1 <W>` block (header + `W` part lines), mirroring
+/// [`frame_demand_block`]'s contract and the parser's refusal points.
+fn frame_plan_block(
+    lines: &VecDeque<String>,
+    idx: usize,
+    config: &crate::service::ServiceConfig,
+) -> Option<(usize, bool)> {
+    let header = lines.get(idx)?;
+    let mut toks = header.split_whitespace();
+    let w = match (toks.next(), toks.next(), toks.next(), toks.next()) {
+        (Some("plan"), Some("v1"), Some(w), None) => w.parse::<u64>().ok(),
+        _ => None,
+    };
+    let idx = idx + 1;
+    let Some(w) = w else {
+        return Some((idx, false));
+    };
+    if w > config.max_units {
+        return Some((idx, false));
+    }
+    let end = idx + w as usize;
+    if lines.len() < end {
+        return None;
+    }
+    Some((end, true))
 }
 
 /// Classifies an accept error: transient ones are logged and skipped,

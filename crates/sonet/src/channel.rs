@@ -60,8 +60,14 @@ impl WavelengthChannel {
 
     /// The maximum per-arc load (the channel's bandwidth requirement in
     /// tributary units).
+    ///
+    /// Every symmetric pair loads every arc exactly once (its two directed
+    /// paths tile the ring), so the maximum is the pair count — O(1)
+    /// instead of walking `arc_loads`. `loads_are_uniform_across_arcs`
+    /// keeps this pinned to the arc-by-arc accounting.
     pub fn max_arc_load(&self, ring: &UpsrRing) -> usize {
-        self.arc_loads(ring).into_iter().max().unwrap_or(0)
+        let _ = ring;
+        self.pairs.len()
     }
 
     /// `true` if the channel fits a wavelength of grooming factor `k`.
@@ -72,15 +78,17 @@ impl WavelengthChannel {
     /// The distinct ring nodes that add/drop traffic on this wavelength —
     /// exactly the nodes that need a SADM for it.
     pub fn adm_nodes(&self, ring: &UpsrRing) -> Vec<NodeId> {
-        let mut need = vec![false; ring.num_nodes()];
+        let _ = ring;
+        // Sort + dedup over the ≤ 2·pairs endpoints instead of scanning
+        // all ring nodes: channels are small (≤ k pairs), rings are not.
+        let mut nodes: Vec<NodeId> = Vec::with_capacity(2 * self.pairs.len());
         for p in &self.pairs {
-            need[p.lo().index()] = true;
-            need[p.hi().index()] = true;
+            nodes.push(p.lo());
+            nodes.push(p.hi());
         }
-        (0..ring.num_nodes() as u32)
-            .map(NodeId)
-            .filter(|v| need[v.index()])
-            .collect()
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
     }
 
     /// Number of SADMs this wavelength requires.
@@ -141,6 +149,23 @@ mod tests {
         let ch = WavelengthChannel::from_pairs(vec![pair(0, 1), pair(1, 2), pair(2, 0)]);
         assert_eq!(ch.adm_count(&ring), 3);
         assert_eq!(ch.len(), 3);
+    }
+
+    #[test]
+    fn loads_are_uniform_across_arcs() {
+        // The O(1) `max_arc_load` shortcut assumes symmetric pairs tile
+        // the ring: pin it to the arc-by-arc accounting.
+        let ring = UpsrRing::new(9);
+        let ch = WavelengthChannel::from_pairs(vec![
+            pair(0, 5),
+            pair(1, 2),
+            pair(2, 8),
+            pair(3, 4),
+            pair(7, 8),
+        ]);
+        let loads = ch.arc_loads(&ring);
+        assert_eq!(loads, vec![ch.len(); ring.num_nodes()]);
+        assert_eq!(ch.max_arc_load(&ring), loads.into_iter().max().unwrap_or(0));
     }
 
     #[test]

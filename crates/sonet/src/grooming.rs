@@ -163,15 +163,25 @@ impl GroomingAssignment {
     /// Builds the cost report for this assignment.
     pub fn report(&self) -> RingCostReport {
         let n = self.ring.num_nodes();
-        let per_node: Vec<usize> = (0..n as u32).map(|v| self.sadm_at(NodeId(v))).collect();
+        // One pass over the channels instead of one `sadm_at` scan per
+        // ring node: a channel's ADM nodes each take one SADM, and every
+        // other (node, wavelength) combination is a bypass.
+        let mut per_node = vec![0usize; n];
+        for ch in &self.channels {
+            for v in ch.adm_nodes(&self.ring) {
+                per_node[v.index()] += 1;
+            }
+        }
+        let sadm_total: usize = per_node.iter().sum();
+        let bypass_total = n * self.num_wavelengths() - sadm_total;
         let capacity = self.num_wavelengths() * self.grooming_factor;
         let used: usize = self.channels.iter().map(WavelengthChannel::len).sum();
         RingCostReport {
             nodes: n,
             grooming_factor: self.grooming_factor,
             wavelengths: self.num_wavelengths(),
-            sadm_total: self.sadm_count(),
-            bypass_total: self.bypass_count(),
+            sadm_total,
+            bypass_total,
             per_node_adms: per_node,
             pairs_carried: used,
             capacity_pairs: capacity,

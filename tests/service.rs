@@ -75,6 +75,64 @@ fn transcripts_are_byte_identical_across_worker_counts() {
     assert!(transcripts[0].ends_with("END\n"));
 }
 
+/// A reconfigure workload: cold-solve a snapshot once, then warm-start it
+/// with a small add/remove delta.
+fn reconfigure_items() -> Vec<Instance> {
+    use grooming::algorithm::Algorithm;
+    use grooming::solve::DemandDelta;
+    use grooming_graph::spanning::TreeStrategy;
+    use grooming_sonet::demand::DemandPair;
+
+    let mut rng = StdRng::seed_from_u64(11);
+    let demands = DemandSet::random(12, 24, &mut rng);
+    let prior = Algorithm::SpanTEulerRefined(TreeStrategy::Bfs)
+        .solve(
+            &Instance::ring(demands.clone(), 4),
+            &mut SolveContext::seeded(5),
+        )
+        .unwrap()
+        .plan
+        .partition()
+        .expect("ring plan")
+        .clone();
+    let delta = DemandDelta::new(
+        vec![
+            DemandPair::new(NodeId(0), NodeId(7)),
+            DemandPair::new(NodeId(3), NodeId(9)),
+        ],
+        vec![demands.pairs()[0], demands.pairs()[5]],
+    );
+    vec![
+        Instance::reconfigure(demands.clone(), prior.clone(), delta, 4),
+        // An empty delta rides along: its plan must echo the prior.
+        Instance::reconfigure(demands, prior, DemandDelta::default(), 4),
+    ]
+}
+
+/// RECONFIGURE solves are deterministic-given-input like BATCH: warm
+/// repair never consults the solver's RNG, so transcripts cannot depend
+/// on the worker count.
+#[test]
+fn reconfigure_transcripts_are_byte_identical_across_worker_counts() {
+    let mut transcripts = Vec::new();
+    for workers in [1, 4] {
+        let service = Service::start(config(workers));
+        let mut client = Client::new(&service);
+        let transcript = client
+            .solve_transcript(reconfigure_items(), Default::default())
+            .unwrap();
+        service.shutdown();
+        transcripts.push(transcript);
+    }
+    assert_eq!(
+        transcripts[0], transcripts[1],
+        "worker count leaked into the reconfigure transcript"
+    );
+    assert!(transcripts[0].starts_with("RESULT 1 count=2\nPLAN 0 sadms="));
+    assert!(!transcripts[0].contains("ERROR"));
+    assert!(transcripts[0].ends_with("END\n"));
+}
+
 #[test]
 fn overload_is_rejected_with_observed_depth() {
     let service = Service::start({
