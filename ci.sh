@@ -54,6 +54,31 @@ if [ "$guard_bad" -ne 0 ]; then
   exit 1
 fi
 
+# Mesh routing must go through the solve path (Instance::Mesh +
+# SolveContext): the dispatcher owns route bookkeeping (routes_evaluated,
+# Capacity errors, capacity repair), so calling mesh::route_demands /
+# mesh::enforce_caps directly forfeits stats and the blocking contract.
+# Only the defining module and the solve.rs dispatcher may name them
+# outside tests.
+guard_bad=0
+while IFS= read -r f; do
+  case "$f" in
+    crates/core/src/mesh.rs) continue ;;   # the definitions
+    crates/core/src/solve.rs) continue ;;  # the dispatcher
+  esac
+  hits=$(awk '/#\[cfg\(test\)\]/{exit} {print FILENAME":"FNR": "$0}' "$f" \
+    | grep -E '(route_demands|enforce_caps)\(' \
+    | grep -vE '^[^:]+:[0-9]+:[[:space:]]*//' || true)
+  if [ -n "$hits" ]; then
+    echo "$hits"
+    guard_bad=1
+  fi
+done < <(find crates/*/src examples -name '*.rs')
+if [ "$guard_bad" -ne 0 ]; then
+  echo "error: mesh routing called outside the solve path (use Instance::mesh + Solver::solve)"
+  exit 1
+fi
+
 echo "== cargo build --all-targets (benches, examples, tests compile) =="
 cargo build --all-targets
 
@@ -109,6 +134,15 @@ echo "== perf smoke: churn warm-start baseline (release, --fast) =="
 # results/BENCH_churn.json is produced by the full run:
 # target/release/perf_churn
 target/release/perf_churn --fast --out /tmp/BENCH_churn_fast.json
+
+echo "== perf smoke: mesh loading baseline (release, --fast) =="
+# Loads the capacitated metro grid until the blocking rate crosses 1%,
+# measures mesh solve throughput through the service with the cache off,
+# asserts byte-identical transcripts at 1 vs 4 workers, and asserts peak
+# RSS stays under the fast tier's ceiling (the binary exits non-zero on
+# any breach). The checked-in results/BENCH_mesh.json is produced by the
+# full run: target/release/perf_mesh
+target/release/perf_mesh --fast --out /tmp/BENCH_mesh_fast.json
 
 echo "== cargo doc (no deps, warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet

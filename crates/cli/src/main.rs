@@ -280,7 +280,7 @@ fn make_context(opts: &GroomOptions) -> SolveContext {
     ctx
 }
 
-fn print_solve_summary(ctx: &SolveContext, timed_out: bool) {
+fn print_solve_summary(ctx: &SolveContext, timed_out: bool, sadm_cost: usize) {
     let stats = ctx.stats();
     // Warm-start repair counters only appear when a reconfigure ran —
     // cold solves keep the familiar three-field line.
@@ -304,6 +304,18 @@ fn print_solve_summary(ctx: &SolveContext, timed_out: bool) {
             ""
         },
     );
+    // The solver records the combinatorial lower bound for every workload;
+    // report the optimality gap alongside it so a plan's quality can be
+    // judged without re-deriving the bound by hand.
+    if stats.lower_bound > 0 && sadm_cost > 0 {
+        let gap = (sadm_cost as u64).saturating_sub(stats.lower_bound);
+        println!(
+            "bound: {} SADM lower bound, gap {} ({:.1}%)",
+            stats.lower_bound,
+            gap,
+            100.0 * gap as f64 / stats.lower_bound as f64
+        );
+    }
 }
 
 fn run_one(demands: &DemandSet, algo: Algorithm, opts: &GroomOptions) {
@@ -331,7 +343,7 @@ fn run_one(demands: &DemandSet, algo: Algorithm, opts: &GroomOptions) {
                     .expect("budgeted partitions stay valid");
                 println!("algorithm: {} (budget {budget})", algo.name());
                 println!("\n{}", assignment.report());
-                print_solve_summary(&ctx, sol.timed_out);
+                print_solve_summary(&ctx, sol.timed_out, assignment.report().sadm_total);
                 if opts.show_parts {
                     print_parts(&assignment);
                 }
@@ -365,7 +377,7 @@ fn run_one(demands: &DemandSet, algo: Algorithm, opts: &GroomOptions) {
     };
     println!("algorithm: {}", algo.name());
     println!("\n{}", out.report);
-    print_solve_summary(&ctx, sol.timed_out);
+    print_solve_summary(&ctx, sol.timed_out, out.report.sadm_total);
     if opts.analyze {
         let g = demands.to_traffic_graph();
         println!(

@@ -30,11 +30,15 @@ pub fn min_nodes_for_edges(e: usize) -> usize {
 /// less.
 pub fn clique_lower_bound(m: usize, k: usize) -> usize {
     assert!(k > 0, "grooming factor must be positive");
+    // ν is only ever evaluated at 1..=k; tabulating it keeps the DP's
+    // inner loop to an add and a compare (this runs on every solve now
+    // that SolveStats carries the bound, including warm reconfigures).
+    let nu: Vec<usize> = (0..=k.min(m)).map(min_nodes_for_edges).collect();
     let mut dp = vec![usize::MAX; m + 1];
     dp[0] = 0;
     for x in 1..=m {
         for e in 1..=k.min(x) {
-            let cand = dp[x - e].saturating_add(min_nodes_for_edges(e));
+            let cand = dp[x - e].saturating_add(nu[e]);
             if cand < dp[x] {
                 dp[x] = cand;
             }
@@ -93,12 +97,13 @@ pub fn component_lower_bound(g: &Graph, k: usize) -> usize {
 /// assert_eq!(lower_bound(&generators::complete(9), 3), 36);
 /// ```
 pub fn lower_bound(g: &Graph, k: usize) -> usize {
-    let all_edges: Vec<_> = g.edges().collect();
     // Every wavelength holds at least one edge, hence at least 2 nodes:
     // the volume floor that survives arbitrary demand multiplicity.
     let wavelength_floor = 2 * g.num_edges().div_ceil(k.max(1));
+    // The whole-graph clique DP is omitted deliberately: the DP is
+    // subadditive (any split of two edge sets concatenates into a split
+    // of their union), so the per-component sum always dominates it.
     component_lower_bound(g, k)
-        .max(clique_lower_bound(distinct_pairs(g, &all_edges), k))
         .max(degree_lower_bound(g, k))
         .max(if g.is_empty() { 0 } else { wavelength_floor })
 }

@@ -84,6 +84,7 @@ pub mod budget;
 pub mod exact;
 pub mod hardness;
 pub mod improve;
+pub mod mesh;
 pub mod network;
 pub mod online;
 pub mod partition;

@@ -32,6 +32,7 @@ use std::time::{Duration, Instant};
 use grooming_graph::graph::Graph;
 use grooming_graph::ids::EdgeId;
 use grooming_graph::spanning::TreeStrategy;
+use grooming_graph::topology::{RoutePath, Topology};
 use grooming_graph::workspace::Workspace;
 use grooming_sonet::blsr::{groom_blsr, BlsrAssignment, BlsrRing};
 use grooming_sonet::demand::{DemandPair, DemandSet};
@@ -152,6 +153,23 @@ pub struct SolveStats {
     /// Occupancy churn spent by warm-start repairs' re-optimization (what
     /// [`SolveConfig::rearrange_budget`] bounds).
     pub sadms_moved: u64,
+    /// Yen route candidates enumerated by mesh solves
+    /// ([`Instance::Mesh`]): one per (demand, candidate) pair.
+    pub routes_evaluated: u64,
+    /// Add/drop ports occupied by mesh plans after capacity repair —
+    /// `Σ|T_i|` over wavelength parts, the mesh form of the SADM cost.
+    pub groom_ports_used: u64,
+    /// Demands blocked by mesh capacity repair (a graceful outcome, not
+    /// an error — the blocking-rate curve `perf_mesh` sweeps).
+    pub blocked_demands: u64,
+    /// Combinatorial lower bound on SADM cost, summed across every solved
+    /// traffic graph ([`crate::bounds::lower_bound`]: the max of the
+    /// per-component clique-decomposition, degree, and `2⌈m/k⌉`
+    /// wavelength floors). Compare against total plan cost for a
+    /// certified optimality gap. (The paper's `m + ⌈m/k⌉` expression is
+    /// Theorem 10's *upper* bound, not a floor — K9 at k=3 grooms for
+    /// 36 < 48.)
+    pub lower_bound: u64,
     /// Wall-clock time per stage *kind*, aggregated by name in
     /// first-recorded order (informational; not deterministic). Bounded by
     /// the number of distinct stage names, so a long-running service can
@@ -205,6 +223,10 @@ impl SolveStats {
         self.scratch_resets += other.scratch_resets;
         self.parts_repaired += other.parts_repaired;
         self.sadms_moved += other.sadms_moved;
+        self.routes_evaluated += other.routes_evaluated;
+        self.groom_ports_used += other.groom_ports_used;
+        self.blocked_demands += other.blocked_demands;
+        self.lower_bound += other.lower_bound;
         for s in &other.stages {
             self.fold_stage(s.stage, s.calls, s.total);
         }
@@ -413,6 +435,13 @@ pub enum SolveError {
         /// The over-withdrawn pair.
         pair: DemandPair,
     },
+    /// A mesh demand is structurally unroutable: its endpoints are
+    /// disconnected in the physical topology. (Capacity *blocking* is
+    /// never an error — blocked demands are reported in the plan.)
+    Capacity {
+        /// The unroutable pair.
+        pair: DemandPair,
+    },
 }
 
 impl std::fmt::Display for SolveError {
@@ -429,6 +458,9 @@ impl std::fmt::Display for SolveError {
             SolveError::MissingDemand { pair } => {
                 write!(f, "delta removes {pair} beyond the prior snapshot")
             }
+            SolveError::Capacity { pair } => {
+                write!(f, "demand {pair} has no route in the topology")
+            }
         }
     }
 }
@@ -440,7 +472,9 @@ impl std::error::Error for SolveError {
             SolveError::Route(e) => Some(e),
             SolveError::Ring { source, .. } => Some(source.as_ref()),
             SolveError::PriorPlan(e) => Some(e),
-            SolveError::InfeasibleBudget { .. } | SolveError::MissingDemand { .. } => None,
+            SolveError::InfeasibleBudget { .. }
+            | SolveError::MissingDemand { .. }
+            | SolveError::Capacity { .. } => None,
         }
     }
 }
@@ -563,6 +597,23 @@ pub enum Instance {
         /// The grooming factor.
         k: usize,
     },
+    /// Multi-layer mesh grooming: demands routed over an arbitrary
+    /// physical topology (deterministic Yen k-shortest-paths, no RNG),
+    /// groomed into wavelength circles by the partition solvers, then
+    /// capacity-repaired against the topology's per-node hardware limits
+    /// (see [`crate::mesh`]). A ring topology with unlimited capacities
+    /// reproduces [`Instance::Upsr`] byte-identically.
+    Mesh {
+        /// The physical topology (weighted links, capacitated nodes).
+        topology: Topology,
+        /// The symmetric unitary demands (node count must match the
+        /// topology).
+        demands: DemandSet,
+        /// The grooming factor.
+        k: usize,
+        /// Yen candidates enumerated per demand (`0` is treated as `1`).
+        routes: usize,
+    },
 }
 
 impl Instance {
@@ -630,6 +681,26 @@ impl Instance {
         }
     }
 
+    /// A mesh instance routing `demands` over `topology` with up to
+    /// `routes` Yen candidates per demand.
+    ///
+    /// # Panics
+    /// Panics if the demand set and topology disagree on the node count
+    /// (the service's mesh parser validates wire input first).
+    pub fn mesh(topology: Topology, demands: DemandSet, k: usize, routes: usize) -> Self {
+        assert_eq!(
+            demands.num_nodes(),
+            topology.num_nodes(),
+            "demand set and topology must agree on the node count"
+        );
+        Instance::Mesh {
+            topology,
+            demands,
+            k,
+            routes,
+        }
+    }
+
     /// The grooming factor of any instance.
     pub fn grooming_factor(&self) -> usize {
         match self {
@@ -640,7 +711,8 @@ impl Instance {
             | Instance::MultiRing { k, .. }
             | Instance::WeightedSplittable { k, .. }
             | Instance::Blsr { k, .. }
-            | Instance::Reconfigure { k, .. } => *k,
+            | Instance::Reconfigure { k, .. }
+            | Instance::Mesh { k, .. } => *k,
         }
     }
 }
@@ -704,6 +776,23 @@ pub enum Plan {
         /// Occupancy churn the local re-optimization spent.
         sadms_moved: u64,
     },
+    /// Mesh result: the grooming of the demands that survived capacity
+    /// repair, plus the routing layer's outputs.
+    Mesh {
+        /// The grooming (partition + validated assignment + cost report)
+        /// over the *carried* demand set's traffic graph.
+        outcome: GroomingOutcome,
+        /// The carried demands (edge `i` of the groomed traffic graph is
+        /// `carried.pairs()[i]`).
+        carried: DemandSet,
+        /// The chosen physical route per carried demand.
+        routes: Vec<RoutePath>,
+        /// Demands blocked by capacity repair, in blocking order (empty
+        /// on uncapacitated topologies).
+        blocked: Vec<DemandPair>,
+        /// The routing bottleneck: the most routes crossing one link.
+        max_link_load: u32,
+    },
 }
 
 impl Plan {
@@ -715,7 +804,8 @@ impl Plan {
             Plan::Ring { outcome }
             | Plan::OnlineRearrange { outcome, .. }
             | Plan::WeightedSplittable { outcome, .. }
-            | Plan::Reconfigure { outcome, .. } => outcome.report.sadm_total,
+            | Plan::Reconfigure { outcome, .. }
+            | Plan::Mesh { outcome, .. } => outcome.report.sadm_total,
             Plan::MultiRing { grooming } => grooming.total_sadms,
             Plan::Blsr { assignment } => assignment.sadm_count(),
         }
@@ -730,7 +820,8 @@ impl Plan {
             Plan::Ring { outcome }
             | Plan::OnlineRearrange { outcome, .. }
             | Plan::WeightedSplittable { outcome, .. }
-            | Plan::Reconfigure { outcome, .. } => outcome.report.wavelengths,
+            | Plan::Reconfigure { outcome, .. }
+            | Plan::Mesh { outcome, .. } => outcome.report.wavelengths,
             Plan::MultiRing { grooming } => grooming.total_wavelengths,
             Plan::Blsr { assignment } => assignment.num_wavelengths(),
         }
@@ -743,7 +834,8 @@ impl Plan {
             Plan::Ring { outcome }
             | Plan::OnlineRearrange { outcome, .. }
             | Plan::WeightedSplittable { outcome, .. }
-            | Plan::Reconfigure { outcome, .. } => Some(&outcome.partition),
+            | Plan::Reconfigure { outcome, .. }
+            | Plan::Mesh { outcome, .. } => Some(&outcome.partition),
             Plan::MultiRing { .. } | Plan::Blsr { .. } => None,
         }
     }
@@ -851,12 +943,14 @@ where
     let started = Instant::now();
     let (plan, timed_out, stage) = match instance {
         Instance::Upsr { graph, k } => {
+            ctx.stats.lower_bound += crate::bounds::lower_bound(graph, *k) as u64;
             let (partition, timed) = solve_partition(graph, *k, ctx)?;
             let cost = partition.sadm_cost(graph);
             (Plan::Upsr { partition, cost }, timed, "upsr")
         }
         Instance::Ring { demands, k } => {
             let g = demands.to_traffic_graph();
+            ctx.stats.lower_bound += crate::bounds::lower_bound(&g, *k) as u64;
             let (partition, timed) = solve_partition(&g, *k, ctx)?;
             let outcome = crate::pipeline::assemble(demands, &g, *k, partition);
             (Plan::Ring { outcome }, timed, "ring")
@@ -869,6 +963,7 @@ where
                     minimum,
                 });
             }
+            ctx.stats.lower_bound += crate::bounds::lower_bound(graph, *k) as u64;
             let (base, timed) = solve_partition(graph, *k, ctx)?;
             let mut bounded = if base.num_wavelengths() <= *budget {
                 base
@@ -898,6 +993,7 @@ where
             online_sadms,
         } => {
             let g = demands.to_traffic_graph();
+            ctx.stats.lower_bound += crate::bounds::lower_bound(&g, *k) as u64;
             let (partition, timed) = solve_partition(&g, *k, ctx)?;
             let outcome = crate::pipeline::assemble(demands, &g, *k, partition);
             (
@@ -923,6 +1019,7 @@ where
             // always complete.
             for (ring, segs) in per_ring.iter().enumerate() {
                 let g = segs.to_traffic_graph();
+                ctx.stats.lower_bound += crate::bounds::lower_bound(&g, *k) as u64;
                 let (partition, t) =
                     solve_partition(&g, *k, ctx).map_err(|source| SolveError::Ring {
                         ring,
@@ -949,6 +1046,7 @@ where
         Instance::WeightedSplittable { demands, k } => {
             let expanded = demands.expand();
             let g = expanded.to_traffic_graph();
+            ctx.stats.lower_bound += crate::bounds::lower_bound(&g, *k) as u64;
             let (partition, timed) = solve_partition(&g, *k, ctx)?;
             let outcome = crate::pipeline::assemble(&expanded, &g, *k, partition);
             (
@@ -965,6 +1063,8 @@ where
             // is not partition-shaped, so it runs the same under every
             // solver (the "attempt 0 always runs" rule: even an expired
             // deadline yields the full plan).
+            ctx.stats.lower_bound +=
+                crate::bounds::lower_bound(&demands.to_traffic_graph(), *k) as u64;
             let assignment = groom_blsr(*ring, demands, *k);
             debug_assert!(assignment.validate(Some(demands)).is_ok());
             (Plan::Blsr { assignment }, ctx.expired(), "blsr")
@@ -977,6 +1077,44 @@ where
         } => {
             let (plan, timed) = solve_reconfigure(demands, prior, delta, *k, ctx)?;
             (plan, timed, "reconfigure")
+        }
+        Instance::Mesh {
+            topology,
+            demands,
+            k,
+            routes,
+        } => {
+            // Layer 0: seed-free routing — the RNG stream is untouched
+            // until the partition stage, exactly where the UPSR path
+            // starts drawing, so a ring topology reproduces `Upsr`
+            // byte-identically.
+            let routed = crate::mesh::route_demands(topology, demands, *routes)?;
+            ctx.stats.routes_evaluated += routed.routes_evaluated;
+            let g = demands.to_traffic_graph();
+            ctx.stats.lower_bound += crate::bounds::lower_bound(&g, *k) as u64;
+            // Layer 1: groom, then repair against node capacities.
+            let (partition, timed) = solve_partition(&g, *k, ctx)?;
+            let repaired =
+                crate::mesh::enforce_caps(topology, demands, &routed.routes, partition, *k);
+            ctx.stats.parts_repaired += repaired.parts_repaired;
+            ctx.stats.sadms_moved += repaired.sadms_moved;
+            ctx.stats.swaps_evaluated += repaired.swaps_evaluated;
+            ctx.stats.blocked_demands += repaired.blocked.len() as u64;
+            let g_carried = repaired.carried.to_traffic_graph();
+            let outcome =
+                crate::pipeline::assemble(&repaired.carried, &g_carried, *k, repaired.partition);
+            ctx.stats.groom_ports_used += outcome.report.sadm_total as u64;
+            (
+                Plan::Mesh {
+                    outcome,
+                    carried: repaired.carried,
+                    routes: repaired.routes,
+                    blocked: repaired.blocked,
+                    max_link_load: routed.max_link_load,
+                },
+                timed,
+                "mesh",
+            )
         }
     };
     ctx.stats.record_stage(stage, started.elapsed());
@@ -1088,6 +1226,7 @@ fn solve_reconfigure(
     }
     let added_ids: Vec<EdgeId> = (first_added..new_demands.len()).map(EdgeId::new).collect();
     let g = new_demands.to_traffic_graph();
+    ctx.stats.lower_bound += crate::bounds::lower_bound(&g, k) as u64;
     let (partition, report) = crate::improve::warm_repair(
         &g,
         k,
@@ -1341,6 +1480,10 @@ mod tests {
                 attempts: 3,
                 swaps_evaluated: 100,
                 scratch_resets: 7,
+                routes_evaluated: 9,
+                groom_ports_used: 12,
+                blocked_demands: 2,
+                lower_bound: 30,
                 stages: vec![stage("upsr", 1, 1)],
                 ..SolveStats::default()
             },
@@ -1372,6 +1515,10 @@ mod tests {
             merged.scratch_resets,
             workers.iter().map(|w| w.scratch_resets).sum()
         );
+        assert_eq!(merged.routes_evaluated, 9);
+        assert_eq!(merged.groom_ports_used, 12);
+        assert_eq!(merged.blocked_demands, 2);
+        assert_eq!(merged.lower_bound, 30);
         // "upsr" appears in two workers but folds into one entry.
         assert_eq!(
             merged.stages,
@@ -1458,5 +1605,173 @@ mod tests {
         );
         assert!(converted.to_string().contains("ring 3"));
         assert!(std::error::Error::source(&converted).is_some());
+    }
+
+    #[test]
+    fn mesh_on_ring_topology_reproduces_upsr_on_fig4_grid() {
+        // The acceptance bridge: a ring topology with unlimited node
+        // capacities fed through `Instance::Mesh` must produce plans
+        // byte-identical to `Instance::Upsr` on the pinned Fig-4 grid
+        // (n = 36, m = n^(1+d)) — same partition parts, same cost, and
+        // RNG streams in lockstep (routing consumes none).
+        for (d, algo) in [
+            (0.3f64, Algorithm::SpanTEuler(TreeStrategy::Bfs)),
+            (0.3, Algorithm::Portfolio),
+            (0.5, Algorithm::SpanTEulerRefined(TreeStrategy::Dfs)),
+            (0.7, Algorithm::SpanTEuler(TreeStrategy::Dfs)),
+        ] {
+            let m = generators::dense_ratio_edges(36, d);
+            let seeded = generators::gnm(36, m, &mut StdRng::seed_from_u64(4));
+            let demands = DemandSet::from_traffic_graph(&seeded);
+            let g = demands.to_traffic_graph();
+
+            let mut upsr_ctx = SolveContext::seeded(11);
+            let upsr = algo.solve(&Instance::upsr(g, 16), &mut upsr_ctx).unwrap();
+            let mut mesh_ctx = SolveContext::seeded(11);
+            let mesh = algo
+                .solve(
+                    &Instance::mesh(Topology::ring(36), demands.clone(), 16, 3),
+                    &mut mesh_ctx,
+                )
+                .unwrap();
+
+            assert_eq!(
+                mesh.plan.partition().unwrap().parts(),
+                upsr.plan.partition().unwrap().parts(),
+                "d = {d}, {algo}: mesh diverged from upsr"
+            );
+            assert_eq!(mesh.plan.sadm_cost(), upsr.plan.sadm_cost());
+            assert_eq!(
+                mesh_ctx.rng_mut().next_u64(),
+                upsr_ctx.rng_mut().next_u64(),
+                "d = {d}, {algo}: routing consumed RNG"
+            );
+            let Plan::Mesh {
+                blocked,
+                routes,
+                carried,
+                max_link_load,
+                ..
+            } = &mesh.plan
+            else {
+                panic!("mesh instance must produce a mesh plan");
+            };
+            assert!(blocked.is_empty(), "uncapacitated ring never blocks");
+            assert_eq!(routes.len(), demands.len());
+            assert_eq!(carried.pairs(), demands.pairs());
+            assert!(*max_link_load > 0);
+            // Mesh-only stats are populated; the bound is shared.
+            assert_eq!(mesh_ctx.stats().blocked_demands, 0);
+            assert!(mesh_ctx.stats().routes_evaluated >= demands.len() as u64);
+            assert_eq!(
+                mesh_ctx.stats().groom_ports_used,
+                mesh.plan.sadm_cost() as u64
+            );
+            assert_eq!(mesh_ctx.stats().lower_bound, upsr_ctx.stats().lower_bound);
+            assert!(mesh_ctx.stats().lower_bound > 0);
+            assert!(mesh_ctx.stats().lower_bound <= mesh.plan.sadm_cost() as u64);
+        }
+    }
+
+    #[test]
+    fn mesh_capacity_blocking_is_graceful_and_counted() {
+        // A grid topology with one throttled core node: the solve
+        // surface must report blocked demands in the plan and the stats
+        // instead of erroring, and the surviving grooming must still be
+        // a valid partition.
+        let topo = {
+            let g = generators::grid(4, 4);
+            let mut caps = vec![grooming_graph::topology::NodeCaps::UNLIMITED; 16];
+            caps[5] = grooming_graph::topology::NodeCaps::new(0, 0);
+            Topology::new(g, vec![1; 24], caps)
+        };
+        let mut demands = DemandSet::new(16);
+        for (a, b) in [(0, 5), (5, 10), (1, 5), (0, 15), (3, 12), (2, 7)] {
+            demands.add(
+                grooming_graph::ids::NodeId(a),
+                grooming_graph::ids::NodeId(b),
+            );
+        }
+        let mut ctx = SolveContext::seeded(5);
+        let sol = Algorithm::SpanTEuler(TreeStrategy::Bfs)
+            .solve(&Instance::mesh(topo, demands.clone(), 4, 4), &mut ctx)
+            .unwrap();
+        let Plan::Mesh {
+            outcome,
+            carried,
+            blocked,
+            routes,
+            ..
+        } = &sol.plan
+        else {
+            panic!("mesh instance must produce a mesh plan");
+        };
+        assert!(!blocked.is_empty(), "node 5 is over-subscribed");
+        assert_eq!(carried.len() + blocked.len(), demands.len());
+        assert_eq!(routes.len(), carried.len());
+        assert_eq!(ctx.stats().blocked_demands, blocked.len() as u64);
+        assert_eq!(
+            ctx.stats().groom_ports_used,
+            outcome.report.sadm_total as u64
+        );
+        outcome
+            .partition
+            .validate(&carried.to_traffic_graph(), 4)
+            .unwrap();
+        assert_eq!(ctx.stats().sadms_moved, 0, "capacity repair never moves");
+    }
+
+    #[test]
+    fn mesh_unroutable_demand_errors() {
+        let mut g = Graph::new(4);
+        g.add_edge(
+            grooming_graph::ids::NodeId(0),
+            grooming_graph::ids::NodeId(1),
+        );
+        let topo = Topology::uniform(g);
+        let mut demands = DemandSet::new(4);
+        let p = demands.add(
+            grooming_graph::ids::NodeId(2),
+            grooming_graph::ids::NodeId(3),
+        );
+        let mut ctx = SolveContext::seeded(1);
+        let err = Algorithm::SpanTEuler(TreeStrategy::Bfs)
+            .solve(&Instance::mesh(topo, demands, 4, 2), &mut ctx)
+            .unwrap_err();
+        assert_eq!(err, SolveError::Capacity { pair: p });
+        assert!(err.to_string().contains("no route"));
+    }
+
+    #[test]
+    fn lower_bound_reported_for_every_workload() {
+        // Satellite of the certified-quality roadmap item: every solved
+        // workload accumulates `bounds::lower_bound` into its stats, so
+        // the gap is visible on every solve.
+        let g = graph(6);
+        let demands = DemandSet::from_traffic_graph(&g);
+        let mut ctx = SolveContext::seeded(2);
+        let algo = Algorithm::SpanTEuler(TreeStrategy::Bfs);
+        let expected = crate::bounds::lower_bound(&demands.to_traffic_graph(), 4) as u64;
+        assert!(expected > 0);
+        for instance in [
+            Instance::upsr(g.clone(), 4),
+            Instance::ring(demands.clone(), 4),
+            Instance::budgeted(g.clone(), 4, g.num_edges()),
+            Instance::mesh(Topology::ring(demands.num_nodes()), demands.clone(), 4, 2),
+        ] {
+            let before = ctx.stats().lower_bound;
+            let sol = algo.solve(&instance, &mut ctx).unwrap();
+            let gained = ctx.stats().lower_bound - before;
+            assert_eq!(gained, expected);
+            assert!(gained <= sol.plan.sadm_cost() as u64, "bound exceeds cost");
+        }
+        // BLSR and reconfigure accumulate it too.
+        let before = ctx.stats().lower_bound;
+        algo.solve(
+            &Instance::blsr(BlsrRing::new(demands.num_nodes()), demands.clone(), 4),
+            &mut ctx,
+        )
+        .unwrap();
+        assert_eq!(ctx.stats().lower_bound - before, expected);
     }
 }

@@ -46,11 +46,29 @@ pub enum ParseError {
         content: String,
     },
     /// The number of edge lines does not match the header.
+    ///
+    /// For [`parse_topology`] payloads the count covers the whole body —
+    /// the `n` capacity lines plus the `m` link lines.
     EdgeCountMismatch {
         /// Edge count from the header.
         declared: usize,
         /// Edge lines actually present.
         found: usize,
+    },
+    /// A node-capacity line of a topology payload is malformed.
+    BadCaps {
+        /// 1-based line number.
+        line: usize,
+        /// Offending line content.
+        content: String,
+    },
+    /// A link line of a topology payload carries an invalid weight (zero
+    /// or unparsable).
+    BadWeight {
+        /// 1-based line number.
+        line: usize,
+        /// Offending line content.
+        content: String,
     },
 }
 
@@ -72,6 +90,12 @@ impl std::fmt::Display for ParseError {
             }
             ParseError::EdgeCountMismatch { declared, found } => {
                 write!(f, "header declares {declared} edges, found {found}")
+            }
+            ParseError::BadCaps { line, content } => {
+                write!(f, "bad node capacities on line {line}: {content:?}")
+            }
+            ParseError::BadWeight { line, content } => {
+                write!(f, "bad link weight on line {line}: {content:?}")
             }
         }
     }
@@ -293,6 +317,186 @@ pub fn parse_demand_list(text: &str) -> Result<DemandList, ParseError> {
         });
     }
     Ok(DemandList { nodes: n, entries })
+}
+
+// ---------------------------------------------------------------------------
+// topologies: the versioned wire format for physical meshes
+// ---------------------------------------------------------------------------
+//
+// The mesh grooming workload routes demands over a physical
+// [`Topology`](crate::topology::Topology) — a weighted multigraph with
+// per-node grooming hardware — and topologies ride the same newline wire
+// protocol demand sets do. Versioned for the same reason:
+//
+// ```text
+// topology v1 <n> <m>
+// <ports> <switch>   # n capacity lines, one per node; `*` = unlimited
+// u v                # m link lines; weight omitted = 1
+// u v w              # explicit weight (w >= 1)
+// ```
+//
+// `#` comments and blank lines are ignored. Endpoints are 0-based,
+// distinct, and `< n`; parallel links are allowed (it is a multigraph).
+// `u32::MAX` capacities always serialize as `*`, so the canonical form is
+// bytewise stable under round trips.
+
+/// The magic+version token opening a [`parse_topology`] payload.
+pub const TOPOLOGY_V1: &str = "topology v1";
+
+use crate::topology::{NodeCaps, Topology};
+
+/// Serializes a topology in canonical v1 form (unlimited capacities as
+/// `*`, unit weights omitted), the inverse of [`parse_topology`].
+pub fn format_topology(topo: &Topology) -> String {
+    let g = topo.graph();
+    let mut out = String::with_capacity(24 + 6 * g.num_nodes() + 8 * g.num_edges());
+    out.push_str(&format!(
+        "{TOPOLOGY_V1} {} {}\n",
+        g.num_nodes(),
+        g.num_edges()
+    ));
+    let cap = |c: u32| {
+        if c == u32::MAX {
+            "*".to_string()
+        } else {
+            c.to_string()
+        }
+    };
+    for &c in topo.node_caps() {
+        out.push_str(&format!(
+            "{} {}\n",
+            cap(c.add_drop_ports),
+            cap(c.switch_capacity)
+        ));
+    }
+    for e in g.edges() {
+        let (u, v) = g.endpoints(e);
+        let w = topo.weight(e);
+        if w == 1 {
+            out.push_str(&format!("{u} {v}\n"));
+        } else {
+            out.push_str(&format!("{u} {v} {w}\n"));
+        }
+    }
+    out
+}
+
+fn parse_cap_token(tok: &str) -> Option<u32> {
+    if tok == "*" {
+        Some(u32::MAX)
+    } else {
+        tok.parse().ok()
+    }
+}
+
+/// Parses the versioned topology format. Malformed input — unknown
+/// versions, bad capacities, self-loop links, out-of-range endpoints,
+/// zero weights, and line-count mismatches — returns `Err`; this function
+/// never panics.
+pub fn parse_topology(text: &str) -> Result<Topology, ParseError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| ParseError::BadHeader("<empty input>".into()))?;
+    let mut parts = header.split_whitespace();
+    if parts.next() != Some("topology") {
+        return Err(ParseError::BadHeader(header.into()));
+    }
+    let version = parts
+        .next()
+        .ok_or_else(|| ParseError::BadHeader(header.into()))?;
+    if version != "v1" {
+        return Err(ParseError::UnsupportedVersion {
+            found: version.into(),
+        });
+    }
+    let n: usize = parts
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| ParseError::BadHeader(header.into()))?;
+    let m: usize = parts
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| ParseError::BadHeader(header.into()))?;
+    if parts.next().is_some() {
+        return Err(ParseError::BadHeader(header.into()));
+    }
+
+    let body: Vec<(usize, &str)> = lines.collect();
+    if body.len() != n + m {
+        return Err(ParseError::EdgeCountMismatch {
+            declared: n + m,
+            found: body.len(),
+        });
+    }
+
+    let mut caps = Vec::with_capacity(n);
+    for &(line_no, line) in &body[..n] {
+        let mut toks = line.split_whitespace();
+        match (
+            toks.next().and_then(parse_cap_token),
+            toks.next().and_then(parse_cap_token),
+            toks.next(),
+        ) {
+            (Some(ports), Some(switch), None) => caps.push(NodeCaps::new(ports, switch)),
+            _ => {
+                return Err(ParseError::BadCaps {
+                    line: line_no,
+                    content: line.into(),
+                })
+            }
+        }
+    }
+
+    let mut g = Graph::new(n);
+    let mut weights = Vec::with_capacity(m);
+    for &(line_no, line) in &body[n..] {
+        let mut toks = line.split_whitespace();
+        let (u, v) = match (
+            toks.next().and_then(|t| t.parse::<u32>().ok()),
+            toks.next().and_then(|t| t.parse::<u32>().ok()),
+        ) {
+            (Some(u), Some(v)) => (u, v),
+            _ => {
+                return Err(ParseError::BadEdge {
+                    line: line_no,
+                    content: line.into(),
+                })
+            }
+        };
+        let w = match toks.next() {
+            None => 1,
+            Some(tok) => match tok.parse::<u32>() {
+                Ok(w) if w >= 1 => w,
+                _ => {
+                    return Err(ParseError::BadWeight {
+                        line: line_no,
+                        content: line.into(),
+                    })
+                }
+            },
+        };
+        if toks.next().is_some() {
+            return Err(ParseError::BadEdge {
+                line: line_no,
+                content: line.into(),
+            });
+        }
+        if u as usize >= n || v as usize >= n || u == v {
+            return Err(ParseError::BadEndpoint {
+                line: line_no,
+                content: line.into(),
+            });
+        }
+        g.add_edge(NodeId(u), NodeId(v));
+        weights.push(w);
+    }
+    Ok(Topology::new(g, weights, caps))
 }
 
 /// Serializes a graph to Graphviz DOT, with an optional color class per
@@ -676,6 +880,79 @@ mod tests {
         assert_eq!(parse_demand_list(&text).unwrap(), list);
         assert_eq!(list.total_units(), 0);
     }
+
+    #[test]
+    fn topology_round_trips_with_comments_caps_and_weights() {
+        let text = "# metro core\ntopology v1 4 4\n* *\n2 1\n\n# capped node\n0 4\n* 0\n0 1\n1 2 3\n2 3\n3 0 2\n";
+        let topo = parse_topology(text).unwrap();
+        assert_eq!(topo.num_nodes(), 4);
+        assert_eq!(topo.num_links(), 4);
+        assert_eq!(topo.caps(NodeId(0)), NodeCaps::UNLIMITED);
+        assert_eq!(topo.caps(NodeId(1)), NodeCaps::new(2, 1));
+        assert_eq!(topo.caps(NodeId(2)), NodeCaps::new(0, 4));
+        assert_eq!(topo.caps(NodeId(3)), NodeCaps::new(u32::MAX, 0));
+        assert_eq!(topo.weights(), &[1, 3, 1, 2]);
+        // Canonical form: `*` for unlimited, unit weights omitted.
+        let canonical = format_topology(&topo);
+        assert_eq!(
+            canonical,
+            "topology v1 4 4\n* *\n2 1\n0 4\n* 0\n0 1\n1 2 3\n2 3\n3 0 2\n"
+        );
+        let back = parse_topology(&canonical).unwrap();
+        assert_eq!(format_topology(&back), canonical);
+    }
+
+    #[test]
+    fn topology_rejects_malformed_input() {
+        // Every adversarial case is an Err, never a panic.
+        for (case, text) in [
+            ("empty", ""),
+            ("not topology", "demands v1 2 0\n* *\n* *\n"),
+            ("missing version", "topology\n"),
+            ("future version", "topology v2 2 0\n* *\n* *\n"),
+            ("missing counts", "topology v1 2\n"),
+            ("extra header field", "topology v1 2 0 7\n* *\n* *\n"),
+            ("huge n overflow", "topology v1 99999999999999999999 0\n"),
+            ("missing caps line", "topology v1 2 1\n* *\n0 1\n"),
+            ("caps one token", "topology v1 2 0\n*\n* *\n"),
+            ("caps three tokens", "topology v1 2 0\n* * *\n* *\n"),
+            ("caps junk", "topology v1 2 0\n* x\n* *\n"),
+            ("caps negative", "topology v1 2 0\n-1 *\n* *\n"),
+            ("link one endpoint", "topology v1 2 1\n* *\n* *\n0\n"),
+            ("link junk", "topology v1 2 1\n* *\n* *\n0 y\n"),
+            ("link four fields", "topology v1 2 1\n* *\n* *\n0 1 2 3\n"),
+            ("link out of range", "topology v1 2 1\n* *\n* *\n0 2\n"),
+            ("self loop", "topology v1 2 1\n* *\n* *\n1 1\n"),
+            ("zero weight", "topology v1 2 1\n* *\n* *\n0 1 0\n"),
+            (
+                "weight overflow",
+                "topology v1 2 1\n* *\n* *\n0 1 5000000000\n",
+            ),
+            ("too few links", "topology v1 2 2\n* *\n* *\n0 1\n"),
+            ("too many links", "topology v1 2 1\n* *\n* *\n0 1\n0 1\n"),
+        ] {
+            assert!(parse_topology(text).is_err(), "case {case:?}");
+        }
+        assert!(matches!(
+            parse_topology("topology v9 2 0\n* *\n* *\n"),
+            Err(ParseError::UnsupportedVersion { found }) if found == "v9"
+        ));
+        assert!(matches!(
+            parse_topology("topology v1 2 0\n* x\n* *\n"),
+            Err(ParseError::BadCaps { line: 2, .. })
+        ));
+        assert!(matches!(
+            parse_topology("topology v1 2 1\n* *\n* *\n0 1 0\n"),
+            Err(ParseError::BadWeight { line: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn linkless_topology_round_trips() {
+        let topo = parse_topology("topology v1 3 0\n* *\n1 2\n* *\n").unwrap();
+        assert_eq!(topo.num_links(), 0);
+        assert_eq!(format_topology(&topo), "topology v1 3 0\n* *\n1 2\n* *\n");
+    }
 }
 
 #[cfg(test)]
@@ -731,6 +1008,85 @@ mod demand_list_props {
             }
             if let Ok(text) = String::from_utf8(bytes) {
                 let _ = parse_demand_list(&text);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod topology_props {
+    use super::*;
+    use crate::topology::{NodeCaps, Topology};
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    /// A random topology: n in 2..=24, up to 48 links (parallels allowed),
+    /// weights 1..=9, capacities mixing `*` with small finite values.
+    fn arb_topology() -> impl Strategy<Value = Topology> {
+        (2usize..=24, 0usize..=48, any::<u64>()).prop_map(|(n, m, seed)| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut g = Graph::new(n);
+            let mut weights = Vec::with_capacity(m);
+            for _ in 0..m {
+                let u = rng.gen_range(0..n as u32);
+                let v = loop {
+                    let v = rng.gen_range(0..n as u32);
+                    if v != u {
+                        break v;
+                    }
+                };
+                g.add_edge(NodeId(u), NodeId(v));
+                weights.push(rng.gen_range(1..=9u32));
+            }
+            let caps = (0..n)
+                .map(|_| {
+                    let pick = |rng: &mut rand::rngs::StdRng| {
+                        if rng.gen_range(0..3u32) == 0 {
+                            u32::MAX
+                        } else {
+                            rng.gen_range(0..=12)
+                        }
+                    };
+                    NodeCaps::new(pick(&mut rng), pick(&mut rng))
+                })
+                .collect();
+            Topology::new(g, weights, caps)
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn topology_round_trip(topo in arb_topology()) {
+            let text = format_topology(&topo);
+            let back = parse_topology(&text).unwrap();
+            prop_assert_eq!(back.num_nodes(), topo.num_nodes());
+            prop_assert_eq!(back.num_links(), topo.num_links());
+            prop_assert_eq!(back.weights(), topo.weights());
+            prop_assert_eq!(back.node_caps(), topo.node_caps());
+            for e in topo.graph().edges() {
+                prop_assert_eq!(back.graph().endpoints(e), topo.graph().endpoints(e));
+            }
+            // Serialization is canonical: a second round trip is bytewise
+            // stable.
+            prop_assert_eq!(format_topology(&back), text);
+        }
+
+        #[test]
+        fn topology_parse_never_panics_on_mutations(
+            topo in arb_topology(),
+            flip in any::<u64>(),
+        ) {
+            // Corrupt one byte of a valid serialization; the parser must
+            // return (Ok or Err), not panic.
+            let mut bytes = format_topology(&topo).into_bytes();
+            if !bytes.is_empty() {
+                let i = (flip as usize) % bytes.len();
+                bytes[i] = bytes[i].wrapping_add((flip >> 32) as u8 | 1);
+            }
+            if let Ok(text) = String::from_utf8(bytes) {
+                let _ = parse_topology(&text);
             }
         }
     }

@@ -45,6 +45,9 @@
 //! * [`bipartite`] — bipartiteness and Hopcroft–Karp matching (fast
 //!   special case + independent oracle for the blossom implementation).
 //! * [`subgraph`] — edge-subset extraction with id mapping.
+//! * [`topology`] — physical mesh topologies (weighted links, capacitated
+//!   nodes) with deterministic Yen k-shortest-path routing, the layer-0
+//!   substrate of the mesh grooming workload.
 //! * [`io`] — a plain-text edge-list interchange format.
 //!
 //! The crate has no dependency on the SONET layer; it is a reusable
@@ -70,6 +73,7 @@ pub mod io;
 pub mod matching;
 pub mod spanning;
 pub mod subgraph;
+pub mod topology;
 pub mod traversal;
 pub mod tree;
 pub mod triangles;

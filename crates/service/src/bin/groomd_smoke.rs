@@ -1,7 +1,8 @@
 //! CI smoke for groomd's TCP path: serve a canned batch on an ephemeral
 //! loopback port at two worker counts and assert the response transcripts
 //! are byte-identical (printed as an FNV-1a digest). Exercises, over a
-//! real socket: PING, a mixed BATCH, STATS, SHUTDOWN, and the drain.
+//! real socket: PING, a mixed BATCH (upsr, ring, weighted, and a mesh
+//! item with its `topology v1` stanza), STATS, SHUTDOWN, and the drain.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
@@ -11,7 +12,7 @@ use grooming_service::{tcp, Service, ServiceConfig};
 
 /// A mixed-kind batch in the wire grammar — the canned workload.
 const CANNED_BATCH: &str = "\
-BATCH id=100 count=3
+BATCH id=100 count=4
 ITEM upsr k=4
 demands v1 8 12
 0 1
@@ -42,6 +43,27 @@ demands v1 6 4
 1 4 2
 2 5 1
 0 2
+ITEM mesh k=4 routes=2
+topology v1 6 7
+* *
+* *
+3 8
+* *
+* *
+* *
+0 1
+1 2
+2 3
+3 4
+4 5
+0 5
+1 4 2
+demands v1 6 5
+0 2
+1 3
+2 5
+0 4
+3 5
 END
 ";
 
@@ -100,7 +122,7 @@ fn run_once(workers: usize) -> String {
     writer.write_all(b"STATS\n").unwrap();
     let stats = read_line(&mut reader);
     assert!(
-        stats.starts_with("STATS accepted_requests=1 accepted_items=3 "),
+        stats.starts_with("STATS accepted_requests=1 accepted_items=4 "),
         "unexpected stats line: {stats:?}"
     );
 
@@ -108,7 +130,7 @@ fn run_once(workers: usize) -> String {
     assert_eq!(read_line(&mut reader), "BYE\n");
     server.join();
     let snapshot = service.shutdown();
-    assert_eq!(snapshot.counters.completed_items, 3, "drain lost items");
+    assert_eq!(snapshot.counters.completed_items, 4, "drain lost items");
     assert_eq!(snapshot.queue_depth, 0);
 
     transcript
@@ -117,7 +139,7 @@ fn run_once(workers: usize) -> String {
 fn main() {
     let first = run_once(1);
     assert!(
-        first.starts_with("RESULT 100 count=3\nPLAN 0 sadms="),
+        first.starts_with("RESULT 100 count=4\nPLAN 0 sadms="),
         "unexpected transcript: {first:?}"
     );
     assert!(

@@ -32,10 +32,22 @@
 //! ```
 //!
 //! Kinds: `upsr`, `ring`, `budgeted` (requires `budget=`), `weighted`,
-//! `online` (requires `sadms=`), `blsr`, `reconfigure`. Multi-ring
-//! instances are in-process only — their gateway topology has no
-//! demand-list encoding — so [`format_batch_request`] refuses them with
-//! [`WireFormatError::NotWireable`].
+//! `online` (requires `sadms=`), `blsr`, `mesh` (requires `routes=`),
+//! `reconfigure`. Multi-ring instances are in-process only — their gateway
+//! topology has no demand-list encoding — so [`format_batch_request`]
+//! refuses them with [`WireFormatError::NotWireable`].
+//!
+//! A `mesh` stanza carries the physical topology in the `topology v1`
+//! block format of [`grooming_graph::io`] followed by the demand list;
+//! the demand node count must equal the topology node count:
+//!
+//! ```text
+//! ITEM mesh k=<K> routes=<R>
+//! topology v1 <n> <m>         ⟨n cap lines, then m link lines⟩
+//! <ports|*> <switch|*>
+//! <u> <v> [weight]
+//! demands v1 <n> <d>          ⟨d entry lines⟩
+//! ```
 //!
 //! A `reconfigure` stanza is the warm-start workload: the prior demand
 //! snapshot, the prior plan, and the churn delta, all in the same
@@ -87,7 +99,10 @@ use grooming::partition::EdgePartition;
 use grooming::solve::{DemandDelta, Instance};
 use grooming_graph::graph::Graph;
 use grooming_graph::ids::{EdgeId, NodeId};
-use grooming_graph::io::{format_demand_list, parse_demand_list, DemandList, ParseError};
+use grooming_graph::io::{
+    format_demand_list, format_topology, parse_demand_list, parse_topology, DemandList, ParseError,
+};
+use grooming_graph::topology::Topology;
 use grooming_sonet::blsr::BlsrRing;
 use grooming_sonet::demand::{DemandPair, DemandSet};
 use grooming_sonet::weighted::WeightedDemandSet;
@@ -290,8 +305,11 @@ fn parse_batch(
                 &item_line,
             ));
         }
+        let is_mesh = item_line.split_whitespace().nth(1) == Some("mesh");
         let instance = if is_reconfigure {
             parse_reconfigure_item(&item_line, rest, config)?
+        } else if is_mesh {
+            parse_mesh_item(&item_line, rest, config)?
         } else {
             let list = read_demand_block(rest, config)?;
             parse_item(&item_line, &list)?
@@ -420,6 +438,105 @@ fn read_plan_block(
         parts.push(part);
     }
     Ok(parts)
+}
+
+/// Reads one strict topology block (`topology v1 <n> <m>` header plus
+/// exactly `n` cap lines and `m` link lines) off the stream, refusing
+/// oversized declarations before buffering — same discipline as
+/// [`read_demand_block`].
+fn read_topology_block(
+    rest: &mut dyn Iterator<Item = io::Result<String>>,
+    config: &ServiceConfig,
+) -> Result<Topology, RequestError> {
+    let header = next_line(rest)?;
+    let header = header.trim();
+    let mut peek = header.split_whitespace().skip(2);
+    let n = peek.next().and_then(|t| t.parse::<u64>().ok());
+    let m = peek.next().and_then(|t| t.parse::<u64>().ok());
+    let (n, m) = match (n, m) {
+        (Some(n), Some(m)) => (n, m),
+        // Not even header-shaped: let the real parser name the problem.
+        _ => return parse_topology(header).map_err(|e| RequestError::Wire(WireError::Demand(e))),
+    };
+    if n > config.max_nodes as u64 {
+        return Err(RequestError::Wire(WireError::TooLarge {
+            what: "nodes",
+            got: n,
+            limit: config.max_nodes as u64,
+        }));
+    }
+    // Physical links are bounded by the same budget as demand units: both
+    // feed per-edge work in the solver.
+    if m > config.max_units {
+        return Err(RequestError::Wire(WireError::TooLarge {
+            what: "links",
+            got: m,
+            limit: config.max_units,
+        }));
+    }
+
+    let body_lines = n + m;
+    let mut text = String::with_capacity(header.len() + 8 * body_lines as usize);
+    text.push_str(header);
+    text.push('\n');
+    for _ in 0..body_lines {
+        let line = next_line(rest)?;
+        text.push_str(line.trim());
+        text.push('\n');
+    }
+    parse_topology(&text).map_err(|e| RequestError::Wire(WireError::Demand(e)))
+}
+
+/// Parses one `mesh` stanza: the `ITEM` line, the physical topology, and
+/// the demand list routed over it.
+fn parse_mesh_item(
+    line: &str,
+    rest: &mut dyn Iterator<Item = io::Result<String>>,
+    config: &ServiceConfig,
+) -> Result<Instance, RequestError> {
+    let mut toks = line.split_whitespace();
+    if toks.next() != Some("ITEM") {
+        return Err(malformed("item stanza (expected ITEM)", line));
+    }
+    let kind = toks.next();
+    debug_assert_eq!(kind, Some("mesh"));
+    let mut k = None;
+    let mut routes = None;
+    for tok in toks {
+        let (key, value) = tok
+            .split_once('=')
+            .ok_or_else(|| malformed("ITEM field", line))?;
+        let parsed = value
+            .parse::<usize>()
+            .map_err(|_| malformed("ITEM field value", line))?;
+        match key {
+            "k" => k = Some(parsed),
+            "routes" => routes = Some(parsed),
+            _ => return Err(malformed("ITEM (field not valid for this kind)", line)),
+        }
+    }
+    let k = k.ok_or_else(|| malformed("ITEM (missing k=)", line))?;
+    if k == 0 {
+        return Err(malformed("ITEM (k must be >= 1)", line));
+    }
+    let routes = routes.ok_or_else(|| malformed("ITEM mesh (missing routes=)", line))?;
+    if routes == 0 {
+        return Err(malformed("ITEM mesh (routes must be >= 1)", line));
+    }
+    let topology = read_topology_block(rest, config)?;
+    let list = read_demand_block(rest, config)?;
+    if list.nodes != topology.num_nodes() {
+        return Err(malformed(
+            "mesh demands (node count differs from the topology)",
+            line,
+        ));
+    }
+    Ok(Instance::mesh(
+        topology,
+        demand_set_from_list(&list),
+        k,
+        routes,
+    ))
 }
 
 /// Parses one `reconfigure` stanza: the `ITEM` line, then the prior
@@ -680,6 +797,17 @@ pub fn format_item(instance: &Instance) -> Result<String, WireFormatError> {
             out.push_str(&format_demand_list(&pairs_to_list(n, &delta.removed)));
             return Ok(out);
         }
+        Instance::Mesh {
+            topology,
+            demands,
+            k,
+            routes,
+        } => {
+            let mut out = format!("ITEM mesh k={k} routes={routes}\n");
+            out.push_str(&format_topology(topology));
+            out.push_str(&format_demand_list(&demand_set_to_list(demands)));
+            return Ok(out);
+        }
         Instance::MultiRing { .. } => return Err(WireFormatError::NotWireable("multi-ring")),
         _ => return Err(WireFormatError::NotWireable("unknown instance kind")),
     };
@@ -794,6 +922,7 @@ pub fn format_stats(snapshot: &StatsSnapshot) -> String {
          queue_depth={} queued_cost={} in_flight={} workers={} \
          attempts={} swaps_evaluated={} scratch_resets={} stage_calls={} \
          parts_repaired={} sadms_moved={} \
+         routes_evaluated={} groom_ports_used={} blocked_demands={} lower_bound={} \
          qwait_p50_us={} qwait_p99_us={} solve_p50_us={} solve_p99_us={}\n",
         c.accepted_requests,
         c.accepted_items,
@@ -817,6 +946,10 @@ pub fn format_stats(snapshot: &StatsSnapshot) -> String {
         s.stage_calls(),
         s.parts_repaired,
         s.sadms_moved,
+        s.routes_evaluated,
+        s.groom_ports_used,
+        s.blocked_demands,
+        s.lower_bound,
         snapshot.queue_wait.percentile(0.5).as_micros(),
         snapshot.queue_wait.percentile(0.99).as_micros(),
         snapshot.solve_time.percentile(0.5).as_micros(),
@@ -830,6 +963,7 @@ mod tests {
     use crate::service::{ItemError, ServiceConfig};
     use grooming::solve::{SolveContext, Solver};
     use grooming_graph::generators;
+    use grooming_graph::topology::NodeCaps;
     use grooming_sonet::multiring::{rn, MultiRingNetwork};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -847,6 +981,13 @@ mod tests {
         let mut weighted = WeightedDemandSet::new(6);
         weighted.add(NodeId(0), NodeId(3), 3);
         weighted.add(NodeId(1), NodeId(4), 1);
+        // A 3×3 grid topology with one capacitated core node and one
+        // non-unit weight, so the mesh stanza exercises every token form.
+        let mut caps = vec![NodeCaps::UNLIMITED; 9];
+        caps[4] = NodeCaps::new(6, 3);
+        let mut weights = vec![1u32; 12];
+        weights[0] = 2;
+        let topology = Topology::new(generators::grid(3, 3), weights, caps);
         Request {
             id: 42,
             items: vec![
@@ -859,6 +1000,7 @@ mod tests {
                     k: 3,
                     online_sadms: 12,
                 },
+                Instance::mesh(topology, demands.clone(), 3, 2),
                 Instance::blsr(BlsrRing::new(9), demands, 3),
             ],
             deadline: Some(Duration::from_millis(250)),
@@ -983,6 +1125,75 @@ mod tests {
             parse_str(text, &config),
             Err(RequestError::Wire(WireError::TooLarge {
                 what: "plan parts",
+                ..
+            }))
+        ));
+    }
+
+    #[test]
+    fn mesh_stanzas_parse_and_malformed_ones_error() {
+        let config = ServiceConfig::default();
+        // A minimal well-formed mesh stanza parses into a mesh instance.
+        let text = "BATCH id=1 count=1\nITEM mesh k=2 routes=2\ntopology v1 3 3\n* *\n* *\n* *\n\
+                    0 1\n1 2\n2 0\ndemands v1 3 2\n0 1\n1 2\nEND\n";
+        let parsed = match parse_str(text, &config).unwrap() {
+            WireRequest::Batch(r) => r,
+            other => panic!("expected batch, got {other:?}"),
+        };
+        assert!(matches!(
+            parsed.items[0],
+            Instance::Mesh {
+                k: 2,
+                routes: 2,
+                ..
+            }
+        ));
+        let cases = [
+            // Missing routes=.
+            "BATCH id=1 count=1\nITEM mesh k=2\ntopology v1 3 3\n* *\n* *\n* *\n\
+             0 1\n1 2\n2 0\ndemands v1 3 1\n0 1\nEND\n",
+            // Zero route fan-out.
+            "BATCH id=1 count=1\nITEM mesh k=2 routes=0\ntopology v1 3 3\n* *\n* *\n* *\n\
+             0 1\n1 2\n2 0\ndemands v1 3 1\n0 1\nEND\n",
+            // Fields from other kinds are rejected.
+            "BATCH id=1 count=1\nITEM mesh k=2 routes=2 budget=3\ntopology v1 3 3\n* *\n* *\n\
+             * *\n0 1\n1 2\n2 0\ndemands v1 3 1\n0 1\nEND\n",
+            // Demand node count differs from the topology.
+            "BATCH id=1 count=1\nITEM mesh k=2 routes=2\ntopology v1 3 3\n* *\n* *\n* *\n\
+             0 1\n1 2\n2 0\ndemands v1 4 1\n0 1\nEND\n",
+            // Zero-weight link.
+            "BATCH id=1 count=1\nITEM mesh k=2 routes=2\ntopology v1 3 3\n* *\n* *\n* *\n\
+             0 1 0\n1 2\n2 0\ndemands v1 3 1\n0 1\nEND\n",
+            // Cap line with the wrong arity.
+            "BATCH id=1 count=1\nITEM mesh k=2 routes=2\ntopology v1 3 3\n* * *\n* *\n* *\n\
+             0 1\n1 2\n2 0\ndemands v1 3 1\n0 1\nEND\n",
+        ];
+        for text in cases {
+            assert!(
+                matches!(parse_str(text, &config), Err(RequestError::Wire(_))),
+                "expected wire error for {text:?}"
+            );
+        }
+        // Oversized topology declarations are refused off the header,
+        // before a single cap or link line is buffered.
+        let config = ServiceConfig {
+            max_nodes: 16,
+            max_units: 10,
+            ..ServiceConfig::default()
+        };
+        let text = "BATCH id=1 count=1\nITEM mesh k=2 routes=2\ntopology v1 1000000000 1\nEND\n";
+        assert!(matches!(
+            parse_str(text, &config),
+            Err(RequestError::Wire(WireError::TooLarge {
+                what: "nodes",
+                ..
+            }))
+        ));
+        let text = "BATCH id=1 count=1\nITEM mesh k=2 routes=2\ntopology v1 4 4000000000\nEND\n";
+        assert!(matches!(
+            parse_str(text, &config),
+            Err(RequestError::Wire(WireError::TooLarge {
+                what: "links",
                 ..
             }))
         ));

@@ -103,6 +103,12 @@ fn instance_size(instance: &Instance) -> (usize, u64) {
             demands.num_nodes(),
             (demands.len() + delta.added.len() + delta.removed.len()) as u64,
         ),
+        // Mesh work is governed by the physical topology (routing) and the
+        // demand count (grooming); the per-demand route fan-out is priced
+        // separately in [`estimated_cost`].
+        Instance::Mesh {
+            topology, demands, ..
+        } => (topology.num_nodes(), demands.len() as u64),
         // `Instance` is non-exhaustive; future variants pass the guard
         // until a size notion is defined for them.
         _ => (0, 0),
@@ -124,7 +130,13 @@ pub fn estimated_cost(instance: &Instance) -> u64 {
     let n = nodes as u64;
     let k = instance.grooming_factor().max(1) as u64;
     let lg = 64 - (n + 2).leading_zeros() as u64;
-    ITEM_BASE_COST + (units + n) * lg + units / k
+    // Mesh solves run Yen's algorithm per demand before grooming, so the
+    // route fan-out multiplies into the work estimate.
+    let route_term = match instance {
+        Instance::Mesh { routes, .. } => units * (*routes).max(1) as u64,
+        _ => 0,
+    };
+    ITEM_BASE_COST + (units + n) * lg + units / k + route_term
 }
 
 /// Tunables of a [`Service`].

@@ -357,9 +357,9 @@ fn block_bounds(lines: &VecDeque<String>, service: &Service) -> Option<usize> {
         if item == "END" {
             return Some(idx + 1);
         }
-        let is_reconfigure = item.split_whitespace().nth(1) == Some("reconfigure");
+        let kind = item.split_whitespace().nth(1);
         idx += 1;
-        if is_reconfigure {
+        if kind == Some("reconfigure") {
             // prior demands, prior plan, added, removed — in that order.
             for block in ["demands", "plan", "demands", "demands"] {
                 let (next, complete) = if block == "plan" {
@@ -373,6 +373,15 @@ fn block_bounds(lines: &VecDeque<String>, service: &Service) -> Option<usize> {
                 idx = next;
             }
         } else {
+            // A mesh item carries its physical topology ahead of the
+            // demand list.
+            if kind == Some("mesh") {
+                let (next, complete) = frame_topology_block(lines, idx, config)?;
+                if !complete {
+                    return Some(next);
+                }
+                idx = next;
+            }
             let (next, complete) = frame_demand_block(lines, idx, config)?;
             if !complete {
                 return Some(next);
@@ -411,6 +420,35 @@ fn frame_demand_block(
         return Some((idx, false));
     }
     let end = idx + m as usize;
+    if lines.len() < end {
+        return None;
+    }
+    Some((end, true))
+}
+
+/// Frames one `topology v1 <n> <m>` block (header + `n` node-capacity
+/// lines + `m` link lines), mirroring [`frame_demand_block`]'s contract
+/// and the parser's refusal points in `read_topology_block`.
+fn frame_topology_block(
+    lines: &VecDeque<String>,
+    idx: usize,
+    config: &crate::service::ServiceConfig,
+) -> Option<(usize, bool)> {
+    let header = lines.get(idx)?;
+    let mut peek = header.split_whitespace().skip(2);
+    let n = peek.next().and_then(|t| t.parse::<u64>().ok());
+    let m = peek.next().and_then(|t| t.parse::<u64>().ok());
+    let idx = idx + 1;
+    let (Some(n), Some(m)) = (n, m) else {
+        // Not header-shaped: the parser stops (with an error) right
+        // after reading it.
+        return Some((idx, false));
+    };
+    if n > config.max_nodes as u64 || m > config.max_units {
+        // Oversized declarations are refused before any body line.
+        return Some((idx, false));
+    }
+    let end = idx + (n + m) as usize;
     if lines.len() < end {
         return None;
     }
@@ -617,6 +655,40 @@ mod tests {
             stream.write_all(&[byte]).unwrap();
         }
         assert_eq!(read_lines(&stream, 1), "PONG\n");
+
+        service.begin_shutdown();
+        server.join();
+        service.shutdown();
+    }
+
+    /// Mesh items carry a `topology v1` block ahead of the demand list;
+    /// the framer must span it or the link lines are misread as new
+    /// verbs (the regression this pins: `block_bounds` knew demand and
+    /// plan blocks but not topology, so a mesh batch died mid-stanza).
+    #[test]
+    fn mesh_batches_frame_across_the_topology_block() {
+        let (service, server) = start_server(ServiceConfig {
+            workers: 1,
+            master_seed: 5,
+            ..Default::default()
+        });
+        let mut stream = connect(server.addr());
+
+        let batch = "BATCH id=9 count=1\nITEM mesh k=4 routes=2\ntopology v1 4 4\n* *\n2 6\n* *\n* *\n0 1\n1 2\n2 3\n0 3\ndemands v1 4 3\n0 2\n1 3\n0 1\nEND\n";
+        // Fragmented mid-ITEM-line and mid-topology: the framer must keep
+        // waiting for the rest rather than parse a truncated block.
+        let (a, rest) = batch.split_at(40);
+        let (b, c) = rest.split_at(30);
+        for frag in [a, b, c] {
+            stream.write_all(frag.as_bytes()).unwrap();
+            thread::sleep(Duration::from_millis(120));
+        }
+        let transcript = read_lines(&stream, 3);
+        assert!(
+            transcript.starts_with("RESULT 9 count=1\nPLAN 0 sadms="),
+            "got {transcript:?}"
+        );
+        assert!(transcript.ends_with("END\n"));
 
         service.begin_shutdown();
         server.join();

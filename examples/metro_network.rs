@@ -1,9 +1,12 @@
-//! A whole metro network: core ring + access rings, planned end to end.
+//! A whole metro network: core ring + access rings, planned end to end
+//! through the unified solve surface (one [`Instance::MultiRing`] solved
+//! against a caller-owned [`SolveContext`]).
 //!
 //! Demands between access rings transit the core through gateway offices;
-//! each ring is groomed independently with the paper's algorithm. The
-//! example sizes the network, prints per-ring bills, and shows the gateway
-//! overhead cross-ring traffic pays.
+//! each ring is groomed with the paper's algorithm. The example sizes the
+//! network, prints per-ring bills, and shows the gateway overhead
+//! cross-ring traffic pays. For a mesh of arbitrary topology (routing
+//! before grooming) see the `mesh_metro` example.
 //!
 //! Run with: `cargo run -p grooming --example metro_network`
 
@@ -74,5 +77,9 @@ fn main() {
         out.total_segments,
         num_demands,
         out.total_segments - num_demands
+    );
+    println!(
+        "aggregate SADM lower bound across rings: {}",
+        ctx.stats().lower_bound
     );
 }
