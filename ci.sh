@@ -79,6 +79,27 @@ if [ "$guard_bad" -ne 0 ]; then
   exit 1
 fi
 
+# groomsim is the warm path in a jar: the network starts empty and every
+# state is reached by repairing the previous one through
+# Instance::reconfigure. Cold solves (or online full re-grooms) inside
+# crates/sim would silently change what the simulator measures, so any
+# instance constructor other than reconfigure is banned there outside
+# tests.
+guard_bad=0
+while IFS= read -r f; do
+  hits=$(awk '/#\[cfg\(test\)\]/{exit} {print FILENAME":"FNR": "$0}' "$f" \
+    | grep -E 'Instance::(online|ring|upsr|mesh|blsr|multi_ring|weighted)\(' \
+    | grep -vE '^[^:]+:[0-9]+:[[:space:]]*//' || true)
+  if [ -n "$hits" ]; then
+    echo "$hits"
+    guard_bad=1
+  fi
+done < <(find crates/sim/src -name '*.rs')
+if [ "$guard_bad" -ne 0 ]; then
+  echo "error: cold solve inside crates/sim (the simulator is warm-path only: Instance::reconfigure)"
+  exit 1
+fi
+
 echo "== cargo build --all-targets (benches, examples, tests compile) =="
 cargo build --all-targets
 
@@ -143,6 +164,16 @@ echo "== perf smoke: mesh loading baseline (release, --fast) =="
 # any breach). The checked-in results/BENCH_mesh.json is produced by the
 # full run: target/release/perf_mesh
 target/release/perf_mesh --fast --out /tmp/BENCH_mesh_fast.json
+
+echo "== perf smoke: groomsim dynamic-traffic baseline (release, --fast) =="
+# Sweeps small ring and mesh cells to the 1% blocking point, asserts the
+# sweep re-runs deterministically (including under reversed stream
+# registration), soaks a live groomd over TCP against the in-process
+# transcript byte for byte, and asserts peak RSS stays under the fast
+# tier's ceiling (the binary exits non-zero on any breach). The
+# checked-in results/BENCH_sim.json is produced by the full run:
+# target/release/perf_sim
+target/release/perf_sim --fast --out /tmp/BENCH_sim_fast.json
 
 echo "== cargo doc (no deps, warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet

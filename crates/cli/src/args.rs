@@ -45,6 +45,12 @@ pub enum Command {
         /// Service options.
         opts: ServeOptions,
     },
+    /// Simulate dynamic Poisson traffic through the warm-start path
+    /// (groomsim).
+    Sim {
+        /// Simulation options.
+        opts: SimOptions,
+    },
     /// List available algorithms.
     Algos,
     /// Print usage.
@@ -80,6 +86,51 @@ impl Default for ServeOptions {
             cache: 1024,
             master_seed: 0,
             deadline_ms: None,
+        }
+    }
+}
+
+/// Options for the `sim` command (groomsim).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimOptions {
+    /// Topology family: `ring` or `mesh`.
+    pub family: String,
+    /// Ring size (`ring`) or grid side length (`mesh`).
+    pub size: usize,
+    /// Grooming factor.
+    pub k: usize,
+    /// Warm-repair rearrangement budget (`None` = unbounded).
+    pub rearrange_budget: Option<usize>,
+    /// Wavelength admission budget (`None` = the family default).
+    pub max_wavelengths: Option<usize>,
+    /// Independent Poisson demand streams.
+    pub streams: u64,
+    /// Aggregate offered load in Erlangs.
+    pub erlangs: f64,
+    /// Virtual-time horizon in ticks.
+    pub horizon: u64,
+    /// Master seed for the per-stream RNG derivation.
+    pub seed: u64,
+    /// Bisect offered load to the 1% blocking point instead of one run.
+    pub sweep: bool,
+    /// Print the full event trace before the report.
+    pub trace: bool,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            family: "ring".into(),
+            size: 16,
+            k: 16,
+            rearrange_budget: Some(8),
+            max_wavelengths: None,
+            streams: 4,
+            erlangs: 8.0,
+            horizon: 50_000,
+            seed: 1,
+            sweep: false,
+            trace: false,
         }
     }
 }
@@ -386,8 +437,87 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             }
             Ok(Command::Serve { opts })
         }
+        "sim" => {
+            let mut opts = SimOptions::default();
+            while let Some(arg) = it.next() {
+                let flag = arg.as_str();
+                match flag {
+                    "--sweep" => {
+                        opts.sweep = true;
+                        continue;
+                    }
+                    "--trace" => {
+                        opts.trace = true;
+                        continue;
+                    }
+                    "--no-rearrange-budget" => {
+                        opts.rearrange_budget = None;
+                        continue;
+                    }
+                    _ => {}
+                }
+                let value = it
+                    .next()
+                    .ok_or_else(|| ParseError(format!("{flag} needs a value")))?;
+                match flag {
+                    "--family" => {
+                        if value != "ring" && value != "mesh" {
+                            return Err(ParseError(format!(
+                                "unknown family {value:?} (ring, mesh)"
+                            )));
+                        }
+                        opts.family = value.to_string();
+                    }
+                    "--size" => {
+                        opts.size = parse_num(flag, value)?;
+                        if opts.size < 3 {
+                            return Err(ParseError("--size must be at least 3".into()));
+                        }
+                    }
+                    "--k" => {
+                        opts.k = parse_num(flag, value)?;
+                        if opts.k == 0 {
+                            return Err(ParseError("--k must be positive".into()));
+                        }
+                    }
+                    "--rearrange-budget" => opts.rearrange_budget = Some(parse_num(flag, value)?),
+                    "--max-wavelengths" => opts.max_wavelengths = Some(parse_num(flag, value)?),
+                    "--streams" => {
+                        opts.streams = value
+                            .parse()
+                            .map_err(|_| ParseError("--streams needs an integer".into()))?;
+                        if opts.streams == 0 {
+                            return Err(ParseError("--streams must be positive".into()));
+                        }
+                    }
+                    "--erlangs" => {
+                        opts.erlangs = value
+                            .parse()
+                            .map_err(|_| ParseError("--erlangs needs a number".into()))?;
+                        if opts.erlangs <= 0.0 {
+                            return Err(ParseError("--erlangs must be positive".into()));
+                        }
+                    }
+                    "--horizon" => {
+                        opts.horizon = value
+                            .parse()
+                            .map_err(|_| ParseError("--horizon needs an integer".into()))?;
+                        if opts.horizon == 0 {
+                            return Err(ParseError("--horizon must be positive".into()));
+                        }
+                    }
+                    "--seed" => {
+                        opts.seed = value
+                            .parse()
+                            .map_err(|_| ParseError("--seed needs an integer".into()))?
+                    }
+                    _ => return Err(ParseError(format!("unknown flag {flag:?} for sim"))),
+                }
+            }
+            Ok(Command::Sim { opts })
+        }
         other => Err(ParseError(format!(
-            "unknown command {other:?} (try: groom, random, regular, serve, algos, help)"
+            "unknown command {other:?} (try: groom, random, regular, serve, sim, algos, help)"
         ))),
     }
 }
@@ -478,6 +608,9 @@ USAGE:
                                                 (--hubs a,b,...)
   upsr-groom serve [OPTIONS]                    run the grooming service
                                                 (groomd) on a TCP listener
+  upsr-groom sim [SIM OPTIONS]                  simulate dynamic Poisson
+                                                traffic through the
+                                                warm-start path (groomsim)
   upsr-groom algos                              list algorithms
   upsr-groom help                               this text
 
@@ -516,6 +649,20 @@ SERVE OPTIONS:
                  the estimated queue wait are shed at admission
   Type `quit` on stdin (or send the SHUTDOWN verb) for a graceful,
   draining shutdown.
+
+SIM OPTIONS:
+  --family F     topology family: ring | mesh (default ring)
+  --size S       ring size, or grid side for mesh (default 16)
+  --k K          grooming factor (default 16)
+  --erlangs E    aggregate offered load in Erlangs (default 8)
+  --streams N    independent Poisson demand streams (default 4)
+  --horizon T    virtual-time horizon in ticks (default 50000)
+  --max-wavelengths W  wavelength admission budget (default: node count)
+  --rearrange-budget B warm-repair SADM movement budget (default 8);
+                 --no-rearrange-budget lifts it
+  --seed S       master seed for the per-stream RNG streams (default 1)
+  --sweep        bisect offered load to the 1% blocking point
+  --trace        print the full event trace before the report
 
 FILE FORMATS:
   edge list: line 1 `n m`, then m lines `u v` (0-based), `#` comments.
@@ -699,6 +846,45 @@ mod tests {
         assert!(parse(&argv("serve --work-capacity 0")).is_err());
         assert!(parse(&argv("serve --addr")).is_err());
         assert!(parse(&argv("serve --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn sim_flags() {
+        match parse(&argv("sim")).unwrap() {
+            Command::Sim { opts } => assert_eq!(opts, SimOptions::default()),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv(
+            "sim --family mesh --size 4 --k 8 --erlangs 6.5 --streams 3 \
+             --horizon 20000 --seed 9 --max-wavelengths 12 --no-rearrange-budget \
+             --sweep --trace",
+        ))
+        .unwrap()
+        {
+            Command::Sim { opts } => {
+                assert_eq!(opts.family, "mesh");
+                assert_eq!(opts.size, 4);
+                assert_eq!(opts.k, 8);
+                assert!((opts.erlangs - 6.5).abs() < 1e-12);
+                assert_eq!(opts.streams, 3);
+                assert_eq!(opts.horizon, 20_000);
+                assert_eq!(opts.seed, 9);
+                assert_eq!(opts.max_wavelengths, Some(12));
+                assert_eq!(opts.rearrange_budget, None);
+                assert!(opts.sweep);
+                assert!(opts.trace);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv("sim --rearrange-budget 2")).unwrap() {
+            Command::Sim { opts } => assert_eq!(opts.rearrange_budget, Some(2)),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("sim --family torus")).is_err());
+        assert!(parse(&argv("sim --size 2")).is_err());
+        assert!(parse(&argv("sim --erlangs 0")).is_err());
+        assert!(parse(&argv("sim --streams 0")).is_err());
+        assert!(parse(&argv("sim --bogus 1")).is_err());
     }
 
     #[test]

@@ -99,6 +99,50 @@ fn main() {
             run(&demands, &opts);
         }
         Command::Serve { opts } => run_serve(&opts),
+        Command::Sim { opts } => run_sim(&opts),
+    }
+}
+
+/// The `sim` command: drive Poisson arrivals and departures through the
+/// warm-start reconfigure path and report blocking, churn, and carried
+/// load (or bisect to the 1% blocking point with `--sweep`).
+fn run_sim(opts: &args::SimOptions) {
+    use grooming_sim::{blocking_point, run, Scenario, BLOCKING_TARGET};
+
+    let mut scenario = match opts.family.as_str() {
+        "ring" => Scenario::ring(opts.size, opts.k),
+        "mesh" => Scenario::mesh(opts.size, opts.k),
+        other => {
+            eprintln!("error: unknown family {other:?} (ring | mesh)");
+            std::process::exit(1);
+        }
+    };
+    scenario.rearrange_budget = opts.rearrange_budget;
+    if let Some(w) = opts.max_wavelengths {
+        scenario.max_wavelengths = w;
+    }
+    scenario.streams = opts.streams;
+    scenario.horizon = opts.horizon;
+    scenario.master_seed = opts.seed;
+    let scenario = scenario.with_offered_erlangs(opts.erlangs);
+
+    if opts.sweep {
+        let cell = blocking_point(&scenario, BLOCKING_TARGET, 8);
+        println!(
+            "blocking point ({:.0}% target): {:.3} Erlangs offered \
+             (measured blocking {:.4}, {} simulation(s))",
+            BLOCKING_TARGET * 100.0,
+            cell.erlangs,
+            cell.blocking,
+            cell.evaluations
+        );
+        println!("{}", cell.report.render());
+    } else {
+        let out = run(&scenario);
+        if opts.trace {
+            print!("{}", out.trace);
+        }
+        println!("{}", out.report.render());
     }
 }
 

@@ -169,13 +169,22 @@ impl OnlineGroomer {
         None
     }
 
-    /// Withdraws one unit of `pair`, vacating its slot in place:
-    /// deterministically the copy on the lowest-indexed wavelength
-    /// carrying the pair, earliest-provisioned first within it. ADMs left
-    /// supporting no demand on that wavelength are reclaimed (the freed
-    /// slot and any emptied wavelength stay available to later adds).
-    /// Returns the vacated wavelength, or `None` if the pair is not
-    /// provisioned.
+    /// Withdraws one unit of `pair`, vacating its slot in place.
+    ///
+    /// Removal semantics are normative across the repo (see DESIGN.md
+    /// §15 and [`crate::solve::DemandDelta`]): **the earliest surviving
+    /// occurrence per removed pair is retired**, in the structure's own
+    /// canonical order. Here that order is (wavelength index, slot within
+    /// the wavelength), so the copy on the lowest-indexed wavelength
+    /// carrying the pair goes first; in [`crate::solve::Instance::Reconfigure`]
+    /// the order is the snapshot's edge numbering, so the lowest prior
+    /// edge id goes first. Units of the same pair are interchangeable, so
+    /// both views drain the same multiset deterministically.
+    ///
+    /// ADMs left supporting no demand on that wavelength are reclaimed
+    /// (the freed slot and any emptied wavelength stay available to later
+    /// adds). Returns the vacated wavelength, or `None` if the pair is
+    /// not provisioned.
     pub fn remove(&mut self, pair: DemandPair) -> Option<usize> {
         if pair.hi().index() >= self.n {
             return None;

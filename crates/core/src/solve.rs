@@ -372,10 +372,12 @@ impl SolveContext {
 /// A demand churn window: pairs provisioned and pairs withdrawn since a
 /// prior plan was computed — the input that makes a solve resumable.
 ///
-/// `removed` is a multiset against the prior snapshot: each entry retires
-/// one unit of that pair, matched against the earliest surviving
-/// occurrence (lowest prior edge id first), so repeated pairs drain
-/// deterministically.
+/// `removed` is a multiset against the prior snapshot. The normative
+/// removal rule (shared with [`crate::online::OnlineGroomer::remove`] and
+/// stated in DESIGN.md §15) is: **each entry retires the earliest
+/// surviving occurrence per removed pair** — here, in snapshot edge
+/// order, the lowest prior edge id first — so repeated pairs drain
+/// deterministically and survivors keep their relative order.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DemandDelta {
     /// Pairs provisioned since the prior plan.

@@ -917,7 +917,8 @@ pub fn format_stats(snapshot: &StatsSnapshot) -> String {
     let s = &snapshot.solve;
     format!(
         "STATS accepted_requests={} accepted_items={} rejected_requests={} shed_requests={} \
-         completed_items={} failed_items={} timed_out_items={} cancelled_items={} \
+         completed_items={} reconfigures_completed={} failed_items={} timed_out_items={} \
+         cancelled_items={} \
          cache_hits={} cache_misses={} cache_entries={} cache_evictions={} \
          queue_depth={} queued_cost={} in_flight={} workers={} \
          attempts={} swaps_evaluated={} scratch_resets={} stage_calls={} \
@@ -929,6 +930,7 @@ pub fn format_stats(snapshot: &StatsSnapshot) -> String {
         c.rejected_requests,
         c.shed_requests,
         c.completed_items,
+        c.reconfigures_completed,
         c.failed_items,
         c.timed_out_items,
         c.cancelled_items,
@@ -1384,8 +1386,13 @@ mod tests {
             format_rejected(4, &SubmitError::ShuttingDown),
             "REJECTED 4 shutting_down\n"
         );
+        let counters = crate::ServiceCounters {
+            completed_items: 9,
+            reconfigures_completed: 4,
+            ..Default::default()
+        };
         let snapshot = StatsSnapshot {
-            counters: Default::default(),
+            counters,
             queue_depth: 2,
             queued_cost: 640,
             in_flight: 1,
@@ -1398,6 +1405,7 @@ mod tests {
         };
         let line = format_stats(&snapshot);
         assert!(line.starts_with("STATS accepted_requests=0 accepted_items=0 "));
+        assert!(line.contains(" completed_items=9 reconfigures_completed=4 "));
         assert!(line.contains(" queue_depth=2 queued_cost=640 in_flight=1 workers=3 "));
         assert!(line.contains(" cache_hits=0 cache_misses=0 "));
         assert!(line.ends_with("qwait_p50_us=0 qwait_p99_us=0 solve_p50_us=0 solve_p99_us=0\n"));

@@ -389,6 +389,11 @@ pub struct ServiceCounters {
     pub shed_requests: u64,
     /// Items that finished solving (including failed ones).
     pub completed_items: u64,
+    /// Completed items that were [`Instance::Reconfigure`] warm starts (a
+    /// subset of [`ServiceCounters::completed_items`]; cache hits
+    /// included). Soak harnesses assert on this directly instead of
+    /// inferring reconfigure traffic from batch totals.
+    pub reconfigures_completed: u64,
     /// Items that returned a per-item error.
     pub failed_items: u64,
     /// Items whose solve was cut by a deadline.
@@ -888,6 +893,9 @@ fn run_job(shared: &Shared, job: Job, workspace: Workspace) -> Workspace {
         stats.in_flight -= 1;
         let counters = &mut stats.counters;
         counters.completed_items += 1;
+        if matches!(job.instance, Instance::Reconfigure { .. }) {
+            counters.reconfigures_completed += 1;
+        }
         match cache_lookup {
             Some(true) => counters.cache_hits += 1,
             Some(false) => counters.cache_misses += 1,

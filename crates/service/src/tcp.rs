@@ -592,6 +592,12 @@ mod tests {
 
     const BATCH: &str = "BATCH id=1 count=1\nITEM ring k=4\ndemands v1 6 3\n0 1\n1 2\n2 5\nEND\n";
 
+    /// A minimal warm-start request: a 2-demand prior snapshot on one
+    /// wavelength, one added pair, nothing removed.
+    const RECONFIGURE: &str = "RECONFIGURE id=2 count=1\nITEM reconfigure k=4\n\
+         demands v1 6 2\n0 1\n2 3\nplan v1 1\n2 0 1\n\
+         demands v1 6 1\n4 5\ndemands v1 6 0\nEND\n";
+
     #[test]
     fn tcp_serves_ping_batch_stats_and_shutdown() {
         let (service, server) = start_server(ServiceConfig {
@@ -609,16 +615,26 @@ mod tests {
         let transcript = roundtrip(&mut stream, BATCH, 3);
         assert!(transcript.starts_with("RESULT 1 count=1\nPLAN 0 sadms="));
         assert!(transcript.ends_with("END\n"));
+        // A warm-start item over the wire: counted both as a completed
+        // item and under the reconfigure-specific counter.
+        let transcript = roundtrip(&mut stream, RECONFIGURE, 3);
+        assert!(transcript.starts_with("RESULT 2 count=1\nPLAN 0 sadms="));
+        assert!(transcript.ends_with("END\n"));
         let stats = roundtrip(&mut stream, "STATS\n", 1);
-        assert!(stats.starts_with("STATS accepted_requests=1 accepted_items=1 "));
+        assert!(stats.starts_with("STATS accepted_requests=2 accepted_items=2 "));
+        assert!(
+            stats.contains(" completed_items=2 reconfigures_completed=1 "),
+            "got {stats:?}"
+        );
 
         // SHUTDOWN from a second connection: acknowledged, then drained.
         let mut other = connect(addr);
         assert_eq!(roundtrip(&mut other, "SHUTDOWN\n", 1), "BYE\n");
         server.join();
         let snapshot = service.shutdown();
-        assert_eq!(snapshot.counters.accepted_items, 1);
-        assert_eq!(snapshot.counters.completed_items, 1);
+        assert_eq!(snapshot.counters.accepted_items, 2);
+        assert_eq!(snapshot.counters.completed_items, 2);
+        assert_eq!(snapshot.counters.reconfigures_completed, 1);
         assert_eq!(snapshot.queue_depth, 0);
     }
 

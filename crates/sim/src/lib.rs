@@ -1,0 +1,60 @@
+//! **groomsim** — a deterministic discrete-event traffic simulator for
+//! the grooming stack.
+//!
+//! Every workload the repository solved before this crate was
+//! level-loaded: demands arrive all at once, or in hand-scripted churn
+//! windows. Real SONET/WDM traffic is a stochastic process — connections
+//! arrive (Poisson), hold (exponential), and depart — and grooming
+//! quality under *time-varying* demand (blocking probability at an
+//! admission limit, SADM churn per carried Erlang) can only be measured
+//! by a dynamic workload generator. groomsim is that generator, built on
+//! three pillars:
+//!
+//! 1. **A virtual clock over a deterministic event queue**
+//!    ([`event`]): a binary heap popping in the total order
+//!    `(time, sequence)`, where the sequence key derives from each demand
+//!    stream's stable identity — never from heap insertion order.
+//! 2. **Domain-separated per-stream RNGs** ([`rng`]): each stream's seed
+//!    is `splitmix64(master ^ DOMAIN + id·φ)`, the same discipline as the
+//!    portfolio's `attempt_seed` and the service's `item_seed`. Together
+//!    with (1), traces are byte-identical across runs and invariant under
+//!    event-source registration order.
+//! 3. **Warm-start epochs** ([`engine`]): every arrival and departure is
+//!    an [`grooming::solve::Instance::Reconfigure`] solve with a
+//!    configurable rearrangement budget. The network starts empty; no
+//!    cold solve ever runs (a CI guard enforces it).
+//!
+//! [`sweep`] bisects offered load to the 1% blocking point per scenario
+//! cell, and [`soak`] replays a recorded epoch sequence against a live
+//! groomd over TCP, asserting the wire transcript is byte-identical to
+//! the in-process run. See DESIGN.md §17 for the full event model.
+//!
+//! ```
+//! use grooming_sim::{run, Scenario};
+//!
+//! let mut scenario = Scenario::ring(8, 4);
+//! scenario.horizon = 10_000;
+//! let out = run(&scenario);
+//! assert_eq!(out.report.offered, out.report.admitted + out.report.blocked);
+//! // Same scenario, same seed: byte-identical trace.
+//! assert_eq!(out.trace, run(&scenario).trace);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod event;
+pub mod report;
+pub mod rng;
+pub mod scenario;
+pub mod soak;
+pub mod sweep;
+
+pub use engine::{run, run_recording, run_with_streams, AppliedEvent, SimOutcome};
+pub use event::{Event, EventKind, EventQueue, EventSeq};
+pub use report::SimReport;
+pub use rng::stream_seed;
+pub use scenario::{Scenario, TopologyFamily};
+pub use soak::{assert_soak_matches, expected_transcript, replay_tcp, SoakReport};
+pub use sweep::{blocking_point, SweepCell, BLOCKING_TARGET};

@@ -1,0 +1,124 @@
+//! Load sweeps: bisecting offered load to the target blocking point.
+//!
+//! The classic capacity question for a grooming policy is "how many
+//! Erlangs can this network carry at 1% blocking?". [`blocking_point`]
+//! answers it per `(topology family, k, rearrange budget)` cell: bracket
+//! the target blocking probability by doubling/halving the offered load,
+//! then bisect the bracket a fixed number of times. Every evaluation is a
+//! full deterministic simulation of the rescaled scenario
+//! ([`Scenario::with_offered_erlangs`] keeps streams and holding times;
+//! the interarrival mean absorbs the change), so the sweep itself is a
+//! pure function of `(scenario, target, iterations)`.
+
+use crate::engine::run;
+use crate::report::SimReport;
+use crate::scenario::Scenario;
+
+/// The default blocking-probability target: the 1% blocking point.
+pub const BLOCKING_TARGET: f64 = 0.01;
+
+/// One converged sweep cell.
+#[derive(Clone, Debug)]
+pub struct SweepCell {
+    /// Offered load at the blocking point, in Erlangs.
+    pub erlangs: f64,
+    /// The measured blocking probability there (`>= target`).
+    pub blocking: f64,
+    /// The full report of the blocking-point run.
+    pub report: SimReport,
+    /// Simulations executed to converge.
+    pub evaluations: usize,
+}
+
+/// Bisects offered load until `scenario`'s blocking probability crosses
+/// `target`, refining the bracket `iterations` times.
+///
+/// Returns the cell at the *upper* end of the final bracket — the
+/// smallest evaluated load whose blocking is at or above the target (the
+/// same "first crossing" convention as `perf_mesh`'s iterative loading).
+///
+/// # Panics
+/// Panics if no crossing exists within 20 doublings/halvings of the
+/// scenario's own offered load (the admission limits are effectively
+/// unlimited, or the scenario offers no traffic).
+pub fn blocking_point(scenario: &Scenario, target: f64, iterations: usize) -> SweepCell {
+    assert!(target > 0.0 && target < 1.0, "target must be in (0, 1)");
+    let mut evaluations = 0usize;
+    let mut eval = |erlangs: f64| -> SimReport {
+        evaluations += 1;
+        run(&scenario.clone().with_offered_erlangs(erlangs)).report
+    };
+
+    // Bracket the crossing: `lo` blocks below target, `hi` at/above it.
+    let probe = scenario.offered_erlangs();
+    let first = eval(probe);
+    let (mut lo, mut hi, mut hi_report) = if first.blocking_probability >= target {
+        let mut hi = probe;
+        let mut hi_report = first;
+        let mut steps = 0;
+        loop {
+            let lo = hi / 2.0;
+            let r = eval(lo);
+            if r.blocking_probability < target {
+                break (lo, hi, hi_report);
+            }
+            hi = lo;
+            hi_report = r;
+            steps += 1;
+            assert!(
+                steps < 20,
+                "no load below the blocking target in 20 halvings"
+            );
+        }
+    } else {
+        let mut lo = probe;
+        let mut steps = 0;
+        loop {
+            let hi = lo * 2.0;
+            let r = eval(hi);
+            if r.blocking_probability >= target {
+                break (lo, hi, r);
+            }
+            lo = hi;
+            steps += 1;
+            assert!(steps < 20, "no blocking point within 20 doublings");
+        }
+    };
+
+    for _ in 0..iterations {
+        let mid = (lo + hi) / 2.0;
+        let r = eval(mid);
+        if r.blocking_probability >= target {
+            hi = mid;
+            hi_report = r;
+        } else {
+            lo = mid;
+        }
+    }
+
+    SweepCell {
+        erlangs: hi,
+        blocking: hi_report.blocking_probability,
+        report: hi_report,
+        evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_converges_and_is_deterministic() {
+        let mut scenario = Scenario::ring(6, 3);
+        scenario.max_wavelengths = 3;
+        scenario.horizon = 10_000;
+        let a = blocking_point(&scenario, BLOCKING_TARGET, 4);
+        let b = blocking_point(&scenario, BLOCKING_TARGET, 4);
+        assert!(a.blocking >= BLOCKING_TARGET);
+        assert!(a.erlangs > 0.0);
+        assert_eq!(a.erlangs, b.erlangs);
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+}

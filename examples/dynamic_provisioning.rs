@@ -1,150 +1,171 @@
-//! Dynamic provisioning: demands arrive and churn over quarters; the
-//! operator grooms each immediately, and each maintenance window
-//! warm-starts from the previous plan instead of re-grooming from
-//! scratch — only the parts the quarter's delta touched get repaired.
+//! Dynamic provisioning: groomsim drives Poisson arrivals and departures
+//! over 8 quarters; the operator grooms each immediately (the online,
+//! never-rearranged policy) while each maintenance window warm-starts
+//! from the previous plan — only the parts the event touched get
+//! repaired. Both policies see the *same* simulated trace, so the SADM
+//! gap is purely the policy difference.
 //!
-//! Run with: `cargo run -p grooming --example dynamic_provisioning`
+//! Run with: `cargo run -p grooming-sim --example dynamic_provisioning`
 
-use grooming::algorithm::Algorithm;
 use grooming::online::OnlineGroomer;
-use grooming::solve::{DemandDelta, Instance, Plan, SolveContext, Solver};
-use grooming_graph::ids::NodeId;
-use grooming_graph::spanning::TreeStrategy;
+use grooming::portfolio::DEFAULT_PORTFOLIO;
+use grooming::solve::{Instance, Plan, PortfolioSolver, SolveConfig, SolveContext, Solver};
+use grooming_sim::{run_recording, AppliedEvent, Scenario};
 use grooming_sonet::cost::CostModel;
-use grooming_sonet::demand::{DemandPair, DemandSet};
 use grooming_sonet::rates::OcRate;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+const QUARTERS: u64 = 8;
 
 fn main() {
     let n = 20;
     let k = OcRate::Oc48.grooming_factor(OcRate::Oc3).unwrap();
-    let mut rng = StdRng::seed_from_u64(99);
-    let mut groomer = OnlineGroomer::new(n, k);
     let model = CostModel::default_for(OcRate::Oc48);
-    let algo = Algorithm::SpanTEulerRefined(TreeStrategy::Bfs);
 
-    println!("20-node OC-48 ring, OC-3 demands churning over 8 quarters (k = {k})\n");
+    // One year of churn on a 20-node metro ring: four independent Poisson
+    // demand streams offering 12 Erlangs in aggregate, simulated by
+    // groomsim and replayed here event by event.
+    let mut scenario = Scenario::ring(n, k).with_offered_erlangs(12.0);
+    scenario.horizon = 40_000;
+    scenario.master_seed = 99;
+    let quarter_len = scenario.horizon / QUARTERS;
+    let sim = run_recording(&scenario);
+
+    println!(
+        "20-node OC-48 ring, OC-3 demands arriving and departing over {QUARTERS} quarters \
+         (k = {k})"
+    );
+    println!(
+        "groomsim trace: {} offered, {} admitted, {} blocked over {} ticks\n",
+        sim.report.offered, sim.report.admitted, sim.report.blocked, sim.report.end_time
+    );
     println!(
         "{:>8} {:>9} {:>12} {:>11} {:>14} {:>14}",
         "quarter", "demands", "online SADM", "warm SADM", "parts fixed", "SADMs moved"
     );
 
-    // The planned-side demand mirror, kept in the solver's numbering:
-    // removals retire the earliest surviving occurrence, survivors keep
-    // their relative order, additions append.
-    let mut pairs: Vec<DemandPair> = Vec::new();
-    for _ in 0..30 {
-        let p = random_pair(n, &mut rng);
-        groomer.add(p);
-        pairs.push(p);
-    }
+    // Replay the recorded epochs: each is a self-contained warm-start
+    // instance (prior plan + one-event delta), solved with the same
+    // rearrange budget the engine used, so the warm column reproduces the
+    // engine's chain exactly.
+    // `SolveConfig` is non_exhaustive: built by mutating the default.
+    #[allow(clippy::field_reassign_with_default)]
+    let config = {
+        let mut config = SolveConfig::default();
+        config.rearrange_budget = scenario.rearrange_budget;
+        config
+    };
+    let mut ctx = SolveContext::seeded(99).with_config(config);
+    let solver = PortfolioSolver {
+        portfolio: &DEFAULT_PORTFOLIO,
+        restarts: 0,
+        jobs: 1,
+        master_seed: Some(scenario.master_seed),
+    };
 
-    // Quarter 0: groom the opening snapshot cold, once.
-    let sol = algo
-        .solve(
-            &Instance::ring(demand_set(n, &pairs), k),
-            &mut SolveContext::seeded(99),
-        )
-        .unwrap();
-    let mut prior_plan = sol.plan.partition().expect("ring plan").clone();
+    let mut groomer = OnlineGroomer::new(n, k);
+    let mut epoch = 0usize;
+    let mut active = 0usize;
+    let mut warm_sadms = 0u64;
+    let mut warm_report = None;
+    // The equipment bills are compared at the end of the arrival window —
+    // the busy-season peak — not after the queue drains to empty.
+    let mut peak_bills = None;
 
-    for quarter in 1..=8 {
-        // ~12 demands arrive, ~5 churn out.
-        let mut added = Vec::new();
-        let mut removed = Vec::new();
-        for _ in 0..12 {
-            let p = random_pair(n, &mut rng);
-            groomer.add(p);
-            added.push(p);
-        }
-        let mut pool: Vec<usize> = (0..pairs.len()).collect();
-        for _ in 0..5 {
-            let j = rng.gen_range(0..pool.len());
-            let p = pairs[pool.swap_remove(j)];
-            groomer.remove(p);
-            removed.push(p);
-        }
-        let delta = DemandDelta::new(added, removed);
-        let next_pairs = apply_delta(&pairs, &delta);
+    // Per-quarter aggregates: the state snapshot at the quarter's last
+    // event, plus the repair work done within it.
+    let mut rows = vec![(0usize, 0usize, 0u64, 0u64, 0u64); QUARTERS as usize];
 
-        // The maintenance window: warm-start from last quarter's plan and
-        // repair only what this quarter's delta touched.
-        let sol = algo
-            .solve(
-                &Instance::reconfigure(demand_set(n, &pairs), prior_plan, delta, k),
-                &mut SolveContext::seeded(99 + quarter),
-            )
-            .unwrap();
-        let Plan::Reconfigure {
-            outcome,
-            parts_repaired,
-            sadms_moved,
-        } = sol.plan
-        else {
-            unreachable!("reconfigure instances yield reconfigure plans");
+    for event in &sim.applied {
+        let (time, quarter_stats) = match *event {
+            AppliedEvent::Admitted { time, pair, .. } => {
+                let (report, parts_repaired, sadms_moved) =
+                    solve_epoch(&solver, &sim.epochs[epoch], &mut ctx);
+                epoch += 1;
+                warm_sadms = report.sadm_total as u64;
+                warm_report = Some(report);
+                groomer.add(pair);
+                active += 1;
+                (time, (parts_repaired, sadms_moved))
+            }
+            AppliedEvent::Blocked { time, .. } => {
+                // The engine solved this epoch and discarded the plan; the
+                // next epoch's embedded prior already reflects that, so
+                // the replay just skips it.
+                epoch += 1;
+                (time, (0, 0))
+            }
+            AppliedEvent::Departed { time, pair } => {
+                let (report, parts_repaired, sadms_moved) =
+                    solve_epoch(&solver, &sim.epochs[epoch], &mut ctx);
+                epoch += 1;
+                warm_sadms = report.sadm_total as u64;
+                warm_report = Some(report);
+                groomer.remove(pair);
+                active -= 1;
+                (time, (parts_repaired, sadms_moved))
+            }
         };
+        // Departures drain past the horizon; they land in the last quarter.
+        let q = ((time / quarter_len).min(QUARTERS - 1)) as usize;
+        let row = &mut rows[q];
+        (row.0, row.1, row.2) = (active, groomer.sadm_count(), warm_sadms);
+        row.3 += quarter_stats.0;
+        row.4 += quarter_stats.1;
+        if time < scenario.horizon {
+            if let Some(report) = &warm_report {
+                peak_bills = Some((report.clone(), groomer.assignment().report()));
+            }
+        }
+    }
+    assert_eq!(epoch, sim.epochs.len(), "every recorded epoch is consumed");
+
+    // Quarters without events inherit the previous snapshot.
+    let mut carry = (0usize, 0usize, 0u64);
+    for (i, row) in rows.iter_mut().enumerate() {
+        if row.3 == 0 && row.4 == 0 && (row.0, row.1, row.2) == (0, 0, 0) && i > 0 {
+            (row.0, row.1, row.2) = carry;
+        }
+        carry = (row.0, row.1, row.2);
         println!(
             "{:>8} {:>9} {:>12} {:>11} {:>14} {:>14}",
-            quarter,
-            next_pairs.len(),
-            groomer.sadm_count(),
-            outcome.report.sadm_total,
-            parts_repaired,
-            sadms_moved,
+            i + 1,
+            row.0,
+            row.1,
+            row.2,
+            row.3,
+            row.4
         );
-        if quarter == 8 {
-            println!(
-                "\nwarm-groomed equipment bill: {}",
-                model.evaluate(&outcome.report)
-            );
-            println!(
-                "online (never rearranged):   {}",
-                model.evaluate(&groomer.assignment().report())
-            );
-        }
-        pairs = next_pairs;
-        prior_plan = outcome.partition;
+    }
+
+    if let Some((warm, online)) = peak_bills {
+        println!("\nat the busy-season peak (t = {}):", scenario.horizon);
+        println!("warm-groomed equipment bill: {}", model.evaluate(&warm));
+        println!("online (never rearranged):   {}", model.evaluate(&online));
     }
     println!(
-        "\nEach window repairs a handful of parts instead of re-grooming all of\n\
-         them: the plan keeps pace with churn at a fraction of the solve cost,\n\
-         and the untouched wavelengths never change — no needless re-patching."
+        "\nBoth policies provisioned the identical groomsim trace. The warm\n\
+         chain repairs a handful of parts per event within its rearrange\n\
+         budget, consolidating what churn fragments; the online groomer,\n\
+         which never moves an installed circuit, strands capacity on\n\
+         wavelengths the warm chain has long since reclaimed."
     );
 }
 
-fn random_pair(n: usize, rng: &mut StdRng) -> DemandPair {
-    let a = rng.gen_range(0..n as u32);
-    let mut b = rng.gen_range(0..n as u32);
-    while b == a {
-        b = rng.gen_range(0..n as u32);
+/// Solves one recorded reconfigure epoch and unwraps the plan arm.
+fn solve_epoch(
+    solver: &PortfolioSolver<'_>,
+    instance: &Instance,
+    ctx: &mut SolveContext,
+) -> (grooming_sonet::stats::RingCostReport, u64, u64) {
+    let solution = solver
+        .solve(instance, ctx)
+        .expect("recorded epochs are solvable by construction");
+    match solution.plan {
+        Plan::Reconfigure {
+            outcome,
+            parts_repaired,
+            sadms_moved,
+        } => (outcome.report, parts_repaired, sadms_moved),
+        _ => unreachable!("reconfigure instances yield reconfigure plans"),
     }
-    DemandPair::new(NodeId(a), NodeId(b))
-}
-
-fn demand_set(n: usize, pairs: &[DemandPair]) -> DemandSet {
-    let mut s = DemandSet::new(n);
-    for p in pairs {
-        s.add(p.lo(), p.hi());
-    }
-    s
-}
-
-/// Applies the delta with the solver's numbering so the chained plan's
-/// edge ids always index the snapshot we hand to the next warm start.
-fn apply_delta(pairs: &[DemandPair], delta: &DemandDelta) -> Vec<DemandPair> {
-    use std::collections::HashMap;
-    let mut to_remove: HashMap<DemandPair, usize> = HashMap::new();
-    for &p in &delta.removed {
-        *to_remove.entry(p).or_insert(0) += 1;
-    }
-    let mut next = Vec::with_capacity(pairs.len() + delta.added.len());
-    for &p in pairs {
-        match to_remove.get_mut(&p) {
-            Some(c) if *c > 0 => *c -= 1,
-            _ => next.push(p),
-        }
-    }
-    next.extend_from_slice(&delta.added);
-    next
 }
